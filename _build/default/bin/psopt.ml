@@ -1,0 +1,421 @@
+(* psopt — the command-line front end of the promising-semantics
+   optimization-verification library.
+
+   Subcommands mirror the library's layers: parse/print, run, explore
+   (behaviour sets under either machine), optimize, refine (trace-set
+   inclusion), races (ww-RF / rw report), sim (the thread-local
+   simulation game) and litmus (the paper's corpus). *)
+
+open Cmdliner
+
+let read_program path =
+  try Ok (Lang.Wf.check_exn (Lang.Parse.program_of_file path)) with
+  | Lang.Parse.Error e -> Error (`Msg (path ^ ": " ^ e))
+  | Invalid_argument e -> Error (`Msg e)
+  | Sys_error e -> Error (`Msg e)
+
+let program_arg idx name =
+  let doc = "CSimpRTL program file." in
+  Arg.(required & pos idx (some file) None & info [] ~docv:name ~doc)
+
+let discipline_term =
+  let doc = "Explore with the non-preemptive machine (Fig. 10)." in
+  Term.(
+    const (fun np ->
+        if np then Explore.Enum.Non_preemptive else Explore.Enum.Interleaving)
+    $ Arg.(value & flag & info [ "np"; "non-preemptive" ] ~doc))
+
+let config_term =
+  let promises =
+    let doc = "Promise steps allowed per thread (0 disables promising)." in
+    Arg.(value & opt int 1 & info [ "promises" ] ~doc)
+  in
+  let steps =
+    let doc = "Exploration depth budget." in
+    Arg.(value & opt int 400 & info [ "max-steps" ] ~doc)
+  in
+  let no_cap =
+    let doc = "Certify promises against the plain (uncapped) memory." in
+    Arg.(value & flag & info [ "no-cap" ] ~doc)
+  in
+  Term.(
+    const (fun promises max_steps no_cap ->
+        Explore.Config.with_promises promises
+          {
+            Explore.Config.default with
+            max_steps;
+            cap_certification = not no_cap;
+          })
+    $ promises $ steps $ no_cap)
+
+(* ------------------------------------------------------------------ *)
+
+let parse_cmd =
+  let sexp_flag =
+    Arg.(
+      value & flag
+      & info [ "sexp" ]
+          ~doc:"Emit the machine-readable s-expression form instead.")
+  in
+  let run file sexp =
+    Result.map
+      (fun p ->
+        if sexp then print_endline (Lang.Sexp.program_to_string p)
+        else print_string (Lang.Pp.program_to_string p))
+      (read_program file)
+  in
+  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ sexp_flag)) in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:
+         "Parse, check well-formedness and print (human syntax, or \
+          s-expressions with --sexp).")
+    term
+
+let run_cmd =
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Scheduler seed.")
+  in
+  let run file seed =
+    Result.map
+      (fun p ->
+        let r = Explore.Random_run.run_exn ~seed p in
+        Format.printf "trace: %a (%d steps)@." Ps.Event.pp_trace
+          r.Explore.Random_run.trace r.Explore.Random_run.steps)
+      (read_program file)
+  in
+  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ seed)) in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute once with a pseudo-random scheduler (promise-free).")
+    term
+
+let sample_cmd =
+  let runs =
+    Arg.(value & opt int 1000 & info [ "runs" ] ~doc:"Number of executions.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base seed.") in
+  let run file runs seed =
+    Result.map
+      (fun p ->
+        let freqs = Explore.Random_run.sample ~seed ~runs p in
+        let total = List.fold_left (fun a (_, n) -> a + n) 0 freqs in
+        Format.printf "%d completed runs, %d distinct outcomes@." total
+          (List.length freqs);
+        List.iter
+          (fun (outs, n) ->
+            Format.printf "%8d  [%s]@." n
+              (String.concat ";" (List.map string_of_int outs)))
+          freqs;
+        Format.printf
+          "(sampling under-approximates: promise-dependent outcomes never \
+           appear; compare with `explore`)@.")
+      (read_program file)
+  in
+  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ runs $ seed)) in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:
+         "litmus7-style outcome histogram from random-scheduler runs \
+          (promise-free; contrast with the exhaustive `explore`).")
+    term
+
+let explore_cmd =
+  let run file disc cfg =
+    Result.map
+      (fun p ->
+        let o = Explore.Enum.behaviors_exn ~config:cfg disc p in
+        Format.printf "discipline: %a@.config: %a@." Explore.Enum.pp_discipline
+          disc Explore.Config.pp cfg;
+        Format.printf "behaviours (%s):@.%a@."
+          (if o.Explore.Enum.exact then "exact" else "cut by budget")
+          Explore.Traceset.pp o.Explore.Enum.traces;
+        Format.printf "stats: %a@." Explore.Stats.pp o.Explore.Enum.stats)
+      (read_program file)
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ program_arg 0 "FILE" $ discipline_term $ config_term))
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Enumerate the full behaviour set (bounded-exhaustive, promises \
+          included).")
+    term
+
+let passes_assoc =
+  [
+    ("constprop", Opt.Constprop.pass);
+    ("dce", Opt.Dce.pass);
+    ("cse", Opt.Cse.pass);
+    ("copyprop", Opt.Copyprop.pass);
+    ("linv", Opt.Linv.pass);
+    ("licm", Opt.Licm.pass);
+    ("cleanup", Opt.Cleanup.pass);
+  ]
+
+let opt_cmd =
+  let passes =
+    let doc =
+      "Comma-separated passes: constprop, dce, cse, copyprop, linv, licm, cleanup."
+    in
+    Arg.(value & opt string "constprop,cse,dce,cleanup" & info [ "passes" ] ~doc)
+  in
+  let run file passes =
+    Result.bind (read_program file) (fun p ->
+        let names = String.split_on_char ',' passes in
+        let rec build = function
+          | [] -> Ok []
+          | n :: rest -> (
+              match List.assoc_opt (String.trim n) passes_assoc with
+              | Some pass -> Result.map (fun l -> pass :: l) (build rest)
+              | None -> Error (`Msg ("unknown pass: " ^ n)))
+        in
+        Result.map
+          (fun ps ->
+            let out =
+              List.fold_left (fun p pass -> Opt.Pass.apply pass p) p ps
+            in
+            print_string (Lang.Pp.program_to_string out))
+          (build names))
+  in
+  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ passes)) in
+  Cmd.v (Cmd.info "opt" ~doc:"Apply optimization passes and print the result.")
+    term
+
+let refine_cmd =
+  let target =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "target" ] ~doc:"Optimized program.")
+  in
+  let source =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "source" ] ~doc:"Original program.")
+  in
+  let run tfile sfile disc cfg =
+    Result.bind (read_program tfile) (fun t ->
+        Result.map
+          (fun s ->
+            let rep =
+              Explore.Refine.check ~config:cfg ~discipline:disc ~target:t
+                ~source:s ()
+            in
+            Format.printf "%a@." Explore.Refine.pp_verdict rep.Explore.Refine.verdict;
+            if rep.Explore.Refine.verdict <> Explore.Refine.Refines then exit 1)
+          (read_program sfile))
+  in
+  let term =
+    Term.(
+      term_result (const run $ target $ source $ discipline_term $ config_term))
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:"Check event-trace refinement: target ⊆ source (Sec. 2.2).")
+    term
+
+let races_cmd =
+  let run file cfg =
+    Result.map
+      (fun p ->
+        (match Race.ww_rf ~config:cfg p with
+        | Ok v -> Format.printf "ww-RF:   %a@." Race.pp_verdict v
+        | Error e -> Format.printf "ww-RF:   error: %s@." e);
+        (match Race.ww_nprf ~config:cfg p with
+        | Ok v -> Format.printf "ww-NPRF: %a@." Race.pp_verdict v
+        | Error e -> Format.printf "ww-NPRF: error: %s@." e);
+        match Race.rw_races ~config:cfg p with
+        | Ok [] -> Format.printf "rw:      none@."
+        | Ok rs ->
+            List.iter (fun r -> Format.printf "rw:      %a@." Race.pp_race r) rs
+        | Error e -> Format.printf "rw:      error: %s@." e)
+      (read_program file)
+  in
+  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ config_term)) in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Check write-write race freedom (Fig. 11) under both machines and \
+          report read-write races.")
+    term
+
+let sim_cmd =
+  let target =
+    Arg.(
+      required & opt (some file) None & info [ "target" ] ~doc:"Optimized program.")
+  in
+  let source =
+    Arg.(
+      required & opt (some file) None & info [ "source" ] ~doc:"Original program.")
+  in
+  let inv =
+    let doc = "Invariant instance: iid or idce." in
+    Arg.(value & opt (enum [ ("iid", `Iid); ("idce", `Idce) ]) `Iid & info [ "inv" ] ~doc)
+  in
+  let run tfile sfile inv =
+    Result.bind (read_program tfile) (fun t ->
+        Result.map
+          (fun s ->
+            let inv =
+              match inv with
+              | `Iid -> Sim.Invariant.iid
+              | `Idce -> Sim.Invariant.idce
+            in
+            let rs = Sim.Simcheck.check_program ~inv ~target:t ~source:s () in
+            let ok = ref true in
+            List.iter
+              (fun (f, v) ->
+                if v <> Sim.Simcheck.Holds then ok := false;
+                Format.printf "%s: %a@." f Sim.Simcheck.pp_verdict v)
+              rs;
+            if not !ok then exit 1)
+          (read_program sfile))
+  in
+  let term = Term.(term_result (const run $ target $ source $ inv)) in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Check the thread-local simulation (Sec. 6) between target and \
+          source, per thread function.")
+    term
+
+let verify_cmd =
+  let pass_arg =
+    let doc = "Optimizer to verify (constprop, dce, cse, copyprop, linv, licm, cleanup)." in
+    Arg.(value & opt string "dce" & info [ "pass" ] ~doc)
+  in
+  let run file pass =
+    Result.bind (read_program file) (fun p ->
+        match Sim.Verif.find pass with
+        | None -> Error (`Msg ("unknown optimizer: " ^ pass))
+        | Some r ->
+            let v = Sim.Verif.check r p in
+            Format.printf "%s on %s: %a@." pass file Sim.Verif.pp_verdict v;
+            if v <> Sim.Verif.Verified then exit 1 else Ok ())
+  in
+  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ pass_arg)) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the full Fig. 6 pipeline for one optimizer on one program: \
+          ww-RF of the source, the thread-local simulation with the pass's \
+          invariant, whole-program refinement, ww-RF preservation.")
+    term
+
+let witness_cmd =
+  let outs =
+    let doc = "Comma-separated expected outputs, e.g. --outs 1,1." in
+    Arg.(value & opt string "" & info [ "outs" ] ~doc)
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Show silent steps too.")
+  in
+  let run file outs full disc cfg =
+    Result.bind (read_program file) (fun p ->
+        let parse_outs s =
+          if String.trim s = "" then Ok []
+          else
+            try
+              Ok
+                (List.map
+                   (fun x -> int_of_string (String.trim x))
+                   (String.split_on_char ',' s))
+            with Failure _ -> Error (`Msg ("invalid --outs: " ^ s))
+        in
+        Result.map
+          (fun outs ->
+            match
+              Explore.Witness.find ~config:cfg ~discipline:disc ~outs p
+            with
+            | Some w ->
+                Format.printf "witness:@.%a@."
+                  (if full then Explore.Witness.pp_full else Explore.Witness.pp)
+                  w
+            | None ->
+                Format.printf
+                  "no witness within bounds (outcome unobservable if the \
+                   exploration is exact)@.";
+                exit 1)
+          (parse_outs outs))
+  in
+  let term =
+    Term.(
+      term_result
+        (const run $ program_arg 0 "FILE" $ outs $ full $ discipline_term
+       $ config_term))
+  in
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:
+         "Find an annotated execution (schedule) producing the given \
+          outputs, in the style of the paper's Sec. 2.1 executions.")
+    term
+
+let litmus_cmd =
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Litmus name.")
+  in
+  let run name =
+    let sorted l = List.sort compare l in
+    let check (t : Litmus.t) =
+      let o = Explore.Enum.behaviors_exn Explore.Enum.Interleaving t.Litmus.prog in
+      let outs =
+        Explore.Traceset.done_outs o.Explore.Enum.traces
+        |> List.map sorted |> List.sort_uniq compare
+      in
+      let ok_exp =
+        List.for_all (fun e -> List.mem (sorted e) outs) t.Litmus.expected
+      in
+      let ok_forb =
+        List.for_all (fun f -> not (List.mem (sorted f) outs)) t.Litmus.forbidden
+      in
+      Format.printf "%-18s %s — %s@." t.Litmus.name
+        (if ok_exp && ok_forb then "ok" else "MISMATCH")
+        t.Litmus.descr;
+      List.iter
+        (fun o ->
+          Format.printf "    [%s]@."
+            (String.concat ";" (List.map string_of_int o)))
+        outs
+    in
+    match name with
+    | None -> Ok (List.iter check Litmus.all)
+    | Some n -> (
+        match List.find_opt (fun t -> t.Litmus.name = n) Litmus.all with
+        | Some t -> Ok (check t)
+        | None -> Error (`Msg ("unknown litmus test: " ^ n)))
+  in
+  let term = Term.(term_result (const run $ name_arg)) in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:"Run the paper's litmus corpus against the explorer.")
+    term
+
+let () =
+  let info =
+    Cmd.info "psopt" ~version:"1.0.0"
+      ~doc:
+        "Verifying optimizations of concurrent programs in the promising \
+         semantics (PLDI 2022) — executable reproduction."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            parse_cmd;
+            run_cmd;
+            sample_cmd;
+            explore_cmd;
+            opt_cmd;
+            refine_cmd;
+            races_cmd;
+            sim_cmd;
+            verify_cmd;
+            witness_cmd;
+            litmus_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/annotated_executions.ml: Explore Format List Litmus String

@@ -1,0 +1,1 @@
+examples/litmus_tour.ml: Explore Format List Litmus String

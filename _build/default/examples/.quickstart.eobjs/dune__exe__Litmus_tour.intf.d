@@ -1,0 +1,1 @@
+examples/litmus_tour.mli:

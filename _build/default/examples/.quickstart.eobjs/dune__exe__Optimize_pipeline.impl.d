@@ -1,0 +1,1 @@
+examples/optimize_pipeline.ml: Explore Format Lang Opt Race

@@ -1,0 +1,1 @@
+examples/race_check.ml: Explore Format List Litmus Race

@@ -1,0 +1,1 @@
+examples/ring_buffer.ml: Explore Format Lang List Race String

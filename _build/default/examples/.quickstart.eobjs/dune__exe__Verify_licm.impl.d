@@ -1,0 +1,1 @@
+examples/verify_licm.ml: Explore Format Lang List Litmus Opt Sim

@@ -1,0 +1,1 @@
+examples/verify_licm.mli:

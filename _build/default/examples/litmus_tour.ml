@@ -1,0 +1,40 @@
+(* A tour of the paper's examples: every litmus program of the corpus
+   is explored exhaustively and its observed outcomes are checked
+   against the paper's claims (expected outcomes observable, forbidden
+   outcomes absent).
+
+     dune exec examples/litmus_tour.exe *)
+
+let sorted l = List.sort compare l
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun (t : Litmus.t) ->
+      let o = Explore.Enum.behaviors_exn Explore.Enum.Interleaving t.prog in
+      let outs =
+        Explore.Traceset.done_outs o.Explore.Enum.traces
+        |> List.map sorted |> List.sort_uniq compare
+      in
+      let missing =
+        List.filter (fun e -> not (List.mem (sorted e) outs)) t.expected
+      in
+      let present =
+        List.filter (fun f -> List.mem (sorted f) outs) t.forbidden
+      in
+      let ok = missing = [] && present = [] in
+      if not ok then incr failures;
+      Format.printf "%-18s %-4s %s@." t.name
+        (if ok then "ok" else "FAIL")
+        t.descr;
+      Format.printf "  outcomes: %s%s@."
+        (String.concat " "
+           (List.map
+              (fun l ->
+                "[" ^ String.concat ";" (List.map string_of_int l) ^ "]")
+              outs))
+        (if t.needs_promises then "   (needs promises)" else ""))
+    Litmus.all;
+  Format.printf "@.%d programs, %d mismatches@." (List.length Litmus.all)
+    !failures;
+  exit (if !failures = 0 then 0 else 1)

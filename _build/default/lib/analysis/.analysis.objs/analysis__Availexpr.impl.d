@@ -1,0 +1,1 @@
+lib/analysis/availexpr.ml: Format Lang Map RegSet Stdlib String Worklist

@@ -1,0 +1,1 @@
+lib/analysis/availexpr.mli: Format Lang Lattice Map

@@ -1,0 +1,1 @@
+lib/analysis/constdom.ml: Format Lang VarMap Worklist

@@ -1,0 +1,1 @@
+lib/analysis/constdom.mli: Lang Lattice

@@ -1,0 +1,1 @@
+lib/analysis/copydom.ml: Format Lang String VarMap Worklist

@@ -1,0 +1,1 @@
+lib/analysis/copydom.mli: Lang Lattice

@@ -1,0 +1,1 @@
+lib/analysis/dominator.ml: Hashtbl LabelMap Lang List Option String VarSet

@@ -1,0 +1,1 @@
+lib/analysis/lattice.ml: Format

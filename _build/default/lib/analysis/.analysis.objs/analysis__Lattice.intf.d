@@ -1,0 +1,1 @@
+lib/analysis/lattice.mli: Format

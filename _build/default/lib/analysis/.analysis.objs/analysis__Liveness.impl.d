@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Format Lang RegSet String VarSet Worklist

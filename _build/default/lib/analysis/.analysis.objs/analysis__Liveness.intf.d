@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Lang Lattice

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Dominator Hashtbl LabelMap Lang List String VarSet

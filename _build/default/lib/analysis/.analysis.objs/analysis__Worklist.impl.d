@@ -1,0 +1,1 @@
+lib/analysis/worklist.ml: LabelMap Lang Lattice List Queue

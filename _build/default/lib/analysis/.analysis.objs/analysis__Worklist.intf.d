@@ -1,0 +1,1 @@
+lib/analysis/worklist.mli: Lang Lattice

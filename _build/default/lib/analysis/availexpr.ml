@@ -1,0 +1,129 @@
+open Lang.Ast
+
+type rhs = Expr of expr | LoadNa of var
+
+module RhsMap = Map.Make (struct
+  type t = rhs
+
+  let compare = Stdlib.compare
+end)
+
+type t = Unreached | Avail of reg RhsMap.t
+
+module L = struct
+  type nonrec t = t
+
+  let bot = Unreached
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Avail m1, Avail m2 ->
+        Avail
+          (RhsMap.merge
+             (fun _ r1 r2 ->
+               match (r1, r2) with
+               | Some r1, Some r2 when String.equal r1 r2 -> Some r1
+               | _ -> None)
+             m1 m2)
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Avail m1, Avail m2 -> RhsMap.equal String.equal m1 m2
+    | _ -> false
+
+  let pp ppf = function
+    | Unreached -> Format.pp_print_string ppf "unreached"
+    | Avail m ->
+        RhsMap.iter
+          (fun rhs r ->
+            match rhs with
+            | Expr e -> Format.fprintf ppf "%s=%s " r (Lang.Pp.expr_to_string e)
+            | LoadNa x -> Format.fprintf ppf "%s=%s.na " r x)
+          m
+end
+
+let pp_rhs ppf = function
+  | Expr e -> Lang.Pp.pp_expr ppf e
+  | LoadNa x -> Format.fprintf ppf "%s.na" x
+
+let lookup rhs = function
+  | Unreached -> None
+  | Avail m -> RhsMap.find_opt rhs m
+
+let map f = function Unreached -> Unreached | Avail m -> Avail (f m)
+
+(* Remove the facts held in [r] and the facts whose expression
+   mentions [r]. *)
+let kill_reg r =
+  map
+    (RhsMap.filter (fun rhs holder ->
+         (not (String.equal holder r))
+         &&
+         match rhs with
+         | Expr e -> not (RegSet.mem r (Lang.Ast.expr_regs e))
+         | LoadNa _ -> true))
+
+let kill_loads_of x =
+  map (RhsMap.filter (fun rhs _ -> rhs <> LoadNa x))
+
+let kill_all_loads =
+  map (RhsMap.filter (fun rhs _ -> match rhs with LoadNa _ -> false | Expr _ -> true))
+
+let add rhs r = map (RhsMap.add rhs r)
+
+let acquires = function
+  | Load (_, _, Lang.Modes.Acq) -> true
+  | Cas (_, _, _, _, Lang.Modes.Acq, _) -> true
+  | Fence (Lang.Modes.FAcq | Lang.Modes.FSc) -> true
+  | _ -> false
+
+(* Is an expression worth remembering (non-trivial and register-pure)? *)
+let memorable r = function
+  | Reg _ | Val _ -> false
+  | Bin _ as e -> not (RegSet.mem r (Lang.Ast.expr_regs e))
+
+let transfer_instr i st =
+  match st with
+  | Unreached -> Unreached
+  | Avail _ -> (
+      let st = if acquires i then kill_all_loads st else st in
+      match i with
+      | Skip | Print _ | Fence _ -> st
+      | Assign (r, e) ->
+          let st = kill_reg r st in
+          if memorable r e && lookup (Expr e) st = None then add (Expr e) r st
+          else st
+      | Load (r, x, Lang.Modes.Na) ->
+          (* The remembered message stays readable after later na
+             reads (they move Trlx only, and na reads are bounded by
+             Tna).  Keep the {e oldest} holder: a reload must not
+             steal the fact, or a preheader fact would not survive the
+             loop's back-edge join (LInv relies on this). *)
+          let st = kill_reg r st in
+          if lookup (LoadNa x) st = None then add (LoadNa x) r st else st
+      | Load (r, _, _) -> kill_reg r st
+      | Store (x, e, Lang.Modes.WNa) -> (
+          let st = kill_loads_of x st in
+          (* Store-to-load forwarding: after x := r', reading x back
+             yields r'. *)
+          match e with
+          | Reg r' -> add (LoadNa x) r' st
+          | _ -> st)
+      | Store (_, _, _) -> st
+      | Cas (r, _, _, _, _, _) -> kill_reg r st)
+
+let transfer_term t st =
+  match t with
+  | Jmp _ | Be _ | Return -> st
+  | Call _ -> map (fun _ -> RhsMap.empty) st
+
+type result = { before : label -> t list; entry : label -> t }
+
+module F = Worklist.Forward (L)
+
+let analyze (ch : codeheap) =
+  let tf = { F.instr = transfer_instr; term = transfer_term } in
+  let r = F.solve ch ~init:(Avail RhsMap.empty) tf in
+  { before = r.F.before_instrs; entry = r.F.entry_state }

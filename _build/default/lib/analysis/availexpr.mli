@@ -1,0 +1,49 @@
+(** Available expressions, for common subexpression elimination
+    (Sec. 7.2: CSE, verified with the identity invariant [Iid]).
+
+    A fact ["rhs is available in r"] means register [r] currently
+    holds the value of [rhs], where [rhs] is either a pure expression
+    over registers or a non-atomic load [x_na].  CSE replaces a
+    recomputation of an available [rhs] by a copy from [r].
+
+    Kill rules under PS2.1:
+    - defining a register kills the facts held in it and the facts
+      whose expression mentions it;
+    - a non-atomic store to [x] kills the load facts on [x] (the
+      thread's [Tna(x)] moves past the remembered message, and the
+      remembered value may differ from the new one);
+    - an {e acquire} read (and acquire/sc fence, CAS with acquire
+      part) kills {e all} load facts: the incoming message view may
+      push [Tna] past the remembered messages — this is precisely why
+      LICM must not hoist across acquire reads (Fig. 1);
+    - relaxed accesses and release writes kill no load facts: reusing
+      an earlier non-atomic read across them amounts to reading the
+      same message again, which the grown view still allows;
+    - call boundaries kill everything.
+
+    Note that {e other threads'} writes never kill a load fact: the
+    remembered message stays in the memory forever, and re-reading it
+    stays allowed until the thread's own view moves — unlike in SC,
+    where CSE over shared loads is unsound under interference.  That
+    is the essence of why PS2.1 admits these optimizations on
+    non-atomics (Sec. 1). *)
+
+type rhs = Expr of Lang.Ast.expr | LoadNa of Lang.Ast.var
+
+module RhsMap : Map.S with type key = rhs
+
+type t = Unreached | Avail of Lang.Ast.reg RhsMap.t
+
+module L : Lattice.S with type t = t
+
+val lookup : rhs -> t -> Lang.Ast.reg option
+val transfer_instr : Lang.Ast.instr -> t -> t
+val transfer_term : Lang.Ast.terminator -> t -> t
+
+type result = {
+  before : Lang.Ast.label -> t list;
+  entry : Lang.Ast.label -> t;
+}
+
+val analyze : Lang.Ast.codeheap -> result
+val pp_rhs : Format.formatter -> rhs -> unit

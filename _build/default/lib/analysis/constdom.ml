@@ -1,0 +1,146 @@
+open Lang.Ast
+
+type const = Known of value | Unknown
+
+(* Maps are sparse: absent bindings mean [Unknown], and [Unknown] is
+   never stored, so map equality is extensional. *)
+type t =
+  | Unreached
+  | Env of { regs : const VarMap.t; vars : const VarMap.t }
+
+let set_const k c m =
+  match c with Unknown -> VarMap.remove k m | Known _ -> VarMap.add k c m
+
+let join_maps =
+  VarMap.merge (fun _ a b ->
+      match (a, b) with
+      | Some (Known v1), Some (Known v2) when v1 = v2 -> Some (Known v1)
+      | _ -> None)
+
+module L = struct
+  type nonrec t = t
+
+  let bot = Unreached
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Env e1, Env e2 ->
+        Env { regs = join_maps e1.regs e2.regs; vars = join_maps e1.vars e2.vars }
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Env e1, Env e2 ->
+        VarMap.equal ( = ) e1.regs e2.regs && VarMap.equal ( = ) e1.vars e2.vars
+    | _ -> false
+
+  let pp_map ppf m =
+    VarMap.iter
+      (fun k c ->
+        match c with
+        | Known v -> Format.fprintf ppf "%s=%d " k v
+        | Unknown -> ())
+      m
+
+  let pp ppf = function
+    | Unreached -> Format.pp_print_string ppf "unreached"
+    | Env e ->
+        Format.fprintf ppf "regs[%a] vars[%a]" pp_map e.regs pp_map e.vars
+end
+
+(* Registers start at 0 in the machine; locations are unknown (other
+   threads may have written before this thread reads). *)
+let init = Env { regs = VarMap.empty; vars = VarMap.empty }
+
+(* NB. [init]'s empty register map means "unknown".  Registers do
+   start at 0, but a function may also be entered by an internal call
+   after the registers changed, so per-function entry facts stay
+   conservative. *)
+
+let reg_value r = function
+  | Unreached -> None
+  | Env e -> (
+      match VarMap.find_opt r e.regs with
+      | Some (Known v) -> Some v
+      | _ -> None)
+
+let var_value x = function
+  | Unreached -> None
+  | Env e -> (
+      match VarMap.find_opt x e.vars with
+      | Some (Known v) -> Some v
+      | _ -> None)
+
+let eval st e =
+  match st with
+  | Unreached -> None
+  | Env _ ->
+      let exception Unknown_reg in
+      let lookup r =
+        match reg_value r st with Some v -> v | None -> raise Unknown_reg
+      in
+      (try Some (Lang.Expr.eval lookup e) with Unknown_reg -> None)
+
+let set_reg r c = function
+  | Unreached -> Unreached
+  | Env e -> Env { e with regs = set_const r c e.regs }
+
+let set_var x c = function
+  | Unreached -> Unreached
+  | Env e -> Env { e with vars = set_const x c e.vars }
+
+let kill_vars = function
+  | Unreached -> Unreached
+  | Env e -> Env { e with vars = VarMap.empty }
+
+let kill_all = function
+  | Unreached -> Unreached
+  | Env _ -> Env { regs = VarMap.empty; vars = VarMap.empty }
+
+(* Does the instruction's read part acquire (join a message view into
+   the thread view, growing [Tna] unpredictably)? *)
+let acquires = function
+  | Load (_, _, Lang.Modes.Acq) -> true
+  | Cas (_, _, _, _, Lang.Modes.Acq, _) -> true
+  | Fence (Lang.Modes.FAcq | Lang.Modes.FSc) -> true
+  | _ -> false
+
+let transfer_instr i st =
+  match st with
+  | Unreached -> Unreached
+  | Env _ -> (
+      let st = if acquires i then kill_vars st else st in
+      match i with
+      | Skip | Print _ | Fence _ -> st
+      | Assign (r, e) ->
+          let c = match eval st e with Some v -> Known v | None -> Unknown in
+          set_reg r c st
+      | Load (r, x, Lang.Modes.Na) ->
+          let c =
+            match var_value x st with Some v -> Known v | None -> Unknown
+          in
+          set_reg r c st
+      | Load (r, _, _) -> set_reg r Unknown st
+      | Store (x, e, Lang.Modes.WNa) ->
+          let c = match eval st e with Some v -> Known v | None -> Unknown in
+          set_var x c st
+      | Store (_, _, _) -> st
+      | Cas (r, _, _, _, _, _) -> set_reg r Unknown st)
+
+let transfer_term t st =
+  match t with
+  | Jmp _ | Be _ | Return -> st
+  | Call _ ->
+      (* Registers are shared with the callee in this machine, and the
+         callee may read/write any location. *)
+      kill_all st
+
+type result = { before : label -> t list; entry : label -> t }
+
+module F = Worklist.Forward (L)
+
+let analyze (ch : codeheap) =
+  let tf = { F.instr = transfer_instr; term = transfer_term } in
+  let r = F.solve ch ~init tf in
+  { before = r.F.before_instrs; entry = r.F.entry_state }

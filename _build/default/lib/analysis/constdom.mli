@@ -1,0 +1,47 @@
+(** The abstract domain of constant propagation (Sec. 7.2: ConstProp
+    is one of the four verified optimizations; its invariant is
+    [Iid]).
+
+    Facts track known constant values of registers {e and} of
+    non-atomic locations.  The location facts record the value of the
+    thread's own latest write: resolving a later non-atomic read to
+    that value is a refinement in PS2.1 (the read is free to pick the
+    thread's own message).  The justification breaks exactly when the
+    thread's non-atomic view may grow past its own message, so
+    location facts are killed at {e acquire} reads (which join a
+    message view into [Tna]), at acquire/sc fences, at CAS with an
+    acquire read part and at call boundaries.  Relaxed accesses and
+    release writes kill nothing — ConstProp is allowed across them. *)
+
+type const = Known of Lang.Ast.value | Unknown
+
+type t =
+  | Unreached
+  | Env of {
+      regs : const Lang.Ast.VarMap.t;  (** absent = unknown ([Top]) *)
+      vars : const Lang.Ast.VarMap.t;
+    }
+
+module L : Lattice.S with type t = t
+
+val init : t
+(** The entry state: registers are all 0 (the machine initializes
+    them), locations unknown (another thread may have written). *)
+
+val reg_value : Lang.Ast.reg -> t -> Lang.Ast.value option
+val var_value : Lang.Ast.var -> t -> Lang.Ast.value option
+
+val eval : t -> Lang.Ast.expr -> Lang.Ast.value option
+(** Abstract evaluation: [Some v] if the expression is a compile-time
+    constant in this state. *)
+
+val transfer_instr : Lang.Ast.instr -> t -> t
+val transfer_term : Lang.Ast.terminator -> t -> t
+
+type result = {
+  before : Lang.Ast.label -> t list;
+      (** abstract state before each instruction of the block *)
+  entry : Lang.Ast.label -> t;
+}
+
+val analyze : Lang.Ast.codeheap -> result

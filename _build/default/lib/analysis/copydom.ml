@@ -1,0 +1,80 @@
+open Lang.Ast
+
+(* Map from a register to the older register it copies.  Chains are
+   flattened at insertion ([r := s] with [s ↦ u] records [r ↦ u]), so
+   lookups are one step. *)
+type t = Unreached | Copies of reg VarMap.t
+
+module L = struct
+  type nonrec t = t
+
+  let bot = Unreached
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Copies m1, Copies m2 ->
+        Copies
+          (VarMap.merge
+             (fun _ a b ->
+               match (a, b) with
+               | Some r1, Some r2 when String.equal r1 r2 -> Some r1
+               | _ -> None)
+             m1 m2)
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Copies m1, Copies m2 -> VarMap.equal String.equal m1 m2
+    | _ -> false
+
+  let pp ppf = function
+    | Unreached -> Format.pp_print_string ppf "unreached"
+    | Copies m ->
+        VarMap.iter (fun r r0 -> Format.fprintf ppf "%s=%s " r r0) m
+end
+
+let copy_of r = function
+  | Unreached -> None
+  | Copies m -> VarMap.find_opt r m
+
+let kill r = function
+  | Unreached -> Unreached
+  | Copies m ->
+      Copies
+        (VarMap.filter
+           (fun holder orig ->
+             (not (String.equal holder r)) && not (String.equal orig r))
+           (VarMap.remove r m))
+
+let add r r0 = function
+  | Unreached -> Unreached
+  | Copies m -> Copies (VarMap.add r r0 m)
+
+let transfer_instr i st =
+  match st with
+  | Unreached -> Unreached
+  | Copies _ -> (
+      match i with
+      | Assign (r, Reg r0) when not (String.equal r r0) ->
+          let st = kill r st in
+          let canonical =
+            match copy_of r0 st with Some u -> u | None -> r0
+          in
+          add r canonical st
+      | Assign (r, _) | Load (r, _, _) | Cas (r, _, _, _, _, _) -> kill r st
+      | Store _ | Skip | Print _ | Fence _ -> st)
+
+let transfer_term t st =
+  match t with
+  | Jmp _ | Be _ | Return -> st
+  | Call _ -> ( match st with Unreached -> Unreached | Copies _ -> Copies VarMap.empty)
+
+type result = { before : label -> t list; entry : label -> t }
+
+module F = Worklist.Forward (L)
+
+let analyze (ch : codeheap) =
+  let tf = { F.instr = transfer_instr; term = transfer_term } in
+  let r = F.solve ch ~init:(Copies VarMap.empty) tf in
+  { before = r.F.before_instrs; entry = r.F.entry_state }

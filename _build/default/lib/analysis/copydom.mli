@@ -1,0 +1,27 @@
+(** Copy propagation facts: which register is a live copy of which
+    other register.
+
+    A fact [r ↦ r0] means [r] currently holds the same value as [r0]
+    (established by [r := r0]); uses of [r] can be replaced by [r0],
+    which in turn exposes more constants/CSE and lets DCE drop the
+    copy.  Copies are over registers only — thread-private — so no
+    memory-model subtlety arises; facts are killed when either side is
+    redefined, and at call boundaries.  (CSE introduces exactly such
+    copies, making [copyprop] its natural companion pass.) *)
+
+type t = Unreached | Copies of Lang.Ast.reg Lang.Ast.VarMap.t
+
+module L : Lattice.S with type t = t
+
+val copy_of : Lang.Ast.reg -> t -> Lang.Ast.reg option
+(** The canonical original register [r0] for [r], if any. *)
+
+val transfer_instr : Lang.Ast.instr -> t -> t
+val transfer_term : Lang.Ast.terminator -> t -> t
+
+type result = {
+  before : Lang.Ast.label -> t list;
+  entry : Lang.Ast.label -> t;
+}
+
+val analyze : Lang.Ast.codeheap -> result

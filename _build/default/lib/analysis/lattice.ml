@@ -1,0 +1,40 @@
+module type S = sig
+  type t
+
+  val bot : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Flat (V : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) =
+struct
+  type t = Bot | Known of V.t | Top
+
+  let bot = Bot
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Known v1, Known v2 -> if V.equal v1 v2 then a else Top
+    | Top, _ | _, Top -> Top
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot | Top, Top -> true
+    | Known v1, Known v2 -> V.equal v1 v2
+    | _ -> false
+
+  let pp ppf = function
+    | Bot -> Format.pp_print_string ppf "bot"
+    | Known v -> V.pp ppf v
+    | Top -> Format.pp_print_string ppf "top"
+
+  let known v = Known v
+  let get = function Known v -> Some v | _ -> None
+end

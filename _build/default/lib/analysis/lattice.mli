@@ -1,0 +1,34 @@
+(** Join-semilattices for dataflow analysis.
+
+    Analyses in this library follow the CompCert/Kildall recipe the
+    paper's Sec. 7 refers to: facts form a join-semilattice, transfer
+    functions are monotone, and {!Worklist} iterates to a fixpoint.
+    Joins happen where control-flow edges meet, so the lattice order
+    reads "less precise". *)
+
+module type S = sig
+  type t
+
+  val bot : t
+  (** The most precise element (used for unreached code). *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The flat lattice over a value type: [Bot ⊑ Known v ⊑ Top], the
+    shape of constant-propagation facts. *)
+module Flat (V : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  type t = Bot | Known of V.t | Top
+
+  include S with type t := t
+
+  val known : V.t -> t
+  val get : t -> V.t option
+end

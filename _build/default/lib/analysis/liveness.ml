@@ -1,0 +1,90 @@
+open Lang.Ast
+
+type t = { regs : RegSet.t; vars : VarSet.t }
+type universe = { all_regs : RegSet.t; all_vars : VarSet.t }
+
+let universe_of (ch : codeheap) =
+  let all_regs = Lang.Cfg.regs_of_codeheap ch in
+  let all_vars =
+    Lang.Cfg.fold_instrs ch ~init:VarSet.empty ~f:(fun acc _ i ->
+        match i with
+        | Load (_, x, Lang.Modes.Na) | Store (x, _, Lang.Modes.WNa) ->
+            VarSet.add x acc
+        | _ -> acc)
+  in
+  { all_regs; all_vars }
+
+module L = struct
+  type nonrec t = t
+
+  let bot = { regs = RegSet.empty; vars = VarSet.empty }
+
+  let join a b =
+    { regs = RegSet.union a.regs b.regs; vars = VarSet.union a.vars b.vars }
+
+  let equal a b = RegSet.equal a.regs b.regs && VarSet.equal a.vars b.vars
+
+  let pp ppf t =
+    Format.fprintf ppf "regs:{%s} vars:{%s}"
+      (String.concat "," (RegSet.elements t.regs))
+      (String.concat "," (VarSet.elements t.vars))
+end
+
+let none = L.bot
+let of_sets ~regs ~vars = { regs; vars }
+let all u = { regs = u.all_regs; vars = u.all_vars }
+let reg_live r t = RegSet.mem r t.regs
+let var_live x t = VarSet.mem x t.vars
+let kill_reg r t = { t with regs = RegSet.remove r t.regs }
+let kill_var x t = { t with vars = VarSet.remove x t.vars }
+let gen_regs e t = { t with regs = RegSet.union t.regs (expr_regs e) }
+let gen_var x t = { t with vars = VarSet.add x t.vars }
+
+(* Does this instruction synchronize outgoing observations (Fig. 15)? *)
+let releases = function
+  | Store (_, _, Lang.Modes.WRel) -> true
+  | Cas (_, _, _, _, _, Lang.Modes.WRel) -> true
+  | Fence (Lang.Modes.FRel | Lang.Modes.FSc) -> true
+  | _ -> false
+
+let transfer_instr u i live =
+  let live =
+    if releases i then { live with vars = u.all_vars } else live
+  in
+  match i with
+  | Load (r, x, Lang.Modes.Na) ->
+      (* A load into a dead register is itself eliminable, so it needs
+         nothing (matching the transformation, which drops it). *)
+      if reg_live r live then gen_var x (kill_reg r live) else live
+  | Load (r, _, _) ->
+      (* Atomic load: defines [r]; atomic locations are never
+         optimized, so their liveness is not tracked. *)
+      kill_reg r live
+  | Store (x, e, Lang.Modes.WNa) ->
+      if var_live x live then gen_regs e (kill_var x live) else live
+  | Store (_, e, _) -> gen_regs e live
+  | Cas (r, _, er, ew, _, _) -> gen_regs er (gen_regs ew (kill_reg r live))
+  | Skip -> live
+  | Assign (r, e) ->
+      if reg_live r live then gen_regs e (kill_reg r live)
+      else (* dead definition: its uses do not revive anything *) live
+  | Print e -> gen_regs e live
+  | Fence _ -> live
+
+let transfer_term u t live =
+  match t with
+  | Jmp _ -> live
+  | Be (e, _, _) -> gen_regs e live
+  | Call _ -> all u (* intraprocedural: fully conservative at calls *)
+  | Return -> live
+
+type result = { after : label -> t list; entry : label -> t }
+
+module B = Worklist.Backward (L)
+
+let analyze ?exit_live (ch : codeheap) =
+  let u = universe_of ch in
+  let exit_live = match exit_live with Some l -> l | None -> all u in
+  let tf = { B.instr = transfer_instr u; term = transfer_term u } in
+  let r = B.solve ch ~exit_init:exit_live tf in
+  { after = r.B.after_instrs; entry = r.B.entry_state }

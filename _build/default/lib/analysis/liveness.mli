@@ -1,0 +1,54 @@
+(** Liveness analysis [Lv_Analyzer] (Sec. 7.1).
+
+    Computes, for every program point, the set of live registers and
+    live non-atomic locations; the complement is the paper's dead set
+    [Lnl].  The analysis is backward, with the weak-memory-aware kill
+    rule of Fig. 15:
+
+    - a {e release write} (and a release/sc fence, and a CAS with a
+      release write part) makes {e every} non-atomic location live —
+      values written before a release may be observed by acquirers,
+      so no preceding write is dead across it;
+    - relaxed writes and relaxed/acquire reads do {e not} revive
+      locations: DCE is allowed across them (Sec. 7.1);
+    - call boundaries are fully conservative (the analysis is
+      intraprocedural).
+
+    Live sets are explicit finite sets drawn from the code heap's own
+    universe of registers and non-atomically accessed locations (a
+    write to anything outside that universe does not occur in the code
+    heap, so nothing is lost).  At function exits everything is
+    conservatively live by default — Fig. 15 annotates its example
+    with an empty {e dead} set at the end; tests override [exit_live]
+    to study the bound's effect. *)
+
+type t = { regs : Lang.Ast.RegSet.t; vars : Lang.Ast.VarSet.t }
+
+(** The universe a code heap's live sets range over. *)
+type universe = { all_regs : Lang.Ast.RegSet.t; all_vars : Lang.Ast.VarSet.t }
+
+val universe_of : Lang.Ast.codeheap -> universe
+(** All registers, and all locations accessed non-atomically. *)
+
+module L : Lattice.S with type t = t
+
+val none : t
+val of_sets : regs:Lang.Ast.RegSet.t -> vars:Lang.Ast.VarSet.t -> t
+val all : universe -> t
+val reg_live : Lang.Ast.reg -> t -> bool
+val var_live : Lang.Ast.var -> t -> bool
+
+val transfer_instr : universe -> Lang.Ast.instr -> t -> t
+(** One backward step: live-before from live-after. *)
+
+val transfer_term : universe -> Lang.Ast.terminator -> t -> t
+
+type result = {
+  after : Lang.Ast.label -> t list;
+      (** live set after each instruction of the block — the
+          complement of the [Lnl] the transformation consults *)
+  entry : Lang.Ast.label -> t;
+}
+
+val analyze : ?exit_live:t -> Lang.Ast.codeheap -> result
+(** [exit_live] defaults to everything in the universe. *)

@@ -1,0 +1,52 @@
+open Lang.Ast
+
+type loop = {
+  header : label;
+  body : VarSet.t;
+  back_edges : label list;
+}
+
+let find (ch : codeheap) =
+  let dom = Dominator.compute ch in
+  let preds = Lang.Cfg.predecessors ch in
+  let back_edges =
+    LabelMap.fold
+      (fun l b acc ->
+        List.fold_left
+          (fun acc succ ->
+            if Dominator.dominates dom succ l then (l, succ) :: acc else acc)
+          acc (Lang.Cfg.successors b))
+      ch.blocks []
+  in
+  (* The natural loop of back edge t → h: h plus everything reaching t
+     without going through h. *)
+  let loop_of (t, h) =
+    let body = ref (VarSet.singleton h) in
+    let rec visit l =
+      if not (VarSet.mem l !body) then (
+        body := VarSet.add l !body;
+        match LabelMap.find_opt l preds with
+        | Some ps -> List.iter visit ps
+        | None -> ())
+    in
+    visit t;
+    (h, !body, t)
+  in
+  let by_header = Hashtbl.create 4 in
+  List.iter
+    (fun be ->
+      let h, body, t = loop_of be in
+      match Hashtbl.find_opt by_header h with
+      | Some (b, ts) -> Hashtbl.replace by_header h (VarSet.union b body, t :: ts)
+      | None -> Hashtbl.replace by_header h (body, [ t ]))
+    back_edges;
+  Hashtbl.fold
+    (fun header (body, back_edges) acc -> { header; body; back_edges } :: acc)
+    by_header []
+  |> List.sort (fun a b -> String.compare a.header b.header)
+
+let preheader_preds (ch : codeheap) l =
+  let preds = Lang.Cfg.predecessors ch in
+  match LabelMap.find_opt l.header preds with
+  | None -> []
+  | Some ps -> List.filter (fun p -> not (VarSet.mem p l.body)) ps

@@ -1,0 +1,18 @@
+(** Natural-loop detection, for LInv (Sec. 2.5): a back edge [t → h]
+    with [h] dominating [t] defines the loop with header [h] whose
+    body is every block that reaches [t] without passing through
+    [h]. *)
+
+type loop = {
+  header : Lang.Ast.label;
+  body : Lang.Ast.VarSet.t;  (** labels in the loop, header included *)
+  back_edges : Lang.Ast.label list;  (** sources of the back edges *)
+}
+
+val find : Lang.Ast.codeheap -> loop list
+(** Natural loops, merged per header, outermost-last order is not
+    guaranteed — LInv treats them independently. *)
+
+val preheader_preds : Lang.Ast.codeheap -> loop -> Lang.Ast.label list
+(** The predecessors of the header from outside the loop — the edges
+    a preheader block must intercept. *)

@@ -1,0 +1,126 @@
+open Lang.Ast
+
+module Forward (L : Lattice.S) = struct
+  type transfer = {
+    instr : instr -> L.t -> L.t;
+    term : terminator -> L.t -> L.t;
+  }
+
+  type result = {
+    entry_state : label -> L.t;
+    exit_state : label -> L.t;
+    before_instrs : label -> L.t list;
+  }
+
+  let block_exit tf (b : block) st =
+    tf.term b.term (List.fold_left (fun st i -> tf.instr i st) st b.instrs)
+
+  let solve (ch : codeheap) ~init tf =
+    let entries = ref LabelMap.empty in
+    let get l =
+      match LabelMap.find_opt l !entries with Some s -> s | None -> L.bot
+    in
+    let work = Queue.create () in
+    entries := LabelMap.add ch.entry init !entries;
+    Queue.add ch.entry work;
+    while not (Queue.is_empty work) do
+      let l = Queue.pop work in
+      match LabelMap.find_opt l ch.blocks with
+      | None -> ()
+      | Some b ->
+          let out = block_exit tf b (get l) in
+          List.iter
+            (fun succ ->
+              let old = get succ in
+              let merged = L.join old out in
+              if not (L.equal old merged) then (
+                entries := LabelMap.add succ merged !entries;
+                Queue.add succ work))
+            (Lang.Cfg.successors b)
+    done;
+    let entry_state = get in
+    let exit_state l =
+      match LabelMap.find_opt l ch.blocks with
+      | Some b -> block_exit tf b (get l)
+      | None -> L.bot
+    in
+    let before_instrs l =
+      match LabelMap.find_opt l ch.blocks with
+      | None -> []
+      | Some b ->
+          let st = ref (get l) in
+          List.map
+            (fun i ->
+              let before = !st in
+              st := tf.instr i before;
+              before)
+            b.instrs
+    in
+    { entry_state; exit_state; before_instrs }
+end
+
+module Backward (L : Lattice.S) = struct
+  type transfer = {
+    instr : instr -> L.t -> L.t;
+    term : terminator -> L.t -> L.t;
+  }
+
+  type result = {
+    exit_state : label -> L.t;
+    entry_state : label -> L.t;
+    after_instrs : label -> L.t list;
+  }
+
+  let block_entry tf (b : block) out =
+    List.fold_right (fun i st -> tf.instr i st) b.instrs (tf.term b.term out)
+
+  let solve (ch : codeheap) ~exit_init tf =
+    let preds = Lang.Cfg.predecessors ch in
+    (* [entries.(l)] is the state at the entry of block [l] (the value
+       propagated backwards to predecessors). *)
+    let entry = ref LabelMap.empty in
+    let get_entry l =
+      match LabelMap.find_opt l !entry with Some s -> s | None -> L.bot
+    in
+    let exit_of b =
+      let succs = Lang.Cfg.successors b in
+      if succs = [] then exit_init
+      else
+        List.fold_left (fun acc s -> L.join acc (get_entry s)) L.bot succs
+    in
+    let work = Queue.create () in
+    LabelMap.iter (fun l _ -> Queue.add l work) ch.blocks;
+    while not (Queue.is_empty work) do
+      let l = Queue.pop work in
+      match LabelMap.find_opt l ch.blocks with
+      | None -> ()
+      | Some b ->
+          let new_entry = block_entry tf b (exit_of b) in
+          if not (L.equal (get_entry l) new_entry) then (
+            entry := LabelMap.add l new_entry !entry;
+            match LabelMap.find_opt l preds with
+            | Some ps -> List.iter (fun p -> Queue.add p work) ps
+            | None -> ())
+    done;
+    let exit_state l =
+      match LabelMap.find_opt l ch.blocks with
+      | Some b -> exit_of b
+      | None -> L.bot
+    in
+    let after_instrs l =
+      match LabelMap.find_opt l ch.blocks with
+      | None -> []
+      | Some b ->
+          (* after i_k  =  before i_{k+1}; after the last instruction
+             is the state before the terminator. *)
+          let before_term = tf.term b.term (exit_of b) in
+          let rec go = function
+            | [] -> ([], before_term)
+            | i :: rest ->
+                let after_rest, st = go rest in
+                (st :: after_rest, tf.instr i st)
+          in
+          fst (go b.instrs)
+    in
+    { exit_state; entry_state = get_entry; after_instrs }
+end

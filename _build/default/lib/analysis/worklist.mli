@@ -1,0 +1,47 @@
+(** Kildall's worklist algorithm over a code heap, in both directions.
+
+    The fixpoint is block-granular: the result maps each label to the
+    analysis state at the block {e entry} (forward) or at the block
+    {e exit} (backward).  Per-instruction states inside a block are
+    recovered deterministically by replaying the block's transfer
+    ({!Forward.solve} returns a [replay] helper), which is how the
+    transformation passes consume analysis results instruction by
+    instruction, CompCert-style. *)
+
+module Forward (L : Lattice.S) : sig
+  type transfer = {
+    instr : Lang.Ast.instr -> L.t -> L.t;
+    term : Lang.Ast.terminator -> L.t -> L.t;
+  }
+
+  type result = {
+    entry_state : Lang.Ast.label -> L.t;  (** state at block entry *)
+    exit_state : Lang.Ast.label -> L.t;
+    before_instrs : Lang.Ast.label -> L.t list;
+        (** state before each instruction of the block, in order *)
+  }
+
+  val solve : Lang.Ast.codeheap -> init:L.t -> transfer -> result
+  (** [init] is the state at the function entry; unreached blocks get
+      [L.bot]. *)
+end
+
+module Backward (L : Lattice.S) : sig
+  type transfer = {
+    instr : Lang.Ast.instr -> L.t -> L.t;  (** from after to before *)
+    term : Lang.Ast.terminator -> L.t -> L.t;
+        (** from joined successor state to before-terminator *)
+  }
+
+  type result = {
+    exit_state : Lang.Ast.label -> L.t;  (** state after the block *)
+    entry_state : Lang.Ast.label -> L.t;
+    after_instrs : Lang.Ast.label -> L.t list;
+        (** state after each instruction of the block, in order *)
+  }
+
+  val solve :
+    Lang.Ast.codeheap -> exit_init:L.t -> transfer -> result
+  (** [exit_init] is the state assumed after [Return] blocks (and it
+      seeds every block, so the fixpoint is sound for loops). *)
+end

@@ -1,0 +1,1 @@
+lib/explore/config.ml: Format

@@ -1,0 +1,1 @@
+lib/explore/enum.ml: Bool Config Format Int Lang Lazy List Map Npsem Ps Stats Traceset

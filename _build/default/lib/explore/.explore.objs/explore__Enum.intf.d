@@ -1,0 +1,1 @@
+lib/explore/enum.mli: Config Format Lang Ps Stats Traceset

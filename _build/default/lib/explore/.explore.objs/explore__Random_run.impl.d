@@ -1,0 +1,1 @@
+lib/explore/random_run.ml: Hashtbl Int Lang List Option Ps Random

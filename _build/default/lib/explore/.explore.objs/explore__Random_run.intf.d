@@ -1,0 +1,1 @@
+lib/explore/random_run.mli: Lang Ps

@@ -1,0 +1,1 @@
+lib/explore/refine.ml: Config Enum Format List Ps Traceset

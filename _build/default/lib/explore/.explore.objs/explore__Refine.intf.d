@@ -1,0 +1,1 @@
+lib/explore/refine.mli: Config Enum Format Lang Ps

@@ -1,0 +1,1 @@
+lib/explore/stats.ml: Format

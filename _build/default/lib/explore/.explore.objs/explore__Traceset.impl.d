@@ -1,0 +1,1 @@
+lib/explore/traceset.ml: Format List Ps Set

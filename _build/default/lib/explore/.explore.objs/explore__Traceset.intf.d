@@ -1,0 +1,1 @@
+lib/explore/traceset.mli: Format Lang Ps Set

@@ -1,0 +1,1 @@
+lib/explore/witness.ml: Array Bool Config Enum Format Int Lang Lazy List Npsem Ps Set

@@ -1,0 +1,1 @@
+lib/explore/witness.mli: Config Enum Format Lang Ps

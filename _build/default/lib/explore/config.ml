@@ -1,0 +1,47 @@
+type promise_mode = No_promises | Semantic | Syntactic
+
+type t = {
+  max_steps : int;
+  max_promises : int;
+  promise_mode : promise_mode;
+  reservations : bool;
+  cert_fuel : int;
+  cap_certification : bool;
+  memoize : bool;
+}
+
+let default =
+  {
+    max_steps = 400;
+    max_promises = 1;
+    promise_mode = Semantic;
+    reservations = false;
+    cert_fuel = 64;
+    cap_certification = true;
+    memoize = true;
+  }
+
+let quick =
+  {
+    default with
+    max_steps = 200;
+    max_promises = 0;
+    promise_mode = No_promises;
+  }
+
+let with_promises n t =
+  {
+    t with
+    max_promises = n;
+    promise_mode = (if n = 0 then No_promises else t.promise_mode);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{steps=%d; promises=%d(%s); rsv=%b; cert_fuel=%d; cap=%b; memo=%b}"
+    t.max_steps t.max_promises
+    (match t.promise_mode with
+    | No_promises -> "none"
+    | Semantic -> "semantic"
+    | Syntactic -> "syntactic")
+    t.reservations t.cert_fuel t.cap_certification t.memoize

@@ -1,0 +1,42 @@
+(** Exploration configuration: the bounds that make PS2.1's infinite
+    branching finite, and the switches for the ablation experiments.
+
+    Defaults are tuned so that every litmus program of the paper
+    explores exhaustively (no [Cut] traces) in well under a second. *)
+
+type promise_mode =
+  | No_promises
+      (** promise-free exploration (an ablation: loses LB-style
+          behaviours, experiment E2 demonstrates the difference) *)
+  | Semantic
+      (** candidates are the certifiable writes discovered by isolated
+          runs from capped memory ({!Ps.Cert.certifiable_writes}) *)
+  | Syntactic
+      (** candidates are constant stores syntactically reachable in
+          the thread's remaining code *)
+
+type t = {
+  max_steps : int;
+      (** depth bound on micro-steps along one path; exceeding it
+          yields a [Cut] trace, never silent truncation *)
+  max_promises : int;  (** promise steps per thread along a path *)
+  promise_mode : promise_mode;
+  reservations : bool;
+      (** enumerate reserve/cancel steps (off by default: reservations
+          only matter for RMW-heavy certification races, and they are
+          exercised directly by unit tests) *)
+  cert_fuel : int;  (** step bound inside one certification search *)
+  cap_certification : bool;
+      (** certify against capped memory (PS2.1); [false] is the
+          ablation of Sec. 2.4's discussion *)
+  memoize : bool;
+      (** memoize suffix sets per machine state (exact for acyclic
+          state spaces; divergence is reported as [Open] prefixes) *)
+}
+
+val default : t
+val quick : t
+(** Promise-free, shallower: for smoke tests and benches. *)
+
+val with_promises : int -> t -> t
+val pp : Format.formatter -> t -> unit

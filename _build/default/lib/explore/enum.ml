@@ -1,0 +1,279 @@
+module TidMap = Ps.Machine.TidMap
+
+type discipline = Interleaving | Non_preemptive
+
+type outcome = { traces : Traceset.t; exact : bool; stats : Stats.t }
+
+let pp_discipline ppf = function
+  | Interleaving -> Format.pp_print_string ppf "interleaving"
+  | Non_preemptive -> Format.pp_print_string ppf "non-preemptive"
+
+(* A search node: machine world, switch bit (always [true] under the
+   interleaving discipline) and per-thread promise budget spent. *)
+module Node = struct
+  type t = {
+    world : Ps.Machine.world;
+    bit : bool;
+    promised : int TidMap.t;
+  }
+
+  let compare a b =
+    let c = Ps.Machine.compare a.world b.world in
+    if c <> 0 then c
+    else
+      let c = Bool.compare a.bit b.bit in
+      if c <> 0 then c else TidMap.compare Int.compare a.promised b.promised
+end
+
+module NodeMap = Map.Make (Node)
+
+(* One successor: the output emitted (if any) and the next node. *)
+type succ = { emit : Lang.Ast.value option; next : Node.t }
+
+type search = {
+  code : Lang.Ast.code;
+  atomics : Lang.Ast.VarSet.t;
+  disc : discipline;
+  cfg : Config.t;
+  stats : Stats.t;
+  mutable memo : Traceset.t NodeMap.t;
+  mutable on_stack : int NodeMap.t;  (* node -> stack index *)
+}
+
+let consistent s ts mem =
+  s.stats.Stats.cert_checks <- s.stats.Stats.cert_checks + 1;
+  Ps.Cert.consistent ~fuel:s.cfg.Config.cert_fuel
+    ~cap:s.cfg.Config.cap_certification ~code:s.code ts mem
+
+let promise_candidates s ts mem =
+  match s.cfg.Config.promise_mode with
+  | Config.No_promises -> []
+  | Config.Syntactic -> Ps.Thread.writes_in_code ~code:s.code ts
+  | Config.Semantic ->
+      Ps.Cert.certifiable_writes ~fuel:s.cfg.Config.cert_fuel ~code:s.code ts
+        mem
+
+let successors s (n : Node.t) : succ list =
+  let w = n.world in
+  let ts = Ps.Machine.cur_ts w in
+  let mem = w.Ps.Machine.mem in
+  let promised_cur =
+    match TidMap.find_opt w.Ps.Machine.cur n.promised with
+    | Some k -> k
+    | None -> 0
+  in
+  (* The current thread's consistency gates outputs and switches; it
+     is cheap when the thread has no promises. *)
+  let committed = lazy (consistent s ts mem) in
+  let bit_after te =
+    match s.disc with
+    | Interleaving -> Some true
+    | Non_preemptive -> Npsem.bit_after te ~before:n.bit
+  in
+  let lift (step : Ps.Thread.step) : succ option =
+    match bit_after step.Ps.Thread.event with
+    | None -> None
+    | Some bit -> (
+        let world = Ps.Machine.set_cur_ts w step.Ps.Thread.ts step.Ps.Thread.mem in
+        let next = { n with Node.world; bit } in
+        match step.Ps.Thread.event with
+        | Ps.Event.Out v ->
+            if Lazy.force committed then Some { emit = Some v; next } else None
+        | _ -> Some { emit = None; next })
+  in
+  let regular = List.filter_map lift (Ps.Thread.steps ~code:s.code ts mem) in
+  let promises =
+    let allowed =
+      promised_cur < s.cfg.Config.max_promises
+      && (match s.disc with Interleaving -> true | Non_preemptive -> n.bit)
+      && not (Ps.Local.is_finished ts.Ps.Thread.local)
+    in
+    if not allowed then []
+    else
+      let candidates = promise_candidates s ts mem in
+      Ps.Thread.promise_steps ~candidates ~atomics:s.atomics ts mem
+      |> List.filter_map (fun (step : Ps.Thread.step) ->
+             (* A promise must remain certifiable with the chosen
+                slot; pruning inconsistent promise placements is sound
+                because a τ machine step must end consistent. *)
+             if consistent s step.Ps.Thread.ts step.Ps.Thread.mem then (
+               s.stats.Stats.promises <- s.stats.Stats.promises + 1;
+               let world =
+                 Ps.Machine.set_cur_ts w step.Ps.Thread.ts step.Ps.Thread.mem
+               in
+               let promised =
+                 TidMap.add w.Ps.Machine.cur (promised_cur + 1) n.promised
+               in
+               Some
+                 { emit = None; next = { Node.world; bit = n.bit; promised } })
+             else None)
+  in
+  let reservations =
+    if not s.cfg.Config.reservations then []
+    else
+      let rsv_allowed =
+        (match s.disc with Interleaving -> true | Non_preemptive -> n.bit)
+        (* one outstanding reservation per thread: reserve/cancel
+           cycles otherwise defeat memoization (every cycle member is
+           taint-excluded) and blow up the search *)
+        && List.for_all
+             (fun m -> not (Ps.Message.is_reservation m))
+             ts.Ps.Thread.prm
+      in
+      let rsvs =
+        if rsv_allowed then Ps.Thread.reserve_steps ts mem else []
+      in
+      let ccls = Ps.Thread.cancel_steps ts mem in
+      List.filter_map lift (rsvs @ ccls)
+  in
+  let switches =
+    let may =
+      (match s.disc with
+      | Interleaving -> true
+      | Non_preemptive ->
+          (* The switch bit guards blocks of non-atomic accesses; a
+             finished thread has no block in progress, so the machine
+             may always move on from it. *)
+          n.bit || Ps.Local.is_finished ts.Ps.Thread.local)
+      && Lazy.force committed
+    in
+    if not may then []
+    else
+      TidMap.fold
+        (fun tid ts' acc ->
+          if tid <> w.Ps.Machine.cur
+             && not (Ps.Local.is_finished ts'.Ps.Thread.local)
+          then
+            {
+              emit = None;
+              next = { n with Node.world = Ps.Machine.switch w tid; bit = true };
+            }
+            :: acc
+          else acc)
+        w.Ps.Machine.tp []
+  in
+  regular @ promises @ reservations @ switches
+
+(* Depth-first computation of the suffix trace set of a node.
+
+   Taint discipline: [dfs] returns the suffixes together with the
+   lowest stack index this result depends on ([max_int] if none).  A
+   result is memoized only when it closes over its own subtree —
+   cycle heads included, inner cycle members excluded — and never when
+   the depth budget truncated it. *)
+let max_taint = max_int
+
+let rec dfs s (n : Node.t) depth stack_ix : Traceset.t * int =
+  if depth >= s.cfg.Config.max_steps then (
+    s.stats.Stats.cuts <- s.stats.Stats.cuts + 1;
+    (Traceset.singleton (Ps.Event.trace_cut []), -1 (* depth taint *)))
+  else
+    match NodeMap.find_opt n s.memo with
+    | Some traces ->
+        s.stats.Stats.memo_hits <- s.stats.Stats.memo_hits + 1;
+        (traces, max_taint)
+    | None -> (
+        match NodeMap.find_opt n s.on_stack with
+        | Some ix ->
+            (* Back-edge: divergence.  The honest behaviour is the
+               prefix observed so far, i.e. the empty suffix with an
+               [Open] ending. *)
+            s.stats.Stats.cycles <- s.stats.Stats.cycles + 1;
+            ( Traceset.singleton { Ps.Event.outs = []; ending = Ps.Event.Open },
+              ix )
+        | None ->
+            s.stats.Stats.nodes <- s.stats.Stats.nodes + 1;
+            s.on_stack <- NodeMap.add n stack_ix s.on_stack;
+            let base =
+              if Ps.Machine.terminal n.world then
+                Traceset.singleton (Ps.Event.trace_done [])
+              else Traceset.empty
+            in
+            let succs = successors s n in
+            s.stats.Stats.transitions <-
+              s.stats.Stats.transitions + List.length succs;
+            let base =
+              if Traceset.is_empty base && succs = [] then
+                (* Stuck without terminating: an execution that cannot
+                   commit further; its observable behaviour is the
+                   open prefix. *)
+                Traceset.singleton { Ps.Event.outs = []; ending = Ps.Event.Open }
+              else base
+            in
+            let traces, taint =
+              List.fold_left
+                (fun (acc, taint) { emit; next } ->
+                  let sub, t = dfs s next (depth + 1) (stack_ix + 1) in
+                  let sub =
+                    match emit with
+                    | Some v -> Traceset.prepend v sub
+                    | None -> sub
+                  in
+                  (Traceset.union acc sub, min taint t))
+                (base, max_taint) succs
+            in
+            s.on_stack <- NodeMap.remove n s.on_stack;
+            if s.cfg.Config.memoize && taint >= stack_ix && taint >= 0 then (
+              (* No dependency below this node on the stack (cycle
+                 heads close here) and no depth cut: safe to memoize. *)
+              s.memo <- NodeMap.add n traces s.memo;
+              (traces, max_taint))
+            else (traces, taint))
+
+let behaviors ?(config = Config.default) disc (p : Lang.Ast.program) =
+  match Ps.Machine.init p with
+  | Error e -> Error e
+  | Ok world ->
+      let s =
+        {
+          code = p.Lang.Ast.code;
+          atomics = p.Lang.Ast.atomics;
+          disc;
+          cfg = config;
+          stats = Stats.create ();
+          memo = NodeMap.empty;
+          on_stack = NodeMap.empty;
+        }
+      in
+      let root = { Node.world; bit = true; promised = TidMap.empty } in
+      let traces, _ = dfs s root 0 0 in
+      Ok { traces; exact = s.stats.Stats.cuts = 0; stats = s.stats }
+
+let behaviors_exn ?config disc p =
+  match behaviors ?config disc p with
+  | Ok o -> o
+  | Error e -> invalid_arg ("Enum.behaviors: " ^ e)
+
+let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
+  match Ps.Machine.init p with
+  | Error e -> Error e
+  | Ok world ->
+      let s =
+        {
+          code = p.Lang.Ast.code;
+          atomics = p.Lang.Ast.atomics;
+          disc;
+          cfg = config;
+          stats = Stats.create ();
+          memo = NodeMap.empty;
+          on_stack = NodeMap.empty;
+        }
+      in
+      let visited = ref NodeMap.empty in
+      let rec visit (n : Node.t) depth =
+        if depth < s.cfg.Config.max_steps && not (NodeMap.mem n !visited)
+        then (
+          visited := NodeMap.add n () !visited;
+          s.stats.Stats.nodes <- s.stats.Stats.nodes + 1;
+          let ts = Ps.Machine.cur_ts n.world in
+          let committed = consistent s ts n.world.Ps.Machine.mem in
+          f ~committed n.Node.world;
+          let succs = successors s n in
+          s.stats.Stats.transitions <-
+            s.stats.Stats.transitions + List.length succs;
+          List.iter (fun { next; _ } -> visit next (depth + 1)) succs)
+        else if depth >= s.cfg.Config.max_steps then
+          s.stats.Stats.cuts <- s.stats.Stats.cuts + 1
+      in
+      visit { Node.world; bit = true; promised = TidMap.empty } 0;
+      Ok s.stats

@@ -1,0 +1,56 @@
+(** Bounded-exhaustive behaviour enumeration for both machines.
+
+    [behaviors disc p] computes the set of observable event traces of
+    [p] under the chosen machine discipline:
+
+    - {!Interleaving} implements Fig. 9: any thread step of the
+      current thread may run; context switches, outputs and
+      termination are only taken at configurations where the current
+      thread passes the [consistent] check — precisely the committed
+      points reachable by sequences of [(τ-step)], [(out-step)] and
+      [(sw-step)] machine steps.
+    - {!Non_preemptive} implements Fig. 10: additionally threads the
+      switch bit [β] through thread steps ({!Npsem.bit_after}) and
+      only switches when the bit is on.
+
+    The search is a depth-first traversal of the machine state space
+    computing, per state, the set of trace {e suffixes} from it.
+    Suffix sets are memoized per state (promise budget included in the
+    key), with Tarjan-style taint tracking so that results depending
+    on a cycle (divergence) or on the depth budget are never reused
+    unsoundly.  Divergence contributes the honest prefix trace ending
+    {!Ps.Event.Open}; budget exhaustion contributes a trace ending
+    {!Ps.Event.Cut} and clears {!outcome.exact}. *)
+
+type discipline = Interleaving | Non_preemptive
+
+type outcome = {
+  traces : Traceset.t;
+  exact : bool;
+      (** no path was cut by the step budget: for programs with finite
+          (up to silent divergence) behaviour this is the full PS2.1
+          behaviour set under the configured promise bound *)
+  stats : Stats.t;
+}
+
+val behaviors :
+  ?config:Config.t -> discipline -> Lang.Ast.program -> (outcome, string) result
+
+val behaviors_exn :
+  ?config:Config.t -> discipline -> Lang.Ast.program -> outcome
+
+val iter_reachable :
+  ?config:Config.t ->
+  discipline ->
+  Lang.Ast.program ->
+  f:(committed:bool -> Ps.Machine.world -> unit) ->
+  (Stats.t, string) result
+(** Visit every distinct reachable machine state once (breadth across
+    the same successor relation as {!behaviors}).  [committed] is true
+    when the current thread passes the consistency check — exactly the
+    machine configurations reachable by Fig. 9/Fig. 10 machine steps,
+    which is where the race predicate of Fig. 11 is evaluated
+    ({!Race}).  Returns the exploration statistics (the state-space
+    measurements of experiments E9/E16). *)
+
+val pp_discipline : Format.formatter -> discipline -> unit

@@ -1,0 +1,63 @@
+type verdict =
+  | Refines
+  | Violates of Ps.Event.trace list
+  | Inconclusive of string
+
+type report = {
+  verdict : verdict;
+  target : Enum.outcome;
+  source : Enum.outcome;
+}
+
+let check ?(config = Config.default) ?(discipline = Enum.Interleaving)
+    ~target ~source () =
+  let t = Enum.behaviors_exn ~config discipline target in
+  let s = Enum.behaviors_exn ~config discipline source in
+  let verdict =
+    if not (t.Enum.exact && s.Enum.exact) then
+      Inconclusive "exploration budget exhausted; raise Config.max_steps"
+    else
+      (* The paper's behaviour sets are prefix-closed; compare the
+         closures so that a divergence prefix of one side is matched
+         by any extension on the other. *)
+      let bad =
+        Traceset.diff (Traceset.closure t.traces) (Traceset.closure s.traces)
+      in
+      if Traceset.is_empty bad then Refines
+      else
+        (* Completed counterexamples first: they are the decisive
+           ones. *)
+        let done_, open_ =
+          List.partition
+            (fun tr -> tr.Ps.Event.ending = Ps.Event.Done)
+            (Traceset.elements bad)
+        in
+        Violates (done_ @ open_)
+  in
+  { verdict; target = t; source = s }
+
+let refines ?config ?discipline ~target ~source () =
+  (check ?config ?discipline ~target ~source ()).verdict = Refines
+
+let equivalent ?config ?discipline p1 p2 =
+  refines ?config ?discipline ~target:p1 ~source:p2 ()
+  && refines ?config ?discipline ~target:p2 ~source:p1 ()
+
+let equivalent_disciplines ?config p =
+  let b d = (Enum.behaviors_exn ?config d p).Enum.traces in
+  Traceset.equal_behaviour (b Enum.Interleaving) (b Enum.Non_preemptive)
+
+let safe ?config p =
+  let o = Enum.behaviors_exn ?config Enum.Interleaving p in
+  Traceset.for_all
+    (fun tr -> tr.Ps.Event.ending <> Ps.Event.Abort)
+    o.Enum.traces
+
+let pp_verdict ppf = function
+  | Refines -> Format.pp_print_string ppf "refines"
+  | Violates bad ->
+      Format.fprintf ppf "violates (%d counterexample trace(s)): @[<v>%a@]"
+        (List.length bad)
+        (Format.pp_print_list Ps.Event.pp_trace)
+        bad
+  | Inconclusive why -> Format.fprintf ppf "inconclusive: %s" why

@@ -1,0 +1,26 @@
+type t = {
+  mutable nodes : int;
+  mutable transitions : int;
+  mutable memo_hits : int;
+  mutable cert_checks : int;
+  mutable cycles : int;
+  mutable cuts : int;
+  mutable promises : int;
+}
+
+let create () =
+  {
+    nodes = 0;
+    transitions = 0;
+    memo_hits = 0;
+    cert_checks = 0;
+    cycles = 0;
+    cuts = 0;
+    promises = 0;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "nodes=%d transitions=%d memo_hits=%d cert_checks=%d cycles=%d cuts=%d \
+     promises=%d"
+    s.nodes s.transitions s.memo_hits s.cert_checks s.cycles s.cuts s.promises

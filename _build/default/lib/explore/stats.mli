@@ -1,0 +1,16 @@
+(** Exploration statistics — the measurements behind experiments E9
+    and E16 (state-space size of the interleaving vs the
+    non-preemptive machine) and the bench harness. *)
+
+type t = {
+  mutable nodes : int;  (** distinct machine states visited *)
+  mutable transitions : int;  (** micro-steps enumerated *)
+  mutable memo_hits : int;
+  mutable cert_checks : int;  (** consistency checks performed *)
+  mutable cycles : int;  (** back-edges (divergence points) found *)
+  mutable cuts : int;  (** paths truncated by the step budget *)
+  mutable promises : int;  (** promise steps explored *)
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

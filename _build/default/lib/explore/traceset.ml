@@ -1,0 +1,46 @@
+include Set.Make (struct
+  type t = Ps.Event.trace
+
+  let compare = Ps.Event.compare_trace
+end)
+
+let prepend v s =
+  map (fun tr -> { tr with Ps.Event.outs = v :: tr.Ps.Event.outs }) s
+
+let completed s =
+  filter (fun tr -> tr.Ps.Event.ending = Ps.Event.Done) s
+
+let done_outs s =
+  elements (completed s) |> List.map (fun tr -> tr.Ps.Event.outs)
+
+let has_done outs s =
+  mem { Ps.Event.outs; ending = Ps.Event.Done } s
+
+let closure s =
+  fold
+    (fun tr acc ->
+      let rec prefixes acc = function
+        | [] -> add { Ps.Event.outs = []; ending = Ps.Event.Open } acc
+        | _ :: _ as outs ->
+            let outs' = List.filteri (fun i _ -> i < List.length outs - 1) outs in
+            prefixes
+              (add { Ps.Event.outs; ending = Ps.Event.Open } acc)
+              outs'
+      in
+      (* Every prefix — the full output sequence included — is also a
+         trace with the Open ending; the original record keeps its own
+         ending alongside. *)
+      prefixes (add tr acc) tr.Ps.Event.outs)
+    s s
+
+let equal_behaviour a b = equal (closure a) (closure b)
+
+let is_refined_by ~target ~source =
+  subset (completed target) (completed source)
+
+let diff_done ~target ~source = diff (completed target) (completed source)
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list Ps.Event.pp_trace)
+    (elements s)

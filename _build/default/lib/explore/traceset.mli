@@ -1,0 +1,39 @@
+(** Sets of observable event traces — the behaviours of a program
+    (Fig. 8, "Behaviors"). *)
+
+include Set.S with type elt = Ps.Event.trace
+
+val prepend : Lang.Ast.value -> t -> t
+(** Prefix every trace with one output value. *)
+
+val done_outs : t -> Lang.Ast.value list list
+(** The output sequences of the completed ([done]) traces, sorted. *)
+
+val has_done : Lang.Ast.value list -> t -> bool
+(** Is there a completed trace with exactly these outputs? *)
+
+val completed : t -> t
+(** Only the [done]-ending traces. *)
+
+val closure : t -> t
+(** Prefix closure: the paper's trace sets are prefix-closed by
+    construction ([B ::= ϵ | done | abort | out(v)::B] — every finite
+    prefix of an execution is itself a trace).  [closure s] adds, for
+    every trace, all its proper prefixes as [Open] traces.  Behaviour
+    sets must be compared after closure: a divergence prefix observed
+    by one machine may be extended to completion by the other. *)
+
+val equal_behaviour : t -> t -> bool
+(** Equality of prefix-closures (the paper's [P ≈ P']). *)
+
+val is_refined_by : target:t -> source:t -> bool
+(** Event-trace refinement [P_s ⊇ P_t] restricted to completed traces:
+    every [done] trace of the target is a [done] trace of the source.
+    (Open/cut prefixes are compared by {!Refine}, which interprets
+    them; this is the strict core used by most experiments.) *)
+
+val diff_done : target:t -> source:t -> t
+(** Completed target traces absent from the source: the refinement
+    counterexamples. *)
+
+val pp : Format.formatter -> t -> unit

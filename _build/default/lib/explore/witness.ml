@@ -1,0 +1,163 @@
+module TidMap = Ps.Machine.TidMap
+
+type step = { tid : int; event : Ps.Event.te }
+type t = step list
+
+(* The witness search walks the same committed-step space as {!Enum}
+   (out/switch gated on the current thread's consistency; the
+   non-preemptive discipline additionally threads the switch bit), but
+   tracks how much of the requested output sequence has been emitted
+   and returns the path. *)
+
+module Key = struct
+  type t = Ps.Machine.world * bool * int TidMap.t * int
+  (* world, switch bit, promise budget spent, outputs matched *)
+
+  let compare (w1, b1, p1, k1) (w2, b2, p2, k2) =
+    let ( <?> ) c next = if c <> 0 then c else next () in
+    Ps.Machine.compare w1 w2 <?> fun () ->
+    Bool.compare b1 b2 <?> fun () ->
+    TidMap.compare Int.compare p1 p2 <?> fun () -> Int.compare k1 k2
+end
+
+module KeySet = Set.Make (Key)
+
+let find ?(config = Config.default) ?(discipline = Enum.Interleaving) ~outs
+    (p : Lang.Ast.program) =
+  match Ps.Machine.init p with
+  | Error _ -> None
+  | Ok world0 ->
+      let code = p.Lang.Ast.code in
+      let target = Array.of_list outs in
+      let visited = ref KeySet.empty in
+      let consistent ts mem =
+        Ps.Cert.consistent ~fuel:config.Config.cert_fuel
+          ~cap:config.Config.cap_certification ~code ts mem
+      in
+      let bit_after te before =
+        match discipline with
+        | Enum.Interleaving -> Some true
+        | Enum.Non_preemptive -> Npsem.bit_after te ~before
+      in
+      let exception Found of step list in
+      let rec dfs world bit promised matched depth acc =
+        if depth < config.Config.max_steps then begin
+          let key = (world, bit, promised, matched) in
+          if not (KeySet.mem key !visited) then begin
+            visited := KeySet.add key !visited;
+            if matched = Array.length target && Ps.Machine.terminal world
+            then raise (Found (List.rev acc));
+            let ts = Ps.Machine.cur_ts world in
+            let mem = world.Ps.Machine.mem in
+            let cur = world.Ps.Machine.cur in
+            let committed = lazy (consistent ts mem) in
+            (* regular thread steps *)
+            List.iter
+              (fun (s : Ps.Thread.step) ->
+                match bit_after s.Ps.Thread.event bit with
+                | None -> ()
+                | Some bit' -> (
+                    let world' =
+                      Ps.Machine.set_cur_ts world s.Ps.Thread.ts
+                        s.Ps.Thread.mem
+                    in
+                    let step = { tid = cur; event = s.Ps.Thread.event } in
+                    match s.Ps.Thread.event with
+                    | Ps.Event.Out v ->
+                        if
+                          matched < Array.length target
+                          && v = target.(matched)
+                          && Lazy.force committed
+                        then
+                          dfs world' bit' promised (matched + 1) (depth + 1)
+                            (step :: acc)
+                    | _ ->
+                        dfs world' bit' promised matched (depth + 1)
+                          (step :: acc)))
+              (Ps.Thread.steps ~code ts mem);
+            (* promises *)
+            let spent =
+              match TidMap.find_opt cur promised with Some k -> k | None -> 0
+            in
+            if
+              spent < config.Config.max_promises
+              && (discipline = Enum.Interleaving || bit)
+              && not (Ps.Local.is_finished ts.Ps.Thread.local)
+            then begin
+              let candidates =
+                match config.Config.promise_mode with
+                | Config.No_promises -> []
+                | Config.Syntactic -> Ps.Thread.writes_in_code ~code ts
+                | Config.Semantic ->
+                    Ps.Cert.certifiable_writes ~fuel:config.Config.cert_fuel
+                      ~code ts mem
+              in
+              List.iter
+                (fun (s : Ps.Thread.step) ->
+                  if consistent s.Ps.Thread.ts s.Ps.Thread.mem then
+                    let world' =
+                      Ps.Machine.set_cur_ts world s.Ps.Thread.ts
+                        s.Ps.Thread.mem
+                    in
+                    dfs world' bit
+                      (TidMap.add cur (spent + 1) promised)
+                      matched (depth + 1)
+                      ({ tid = cur; event = s.Ps.Thread.event } :: acc))
+                (Ps.Thread.promise_steps ~candidates
+                   ~atomics:p.Lang.Ast.atomics ts mem)
+            end;
+            (* switches *)
+            let may_switch =
+              (match discipline with
+              | Enum.Interleaving -> true
+              | Enum.Non_preemptive ->
+                  bit || Ps.Local.is_finished ts.Ps.Thread.local)
+              && Lazy.force committed
+            in
+            if may_switch then
+              TidMap.iter
+                (fun tid ts' ->
+                  if
+                    tid <> cur
+                    && not (Ps.Local.is_finished ts'.Ps.Thread.local)
+                  then
+                    dfs (Ps.Machine.switch world tid) true promised matched
+                      (depth + 1) acc)
+                world.Ps.Machine.tp
+          end
+        end
+      in
+      (try
+         dfs world0 true TidMap.empty 0 0 [];
+         None
+       with Found path -> Some path)
+
+let forbidden ?config ~outs p =
+  (* No witness, and the behaviour set is exact: bounded-exhaustive
+     unobservability. *)
+  match find ?config ~outs p with
+  | Some _ -> false
+  | None ->
+      let o = Enum.behaviors_exn ?config Enum.Interleaving p in
+      o.Enum.exact
+
+let is_visible = function
+  | Ps.Event.Tau | Ps.Event.Ccl | Ps.Event.Rsv -> false
+  | _ -> true
+
+let pp_step ppf { tid; event } =
+  Format.fprintf ppf "t%d: %a" tid Ps.Event.pp_te event
+
+let pp ppf w =
+  Format.fprintf ppf "[@[<hov>%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_step)
+    (List.filter (fun s -> is_visible s.event) w)
+
+let pp_full ppf w =
+  Format.fprintf ppf "[@[<hov>%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_step)
+    w

@@ -1,0 +1,44 @@
+(** Execution witnesses: concrete annotated schedules for observable
+    outcomes, in the style of the paper's annotated executions
+    (Sec. 2.1, e.g. [t1: promise (y_rlx := 1); t2: r2 := y_rlx //1;
+    ...]).
+
+    Given a program and a target output sequence, the search explores
+    the same machine-step space as {!Enum} and returns the sequence of
+    (thread id, thread event) pairs of one execution producing exactly
+    those outputs and terminating — or reports that none exists within
+    the bounds (which, for exact explorations, refutes
+    observability).
+
+    This is how refinement counterexamples become debuggable: ask the
+    target program for a witness of the offending trace and read off
+    where the promise/read choices diverge from anything the source
+    can do. *)
+
+type step = { tid : int; event : Ps.Event.te }
+
+type t = step list
+
+val find :
+  ?config:Config.t ->
+  ?discipline:Enum.discipline ->
+  outs:Lang.Ast.value list ->
+  Lang.Ast.program ->
+  t option
+(** A terminating execution printing exactly [outs], or [None] if the
+    bounded search finds none. *)
+
+val forbidden :
+  ?config:Config.t ->
+  outs:Lang.Ast.value list ->
+  Lang.Ast.program ->
+  bool
+(** [true] when no witness exists and the exploration was exact — a
+    bounded-exhaustive proof that the outcome is unobservable. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the schedule in the paper's bracketed style, silent local
+    steps elided. *)
+
+val pp_full : Format.formatter -> t -> unit
+(** Every step, local computation included. *)

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: List Map Modes Set Stdlib String

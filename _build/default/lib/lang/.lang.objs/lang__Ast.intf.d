@@ -1,0 +1,1 @@
+lib/lang/ast.mli: Map Modes Set

@@ -1,0 +1,1 @@
+lib/lang/build.ml: Ast Wf

@@ -1,0 +1,1 @@
+lib/lang/build.mli: Ast Modes

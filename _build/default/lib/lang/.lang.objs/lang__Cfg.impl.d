@@ -1,0 +1,1 @@
+lib/lang/cfg.ml: Ast FnameMap Hashtbl LabelMap List RegSet String VarSet

@@ -1,0 +1,1 @@
+lib/lang/cfg.mli: Ast

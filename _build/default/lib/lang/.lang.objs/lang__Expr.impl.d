@@ -1,0 +1,1 @@
+lib/lang/expr.ml: Ast Int32 String

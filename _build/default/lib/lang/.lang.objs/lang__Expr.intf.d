@@ -1,0 +1,1 @@
+lib/lang/expr.mli: Ast

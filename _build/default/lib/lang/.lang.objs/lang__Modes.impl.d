@@ -1,0 +1,1 @@
+lib/lang/modes.ml: Format

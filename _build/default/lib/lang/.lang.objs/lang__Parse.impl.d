@@ -1,0 +1,1 @@
+lib/lang/parse.ml: Ast Fun List Modes Printf String

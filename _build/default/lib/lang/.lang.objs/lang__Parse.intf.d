@@ -1,0 +1,1 @@
+lib/lang/parse.mli: Ast

@@ -1,0 +1,1 @@
+lib/lang/pp.ml: Ast FnameMap Format LabelMap List Modes String VarSet

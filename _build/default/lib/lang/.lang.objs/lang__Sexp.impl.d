@@ -1,0 +1,1 @@
+lib/lang/sexp.ml: Ast Format List Modes Printf Result String

@@ -1,0 +1,1 @@
+lib/lang/wf.ml: Ast Cfg FnameMap Format LabelMap List Modes Printf RegSet String VarSet

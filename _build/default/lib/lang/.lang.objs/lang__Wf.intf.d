@@ -1,0 +1,1 @@
+lib/lang/wf.mli: Ast Format

@@ -1,0 +1,127 @@
+type reg = string
+type var = string
+type label = string
+type fname = string
+type value = int
+type binop = Add | Sub | Mul | Eq | Ne | Lt | Le | Gt | Ge
+type expr = Reg of reg | Val of value | Bin of binop * expr * expr
+
+type instr =
+  | Load of reg * var * Modes.read
+  | Store of var * expr * Modes.write
+  | Cas of reg * var * expr * expr * Modes.read * Modes.write
+  | Skip
+  | Assign of reg * expr
+  | Print of expr
+  | Fence of Modes.fence
+
+type terminator =
+  | Jmp of label
+  | Be of expr * label * label
+  | Call of fname * label
+  | Return
+
+type block = { instrs : instr list; term : terminator }
+
+module LabelMap = Map.Make (String)
+module VarSet = Set.Make (String)
+module VarMap = Map.Make (String)
+module RegSet = Set.Make (String)
+module FnameMap = Map.Make (String)
+
+type codeheap = { entry : label; blocks : block LabelMap.t }
+type code = codeheap FnameMap.t
+
+type program = {
+  code : code;
+  atomics : VarSet.t;
+  threads : fname list;
+}
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Reg r1, Reg r2 -> String.equal r1 r2
+  | Val v1, Val v2 -> v1 = v2
+  | Bin (op1, l1, r1), Bin (op2, l2, r2) ->
+      op1 = op2 && equal_expr l1 l2 && equal_expr r1 r2
+  | _ -> false
+
+let compare_expr (a : expr) (b : expr) = Stdlib.compare a b
+
+let equal_instr (a : instr) (b : instr) =
+  match (a, b) with
+  | Load (r1, x1, o1), Load (r2, x2, o2) ->
+      String.equal r1 r2 && String.equal x1 x2 && o1 = o2
+  | Store (x1, e1, o1), Store (x2, e2, o2) ->
+      String.equal x1 x2 && equal_expr e1 e2 && o1 = o2
+  | Cas (r1, x1, er1, ew1, or1, ow1), Cas (r2, x2, er2, ew2, or2, ow2) ->
+      String.equal r1 r2 && String.equal x1 x2 && equal_expr er1 er2
+      && equal_expr ew1 ew2 && or1 = or2 && ow1 = ow2
+  | Skip, Skip -> true
+  | Assign (r1, e1), Assign (r2, e2) -> String.equal r1 r2 && equal_expr e1 e2
+  | Print e1, Print e2 -> equal_expr e1 e2
+  | Fence f1, Fence f2 -> f1 = f2
+  | _ -> false
+
+let equal_terminator (a : terminator) (b : terminator) =
+  match (a, b) with
+  | Jmp l1, Jmp l2 -> String.equal l1 l2
+  | Be (e1, l1, l1'), Be (e2, l2, l2') ->
+      equal_expr e1 e2 && String.equal l1 l2 && String.equal l1' l2'
+  | Call (f1, l1), Call (f2, l2) -> String.equal f1 f2 && String.equal l1 l2
+  | Return, Return -> true
+  | _ -> false
+
+let equal_block a b =
+  List.length a.instrs = List.length b.instrs
+  && List.for_all2 equal_instr a.instrs b.instrs
+  && equal_terminator a.term b.term
+
+let equal_codeheap a b =
+  String.equal a.entry b.entry && LabelMap.equal equal_block a.blocks b.blocks
+
+let equal_code a b = FnameMap.equal equal_codeheap a b
+
+let equal_program a b =
+  equal_code a.code b.code
+  && VarSet.equal a.atomics b.atomics
+  && List.length a.threads = List.length b.threads
+  && List.for_all2 String.equal a.threads b.threads
+
+let block instrs term = { instrs; term }
+
+let codeheap ~entry bindings =
+  { entry; blocks = LabelMap.of_seq (List.to_seq bindings) }
+
+let code_of_list bindings = FnameMap.of_seq (List.to_seq bindings)
+
+let program ?(atomics = []) ~code threads =
+  { code = code_of_list code; atomics = VarSet.of_list atomics; threads }
+
+let rec expr_regs = function
+  | Reg r -> RegSet.singleton r
+  | Val _ -> RegSet.empty
+  | Bin (_, l, r) -> RegSet.union (expr_regs l) (expr_regs r)
+
+let instr_regs_used = function
+  | Load _ | Skip | Fence _ -> RegSet.empty
+  | Store (_, e, _) | Assign (_, e) | Print e -> expr_regs e
+  | Cas (_, _, er, ew, _, _) -> RegSet.union (expr_regs er) (expr_regs ew)
+
+let instr_reg_defined = function
+  | Load (r, _, _) | Cas (r, _, _, _, _, _) | Assign (r, _) -> Some r
+  | Store _ | Skip | Print _ | Fence _ -> None
+
+let term_regs_used = function
+  | Jmp _ | Return -> RegSet.empty
+  | Be (e, _, _) -> expr_regs e
+  | Call _ -> RegSet.empty
+
+let instr_var_accessed = function
+  | Load (_, x, _) | Store (x, _, _) | Cas (_, x, _, _, _, _) -> Some x
+  | Skip | Assign _ | Print _ | Fence _ -> None
+
+let is_na_instr = function
+  | Load (_, _, Modes.Na) | Store (_, _, Modes.WNa) -> true
+  | Skip | Assign _ -> true
+  | Load _ | Store _ | Cas _ | Print _ | Fence _ -> false

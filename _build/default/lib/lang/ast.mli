@@ -1,0 +1,117 @@
+(** Abstract syntax of CSimpRTL (Fig. 7 of the paper).
+
+    A program [let (π, ι) in f1 ∥ ... ∥ fn] consists of a set of
+    function definitions [π], a set [ι] of atomic variables, and [n]
+    threads, each running one function.  Each function is a code heap
+    mapping labels to basic blocks; a basic block is a straight-line
+    sequence of instructions ended by a jump, branch, call or return.
+
+    Labels and names are strings (the paper uses naturals for labels;
+    strings make concrete programs and error messages readable without
+    changing anything semantically).  Values are machine integers. *)
+
+type reg = string
+(** Pseudo-registers [r].  Thread-private; never shared between
+    threads. *)
+
+type var = string
+(** Shared memory locations [x, y, z]. *)
+
+type label = string
+(** Basic-block labels within one code heap. *)
+
+type fname = string
+(** Function names. *)
+
+type value = int
+(** Values [v].  The paper fixes [Int32]; we use native integers, with
+    arithmetic in {!Expr} wrapping to 32 bits to match. *)
+
+(** Expressions over registers and constants (no memory access). The
+    paper's grammar has [+], [-], [*]; we add comparisons, which the
+    paper's examples use in branch conditions ([r1 < 10] in Fig. 1),
+    with the usual 0/1 encoding of booleans. *)
+type binop = Add | Sub | Mul | Eq | Ne | Lt | Le | Gt | Ge
+
+type expr = Reg of reg | Val of value | Bin of binop * expr * expr
+
+(** Instructions [c].  [Load (r, x, o)] is [r := x_o]; [Store (x, e,
+    o)] is [x_o := e]; [Cas (r, x, er, ew, or_, ow)] is
+    [r := CAS_{or,ow}(x, er, ew)], writing 1 to [r] on success and 0 on
+    failure; [Assign] is local computation; [Print] emits the
+    observable event [out(v)]; [Fence] is a memory fence (footnote 1 of
+    the paper). *)
+type instr =
+  | Load of reg * var * Modes.read
+  | Store of var * expr * Modes.write
+  | Cas of reg * var * expr * expr * Modes.read * Modes.write
+  | Skip
+  | Assign of reg * expr
+  | Print of expr
+  | Fence of Modes.fence
+
+(** Block terminators: unconditional jump, conditional branch
+    [be e, l1, l2] (to [l1] if [e] evaluates to non-zero), internal
+    call [call (f, l_ret)] and [return]. *)
+type terminator =
+  | Jmp of label
+  | Be of expr * label * label
+  | Call of fname * label
+  | Return
+
+type block = { instrs : instr list; term : terminator }
+
+module LabelMap : Map.S with type key = label
+module VarSet : Set.S with type elt = var
+module VarMap : Map.S with type key = var
+module RegSet : Set.S with type elt = reg
+module FnameMap : Map.S with type key = fname
+
+type codeheap = { entry : label; blocks : block LabelMap.t }
+(** One function body [C ∈ Lab ⇀ BBlock], plus its entry label. *)
+
+type code = codeheap FnameMap.t
+(** The declarations [π = {f1 ↝ C1, ..., fk ↝ Ck}]. *)
+
+type program = {
+  code : code;  (** [π] *)
+  atomics : VarSet.t;  (** [ι]: the atomic variables *)
+  threads : fname list;  (** [f1 ∥ ... ∥ fn] *)
+}
+
+val equal_expr : expr -> expr -> bool
+val equal_instr : instr -> instr -> bool
+val equal_terminator : terminator -> terminator -> bool
+val equal_block : block -> block -> bool
+val equal_codeheap : codeheap -> codeheap -> bool
+val equal_code : code -> code -> bool
+val equal_program : program -> program -> bool
+val compare_expr : expr -> expr -> int
+
+val block : instr list -> terminator -> block
+val codeheap : entry:label -> (label * block) list -> codeheap
+val code_of_list : (fname * codeheap) list -> code
+
+val program :
+  ?atomics:var list -> code:(fname * codeheap) list -> fname list -> program
+(** [program ~atomics ~code threads] assembles a whole program; the
+    thread list gives the function run by each thread, in order. *)
+
+val instr_regs_used : instr -> RegSet.t
+(** Registers read by an instruction. *)
+
+val instr_reg_defined : instr -> reg option
+(** The register written by an instruction, if any. *)
+
+val expr_regs : expr -> RegSet.t
+val term_regs_used : terminator -> RegSet.t
+
+val instr_var_accessed : instr -> var option
+(** The shared location accessed, if any. *)
+
+val is_na_instr : instr -> bool
+(** True for instructions whose thread event is in the [NA] class of
+    the non-preemptive semantics (Fig. 10): non-atomic loads/stores and
+    instructions with no memory or synchronization effect.  [Print] is
+    excluded: it produces an observable event and is a machine-step
+    boundary. *)

@@ -1,0 +1,36 @@
+let i n = Ast.Val n
+let r name = Ast.Reg name
+let ( + ) a b = Ast.Bin (Ast.Add, a, b)
+let ( - ) a b = Ast.Bin (Ast.Sub, a, b)
+let ( * ) a b = Ast.Bin (Ast.Mul, a, b)
+let ( == ) a b = Ast.Bin (Ast.Eq, a, b)
+let ( != ) a b = Ast.Bin (Ast.Ne, a, b)
+let ( < ) a b = Ast.Bin (Ast.Lt, a, b)
+let ( <= ) a b = Ast.Bin (Ast.Le, a, b)
+let load reg var ~mode = Ast.Load (reg, var, mode)
+let store var ~mode e = Ast.Store (var, e, mode)
+
+let cas reg var ~expect ~write ~rmode ~wmode =
+  Ast.Cas (reg, var, expect, write, rmode, wmode)
+
+let assign reg e = Ast.Assign (reg, e)
+let skip = Ast.Skip
+let print e = Ast.Print e
+let fence m = Ast.Fence m
+let jmp l = Ast.Jmp l
+let be e l1 l2 = Ast.Be (e, l1, l2)
+let call f lret = Ast.Call (f, lret)
+let ret = Ast.Return
+let blk label instrs term = (label, Ast.block instrs term)
+
+let proc ?entry name blocks =
+  let entry =
+    match (entry, blocks) with
+    | Some e, _ -> e
+    | None, (l, _) :: _ -> l
+    | None, [] -> invalid_arg "Build.proc: empty function body"
+  in
+  (name, Ast.codeheap ~entry blocks)
+
+let program ?(atomics = []) procs ~threads =
+  Wf.check_exn (Ast.program ~atomics ~code:procs threads)

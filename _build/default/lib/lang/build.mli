@@ -1,0 +1,65 @@
+(** A small embedded DSL for constructing CSimpRTL programs in OCaml.
+
+    Used heavily by the litmus corpus, tests and examples:
+
+    {[
+      let sb =
+        Build.(
+          program ~atomics:[ "x"; "y" ]
+            [
+              proc "t1"
+                [ blk "L0" [ store "x" ~mode:WRlx (i 1);
+                             load "r1" "y" ~mode:Rlx ] ret ];
+              proc "t2"
+                [ blk "L0" [ store "y" ~mode:WRlx (i 1);
+                             load "r2" "x" ~mode:Rlx ] ret ];
+            ]
+            ~threads:[ "t1"; "t2" ])
+    ]} *)
+
+val i : int -> Ast.expr
+val r : Ast.reg -> Ast.expr
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( == ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( != ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val load : Ast.reg -> Ast.var -> mode:Modes.read -> Ast.instr
+val store : Ast.var -> mode:Modes.write -> Ast.expr -> Ast.instr
+
+val cas :
+  Ast.reg ->
+  Ast.var ->
+  expect:Ast.expr ->
+  write:Ast.expr ->
+  rmode:Modes.read ->
+  wmode:Modes.write ->
+  Ast.instr
+
+val assign : Ast.reg -> Ast.expr -> Ast.instr
+val skip : Ast.instr
+val print : Ast.expr -> Ast.instr
+val fence : Modes.fence -> Ast.instr
+val jmp : Ast.label -> Ast.terminator
+val be : Ast.expr -> Ast.label -> Ast.label -> Ast.terminator
+val call : Ast.fname -> Ast.label -> Ast.terminator
+val ret : Ast.terminator
+val blk : Ast.label -> Ast.instr list -> Ast.terminator -> Ast.label * Ast.block
+
+val proc :
+  ?entry:Ast.label ->
+  Ast.fname ->
+  (Ast.label * Ast.block) list ->
+  Ast.fname * Ast.codeheap
+(** [entry] defaults to the label of the first block. *)
+
+val program :
+  ?atomics:Ast.var list ->
+  (Ast.fname * Ast.codeheap) list ->
+  threads:Ast.fname list ->
+  Ast.program
+(** Assembles and well-formedness-checks ({!Wf.check_exn}) the
+    program. *)

@@ -1,0 +1,96 @@
+open Ast
+
+let successors (b : block) =
+  match b.term with
+  | Jmp l -> [ l ]
+  | Be (_, l1, l2) -> if String.equal l1 l2 then [ l1 ] else [ l1; l2 ]
+  | Call (_, lret) -> [ lret ]
+  | Return -> []
+
+let predecessors (ch : codeheap) =
+  let init =
+    LabelMap.map (fun _ -> []) ch.blocks
+  in
+  LabelMap.fold
+    (fun l b acc ->
+      List.fold_left
+        (fun acc succ ->
+          match LabelMap.find_opt succ acc with
+          | Some preds -> LabelMap.add succ (l :: preds) acc
+          | None -> acc)
+        acc (successors b))
+    ch.blocks init
+
+let reachable (ch : codeheap) =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit l =
+    if not (Hashtbl.mem seen l) then (
+      Hashtbl.add seen l ();
+      order := l :: !order;
+      match LabelMap.find_opt l ch.blocks with
+      | Some b -> List.iter visit (successors b)
+      | None -> ())
+  in
+  visit ch.entry;
+  List.rev !order
+
+let postorder (ch : codeheap) =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec visit l =
+    if not (Hashtbl.mem seen l) then (
+      Hashtbl.add seen l ();
+      (match LabelMap.find_opt l ch.blocks with
+      | Some b -> List.iter visit (successors b)
+      | None -> ());
+      out := l :: !out)
+  in
+  visit ch.entry;
+  List.rev !out
+
+let reverse_postorder ch = List.rev (postorder ch)
+
+let fold_instrs ch ~init ~f =
+  LabelMap.fold
+    (fun l b acc -> List.fold_left (fun acc i -> f acc l i) acc b.instrs)
+    ch.blocks init
+
+let vars_of_codeheap ch =
+  fold_instrs ch ~init:VarSet.empty ~f:(fun acc _ i ->
+      match instr_var_accessed i with
+      | Some x -> VarSet.add x acc
+      | None -> acc)
+
+let regs_of_codeheap ch =
+  LabelMap.fold
+    (fun _ b acc ->
+      let acc =
+        List.fold_left
+          (fun acc i ->
+            let acc = RegSet.union acc (instr_regs_used i) in
+            match instr_reg_defined i with
+            | Some r -> RegSet.add r acc
+            | None -> acc)
+          acc b.instrs
+      in
+      RegSet.union acc (term_regs_used b.term))
+    ch.blocks RegSet.empty
+
+let vars_of_program (p : program) =
+  FnameMap.fold
+    (fun _ ch acc -> VarSet.union acc (vars_of_codeheap ch))
+    p.code VarSet.empty
+
+let callees ch =
+  let seen = Hashtbl.create 4 in
+  let out = ref [] in
+  LabelMap.iter
+    (fun _ b ->
+      match b.term with
+      | Call (f, _) when not (Hashtbl.mem seen f) ->
+          Hashtbl.add seen f ();
+          out := f :: !out
+      | _ -> ())
+    ch.blocks;
+  List.rev !out

@@ -1,0 +1,42 @@
+open Ast
+
+type env = value -> value
+
+let wrap32 n = Int32.to_int (Int32.of_int n)
+
+let eval_binop op a b =
+  match op with
+  | Add -> wrap32 (a + b)
+  | Sub -> wrap32 (a - b)
+  | Mul -> wrap32 (a * b)
+  | Eq -> if a = b then 1 else 0
+  | Ne -> if a <> b then 1 else 0
+  | Lt -> if a < b then 1 else 0
+  | Le -> if a <= b then 1 else 0
+  | Gt -> if a > b then 1 else 0
+  | Ge -> if a >= b then 1 else 0
+
+let rec eval lookup = function
+  | Reg r -> lookup r
+  | Val v -> v
+  | Bin (op, l, r) -> eval_binop op (eval lookup l) (eval lookup r)
+
+let rec subst r e' = function
+  | Reg r0 when String.equal r0 r -> e'
+  | (Reg _ | Val _) as e -> e
+  | Bin (op, l, rhs) -> Bin (op, subst r e' l, subst r e' rhs)
+
+let rec const_fold e =
+  match e with
+  | Reg _ | Val _ -> e
+  | Bin (op, l, r) -> (
+      match (const_fold l, const_fold r) with
+      | Val a, Val b -> Val (eval_binop op a b)
+      | l', r' -> Bin (op, l', r'))
+
+let rec uses r = function
+  | Reg r0 -> String.equal r0 r
+  | Val _ -> false
+  | Bin (_, l, rhs) -> uses r l || uses r rhs
+
+let is_const = function Val v -> Some v | _ -> None

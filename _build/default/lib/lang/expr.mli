@@ -1,0 +1,26 @@
+(** Evaluation and manipulation of CSimpRTL expressions. *)
+
+type env = Ast.value -> Ast.value
+(** Dummy type; see {!eval}. *)
+
+val wrap32 : int -> int
+(** Arithmetic wraps to signed 32 bits, matching the paper's
+    [Val = Int32]. *)
+
+val eval_binop : Ast.binop -> Ast.value -> Ast.value -> Ast.value
+(** Comparisons return 0/1; arithmetic wraps to 32 bits. *)
+
+val eval : (Ast.reg -> Ast.value) -> Ast.expr -> Ast.value
+(** [eval lookup e] evaluates [e], reading registers via [lookup].
+    Unbound registers should be given value 0 by [lookup] (the machine
+    initializes registers to 0). *)
+
+val subst : Ast.reg -> Ast.expr -> Ast.expr -> Ast.expr
+(** [subst r e' e] replaces every occurrence of register [r] in [e] by
+    [e']. *)
+
+val const_fold : Ast.expr -> Ast.expr
+(** Bottom-up folding of constant subexpressions. *)
+
+val uses : Ast.reg -> Ast.expr -> bool
+val is_const : Ast.expr -> Ast.value option

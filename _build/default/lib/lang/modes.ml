@@ -1,0 +1,37 @@
+type read = Na | Rlx | Acq
+type write = WNa | WRlx | WRel
+type fence = FAcq | FRel | FSc
+
+let read_is_atomic = function Na -> false | Rlx | Acq -> true
+let write_is_atomic = function WNa -> false | WRlx | WRel -> true
+let read_rank = function Na -> 0 | Rlx -> 1 | Acq -> 2
+let write_rank = function WNa -> 0 | WRlx -> 1 | WRel -> 2
+let read_le a b = read_rank a <= read_rank b
+let write_le a b = write_rank a <= write_rank b
+let equal_read (a : read) b = a = b
+let equal_write (a : write) b = a = b
+let equal_fence (a : fence) b = a = b
+
+let pp_read ppf m =
+  Format.pp_print_string ppf
+    (match m with Na -> "na" | Rlx -> "rlx" | Acq -> "acq")
+
+let pp_write ppf m =
+  Format.pp_print_string ppf
+    (match m with WNa -> "na" | WRlx -> "rlx" | WRel -> "rel")
+
+let pp_fence ppf m =
+  Format.pp_print_string ppf
+    (match m with FAcq -> "acq" | FRel -> "rel" | FSc -> "sc")
+
+let read_of_string = function
+  | "na" -> Some Na
+  | "rlx" -> Some Rlx
+  | "acq" -> Some Acq
+  | _ -> None
+
+let write_of_string = function
+  | "na" -> Some WNa
+  | "rlx" -> Some WRlx
+  | "rel" -> Some WRel
+  | _ -> None

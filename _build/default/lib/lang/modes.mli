@@ -1,0 +1,32 @@
+(** Memory access modes of CSimpRTL (Fig. 7 of the paper).
+
+    Reads are non-atomic ([na]), relaxed ([rlx]) or acquire ([acq]);
+    writes are non-atomic, relaxed or release ([rel]).  CAS carries one
+    mode of each kind.  Fences (footnote 1; modelled fully in the Coq
+    artifact and here) are acquire, release or sequentially consistent. *)
+
+type read = Na | Rlx | Acq
+type write = WNa | WRlx | WRel
+type fence = FAcq | FRel | FSc
+
+val read_is_atomic : read -> bool
+(** [rlx] and [acq] are atomic accesses; [na] is not. *)
+
+val write_is_atomic : write -> bool
+
+val read_le : read -> read -> bool
+(** Strength order [na ⊑ rlx ⊑ acq]: [read_le a b] iff [a] is no
+    stronger than [b].  Strengthening a read mode is never an
+    optimization we perform, but the order is useful to state tests. *)
+
+val write_le : write -> write -> bool
+(** Strength order [na ⊑ rlx ⊑ rel]. *)
+
+val equal_read : read -> read -> bool
+val equal_write : write -> write -> bool
+val equal_fence : fence -> fence -> bool
+val pp_read : Format.formatter -> read -> unit
+val pp_write : Format.formatter -> write -> unit
+val pp_fence : Format.formatter -> fence -> unit
+val read_of_string : string -> read option
+val write_of_string : string -> write option

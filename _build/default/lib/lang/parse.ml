@@ -1,0 +1,378 @@
+exception Error of string
+
+type token =
+  | IDENT of string
+  | INT of int
+  | ASSIGN (* := *)
+  | SEMI
+  | COMMA
+  | COLON
+  | DOT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | PLUS
+  | MINUS
+  | STAR
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let pp_token = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | ASSIGN -> "':='"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EOF -> "end of input"
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit t = toks := (t, !line) :: !toks in
+  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then (
+      while !i < n && src.[!i] <> '\n' do incr i done)
+    else if is_ident_start c then (
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      emit (IDENT (String.sub src !i (!j - !i)));
+      i := !j)
+    else if is_digit c then (
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do incr j done;
+      emit (INT (int_of_string (String.sub src !i (!j - !i))));
+      i := !j)
+    else
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | ":=" -> emit ASSIGN; i := !i + 2
+      | "==" -> emit EQEQ; i := !i + 2
+      | "!=" -> emit NEQ; i := !i + 2
+      | "<=" -> emit LE; i := !i + 2
+      | ">=" -> emit GE; i := !i + 2
+      | _ -> (
+          (match c with
+          | ';' -> emit SEMI
+          | ',' -> emit COMMA
+          | ':' -> emit COLON
+          | '.' -> emit DOT
+          | '(' -> emit LPAREN
+          | ')' -> emit RPAREN
+          | '{' -> emit LBRACE
+          | '}' -> emit RBRACE
+          | '+' -> emit PLUS
+          | '-' -> emit MINUS
+          | '*' -> emit STAR
+          | '<' -> emit LT
+          | '>' -> emit GT
+          | _ -> fail (Printf.sprintf "unexpected character %C" c));
+          incr i)
+  done;
+  emit EOF;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parser state: a mutable cursor over the token list. *)
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
+let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st msg =
+  raise (Error (Printf.sprintf "line %d: %s, got %s" (line st) msg
+                  (pp_token (peek st))))
+
+let expect st t =
+  if peek st = t then advance st
+  else fail st (Printf.sprintf "expected %s" (pp_token t))
+
+let ident st =
+  match peek st with
+  | IDENT s -> advance st; s
+  | _ -> fail st "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec parse_atom st : Ast.expr =
+  match peek st with
+  | INT n -> advance st; Ast.Val n
+  | IDENT r -> advance st; Ast.Reg r
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | MINUS -> (
+      advance st;
+      match peek st with
+      | INT n ->
+          advance st;
+          Ast.Val (-n)
+      | _ ->
+          let e = parse_atom st in
+          Ast.Bin (Ast.Sub, Ast.Val 0, e))
+  | _ -> fail st "expected expression"
+
+and parse_term st =
+  let lhs = parse_atom st in
+  let rec loop lhs =
+    match peek st with
+    | STAR ->
+        advance st;
+        loop (Ast.Bin (Ast.Mul, lhs, parse_atom st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_arith st =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match peek st with
+    | PLUS ->
+        advance st;
+        loop (Ast.Bin (Ast.Add, lhs, parse_term st))
+    | MINUS ->
+        advance st;
+        loop (Ast.Bin (Ast.Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_expr st =
+  let lhs = parse_arith st in
+  let cmp op =
+    advance st;
+    Ast.Bin (op, lhs, parse_arith st)
+  in
+  match peek st with
+  | EQEQ -> cmp Ast.Eq
+  | NEQ -> cmp Ast.Ne
+  | LT -> cmp Ast.Lt
+  | LE -> cmp Ast.Le
+  | GT -> cmp Ast.Gt
+  | GE -> cmp Ast.Ge
+  | _ -> lhs
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let read_mode st =
+  let m = ident st in
+  match Modes.read_of_string m with
+  | Some m -> m
+  | None -> fail st (Printf.sprintf "invalid read mode %S" m)
+
+let write_mode st =
+  let m = ident st in
+  match Modes.write_of_string m with
+  | Some m -> m
+  | None -> fail st (Printf.sprintf "invalid write mode %S" m)
+
+let fence_mode st =
+  match ident st with
+  | "acq" -> Modes.FAcq
+  | "rel" -> Modes.FRel
+  | "sc" -> Modes.FSc
+  | m -> fail st (Printf.sprintf "invalid fence mode %S" m)
+
+type stmt = I of Ast.instr | T of Ast.terminator
+
+let parse_stmt st : stmt =
+  match peek st with
+  | IDENT "skip" -> advance st; I Ast.Skip
+  | IDENT "print" ->
+      advance st;
+      expect st LPAREN;
+      let e = parse_expr st in
+      expect st RPAREN;
+      I (Ast.Print e)
+  | IDENT "fence" ->
+      advance st;
+      expect st DOT;
+      I (Ast.Fence (fence_mode st))
+  | IDENT "jmp" ->
+      advance st;
+      T (Ast.Jmp (ident st))
+  | IDENT "be" ->
+      advance st;
+      let e = parse_expr st in
+      expect st COMMA;
+      let l1 = ident st in
+      expect st COMMA;
+      let l2 = ident st in
+      T (Ast.Be (e, l1, l2))
+  | IDENT "call" ->
+      advance st;
+      expect st LPAREN;
+      let f = ident st in
+      expect st COMMA;
+      let lret = ident st in
+      expect st RPAREN;
+      T (Ast.Call (f, lret))
+  | IDENT "return" -> advance st; T Ast.Return
+  | IDENT lhs -> (
+      advance st;
+      match peek st with
+      | DOT ->
+          (* store: var.mode := e *)
+          advance st;
+          let m = write_mode st in
+          expect st ASSIGN;
+          let e = parse_expr st in
+          I (Ast.Store (lhs, e, m))
+      | ASSIGN -> (
+          advance st;
+          match peek st with
+          | IDENT "cas" ->
+              advance st;
+              expect st DOT;
+              let orr = read_mode st in
+              expect st DOT;
+              let ow = write_mode st in
+              expect st LPAREN;
+              let x = ident st in
+              expect st COMMA;
+              let er = parse_expr st in
+              expect st COMMA;
+              let ew = parse_expr st in
+              expect st RPAREN;
+              I (Ast.Cas (lhs, x, er, ew, orr, ow))
+          | IDENT x
+            when (match st.toks with
+                 | _ :: (DOT, _) :: (IDENT m, _) :: _ ->
+                     Modes.read_of_string m <> None
+                 | _ -> false) ->
+              (* load: r := x.mode — lookahead distinguishes it from an
+                 assignment whose expression begins with a register. *)
+              advance st;
+              expect st DOT;
+              let m = read_mode st in
+              I (Ast.Load (lhs, x, m))
+          | _ ->
+              let e = parse_expr st in
+              I (Ast.Assign (lhs, e)))
+      | _ -> fail st "expected ':=' or '.' after identifier")
+  | _ -> fail st "expected statement"
+
+(* ------------------------------------------------------------------ *)
+(* Blocks, procedures, programs *)
+
+let parse_labeled_blocks st : (Ast.label * Ast.block) list =
+  let blocks = ref [] in
+  let rec block_body acc =
+    let s = parse_stmt st in
+    expect st SEMI;
+    match s with
+    | T term -> { Ast.instrs = List.rev acc; term }
+    | I i -> block_body (i :: acc)
+  in
+  let rec loop () =
+    match peek st with
+    | RBRACE -> ()
+    | IDENT l ->
+        advance st;
+        expect st COLON;
+        let b = block_body [] in
+        blocks := (l, b) :: !blocks;
+        loop ()
+    | _ -> fail st "expected label or '}'"
+  in
+  loop ();
+  List.rev !blocks
+
+let parse_proc st : Ast.fname * Ast.codeheap =
+  expect st (IDENT "proc");
+  let name = ident st in
+  expect st (IDENT "entry");
+  let entry = ident st in
+  expect st LBRACE;
+  let blocks = parse_labeled_blocks st in
+  expect st RBRACE;
+  (name, Ast.codeheap ~entry blocks)
+
+let parse_program st : Ast.program =
+  let atomics =
+    if peek st = IDENT "atomics" then (
+      advance st;
+      let rec loop acc =
+        match peek st with
+        | SEMI -> advance st; List.rev acc
+        | IDENT x -> advance st; loop (x :: acc)
+        | _ -> fail st "expected variable name or ';'"
+      in
+      loop [])
+    else []
+  in
+  expect st (IDENT "threads");
+  let threads =
+    let rec loop acc =
+      match peek st with
+      | SEMI -> advance st; List.rev acc
+      | IDENT f -> advance st; loop (f :: acc)
+      | _ -> fail st "expected function name or ';'"
+    in
+    loop []
+  in
+  if threads = [] then fail st "a program needs at least one thread";
+  let procs = ref [] in
+  while peek st <> EOF do
+    procs := parse_proc st :: !procs
+  done;
+  Ast.program ~atomics ~code:(List.rev !procs) threads
+
+let program_of_string src =
+  let st = { toks = tokenize src } in
+  let p = parse_program st in
+  expect st EOF;
+  p
+
+let program_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> program_of_string (really_input_string ic (in_channel_length ic)))
+
+let expr_of_string src =
+  let st = { toks = tokenize src } in
+  let e = parse_expr st in
+  expect st EOF;
+  e

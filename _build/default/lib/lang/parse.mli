@@ -1,0 +1,36 @@
+(** Concrete syntax for CSimpRTL: a hand-written lexer and
+    recursive-descent parser.
+
+    The grammar (comments are [// ...] to end of line):
+
+    {v
+    program   ::= ("atomics" ident* ";")?  "threads" ident+ ";"  proc*
+    proc      ::= "proc" ident "entry" ident "{" labeled+ "}"
+    labeled   ::= ident ":" (stmt ";")+          -- last stmt a terminator
+    stmt      ::= reg ":=" var "." rmode                       -- load
+               |  reg ":=" "cas" "." rmode "." wmode
+                     "(" var "," expr "," expr ")"             -- CAS
+               |  var "." wmode ":=" expr                      -- store
+               |  reg ":=" expr                                -- assign
+               |  "skip" | "print" "(" expr ")" | "fence" "." fmode
+               |  "jmp" ident | "be" expr "," ident "," ident
+               |  "call" "(" ident "," ident ")" | "return"
+    expr      ::= arith (cmpop arith)?
+    arith     ::= term (("+" | "-") term)*
+    term      ::= atom ("*" atom)*
+    atom      ::= int | ident | "(" expr ")" | "-" atom
+    v}
+
+    A statement [a := b.m] is a load; loads are distinguished from
+    assignments by the [.mode] suffix on the right-hand side
+    identifier.  Whether an identifier denotes a register or a shared
+    variable is determined by position: memory accesses name variables,
+    everything else names registers ({!Wf} checks consistency). *)
+
+exception Error of string
+(** Raised on lexical or syntax errors, with a message including the
+    line number. *)
+
+val program_of_string : string -> Ast.program
+val program_of_file : string -> Ast.program
+val expr_of_string : string -> Ast.expr

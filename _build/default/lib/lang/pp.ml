@@ -1,0 +1,84 @@
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_binop ppf op = Format.pp_print_string ppf (binop_str op)
+
+(* Precedence: comparisons < additive < multiplicative < atoms. *)
+let prec = function
+  | Eq | Ne | Lt | Le | Gt | Ge -> 1
+  | Add | Sub -> 2
+  | Mul -> 3
+
+let rec pp_expr_prec p ppf = function
+  | Reg r -> Format.pp_print_string ppf r
+  | Val v -> Format.pp_print_int ppf v
+  | Bin (op, l, r) ->
+      let q = prec op in
+      let body ppf () =
+        Format.fprintf ppf "%a %s %a" (pp_expr_prec q) l (binop_str op)
+          (pp_expr_prec (q + 1))
+          r
+      in
+      if q < p then Format.fprintf ppf "(%a)" body ()
+      else Format.fprintf ppf "%a" body ()
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_instr ppf = function
+  | Load (r, x, o) -> Format.fprintf ppf "%s := %s.%a" r x Modes.pp_read o
+  | Store (x, e, o) ->
+      Format.fprintf ppf "%s.%a := %a" x Modes.pp_write o pp_expr e
+  | Cas (r, x, er, ew, orr, ow) ->
+      Format.fprintf ppf "%s := cas.%a.%a(%s, %a, %a)" r Modes.pp_read orr
+        Modes.pp_write ow x pp_expr er pp_expr ew
+  | Skip -> Format.pp_print_string ppf "skip"
+  | Assign (r, e) -> Format.fprintf ppf "%s := %a" r pp_expr e
+  | Print e -> Format.fprintf ppf "print(%a)" pp_expr e
+  | Fence f -> Format.fprintf ppf "fence.%a" Modes.pp_fence f
+
+let pp_terminator ppf = function
+  | Jmp l -> Format.fprintf ppf "jmp %s" l
+  | Be (e, l1, l2) -> Format.fprintf ppf "be %a, %s, %s" pp_expr e l1 l2
+  | Call (f, lret) -> Format.fprintf ppf "call(%s, %s)" f lret
+  | Return -> Format.pp_print_string ppf "return"
+
+let pp_block ppf b =
+  List.iter (fun i -> Format.fprintf ppf "  %a;@\n" pp_instr i) b.instrs;
+  Format.fprintf ppf "  %a;" pp_terminator b.term
+
+let pp_codeheap ~name ppf ch =
+  Format.fprintf ppf "@[<v>proc %s entry %s {@\n" name ch.entry;
+  (* Print the entry block first, then the rest alphabetically: stable
+     output that starts where reading starts. *)
+  let entry_first (l1, _) (l2, _) =
+    match (String.equal l1 ch.entry, String.equal l2 ch.entry) with
+    | true, false -> -1
+    | false, true -> 1
+    | _ -> String.compare l1 l2
+  in
+  let bs = List.sort entry_first (LabelMap.bindings ch.blocks) in
+  List.iter (fun (l, b) -> Format.fprintf ppf "%s:@\n%a@\n" l pp_block b) bs;
+  Format.fprintf ppf "}@]"
+
+let pp_program ppf p =
+  if not (VarSet.is_empty p.atomics) then
+    Format.fprintf ppf "atomics %s;@\n"
+      (String.concat " " (VarSet.elements p.atomics));
+  Format.fprintf ppf "threads %s;@\n@\n" (String.concat " " p.threads);
+  FnameMap.iter
+    (fun name ch -> Format.fprintf ppf "%a@\n@\n" (pp_codeheap ~name) ch)
+    p.code
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let instr_to_string i = Format.asprintf "%a" pp_instr i
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,14 @@
+(** Pretty-printing of CSimpRTL programs in the concrete syntax
+    accepted by {!Parse} (round-trip: [Parse.program_of_string] after
+    {!program_to_string} yields an equal program). *)
+
+val pp_binop : Format.formatter -> Ast.binop -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_instr : Format.formatter -> Ast.instr -> unit
+val pp_terminator : Format.formatter -> Ast.terminator -> unit
+val pp_block : Format.formatter -> Ast.block -> unit
+val pp_codeheap : name:Ast.fname -> Format.formatter -> Ast.codeheap -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val expr_to_string : Ast.expr -> string
+val instr_to_string : Ast.instr -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,259 @@
+type t = Atom of string | List of t list
+
+(* ------------------------------------------------------------------ *)
+(* Printing and parsing the tree *)
+
+let rec to_string = function
+  | Atom a -> a
+  | List l -> "(" ^ String.concat " " (List.map to_string l) ^ ")"
+
+let parse src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let error msg = Error (Printf.sprintf "at %d: %s" !pos msg) in
+  let rec skip_ws () =
+    if !pos < n && (src.[!pos] = ' ' || src.[!pos] = '\n' || src.[!pos] = '\t'
+                    || src.[!pos] = '\r')
+    then (incr pos; skip_ws ())
+  in
+  let atom_char c =
+    c <> '(' && c <> ')' && c <> ' ' && c <> '\n' && c <> '\t' && c <> '\r'
+  in
+  let rec sexp () =
+    skip_ws ();
+    if !pos >= n then error "unexpected end of input"
+    else if src.[!pos] = '(' then (
+      incr pos;
+      let rec items acc =
+        skip_ws ();
+        if !pos >= n then error "unclosed '('"
+        else if src.[!pos] = ')' then (
+          incr pos;
+          Ok (List (List.rev acc)))
+        else
+          match sexp () with
+          | Ok s -> items (s :: acc)
+          | Error e -> Error e
+      in
+      items [])
+    else if src.[!pos] = ')' then error "unexpected ')'"
+    else (
+      let start = !pos in
+      while !pos < n && atom_char src.[!pos] do incr pos done;
+      Ok (Atom (String.sub src start (!pos - start))))
+  in
+  match sexp () with
+  | Ok s ->
+      let trailing () =
+        skip_ws ();
+        if !pos < n then Error "trailing input" else Ok s
+      in
+      trailing ()
+  | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let ( let* ) = Result.bind
+
+let rmode_str m = Format.asprintf "%a" Modes.pp_read m
+let wmode_str m = Format.asprintf "%a" Modes.pp_write m
+let fmode_str m = Format.asprintf "%a" Modes.pp_fence m
+
+let binop_str = function
+  | Ast.Add -> "add"
+  | Ast.Sub -> "sub"
+  | Ast.Mul -> "mul"
+  | Ast.Eq -> "eq"
+  | Ast.Ne -> "ne"
+  | Ast.Lt -> "lt"
+  | Ast.Le -> "le"
+  | Ast.Gt -> "gt"
+  | Ast.Ge -> "ge"
+
+let binop_of = function
+  | "add" -> Ok Ast.Add
+  | "sub" -> Ok Ast.Sub
+  | "mul" -> Ok Ast.Mul
+  | "eq" -> Ok Ast.Eq
+  | "ne" -> Ok Ast.Ne
+  | "lt" -> Ok Ast.Lt
+  | "le" -> Ok Ast.Le
+  | "gt" -> Ok Ast.Gt
+  | "ge" -> Ok Ast.Ge
+  | s -> Error ("unknown binop " ^ s)
+
+let rec sexp_of_expr = function
+  | Ast.Reg r -> List [ Atom "reg"; Atom r ]
+  | Ast.Val v -> List [ Atom "int"; Atom (string_of_int v) ]
+  | Ast.Bin (op, l, r) ->
+      List [ Atom (binop_str op); sexp_of_expr l; sexp_of_expr r ]
+
+let rec expr_of_sexp = function
+  | List [ Atom "reg"; Atom r ] -> Ok (Ast.Reg r)
+  | List [ Atom "int"; Atom v ] -> (
+      match int_of_string_opt v with
+      | Some v -> Ok (Ast.Val v)
+      | None -> Error ("bad int " ^ v))
+  | List [ Atom op; l; r ] ->
+      let* op = binop_of op in
+      let* l = expr_of_sexp l in
+      let* r = expr_of_sexp r in
+      Ok (Ast.Bin (op, l, r))
+  | s -> Error ("bad expr " ^ to_string s)
+
+let sexp_of_instr = function
+  | Ast.Load (r, x, m) ->
+      List [ Atom "load"; Atom r; Atom x; Atom (rmode_str m) ]
+  | Ast.Store (x, e, m) ->
+      List [ Atom "store"; Atom x; Atom (wmode_str m); sexp_of_expr e ]
+  | Ast.Cas (r, x, er, ew, rm, wm) ->
+      List
+        [ Atom "cas"; Atom r; Atom x; Atom (rmode_str rm); Atom (wmode_str wm);
+          sexp_of_expr er; sexp_of_expr ew ]
+  | Ast.Skip -> List [ Atom "skip" ]
+  | Ast.Assign (r, e) -> List [ Atom "assign"; Atom r; sexp_of_expr e ]
+  | Ast.Print e -> List [ Atom "print"; sexp_of_expr e ]
+  | Ast.Fence m -> List [ Atom "fence"; Atom (fmode_str m) ]
+
+let rmode_of s =
+  match Modes.read_of_string s with
+  | Some m -> Ok m
+  | None -> Error ("bad read mode " ^ s)
+
+let wmode_of s =
+  match Modes.write_of_string s with
+  | Some m -> Ok m
+  | None -> Error ("bad write mode " ^ s)
+
+let instr_of_sexp = function
+  | List [ Atom "load"; Atom r; Atom x; Atom m ] ->
+      let* m = rmode_of m in
+      Ok (Ast.Load (r, x, m))
+  | List [ Atom "store"; Atom x; Atom m; e ] ->
+      let* m = wmode_of m in
+      let* e = expr_of_sexp e in
+      Ok (Ast.Store (x, e, m))
+  | List [ Atom "cas"; Atom r; Atom x; Atom rm; Atom wm; er; ew ] ->
+      let* rm = rmode_of rm in
+      let* wm = wmode_of wm in
+      let* er = expr_of_sexp er in
+      let* ew = expr_of_sexp ew in
+      Ok (Ast.Cas (r, x, er, ew, rm, wm))
+  | List [ Atom "skip" ] -> Ok Ast.Skip
+  | List [ Atom "assign"; Atom r; e ] ->
+      let* e = expr_of_sexp e in
+      Ok (Ast.Assign (r, e))
+  | List [ Atom "print"; e ] ->
+      let* e = expr_of_sexp e in
+      Ok (Ast.Print e)
+  | List [ Atom "fence"; Atom m ] -> (
+      match m with
+      | "acq" -> Ok (Ast.Fence Modes.FAcq)
+      | "rel" -> Ok (Ast.Fence Modes.FRel)
+      | "sc" -> Ok (Ast.Fence Modes.FSc)
+      | _ -> Error ("bad fence mode " ^ m))
+  | s -> Error ("bad instr " ^ to_string s)
+
+let sexp_of_term = function
+  | Ast.Jmp l -> List [ Atom "jmp"; Atom l ]
+  | Ast.Be (e, l1, l2) -> List [ Atom "be"; sexp_of_expr e; Atom l1; Atom l2 ]
+  | Ast.Call (f, l) -> List [ Atom "call"; Atom f; Atom l ]
+  | Ast.Return -> List [ Atom "return" ]
+
+let term_of_sexp = function
+  | List [ Atom "jmp"; Atom l ] -> Ok (Ast.Jmp l)
+  | List [ Atom "be"; e; Atom l1; Atom l2 ] ->
+      let* e = expr_of_sexp e in
+      Ok (Ast.Be (e, l1, l2))
+  | List [ Atom "call"; Atom f; Atom l ] -> Ok (Ast.Call (f, l))
+  | List [ Atom "return" ] -> Ok Ast.Return
+  | s -> Error ("bad terminator " ^ to_string s)
+
+let sexp_of_block l (b : Ast.block) =
+  List
+    (Atom "block" :: Atom l
+    :: (List.map sexp_of_instr b.Ast.instrs @ [ sexp_of_term b.Ast.term ]))
+
+let block_of_sexp = function
+  | List (Atom "block" :: Atom l :: rest) when rest <> [] ->
+      let instrs, term =
+        let rec split acc = function
+          | [ t ] -> (List.rev acc, t)
+          | x :: rest -> split (x :: acc) rest
+          | [] -> assert false
+        in
+        split [] rest
+      in
+      let* term = term_of_sexp term in
+      let* instrs =
+        List.fold_right
+          (fun i acc ->
+            let* acc = acc in
+            let* i = instr_of_sexp i in
+            Ok (i :: acc))
+          instrs (Ok [])
+      in
+      Ok (l, Ast.block instrs term)
+  | s -> Error ("bad block " ^ to_string s)
+
+let sexp_of_proc name (ch : Ast.codeheap) =
+  List
+    (Atom "proc" :: Atom name
+    :: List [ Atom "entry"; Atom ch.Ast.entry ]
+    :: List.map (fun (l, b) -> sexp_of_block l b) (Ast.LabelMap.bindings ch.Ast.blocks))
+
+let proc_of_sexp = function
+  | List (Atom "proc" :: Atom name :: List [ Atom "entry"; Atom entry ] :: blocks)
+    ->
+      let* blocks =
+        List.fold_right
+          (fun b acc ->
+            let* acc = acc in
+            let* b = block_of_sexp b in
+            Ok (b :: acc))
+          blocks (Ok [])
+      in
+      Ok (name, Ast.codeheap ~entry blocks)
+  | s -> Error ("bad proc " ^ to_string s)
+
+let sexp_of_program (p : Ast.program) =
+  List
+    (Atom "program"
+    :: List (Atom "atomics" :: List.map (fun x -> Atom x) (Ast.VarSet.elements p.Ast.atomics))
+    :: List (Atom "threads" :: List.map (fun f -> Atom f) p.Ast.threads)
+    :: List.map (fun (n, ch) -> sexp_of_proc n ch) (Ast.FnameMap.bindings p.Ast.code))
+
+let program_of_sexp = function
+  | List
+      (Atom "program"
+      :: List (Atom "atomics" :: atomics)
+      :: List (Atom "threads" :: threads)
+      :: procs) ->
+      let atom_list l =
+        List.fold_right
+          (fun a acc ->
+            let* acc = acc in
+            match a with
+            | Atom s -> Ok (s :: acc)
+            | _ -> Error "expected atom")
+          l (Ok [])
+      in
+      let* atomics = atom_list atomics in
+      let* threads = atom_list threads in
+      let* procs =
+        List.fold_right
+          (fun p acc ->
+            let* acc = acc in
+            let* p = proc_of_sexp p in
+            Ok (p :: acc))
+          procs (Ok [])
+      in
+      Ok (Ast.program ~atomics ~code:procs threads)
+  | s -> Error ("bad program " ^ to_string s)
+
+let program_to_string p = to_string (sexp_of_program p)
+
+let program_of_string s =
+  let* sx = parse s in
+  program_of_sexp sx

@@ -1,0 +1,32 @@
+(** S-expression serialization of CSimpRTL programs — a stable
+    machine-readable interchange format for tooling (test goldens,
+    external drivers), independent of the human-facing concrete syntax
+    of {!Parse}.
+
+    The format is self-describing and round-trips exactly:
+
+    {v
+    (program (atomics x y) (threads t1 t2)
+      (proc t1 (entry L0)
+        (block L0
+          (store x rlx (int 1))
+          (load r1 y rlx)
+          (print (reg r1))
+          (return))))
+    v} *)
+
+(** A minimal s-expression tree. *)
+type t = Atom of string | List of t list
+
+val to_string : t -> string
+val parse : string -> (t, string) result
+
+val sexp_of_expr : Ast.expr -> t
+val expr_of_sexp : t -> (Ast.expr, string) result
+val sexp_of_instr : Ast.instr -> t
+val instr_of_sexp : t -> (Ast.instr, string) result
+val sexp_of_program : Ast.program -> t
+val program_of_sexp : t -> (Ast.program, string) result
+
+val program_to_string : Ast.program -> string
+val program_of_string : string -> (Ast.program, string) result

@@ -1,0 +1,78 @@
+open Ast
+
+type error = { where : string; what : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
+
+let check (p : program) : (unit, error list) result =
+  let errs = ref [] in
+  let err where fmt =
+    Format.kasprintf (fun what -> errs := { where; what } :: !errs) fmt
+  in
+  (* Threads run declared functions. *)
+  List.iter
+    (fun f ->
+      if not (FnameMap.mem f p.code) then
+        err "threads" "thread function %s is not declared" f)
+    p.threads;
+  (* Per-function checks. *)
+  let all_regs = ref RegSet.empty in
+  let all_vars = ref VarSet.empty in
+  FnameMap.iter
+    (fun fn ch ->
+      let where l = Printf.sprintf "%s/%s" fn l in
+      if not (LabelMap.mem ch.entry ch.blocks) then
+        err fn "entry label %s has no block" ch.entry;
+      all_regs := RegSet.union !all_regs (Cfg.regs_of_codeheap ch);
+      all_vars := VarSet.union !all_vars (Cfg.vars_of_codeheap ch);
+      LabelMap.iter
+        (fun l b ->
+          let target t =
+            if not (LabelMap.mem t ch.blocks) then
+              err (where l) "jump target %s has no block" t
+          in
+          (match b.term with
+          | Jmp t -> target t
+          | Be (_, t1, t2) -> target t1; target t2
+          | Call (f, lret) ->
+              target lret;
+              if not (FnameMap.mem f p.code) then
+                err (where l) "call to undeclared function %s" f
+          | Return -> ());
+          List.iter
+            (fun i ->
+              let atomic x = VarSet.mem x p.atomics in
+              match i with
+              | Load (_, x, m) ->
+                  if atomic x && not (Modes.read_is_atomic m) then
+                    err (where l) "non-atomic read of atomic variable %s" x;
+                  if (not (atomic x)) && Modes.read_is_atomic m then
+                    err (where l) "atomic read of non-atomic variable %s" x
+              | Store (x, _, m) ->
+                  if atomic x && not (Modes.write_is_atomic m) then
+                    err (where l) "non-atomic write of atomic variable %s" x;
+                  if (not (atomic x)) && Modes.write_is_atomic m then
+                    err (where l) "atomic write of non-atomic variable %s" x
+              | Cas (_, x, _, _, _, _) ->
+                  if not (atomic x) then
+                    err (where l) "CAS on non-atomic variable %s" x
+              | Skip | Assign _ | Print _ | Fence _ -> ())
+            b.instrs)
+        ch.blocks)
+    p.code;
+  let clashes = RegSet.inter !all_regs (VarSet.to_seq !all_vars |> RegSet.of_seq) in
+  RegSet.iter
+    (fun name ->
+      err "naming" "%s is used both as a register and as a variable" name)
+    clashes;
+  match List.rev !errs with [] -> Ok () | errs -> Error errs
+
+let check_exn p =
+  match check p with
+  | Ok () -> p
+  | Error errs ->
+      let msg =
+        String.concat "; "
+          (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)
+      in
+      invalid_arg ("Wf.check_exn: " ^ msg)

@@ -1,0 +1,23 @@
+(** Well-formedness of CSimpRTL programs.
+
+    Checked properties:
+    - every thread's function is declared in [π];
+    - every jump/branch target and call-return label is a block of the
+      same code heap, and every entry label exists;
+    - every called function is declared;
+    - the access-mode discipline of Fig. 7: variables in the atomic set
+      [ι] are accessed only with atomic modes ([rlx]/[acq]/[rel]) and
+      CAS, and variables outside [ι] only with [na] loads and stores
+      (the paper requires non-atomic locations to be accessed in [na]
+      mode and CAS to target atomic locations only);
+    - registers and shared variables do not share names (the concrete
+      syntax distinguishes them by position only). *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+val check : Ast.program -> (unit, error list) result
+
+val check_exn : Ast.program -> Ast.program
+(** Identity on well-formed programs.
+    @raise Invalid_argument listing all violations otherwise. *)

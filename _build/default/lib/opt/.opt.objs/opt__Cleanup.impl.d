@@ -1,0 +1,1 @@
+lib/opt/cleanup.ml: LabelMap Lang List Pass VarSet

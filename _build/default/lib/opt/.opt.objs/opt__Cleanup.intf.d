@@ -1,0 +1,1 @@
+lib/opt/cleanup.mli: Lang Pass

@@ -1,0 +1,1 @@
+lib/opt/constprop.ml: Analysis LabelMap Lang List Pass

@@ -1,0 +1,1 @@
+lib/opt/constprop.mli: Lang Pass

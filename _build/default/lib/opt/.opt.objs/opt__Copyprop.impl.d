@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Analysis LabelMap Lang List Pass

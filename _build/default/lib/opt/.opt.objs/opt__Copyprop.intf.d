@@ -1,0 +1,1 @@
+lib/opt/copyprop.mli: Lang Pass

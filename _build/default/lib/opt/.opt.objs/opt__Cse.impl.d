@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Analysis LabelMap Lang List Pass String

@@ -1,0 +1,1 @@
+lib/opt/cse.mli: Lang Pass

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Analysis FnameMap LabelMap Lang List Pass RegSet VarSet

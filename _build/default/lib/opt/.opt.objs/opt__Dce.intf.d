@@ -1,0 +1,1 @@
+lib/opt/dce.mli: Lang Pass

@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Cse Linv Pass

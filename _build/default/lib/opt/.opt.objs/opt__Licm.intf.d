@@ -1,0 +1,1 @@
+lib/opt/licm.mli: Pass

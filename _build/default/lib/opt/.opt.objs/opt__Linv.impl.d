@@ -1,0 +1,1 @@
+lib/opt/linv.ml: Analysis LabelMap Lang List Pass Printf RegSet String VarSet

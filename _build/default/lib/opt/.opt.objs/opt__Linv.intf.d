@@ -1,0 +1,1 @@
+lib/opt/linv.mli: Analysis Lang Pass

@@ -1,0 +1,20 @@
+open Lang.Ast
+
+let transform ~atomics (ch : codeheap) =
+  ignore atomics;
+  (* Drop skips, then drop blocks unreachable from the entry (e.g.
+     branches constant-folded away by ConstProp).  Unreachable blocks
+     are only referenced by unreachable blocks, so removal keeps the
+     code heap well-formed. *)
+  let reachable = VarSet.of_list (Lang.Cfg.reachable ch) in
+  let blocks =
+    LabelMap.filter_map
+      (fun l (b : block) ->
+        if VarSet.mem l reachable then
+          Some { b with instrs = List.filter (fun i -> i <> Skip) b.instrs }
+        else None)
+      ch.blocks
+  in
+  { ch with blocks }
+
+let pass = Pass.per_function "cleanup" transform

@@ -1,0 +1,9 @@
+(** Trace-preserving cleanup (category 1 of Sec. 7.2's classification
+    — transformations that change no memory access): drop [skip]
+    instructions (left behind by DCE) and blocks unreachable from the
+    entry (left behind by ConstProp's branch folding). *)
+
+val transform :
+  atomics:Lang.Ast.VarSet.t -> Lang.Ast.codeheap -> Lang.Ast.codeheap
+
+val pass : Pass.t

@@ -1,0 +1,56 @@
+open Lang.Ast
+module C = Analysis.Constdom
+
+(* Substitute known register constants into an expression and fold. *)
+let concretize st e =
+  let rec subst = function
+    | Reg r as e -> (
+        match C.reg_value r st with Some v -> Val v | None -> e)
+    | Val _ as e -> e
+    | Bin (op, l, r) -> Bin (op, subst l, subst r)
+  in
+  Lang.Expr.const_fold (subst e)
+
+let transform_instr st i =
+  match i with
+  | Assign (r, e) -> Assign (r, concretize st e)
+  | Load (r, x, Lang.Modes.Na) -> (
+      match C.var_value x st with
+      | Some v -> Assign (r, Val v)
+      | None -> i)
+  | Load _ -> i
+  | Store (x, e, Lang.Modes.WNa) -> Store (x, concretize st e, Lang.Modes.WNa)
+  | Store _ -> i (* atomic writes untouched *)
+  | Print e -> Print (concretize st e)
+  | Cas _ | Skip | Fence _ -> i
+
+let transform_term st t =
+  match t with
+  | Be (e, l1, l2) -> (
+      match concretize st e with
+      | Val v -> Jmp (if v <> 0 then l1 else l2)
+      | e' -> Be (e', l1, l2))
+  | Jmp _ | Call _ | Return -> t
+
+let transform ~atomics (ch : codeheap) =
+  ignore atomics;
+  let res = C.analyze ch in
+  let blocks =
+    LabelMap.mapi
+      (fun l (b : block) ->
+        let st = ref (res.C.entry (l : label)) in
+        let instrs =
+          List.map
+            (fun i ->
+              let i' = transform_instr !st i in
+              st := C.transfer_instr i !st;
+              i')
+            b.instrs
+        in
+        { instrs; term = transform_term !st b.term })
+      ch.blocks
+  in
+  { ch with blocks }
+
+let pass = Pass.per_function "constprop" transform
+let pass_fix = Pass.fixpoint pass

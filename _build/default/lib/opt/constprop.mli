@@ -1,0 +1,21 @@
+(** Constant propagation (one of the four optimizations Theorem 6.6
+    proves correct in PS2.1).
+
+    Uses the dataflow facts of {!Analysis.Constdom}: known register
+    constants are substituted and folded everywhere; a non-atomic load
+    of a location whose last thread-local write stored a known
+    constant becomes a constant move (sound in PS2.1 because the
+    thread may always re-read its own message — see
+    {!Analysis.Constdom} for the acquire kill rule); a branch whose
+    condition folds becomes an unconditional jump.
+
+    Atomic accesses are never modified. *)
+
+val transform :
+  atomics:Lang.Ast.VarSet.t -> Lang.Ast.codeheap -> Lang.Ast.codeheap
+
+val pass : Pass.t
+(** One round of constant propagation over every function. *)
+
+val pass_fix : Pass.t
+(** Iterated to a fixpoint. *)

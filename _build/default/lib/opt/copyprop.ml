@@ -1,0 +1,47 @@
+open Lang.Ast
+module C = Analysis.Copydom
+
+let rewrite st e =
+  let rec go = function
+    | Reg r as e -> (
+        match C.copy_of r st with Some r0 -> Reg r0 | None -> e)
+    | Val _ as e -> e
+    | Bin (op, l, r) -> Bin (op, go l, go r)
+  in
+  go e
+
+let transform_instr st i =
+  match i with
+  | Assign (r, e) -> Assign (r, rewrite st e)
+  | Store (x, e, m) -> Store (x, rewrite st e, m)
+  | Print e -> Print (rewrite st e)
+  | Cas (r, x, er, ew, rm, wm) -> Cas (r, x, rewrite st er, rewrite st ew, rm, wm)
+  | Load _ | Skip | Fence _ -> i
+
+let transform_term st t =
+  match t with
+  | Be (e, l1, l2) -> Be (rewrite st e, l1, l2)
+  | Jmp _ | Call _ | Return -> t
+
+let transform ~atomics (ch : codeheap) =
+  ignore atomics;
+  let res = C.analyze ch in
+  let blocks =
+    LabelMap.mapi
+      (fun l (b : block) ->
+        let st = ref (res.C.entry l) in
+        let instrs =
+          List.map
+            (fun i ->
+              let i' = transform_instr !st i in
+              st := C.transfer_instr i !st;
+              i')
+            b.instrs
+        in
+        { instrs; term = transform_term !st b.term })
+      ch.blocks
+  in
+  { ch with blocks }
+
+let pass = Pass.per_function "copyprop" transform
+let pass_fix = Pass.fixpoint pass

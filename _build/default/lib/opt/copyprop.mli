@@ -1,0 +1,11 @@
+(** Copy propagation: replace uses of a register by the older register
+    it copies (a trace-preserving transformation in the paper's
+    classification, Sec. 7.2 category 1 — it changes no memory
+    access).  Runs after CSE, whose register moves it rewires so that
+    DCE can then delete the moves. *)
+
+val transform :
+  atomics:Lang.Ast.VarSet.t -> Lang.Ast.codeheap -> Lang.Ast.codeheap
+
+val pass : Pass.t
+val pass_fix : Pass.t

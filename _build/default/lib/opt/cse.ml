@@ -1,0 +1,41 @@
+open Lang.Ast
+module Av = Analysis.Availexpr
+
+let transform_instr st i =
+  match i with
+  | Assign (r, (Bin _ as e)) -> (
+      match Av.lookup (Av.Expr e) st with
+      | Some r0 when not (String.equal r0 r) -> Assign (r, Reg r0)
+      | _ -> i)
+  | Load (r, x, Lang.Modes.Na) -> (
+      match Av.lookup (Av.LoadNa x) st with
+      | Some r0 ->
+          if String.equal r0 r then
+            (* The register already holds the loaded value. *)
+            Skip
+          else Assign (r, Reg r0)
+      | None -> i)
+  | _ -> i
+
+let transform ~atomics (ch : codeheap) =
+  ignore atomics;
+  let res = Av.analyze ch in
+  let blocks =
+    LabelMap.mapi
+      (fun l (b : block) ->
+        let st = ref (res.Av.entry l) in
+        let instrs =
+          List.map
+            (fun i ->
+              let i' = transform_instr !st i in
+              st := Av.transfer_instr i !st;
+              i')
+            b.instrs
+        in
+        { b with instrs })
+      ch.blocks
+  in
+  { ch with blocks }
+
+let pass = Pass.per_function "cse" transform
+let pass_fix = Pass.fixpoint pass

@@ -1,0 +1,16 @@
+(** Common subexpression elimination (Sec. 7.2; verified with the
+    identity invariant [Iid]).
+
+    Uses {!Analysis.Availexpr}: a recomputation of an available pure
+    expression, or a non-atomic reload of a location whose value is
+    already held in a register, becomes a register move.  Load facts
+    are killed at acquire accesses (hoisting-by-reuse across an
+    acquire read is the Fig. 1 unsoundness) and at same-location
+    stores; other threads' activity never kills a fact — the
+    remembered message remains readable in PS2.1. *)
+
+val transform :
+  atomics:Lang.Ast.VarSet.t -> Lang.Ast.codeheap -> Lang.Ast.codeheap
+
+val pass : Pass.t
+val pass_fix : Pass.t

@@ -1,0 +1,64 @@
+open Lang.Ast
+module Lv = Analysis.Liveness
+
+(* TransI_d: eliminate an instruction whose only effect is a write to
+   something dead after it (Sec. 7.1). *)
+let transform_instr after i =
+  match i with
+  | Store (x, _, Lang.Modes.WNa) when not (Lv.var_live x after) -> Skip
+  | Load (r, _, Lang.Modes.Na) when not (Lv.reg_live r after) -> Skip
+  | Assign (r, _) when not (Lv.reg_live r after) -> Skip
+  | _ -> i
+
+let transform_ch ~exit_live (ch : codeheap) =
+  let res = Lv.analyze ?exit_live ch in
+  let blocks =
+    LabelMap.mapi
+      (fun l (b : block) ->
+        let afters = res.Lv.after l in
+        let instrs = List.map2 transform_instr afters b.instrs in
+        { b with instrs })
+      ch.blocks
+  in
+  { ch with blocks }
+
+let transform ~atomics (ch : codeheap) =
+  ignore atomics;
+  transform_ch ~exit_live:None ch
+
+(* Functions that some call instruction targets: when they return,
+   the caller may read any register, so registers must be live at
+   their exits.  A function nobody calls (a thread root) ends the
+   thread at [return]: its registers are unobservable afterwards,
+   while memory locations remain observable by other threads
+   (Fig. 15 assumes the fully conservative end-of-code annotation;
+   this refinement only sharpens the register component). *)
+let called_functions (p : program) =
+  FnameMap.fold
+    (fun _ ch acc ->
+      LabelMap.fold
+        (fun _ (b : block) acc ->
+          match b.term with Call (f, _) -> VarSet.add f acc | _ -> acc)
+        ch.blocks acc)
+    p.code VarSet.empty
+
+let run (p : program) =
+  let callees = called_functions p in
+  let code =
+    FnameMap.mapi
+      (fun fname ch ->
+        let exit_live =
+          if VarSet.mem fname callees then None (* everything live *)
+          else
+            let u = Lv.universe_of ch in
+            Some
+              (Lv.of_sets ~regs:RegSet.empty
+                 ~vars:u.Lv.all_vars)
+        in
+        transform_ch ~exit_live ch)
+      p.code
+  in
+  { p with code }
+
+let pass = { Pass.name = "dce"; run }
+let pass_fix = Pass.fixpoint pass

@@ -1,0 +1,18 @@
+(** Dead code elimination (Sec. 7.1), the paper's worked example.
+
+    [DCE(π_s, ι) = Translate_rdce(π_s, Lv_Analyzer(π_s))]: liveness
+    analysis ({!Analysis.Liveness}, with the Fig. 15 rule that nothing
+    is dead before a release write) followed by the single-instruction
+    transformation [TransI_d] that turns a write to a dead non-atomic
+    location — or to a dead register — into [skip].
+
+    DCE may eliminate across relaxed accesses and acquire reads, but
+    never across release writes (Fig. 15's counterexample is litmus
+    [fig15_bad_tgt], and the test suite checks this transformation
+    does {e not} perform it). *)
+
+val transform :
+  atomics:Lang.Ast.VarSet.t -> Lang.Ast.codeheap -> Lang.Ast.codeheap
+
+val pass : Pass.t
+val pass_fix : Pass.t

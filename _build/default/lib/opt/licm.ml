@@ -1,0 +1,1 @@
+let pass = { (Pass.compose Linv.pass Cse.pass) with name = "licm" }

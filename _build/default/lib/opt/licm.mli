@@ -1,0 +1,9 @@
+(** Loop invariant code motion: [LICM ≜ CSE ∘ LInv] (Sec. 2.5).
+
+    LInv introduces the redundant preheader read, CSE eliminates the
+    loop body's reloads; the paper verifies the two passes separately
+    and concludes LICM's correctness by transitivity of refinement
+    (Sec. 2.6).  LICM may move loop invariants across relaxed accesses
+    and release writes but not across acquire reads (Fig. 1). *)
+
+val pass : Pass.t

@@ -1,0 +1,93 @@
+open Lang.Ast
+module Loops = Analysis.Loops
+
+(* Accesses that forbid hoisting a non-atomic load out of the loop. *)
+let blocks_hoisting = function
+  | Load (_, _, Lang.Modes.Acq) -> true
+  | Cas _ -> true (* conservatively: any RMW *)
+  | Fence (Lang.Modes.FAcq | Lang.Modes.FSc) -> true
+  | _ -> false
+
+let invariant_loads (ch : codeheap) (loop : Loops.loop) =
+  let body_blocks =
+    List.filter_map
+      (fun l -> LabelMap.find_opt l ch.blocks)
+      (VarSet.elements loop.Loops.body)
+  in
+  let has_call =
+    List.exists
+      (fun (b : block) -> match b.term with Call _ -> true | _ -> false)
+      body_blocks
+  in
+  let instrs = List.concat_map (fun (b : block) -> b.instrs) body_blocks in
+  if has_call || List.exists blocks_hoisting instrs then []
+  else
+    let stored =
+      List.filter_map
+        (function Store (x, _, _) -> Some x | _ -> None)
+        instrs
+      |> VarSet.of_list
+    in
+    List.filter_map
+      (function
+        | Load (_, x, Lang.Modes.Na) when not (VarSet.mem x stored) -> Some x
+        | _ -> None)
+      instrs
+    |> List.sort_uniq String.compare
+
+let fresh_reg used base =
+  let rec go i =
+    let cand = Printf.sprintf "%s%d" base i in
+    if RegSet.mem cand used then go (i + 1) else cand
+  in
+  go 0
+
+let fresh_label (ch : codeheap) base =
+  let rec go i =
+    let cand = Printf.sprintf "%s%d" base i in
+    if LabelMap.mem cand ch.blocks then go (i + 1) else cand
+  in
+  go 0
+
+let retarget_term old_l new_l t =
+  let rt l = if String.equal l old_l then new_l else l in
+  match t with
+  | Jmp l -> Jmp (rt l)
+  | Be (e, l1, l2) -> Be (e, rt l1, rt l2)
+  | Call (f, lret) -> Call (f, rt lret)
+  | Return -> Return
+
+let hoist_loop (ch : codeheap) (loop : Loops.loop) =
+  match invariant_loads ch loop with
+  | [] -> ch
+  | vars ->
+      let used = Lang.Cfg.regs_of_codeheap ch in
+      let loads, _ =
+        List.fold_left
+          (fun (acc, used) x ->
+            let rf = fresh_reg used ("linv_" ^ x ^ "_") in
+            (Load (rf, x, Lang.Modes.Na) :: acc, RegSet.add rf used))
+          ([], used) vars
+      in
+      let ph = fresh_label ch ("PH_" ^ loop.Loops.header ^ "_") in
+      let ph_block = { instrs = List.rev loads; term = Jmp loop.Loops.header } in
+      (* Outside-loop edges into the header now go through the
+         preheader; back edges stay direct. *)
+      let blocks =
+        LabelMap.mapi
+          (fun l (b : block) ->
+            if VarSet.mem l loop.Loops.body then b
+            else { b with term = retarget_term loop.Loops.header ph b.term })
+          ch.blocks
+      in
+      let blocks = LabelMap.add ph ph_block blocks in
+      let entry =
+        if String.equal ch.entry loop.Loops.header then ph else ch.entry
+      in
+      { entry; blocks }
+
+let transform ~atomics (ch : codeheap) =
+  ignore atomics;
+  List.fold_left hoist_loop ch (Loops.find ch)
+
+let pass = Pass.per_function "linv" transform

@@ -1,0 +1,26 @@
+(** LInv, the first pass of loop invariant code motion (Sec. 2.5):
+    for each natural loop whose body contains a loop-invariant
+    non-atomic load [r := x_na], allocate a fresh register [rf] and
+    insert the {e redundant} read [rf := x_na] into a new preheader
+    block.  The loop body is unchanged; the subsequent CSE pass
+    replaces the body's reloads of [x] with [rf] (LICM = CSE ∘ LInv).
+
+    A load of [x] is treated as loop-invariant when the loop body
+    contains no store to [x] and no {e acquire} access (acquire read,
+    CAS with acquire part, acquire/sc fence) and no call: hoisting
+    across an acquire read is exactly the Fig. 1 unsoundness; hoisting
+    across relaxed accesses and release writes is allowed (Sec. 1).
+
+    The introduced read may be a read-write race (Fig. 5(b)); that is
+    sound — redundant read introduction is sound in PS even under
+    races (Sec. 2.5). *)
+
+val transform :
+  atomics:Lang.Ast.VarSet.t -> Lang.Ast.codeheap -> Lang.Ast.codeheap
+
+val pass : Pass.t
+
+val invariant_loads :
+  Lang.Ast.codeheap -> Analysis.Loops.loop -> Lang.Ast.var list
+(** The loop-invariant non-atomic locations of a loop, exposed for
+    tests and diagnostics. *)

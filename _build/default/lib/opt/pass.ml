@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  run : Lang.Ast.program -> Lang.Ast.program;
+}
+
+let compose a b =
+  { name = a.name ^ ";" ^ b.name; run = (fun p -> b.run (a.run p)) }
+
+let apply t p = t.run p
+
+let per_function name f =
+  {
+    name;
+    run =
+      (fun (p : Lang.Ast.program) ->
+        { p with code = Lang.Ast.FnameMap.map (f ~atomics:p.atomics) p.code });
+  }
+
+let fixpoint ?(max_rounds = 8) t =
+  {
+    name = t.name ^ "*";
+    run =
+      (fun p ->
+        let rec go p n =
+          if n >= max_rounds then p
+          else
+            let p' = t.run p in
+            if Lang.Ast.equal_program p p' then p else go p' (n + 1)
+        in
+        go p 0);
+  }

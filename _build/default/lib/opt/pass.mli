@@ -1,0 +1,31 @@
+(** Optimization passes and their vertical composition (Sec. 2.5/2.6:
+    an optimizer [Opt] maps [(π_s, ι)] to [π_t], never touching the
+    atomic set [ι]; verified optimizers compose because each preserves
+    write-write race freedom).
+
+    All passes in this library are thread-local and transform
+    non-atomic accesses only (Sec. 1: optimizations on atomic accesses
+    are out of scope, as in GCC/LLVM practice). *)
+
+type t = {
+  name : string;
+  run : Lang.Ast.program -> Lang.Ast.program;
+      (** must preserve [threads] and [atomics] verbatim *)
+}
+
+val compose : t -> t -> t
+(** [compose a b] runs [a] first, then [b] — the paper's vertical
+    composition [b ∘ a]. *)
+
+val apply : t -> Lang.Ast.program -> Lang.Ast.program
+
+val per_function :
+  string ->
+  (atomics:Lang.Ast.VarSet.t -> Lang.Ast.codeheap -> Lang.Ast.codeheap) ->
+  t
+(** Lift a per-code-heap transformation into a pass over every
+    function of [π]. *)
+
+val fixpoint : ?max_rounds:int -> t -> t
+(** Iterate a pass until the program stops changing (e.g. repeated
+    constant propagation). *)

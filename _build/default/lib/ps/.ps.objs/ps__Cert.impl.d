@@ -1,0 +1,1 @@
+lib/ps/cert.ml: Event Lang List Map Memory Set Stdlib Thread

@@ -1,0 +1,1 @@
+lib/ps/cert.mli: Lang Memory Thread

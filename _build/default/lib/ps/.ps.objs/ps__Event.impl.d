@@ -1,0 +1,1 @@
+lib/ps/event.ml: Format Lang Stdlib

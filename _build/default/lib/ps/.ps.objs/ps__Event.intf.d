@@ -1,0 +1,1 @@
+lib/ps/event.mli: Format Lang

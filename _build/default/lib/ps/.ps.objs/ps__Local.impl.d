@@ -1,0 +1,1 @@
+lib/ps/local.ml: Format Int Lang List Stdlib

@@ -1,0 +1,1 @@
+lib/ps/local.mli: Format Lang

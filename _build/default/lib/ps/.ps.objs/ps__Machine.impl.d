@@ -1,0 +1,1 @@
+lib/ps/machine.ml: Format Int Lang List Local Map Memory Printf Thread

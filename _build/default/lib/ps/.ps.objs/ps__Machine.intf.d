@@ -1,0 +1,1 @@
+lib/ps/machine.mli: Format Lang Map Memory Thread

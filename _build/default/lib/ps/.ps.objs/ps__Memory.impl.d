@@ -1,0 +1,1 @@
+lib/ps/memory.ml: Format Lang List Message Rat View

@@ -1,0 +1,1 @@
+lib/ps/memory.mli: Format Lang Message Rat View

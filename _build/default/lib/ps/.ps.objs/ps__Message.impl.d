@@ -1,0 +1,1 @@
+lib/ps/message.ml: Format Int Lang Rat String View

@@ -1,0 +1,1 @@
+lib/ps/message.mli: Format Lang Rat View

@@ -1,0 +1,1 @@
+lib/ps/thread.ml: Ast Event Format Hashtbl Lang List Local Memory Message Modes Rat Stdlib String View

@@ -1,0 +1,1 @@
+lib/ps/thread.mli: Event Format Lang Local Memory Message View

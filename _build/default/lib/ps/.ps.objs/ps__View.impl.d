@@ -1,0 +1,1 @@
+lib/ps/view.ml: Format Lang Rat

@@ -1,0 +1,1 @@
+lib/ps/view.mli: Format Lang Rat

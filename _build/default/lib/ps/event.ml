@@ -1,0 +1,59 @@
+type te =
+  | Tau
+  | Out of Lang.Ast.value
+  | Rd of Lang.Modes.read * Lang.Ast.var * Lang.Ast.value
+  | Wr of Lang.Modes.write * Lang.Ast.var * Lang.Ast.value
+  | Upd of
+      Lang.Modes.read
+      * Lang.Modes.write
+      * Lang.Ast.var
+      * Lang.Ast.value
+      * Lang.Ast.value
+  | Fnc of Lang.Modes.fence
+  | Prm
+  | Rsv
+  | Ccl
+
+type pe = PTau | POut of Lang.Ast.value | PSw
+type cls = NA | PRC | AT
+
+let classify = function
+  | Tau | Rd (Lang.Modes.Na, _, _) | Wr (Lang.Modes.WNa, _, _) -> NA
+  | Prm | Rsv | Ccl -> PRC
+  | Rd _ | Wr _ | Upd _ | Fnc _ | Out _ -> AT
+
+type ending = Done | Abort | Cut | Open
+type trace = { outs : Lang.Ast.value list; ending : ending }
+
+let trace_done outs = { outs; ending = Done }
+let trace_cut outs = { outs; ending = Cut }
+let equal_te (a : te) (b : te) = a = b
+let compare_trace (a : trace) (b : trace) = Stdlib.compare a b
+let equal_trace a b = compare_trace a b = 0
+
+let pp_te ppf = function
+  | Tau -> Format.pp_print_string ppf "tau"
+  | Out v -> Format.fprintf ppf "out(%d)" v
+  | Rd (m, x, v) -> Format.fprintf ppf "R(%a,%s,%d)" Lang.Modes.pp_read m x v
+  | Wr (m, x, v) -> Format.fprintf ppf "W(%a,%s,%d)" Lang.Modes.pp_write m x v
+  | Upd (mr, mw, x, vr, vw) ->
+      Format.fprintf ppf "U(%a,%a,%s,%d,%d)" Lang.Modes.pp_read mr
+        Lang.Modes.pp_write mw x vr vw
+  | Fnc m -> Format.fprintf ppf "F(%a)" Lang.Modes.pp_fence m
+  | Prm -> Format.pp_print_string ppf "prm"
+  | Rsv -> Format.pp_print_string ppf "rsv"
+  | Ccl -> Format.pp_print_string ppf "ccl"
+
+let pp_trace ppf t =
+  Format.fprintf ppf "[%a]%s"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    t.outs
+    (match t.ending with
+    | Done -> " done"
+    | Abort -> " abort"
+    | Cut -> " cut"
+    | Open -> "")
+
+let is_silent = function Out _ -> false | _ -> true

@@ -1,0 +1,57 @@
+(** Thread events, program events and observable traces (Fig. 8).
+
+    Thread events [te] label individual thread steps; program events
+    [pe] label machine steps; an observable event trace [B] is a finite
+    sequence of outputs possibly ended by [done] or [abort].  For
+    bounded exploration we additionally mark traces cut off by the step
+    budget, so that behaviour-set comparisons never silently confuse
+    "incomplete" with "terminated". *)
+
+type te =
+  | Tau  (** silent local step *)
+  | Out of Lang.Ast.value  (** [out(v)], from [print] *)
+  | Rd of Lang.Modes.read * Lang.Ast.var * Lang.Ast.value  (** [R(or,x,v)] *)
+  | Wr of Lang.Modes.write * Lang.Ast.var * Lang.Ast.value  (** [W(ow,x,v)] *)
+  | Upd of
+      Lang.Modes.read
+      * Lang.Modes.write
+      * Lang.Ast.var
+      * Lang.Ast.value
+      * Lang.Ast.value  (** [U(or,ow,x,vr,vw)], successful CAS *)
+  | Fnc of Lang.Modes.fence
+  | Prm  (** promise *)
+  | Rsv  (** reservation *)
+  | Ccl  (** cancel *)
+
+type pe = PTau | POut of Lang.Ast.value | PSw  (** program events *)
+
+(** Classification of thread events used by the non-preemptive
+    semantics (Fig. 10): [NA] events keep the current thread running
+    with the switch bit off; [PRC] (promise/reserve/cancel) events are
+    restricted by the switch bit; [AT] events re-enable switching. *)
+type cls = NA | PRC | AT
+
+val classify : te -> cls
+(** [NA = {τ, R(na,..), W(na,..)}]; [PRC = {prm, rsv, ccl}]; everything
+    else — atomic accesses, updates, fences, outputs — is [AT]. *)
+
+(** Terminators of an observable trace. *)
+type ending =
+  | Done  (** all threads returned, no outstanding promises *)
+  | Abort  (** execution aborted *)
+  | Cut  (** exploration budget exhausted (not part of the paper's [B];
+             used to make boundedness explicit) *)
+  | Open  (** trace of a (possibly continuing) prefix *)
+
+type trace = { outs : Lang.Ast.value list; ending : ending }
+
+val trace_done : Lang.Ast.value list -> trace
+val trace_cut : Lang.Ast.value list -> trace
+val equal_te : te -> te -> bool
+val compare_trace : trace -> trace -> int
+val equal_trace : trace -> trace -> bool
+val pp_te : Format.formatter -> te -> unit
+val pp_trace : Format.formatter -> trace -> unit
+
+val is_silent : te -> bool
+(** All events but [Out _] are silent (invisible in [B]). *)

@@ -1,0 +1,162 @@
+module VarMap = Lang.Ast.VarMap
+
+(* Messages of one location, sorted by "to"-timestamp ascending. *)
+type t = Message.t list VarMap.t
+
+let init vars =
+  List.fold_left
+    (fun m x -> VarMap.add x [ Message.init x ] m)
+    VarMap.empty vars
+
+let vars m = List.map fst (VarMap.bindings m)
+let per_loc x m = match VarMap.find_opt x m with Some l -> l | None -> []
+let concrete x m = List.filter Message.is_concrete (per_loc x m)
+let messages m = VarMap.fold (fun _ l acc -> acc @ l) m []
+
+let find x ts m =
+  List.find_opt (fun mg -> Rat.equal (Message.to_ mg) ts) (per_loc x m)
+
+let contains mg m =
+  List.exists (fun mg' -> Message.equal mg mg') (per_loc (Message.var mg) m)
+
+let rec insert_sorted mg = function
+  | [] -> Ok [ mg ]
+  | mg' :: rest ->
+      if Message.overlaps mg mg' then Error mg'
+      else if Rat.lt (Message.to_ mg) (Message.to_ mg') then
+        (* Equal "to"-timestamps can only happen for the zero-width
+           initialization message against itself; reject as overlap. *)
+        if Rat.equal (Message.to_ mg) (Message.to_ mg') then Error mg'
+        else Ok (mg :: mg' :: rest)
+      else if Rat.equal (Message.to_ mg) (Message.to_ mg') then Error mg'
+      else
+        match insert_sorted mg rest with
+        | Ok rest' -> Ok (mg' :: rest')
+        | Error e -> Error e
+
+let add mg m =
+  let x = Message.var mg in
+  let existing =
+    match VarMap.find_opt x m with
+    | Some l -> l
+    | None -> [ Message.init x ] (* implicit initialization *)
+  in
+  match insert_sorted mg existing with
+  | Ok l -> Ok (VarMap.add x l m)
+  | Error e -> Error e
+
+let add_exn mg m =
+  match add mg m with
+  | Ok m -> m
+  | Error clash ->
+      invalid_arg
+        (Format.asprintf "Memory.add_exn: %a overlaps %a" Message.pp mg
+           Message.pp clash)
+
+let remove mg m =
+  let x = Message.var mg in
+  let l = List.filter (fun mg' -> not (Message.equal mg mg')) (per_loc x m) in
+  VarMap.add x l m
+
+let readable mode x view m =
+  let min = View.read_ts mode x view in
+  List.filter
+    (fun mg -> Message.is_concrete mg && Rat.ge (Message.to_ mg) min)
+    (per_loc x m)
+
+let last_ts x m =
+  match List.rev (per_loc x m) with
+  | [] -> Rat.zero
+  | mg :: _ -> Message.to_ mg
+
+(* A detached interval strictly inside the gap (a, b): occupy the
+   middle third, leaving room on both sides. *)
+let detached a b =
+  let third = Rat.div (Rat.sub b a) (Rat.of_int 3) in
+  (Rat.add a third, Rat.sub b third)
+
+let write_slots x ~min m =
+  let msgs = per_loc x m in
+  let rec gaps = function
+    | m1 :: (m2 :: _ as rest) ->
+        let a = Message.to_ m1 and b = Message.from_ m2 in
+        let acc = gaps rest in
+        if Rat.lt a b then (a, b) :: acc else acc
+    | _ -> []
+  in
+  let inner =
+    List.filter_map
+      (fun (a, b) ->
+        let f, t = detached a b in
+        if Rat.gt t min then Some (f, t) else None)
+      (gaps msgs)
+  in
+  let after =
+    let last = last_ts x m in
+    let base = Rat.max last min in
+    (Rat.succ base, Rat.succ (Rat.succ base))
+  in
+  inner @ [ after ]
+
+let attach_slot x ~after m =
+  let msgs = per_loc x m in
+  (* Find the next occupied "from" strictly beyond [after]; everything
+     in between must be free. *)
+  let blocked =
+    List.exists
+      (fun mg ->
+        Rat.lt (Message.from_ mg) after
+        && Rat.gt (Message.to_ mg) after
+        && not (Rat.equal (Message.from_ mg) (Message.to_ mg)))
+      msgs
+  in
+  if blocked then None
+  else
+    let next_from =
+      List.fold_left
+        (fun acc mg ->
+          let f = Message.from_ mg in
+          if Rat.ge f after && not (Rat.equal (Message.from_ mg) (Message.to_ mg)) then
+            match acc with
+            | Some best -> if Rat.lt f best then Some f else acc
+            | None -> Some f
+          else acc)
+        None msgs
+    in
+    match next_from with
+    | Some f when Rat.equal f after -> None (* adjacent space taken *)
+    | Some f -> Some (after, Rat.midpoint after f)
+    | None -> Some (after, Rat.succ after)
+
+let cap m =
+  VarMap.mapi
+    (fun x msgs ->
+      let rec fill = function
+        | m1 :: (m2 :: _ as rest) ->
+            let a = Message.to_ m1 and b = Message.from_ m2 in
+            if Rat.lt a b then
+              m1 :: Message.rsv ~var:x ~from_:a ~to_:b :: fill rest
+            else m1 :: fill rest
+        | l -> l
+      in
+      let filled = fill msgs in
+      match List.rev filled with
+      | [] -> filled
+      | last :: _ ->
+          let t = Message.to_ last in
+          filled @ [ Message.rsv ~var:x ~from_:t ~to_:(Rat.succ t) ])
+    m
+
+let equal a b = VarMap.equal (List.equal Message.equal) a b
+let compare a b = VarMap.compare (List.compare Message.compare) a b
+let fold f m acc = VarMap.fold (fun _ l acc -> List.fold_right f l acc) m acc
+
+let pp ppf m =
+  VarMap.iter
+    (fun x l ->
+      Format.fprintf ppf "@[<h>%s: %a@]@\n" x
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           Message.pp)
+        l)
+    m

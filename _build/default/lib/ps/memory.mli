@@ -1,0 +1,81 @@
+(** The global memory [M]: all historical writes as time-stamped
+    messages, per location (Fig. 8), with the operations the thread
+    steps need — readable-message lookup, disjoint insertion, gap
+    ("slot") enumeration for fresh writes, and the capped memory
+    [M̂] used by promise certification (Sec. 3).
+
+    Representation: a map from location to its messages sorted by
+    "to"-timestamp.  Invariant: intervals of one location are pairwise
+    disjoint ({!Message.overlaps}); every location present carries its
+    initialization message [⟨x:0@(0,0],V⊥⟩].
+
+    {2 Canonical slotting}
+
+    Timestamps are dense, so "choose a fresh disjoint interval" has
+    infinitely many solutions.  Only the relative order of messages
+    and exact endpoint adjacency (for CAS/reservations) are observable,
+    so {!write_slots} enumerates one canonical representative per
+    distinguishable placement: a detached interval strictly inside
+    every gap (leaving room on both sides for later writes, CAS and
+    reservations of other threads) and one after the last message.
+    Exact adjacency, which CAS and reservations require, is provided
+    separately by {!attach_slot}.  This finitization is what makes
+    bounded-exhaustive exploration of PS2.1 possible (DESIGN.md,
+    "Canonical timestamp slotting"). *)
+
+type t
+
+val init : Lang.Ast.var list -> t
+(** Memory [M0] holding the initialization message of each listed
+    location. *)
+
+val vars : t -> Lang.Ast.var list
+val messages : t -> Message.t list
+
+val per_loc : Lang.Ast.var -> t -> Message.t list
+(** Messages of [x] sorted by "to"-timestamp (empty if unknown). *)
+
+val concrete : Lang.Ast.var -> t -> Message.t list
+
+val find : Lang.Ast.var -> Rat.t -> t -> Message.t option
+(** Message of [x] with the given "to"-timestamp. *)
+
+val contains : Message.t -> t -> bool
+
+val add : Message.t -> t -> (t, Message.t) result
+(** [add m mem] inserts [m]; [Error m'] if [m] overlaps existing
+    [m'].  Locations never seen before are implicitly initialized
+    first, so that reads of a location always find at least the
+    initialization message. *)
+
+val add_exn : Message.t -> t -> t
+val remove : Message.t -> t -> t
+
+val readable : Lang.Modes.read -> Lang.Ast.var -> View.t -> t -> Message.t list
+(** Concrete messages of [x] a thread with the given view may read:
+    "to"-timestamp at least [View.read_ts mode x view]. *)
+
+val last_ts : Lang.Ast.var -> t -> Rat.t
+(** Greatest "to"-timestamp of [x] (0 if only initialization). *)
+
+val write_slots : Lang.Ast.var -> min:Rat.t -> t -> (Rat.t * Rat.t) list
+(** Canonical [(from, to]] placements for a fresh write of [x] with
+    ["to" > min] (the writer's view constraint): one detached interval
+    per gap plus one beyond the last message. *)
+
+val attach_slot : Lang.Ast.var -> after:Rat.t -> t -> (Rat.t * Rat.t) option
+(** The canonical placement whose "from" is exactly [after] — as
+    required for the write part of a successful CAS reading the message
+    ending at [after], and for reservations.  [None] if the adjacent
+    space is occupied. *)
+
+val cap : t -> t
+(** The capped memory [M̂]: every gap between two messages of the same
+    location is filled by a reservation, and a cap reservation
+    [⟨x:(t,t+1]⟩] is appended after the last message of every
+    location. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val fold : (Message.t -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type t =
+  | Msg of {
+      var : Lang.Ast.var;
+      value : Lang.Ast.value;
+      from_ : Rat.t;
+      to_ : Rat.t;
+      view : View.t;
+    }
+  | Rsv of { var : Lang.Ast.var; from_ : Rat.t; to_ : Rat.t }
+
+let msg ~var ~value ~from_ ~to_ ~view = Msg { var; value; from_; to_; view }
+let rsv ~var ~from_ ~to_ = Rsv { var; from_; to_ }
+
+let init x =
+  Msg { var = x; value = 0; from_ = Rat.zero; to_ = Rat.zero; view = View.bot }
+
+let var = function Msg m -> m.var | Rsv r -> r.var
+let from_ = function Msg m -> m.from_ | Rsv r -> r.from_
+let to_ = function Msg m -> m.to_ | Rsv r -> r.to_
+let value = function Msg m -> Some m.value | Rsv _ -> None
+let view = function Msg m -> Some m.view | Rsv _ -> None
+let is_concrete = function Msg _ -> true | Rsv _ -> false
+let is_reservation = function Rsv _ -> true | Msg _ -> false
+
+let overlaps a b =
+  String.equal (var a) (var b)
+  && (not (Rat.equal (from_ a) (to_ a)))
+  && (not (Rat.equal (from_ b) (to_ b)))
+  && Rat.lt (from_ a) (to_ b)
+  && Rat.lt (from_ b) (to_ a)
+
+let compare (a : t) (b : t) =
+  let c = String.compare (var a) (var b) in
+  if c <> 0 then c
+  else
+    let c = Rat.compare (to_ a) (to_ b) in
+    if c <> 0 then c
+    else
+      let c = Rat.compare (from_ a) (from_ b) in
+      if c <> 0 then c
+      else
+        (* Views contain maps; compare canonically, never with
+           polymorphic compare. *)
+        match (a, b) with
+        | Msg ma, Msg mb ->
+            let c = Int.compare ma.value mb.value in
+            if c <> 0 then c else View.compare ma.view mb.view
+        | Rsv _, Rsv _ -> 0
+        | Msg _, Rsv _ -> -1
+        | Rsv _, Msg _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Msg m ->
+      Format.fprintf ppf "<%s:%d@(%a,%a] %a>" m.var m.value Rat.pp m.from_
+        Rat.pp m.to_ View.pp m.view
+  | Rsv r ->
+      Format.fprintf ppf "<%s:(%a,%a]>" r.var Rat.pp r.from_ Rat.pp r.to_

@@ -1,0 +1,48 @@
+(** Memory messages (Fig. 8).
+
+    A concrete message [⟨x : v@(f, t], V⟩] records a write of value [v]
+    to [x] over the timestamp interval [(f, t]] with message view [V];
+    a reservation [⟨x : (f, t]⟩] blocks an interval without carrying a
+    value.  The initialization message of every location is
+    [⟨x : 0@(0, 0], V⊥⟩]: its interval is the single point 0, and it is
+    the only message allowed to have [f = t]. *)
+
+type t =
+  | Msg of {
+      var : Lang.Ast.var;
+      value : Lang.Ast.value;
+      from_ : Rat.t;
+      to_ : Rat.t;
+      view : View.t;
+    }
+  | Rsv of { var : Lang.Ast.var; from_ : Rat.t; to_ : Rat.t }
+
+val msg :
+  var:Lang.Ast.var ->
+  value:Lang.Ast.value ->
+  from_:Rat.t ->
+  to_:Rat.t ->
+  view:View.t ->
+  t
+
+val rsv : var:Lang.Ast.var -> from_:Rat.t -> to_:Rat.t -> t
+
+val init : Lang.Ast.var -> t
+(** [⟨x : 0@(0,0], V⊥⟩]. *)
+
+val var : t -> Lang.Ast.var
+val from_ : t -> Rat.t
+val to_ : t -> Rat.t
+val value : t -> Lang.Ast.value option
+val view : t -> View.t option
+val is_concrete : t -> bool
+val is_reservation : t -> bool
+
+val overlaps : t -> t -> bool
+(** Two messages of the same location overlap if their half-open
+    intervals [(f, t]] intersect.  The zero-width initialization
+    interval [(0, 0]] never overlaps anything. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+module VarMap = Lang.Ast.VarMap
+
+module TimeMap = struct
+  (* Sparse: absent bindings are timestamp 0, and we never store 0, so
+     that structural comparison coincides with extensional equality. *)
+  type t = Rat.t VarMap.t
+
+  let bot = VarMap.empty
+  let get x t = match VarMap.find_opt x t with Some r -> r | None -> Rat.zero
+
+  let set x r t =
+    if Rat.equal r Rat.zero then VarMap.remove x t else VarMap.add x r t
+
+  let join a b =
+    VarMap.union (fun _ ra rb -> Some (Rat.max ra rb)) a b
+
+  let le a b = VarMap.for_all (fun x ra -> Rat.le ra (get x b)) a
+  let equal a b = VarMap.equal Rat.equal a b
+  let compare a b = VarMap.compare Rat.compare a b
+  let bindings t = VarMap.bindings t
+
+  let pp ppf t =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (x, r) -> Format.fprintf ppf "%s@%a" x Rat.pp r))
+      (bindings t)
+end
+
+type t = { na : TimeMap.t; rlx : TimeMap.t }
+
+let bot = { na = TimeMap.bot; rlx = TimeMap.bot }
+
+let join a b =
+  { na = TimeMap.join a.na b.na; rlx = TimeMap.join a.rlx b.rlx }
+
+let le a b = TimeMap.le a.na b.na && TimeMap.le a.rlx b.rlx
+let equal a b = TimeMap.equal a.na b.na && TimeMap.equal a.rlx b.rlx
+
+let compare a b =
+  let c = TimeMap.compare a.na b.na in
+  if c <> 0 then c else TimeMap.compare a.rlx b.rlx
+
+let read_ts (mode : Lang.Modes.read) x v =
+  match mode with
+  | Lang.Modes.Na -> TimeMap.get x v.na
+  | Lang.Modes.Rlx | Lang.Modes.Acq -> TimeMap.get x v.rlx
+
+let observe_read (mode : Lang.Modes.read) x t v =
+  let bump tm = TimeMap.set x (Rat.max t (TimeMap.get x tm)) tm in
+  match mode with
+  | Lang.Modes.Na -> { v with rlx = bump v.rlx }
+  | Lang.Modes.Rlx | Lang.Modes.Acq -> { na = bump v.na; rlx = bump v.rlx }
+
+let observe_write x t v =
+  let bump tm = TimeMap.set x (Rat.max t (TimeMap.get x tm)) tm in
+  { na = bump v.na; rlx = bump v.rlx }
+
+let pp ppf v =
+  Format.fprintf ppf "(na:%a, rlx:%a)" TimeMap.pp v.na TimeMap.pp v.rlx

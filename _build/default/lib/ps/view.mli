@@ -1,0 +1,57 @@
+(** Time maps and views (Fig. 8 of the paper).
+
+    A time map [T ∈ Var → Time] records, per location, a timestamp;
+    absent locations implicitly map to timestamp 0 (the timestamp of
+    the initialization message).  A thread view [V = (Tna, Trlx)] keeps
+    two time maps: the most recent write the thread has observed with
+    non-atomic reads and with relaxed/acquire reads respectively.
+    Message views use the same structure. *)
+
+module TimeMap : sig
+  type t
+
+  val bot : t
+  (** [T⁰ = {x ↦ 0 | x ∈ Var}], represented sparsely. *)
+
+  val get : Lang.Ast.var -> t -> Rat.t
+  val set : Lang.Ast.var -> Rat.t -> t -> t
+
+  val join : t -> t -> t
+  (** Pointwise maximum [T1 ⊔ T2]. *)
+
+  val le : t -> t -> bool
+  (** Pointwise order. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val bindings : t -> (Lang.Ast.var * Rat.t) list
+  val pp : Format.formatter -> t -> unit
+end
+
+type t = { na : TimeMap.t; rlx : TimeMap.t }
+(** Invariant maintained by the semantics: [na ⊑ rlx] — a relaxed
+    observation subsumes non-atomic knowledge.  (Non-atomic reads
+    consult [na]; relaxed and acquire reads consult [rlx].) *)
+
+val bot : t
+(** [V⊥ = (T⁰, T⁰)]. *)
+
+val join : t -> t -> t
+val le : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val read_ts : Lang.Modes.read -> Lang.Ast.var -> t -> Rat.t
+(** The lower bound the semantics imposes on the timestamp of a
+    message read from [x]: [Tna(x)] for [na] reads, [Trlx(x)] for
+    [rlx]/[acq] reads. *)
+
+val observe_read : Lang.Modes.read -> Lang.Ast.var -> Rat.t -> t -> t
+(** View update after reading a message of [x] with "to"-timestamp
+    [t]: non-atomic reads record [t] in [Trlx] only, atomic reads in
+    both maps (Sec. 3, read step). *)
+
+val observe_write : Lang.Ast.var -> Rat.t -> t -> t
+(** View update after writing [x] at timestamp [t]: both maps. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+type kind = WW | RW
+
+type race = {
+  kind : kind;
+  tid : int;
+  var : Lang.Ast.var;
+  message : Ps.Message.t;
+}
+
+let pp_kind ppf = function
+  | WW -> Format.pp_print_string ppf "write-write"
+  | RW -> Format.pp_print_string ppf "read-write"
+
+let pp_race ppf r =
+  Format.fprintf ppf "%a race: thread %d about to access %s, unobserved %a"
+    pp_kind r.kind r.tid r.var Ps.Message.pp r.message
+
+(* The next non-atomic access of a thread, if any, filtered by the
+   race kind we are looking for. *)
+let next_na_access kind (ts : Ps.Thread.ts) =
+  match Ps.Local.nxt ts.Ps.Thread.local with
+  | Ps.Local.NInstr (Lang.Ast.Store (x, _, Lang.Modes.WNa)) when kind = WW ->
+      Some x
+  | Ps.Local.NInstr (Lang.Ast.Load (_, x, Lang.Modes.Na)) when kind = RW ->
+      Some x
+  | _ -> None
+
+let race_at kind (w : Ps.Machine.world) =
+  Ps.Machine.TidMap.fold
+    (fun tid ts acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match next_na_access kind ts with
+          | None -> None
+          | Some x ->
+              (* Fig. 11 uses the relaxed view: unobserved means
+                 [V.Trlx(x) < m.to]. *)
+              let seen =
+                Ps.View.TimeMap.get x ts.Ps.Thread.view.Ps.View.rlx
+              in
+              let own m =
+                List.exists (Ps.Message.equal m) ts.Ps.Thread.prm
+              in
+              let racy =
+                List.find_opt
+                  (fun m ->
+                    Ps.Message.is_concrete m
+                    && Rat.gt (Ps.Message.to_ m) seen
+                    && not (own m))
+                  (Ps.Memory.per_loc x w.Ps.Machine.mem)
+              in
+              Option.map (fun m -> { kind; tid; var = x; message = m }) racy))
+    w.Ps.Machine.tp None
+
+type verdict = Free | Racy of race
+
+exception Found of race
+
+let scan kind disc ?config p =
+  match
+    Explore.Enum.iter_reachable ?config disc p ~f:(fun ~committed w ->
+        if committed then
+          match race_at kind w with
+          | Some r -> raise (Found r)
+          | None -> ())
+  with
+  | Ok _ -> Ok Free
+  | Error e -> Error e
+  | exception Found r -> Ok (Racy r)
+
+let ww_rf ?config p = scan WW Explore.Enum.Interleaving ?config p
+let ww_nprf ?config p = scan WW Explore.Enum.Non_preemptive ?config p
+
+let rw_races ?config p =
+  let acc = ref [] in
+  match
+    Explore.Enum.iter_reachable ?config Explore.Enum.Interleaving p
+      ~f:(fun ~committed w ->
+        if committed then
+          match race_at RW w with
+          | Some r
+            when not
+                   (List.exists
+                      (fun r' -> r'.tid = r.tid && String.equal r'.var r.var)
+                      !acc) ->
+              acc := r :: !acc
+          | _ -> ())
+  with
+  | Ok _ -> Ok (List.rev !acc)
+  | Error e -> Error e
+
+let is_ww_rf ?config p =
+  match ww_rf ?config p with Ok Free -> true | _ -> false
+
+let pp_verdict ppf = function
+  | Free -> Format.pp_print_string ppf "write-write race free"
+  | Racy r -> pp_race ppf r

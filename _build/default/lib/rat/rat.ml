@@ -1,0 +1,44 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else
+    let sign = if den < 0 then -1 else 1 in
+    let num = sign * num and den = sign * den in
+    let g = gcd (abs num) den in
+    if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero
+  else make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let equal a b = a.num = b.num && a.den = b.den
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let gt a b = compare a b > 0
+let ge a b = compare a b >= 0
+let min a b = if le a b then a else b
+let max a b = if ge a b then a else b
+let midpoint a b = div (add a b) (of_int 2)
+let succ t = add t one
+let is_integer t = t.den = 1
+let to_float t = float_of_int t.num /. float_of_int t.den
+let hash t = (t.num * 31) lxor t.den
+
+let pp ppf t =
+  if t.den = 1 then Format.fprintf ppf "%d" t.num
+  else Format.fprintf ppf "%d/%d" t.num t.den
+
+let to_string t = Format.asprintf "%a" pp t

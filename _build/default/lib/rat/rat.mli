@@ -1,0 +1,70 @@
+(** Exact rational arithmetic for PS2.1 timestamps.
+
+    The promising semantics draws timestamps from a dense total order
+    ([Time = Q] in Fig. 8 of the paper): between any two distinct
+    timestamps there must be room for another, so that a write can
+    always be slotted into a gap between existing messages.  We
+    implement rationals over native [int]s; the bounded explorations
+    performed by this library keep numerators and denominators tiny
+    (the canonical slotting in {!Explore} only ever takes midpoints and
+    successors), so 63-bit overflow is not a practical concern.
+
+    Values are kept in normal form: the denominator is positive and
+    [gcd |num| den = 1].  Structural equality therefore coincides with
+    numeric equality, and values are usable as keys of maps and sets. *)
+
+type t = private { num : int; den : int }
+(** A normalized rational [num/den] with [den > 0]. *)
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+(** [of_int n] is the rational [n/1]. *)
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is {!zero}. *)
+
+val neg : t -> t
+
+val compare : t -> t -> int
+(** Numeric comparison; total order. *)
+
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val midpoint : t -> t -> t
+(** [midpoint a b] is [(a + b) / 2], strictly between [a] and [b]
+    whenever [a <> b].  Used to slot a fresh message into the gap
+    between two existing messages. *)
+
+val succ : t -> t
+(** [succ t] is [t + 1]; used to place a message after the last
+    message of a location, and to build the cap reservation
+    [⟨x : (t, t+1]⟩] of the capped memory. *)
+
+val is_integer : t -> bool
+
+val to_float : t -> float
+(** Lossy; for diagnostics only. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [n] for integers and [n/d] otherwise. *)
+
+val to_string : t -> string

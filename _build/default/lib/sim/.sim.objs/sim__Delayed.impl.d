@@ -1,0 +1,1 @@
+lib/sim/delayed.ml: Format Int Lang Map Rat String

@@ -1,0 +1,1 @@
+lib/sim/delayed.mli: Format Lang Rat

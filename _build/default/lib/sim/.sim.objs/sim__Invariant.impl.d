@@ -1,0 +1,1 @@
+lib/sim/invariant.ml: Lang List Ps Rat String Tmap

@@ -1,0 +1,1 @@
+lib/sim/invariant.mli: Lang Ps Tmap

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Int Lang List Ps Set String

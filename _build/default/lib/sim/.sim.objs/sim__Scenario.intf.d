@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Lang Ps

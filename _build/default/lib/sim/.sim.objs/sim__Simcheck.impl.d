@@ -1,0 +1,1 @@
+lib/sim/simcheck.ml: Bool Delayed Format Int Invariant Lang List Map Option Ps Scenario String Tmap

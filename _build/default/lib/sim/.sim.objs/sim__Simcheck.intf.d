@@ -1,0 +1,1 @@
+lib/sim/simcheck.mli: Format Invariant Lang Scenario

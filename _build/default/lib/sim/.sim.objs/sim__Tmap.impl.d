@@ -1,0 +1,1 @@
+lib/sim/tmap.ml: Format Lang List Map Ps Rat String

@@ -1,0 +1,1 @@
+lib/sim/tmap.mli: Format Lang Ps Rat

@@ -1,0 +1,1 @@
+lib/sim/verif.ml: Explore Format Invariant Lang List Opt Ps Race Simcheck String

@@ -1,0 +1,1 @@
+lib/sim/verif.mli: Explore Format Invariant Lang Simcheck

@@ -1,0 +1,47 @@
+(** Invariant parameters [I ∈ TMap → Sst → Atms → Prop] (Sec. 6.1).
+
+    The invariant relates the target and source shared memories
+    through the timestamp mapping [φ] at switch points; verifying
+    different optimizations instantiates it differently.  This module
+    provides the paper's two instances — the identity invariant [Iid]
+    (ConstProp, CSE) and the DCE invariant [Idce] with its unused
+    timestamp interval before every related source message (Fig. 16)
+    — plus the sanity check [wf(I, ι)] of Fig. 12 in its pointwise,
+    executable form. *)
+
+type t = {
+  name : string;
+  holds : Tmap.t -> Ps.Memory.t * Ps.Memory.t -> Lang.Ast.VarSet.t -> bool;
+}
+
+val iid : t
+(** [Iid]: source and target memories identical, [φ] the identity
+    mapping (Sec. 6.1). *)
+
+val idce : t
+(** [Idce] (Sec. 7.1): every concrete target message on a non-atomic
+    location has a [φ]-related source message with the same value and
+    [φ]-related view, and there is an unused timestamp interval
+    [(tr, f']] immediately before that source message — the space into
+    which the source inserts the dead writes the target skipped. *)
+
+val messages_related : Tmap.t -> Ps.Memory.t * Ps.Memory.t -> bool
+(** The paper's elided side condition [(φ, ι ⊢ M_t ∼ M_s)]: every
+    concrete target message has a φ-related concrete source message
+    with the same value and a φ-related message view.  Message views
+    are what rule out eliminating writes across a release write
+    (Fig. 15): the release message's view records the eliminated write
+    at the source but not at the target. *)
+
+val wf_conditions : Tmap.t -> Ps.Memory.t * Ps.Memory.t -> bool
+(** The structural half of [wf(I, ι)], checked at a concrete state:
+    [dom(φ) = ⌊M_t⌋], [φ(M_t) ⊆ ⌊M_s⌋], [mon(φ)] and
+    {!messages_related}. *)
+
+val wf_initial : t -> Lang.Ast.var list -> Lang.Ast.VarSet.t -> bool
+(** The base half of [wf(I, ι)]: [I(φ0, (M0, M0), ι)]. *)
+
+val holds_wf :
+  t -> Tmap.t -> Ps.Memory.t * Ps.Memory.t -> Lang.Ast.VarSet.t -> bool
+(** Invariant and structural conditions together — what the
+    simulation checker asserts at every switch point. *)

@@ -1,0 +1,65 @@
+type t = Ps.Message.t list
+
+module TraceSet = Set.Make (struct
+  type nonrec t = t
+
+  let compare = List.compare Ps.Message.compare
+end)
+
+(* Run one thread in isolation, collecting the message sequences it
+   can add to memory (bounded DFS, promise-free: environment writes
+   that matter to a simulation opponent are the ones actually
+   performed). *)
+let runs_of ?(fuel = 64) code fname vars =
+  match Ps.Thread.init code fname with
+  | None -> TraceSet.empty
+  | Some ts0 ->
+      let m0 = Ps.Memory.init vars in
+      let acc = ref TraceSet.empty in
+      let rec dfs ts mem msgs depth =
+        acc := TraceSet.add (List.rev msgs) !acc;
+        if depth < fuel then
+          List.iter
+            (fun (s : Ps.Thread.step) ->
+              let new_msgs =
+                Ps.Memory.fold
+                  (fun m l ->
+                    if
+                      Ps.Message.is_concrete m
+                      && not (Ps.Memory.contains m mem)
+                    then m :: l
+                    else l)
+                  s.Ps.Thread.mem []
+              in
+              dfs s.Ps.Thread.ts s.Ps.Thread.mem (new_msgs @ msgs) (depth + 1))
+            (Ps.Thread.steps ~code ts mem)
+      in
+      dfs ts0 m0 [] 0;
+      !acc
+
+let of_program ?fuel ?(max_scenarios = 48) (p : Lang.Ast.program) ~except =
+  let vars =
+    Lang.Ast.VarSet.elements (Lang.Cfg.vars_of_program p)
+  in
+  let others =
+    List.sort_uniq String.compare
+      (List.filter (fun f -> not (String.equal f except)) p.Lang.Ast.threads)
+  in
+  let all =
+    List.fold_left
+      (fun acc g ->
+        TraceSet.union acc (runs_of ?fuel p.Lang.Ast.code g vars))
+      TraceSet.empty others
+  in
+  let non_empty = TraceSet.remove [] all in
+  let scenarios = TraceSet.elements non_empty in
+  if List.length scenarios <= max_scenarios then scenarios
+  else
+    (* Keep the longest scenarios (they subsume their prefixes'
+       interference) plus a spread of short ones. *)
+    let sorted =
+      List.sort
+        (fun a b -> Int.compare (List.length b) (List.length a))
+        scenarios
+    in
+    List.filteri (fun i _ -> i < max_scenarios) sorted

@@ -1,0 +1,31 @@
+(** Environment-interference scenarios for the simulation game.
+
+    The paper's simulation quantifies over arbitrary environment
+    transitions that preserve the invariant [I].  An executable
+    checker cannot quantify over all memory extensions, so it
+    quantifies over a {e finite} family of scenarios: message
+    sequences an environment thread can actually produce, obtained by
+    running the other threads of the program in isolation and
+    recording the messages they add (with their real message views —
+    crucially including the view a release write attaches, which is
+    what makes the Fig. 1 acquire-hoisting counterexample detectable).
+
+    Every scenario prefix is also a scenario (interference may stop at
+    any point).  {!Simcheck.check_program} checks the simulation under
+    the empty scenario and under every derived one; the simulation of
+    Def. 6.1 must survive all of them. *)
+
+type t = Ps.Message.t list
+(** Messages injected into both initial memories, identically (the
+    identity timestamp mapping relates them, which satisfies both
+    [Iid] and [Idce]). *)
+
+val of_program :
+  ?fuel:int ->
+  ?max_scenarios:int ->
+  Lang.Ast.program ->
+  except:Lang.Ast.fname ->
+  t list
+(** Scenarios derived from every thread of the program other than
+    [except], including all prefixes, deduplicated.  [fuel] bounds the
+    isolation runs. *)

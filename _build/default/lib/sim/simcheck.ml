@@ -1,0 +1,403 @@
+type config = {
+  max_depth : int;
+  src_burst : int;
+  wind_down : int;
+  max_promises : int;
+}
+
+let default_config =
+  { max_depth = 400; src_burst = 6; wind_down = 24; max_promises = 1 }
+
+type verdict = Holds | Fails of string | Unknown of string
+
+let pp_verdict ppf = function
+  | Holds -> Format.pp_print_string ppf "holds"
+  | Fails why -> Format.fprintf ppf "fails: %s" why
+  | Unknown why -> Format.fprintf ppf "unknown: %s" why
+
+(* ------------------------------------------------------------------ *)
+(* Game states *)
+
+type gstate = {
+  tst : Ps.Thread.ts;
+  mem_t : Ps.Memory.t;
+  sst : Ps.Thread.ts;
+  mem_s : Ps.Memory.t;
+  phi : Tmap.t;
+  d : Delayed.t;
+  bit : bool;
+  promised : int;
+}
+
+module GKey = struct
+  type t = gstate
+
+  let compare a b =
+    let ( <?> ) c next = if c <> 0 then c else next () in
+    Ps.Thread.compare a.tst b.tst <?> fun () ->
+    Ps.Memory.compare a.mem_t b.mem_t <?> fun () ->
+    Ps.Thread.compare a.sst b.sst <?> fun () ->
+    Ps.Memory.compare a.mem_s b.mem_s <?> fun () ->
+    Tmap.compare a.phi b.phi <?> fun () ->
+    Delayed.compare a.d b.d <?> fun () ->
+    Bool.compare a.bit b.bit <?> fun () -> Int.compare a.promised b.promised
+end
+
+module GMap = Map.Make (GKey)
+
+(* ------------------------------------------------------------------ *)
+(* Step bookkeeping helpers *)
+
+(* The "to"-timestamp of the write a step just performed: either the
+   message freshly added to memory, or the fulfilled promise. *)
+let written_ts before_mem after_mem before_ts after_ts x =
+  let fresh =
+    List.find_opt
+      (fun m -> not (Ps.Memory.contains m before_mem))
+      (Ps.Memory.per_loc x after_mem)
+  in
+  match fresh with
+  | Some m -> Some (Ps.Message.to_ m)
+  | None ->
+      (* a fulfilled promise: present before in the promise set, gone
+         after *)
+      List.find_opt
+        (fun m ->
+          not
+            (List.exists (Ps.Message.equal m) after_ts.Ps.Thread.prm))
+        before_ts.Ps.Thread.prm
+      |> Option.map Ps.Message.to_
+
+(* The promised message a Prm step added. *)
+let promised_msg before_ts after_ts =
+  List.find_opt
+    (fun m -> not (List.exists (Ps.Message.equal m) before_ts.Ps.Thread.prm))
+    after_ts.Ps.Thread.prm
+
+let is_na_event te = Ps.Event.classify te = Ps.Event.NA
+
+(* ------------------------------------------------------------------ *)
+(* The game *)
+
+
+
+let check ?(config = default_config) ?(scenarios = ([] : Scenario.t list))
+    ~inv ~atomics ~target ~source fname =
+  let vars =
+    Lang.Ast.VarSet.union
+      (Lang.Ast.FnameMap.fold
+         (fun _ ch acc -> Lang.Ast.VarSet.union acc (Lang.Cfg.vars_of_codeheap ch))
+         target Lang.Ast.VarSet.empty)
+      (Lang.Ast.FnameMap.fold
+         (fun _ ch acc -> Lang.Ast.VarSet.union acc (Lang.Cfg.vars_of_codeheap ch))
+         source Lang.Ast.VarSet.empty)
+    |> Lang.Ast.VarSet.elements
+  in
+  match (Ps.Thread.init target fname, Ps.Thread.init source fname) with
+  | None, _ | _, None -> Fails (fname ^ " has no body")
+  | Some tst, Some sst ->
+      let m0 = Ps.Memory.init vars in
+      if not (inv.Invariant.holds (Tmap.init vars) (m0, m0) atomics) then
+        Fails "wf(I): invariant does not hold initially"
+      else
+        let memo = ref GMap.empty in
+        let first_failure = ref None in
+        let fail fmt =
+          Format.kasprintf
+            (fun s ->
+              if !first_failure = None then first_failure := Some s;
+              false)
+            fmt
+        in
+        (* Source responses: all states reachable by 0..burst source
+           NA steps, tracking D discharges and φ extensions. *)
+        let rec src_bursts burst (sst, mem_s, phi, d) acc =
+          let acc = (sst, mem_s, phi, d) :: acc in
+          if burst = 0 then acc
+          else
+            List.fold_left
+              (fun acc (s : Ps.Thread.step) ->
+                if not (is_na_event s.Ps.Thread.event) then acc
+                else
+                  let phi, d =
+                    match s.Ps.Thread.event with
+                    | Ps.Event.Wr (_, x, _) -> (
+                        match Delayed.oldest_on x d with
+                        | Some pending_ts -> (
+                            match
+                              written_ts mem_s s.Ps.Thread.mem sst
+                                s.Ps.Thread.ts x
+                            with
+                            | Some src_ts ->
+                                ( Tmap.add x pending_ts src_ts phi,
+                                  Delayed.discharge x d )
+                            | None -> (phi, d))
+                        | None -> (phi, d))
+                    | _ -> (phi, d)
+                  in
+                  src_bursts (burst - 1)
+                    (s.Ps.Thread.ts, s.Ps.Thread.mem, phi, d)
+                    acc)
+              acc
+              (Ps.Thread.steps ~code:source sst mem_s)
+        in
+        (* Can the source wind down to a finished, promise-free state
+           within the budget? *)
+        let rec wind_down fuel (sst, mem_s, phi, d) k =
+          (Ps.Thread.is_terminal sst && k (sst, mem_s, phi, d))
+          || fuel > 0
+             && List.exists
+                  (fun (s : Ps.Thread.step) ->
+                    is_na_event s.Ps.Thread.event
+                    &&
+                    let phi, d =
+                      match s.Ps.Thread.event with
+                      | Ps.Event.Wr (_, x, _) -> (
+                          match Delayed.oldest_on x d with
+                          | Some pending_ts -> (
+                              match
+                                written_ts mem_s s.Ps.Thread.mem sst
+                                  s.Ps.Thread.ts x
+                              with
+                              | Some src_ts ->
+                                  ( Tmap.add x pending_ts src_ts phi,
+                                    Delayed.discharge x d )
+                              | None -> (phi, d))
+                          | None -> (phi, d))
+                      | _ -> (phi, d)
+                    in
+                    wind_down (fuel - 1)
+                      (s.Ps.Thread.ts, s.Ps.Thread.mem, phi, d)
+                      k)
+                  (Ps.Thread.steps ~code:source sst mem_s)
+        in
+        let rec sim (g : gstate) depth on_path =
+          match GMap.find_opt g !memo with
+          | Some r -> r
+          | None ->
+              if GMap.mem g on_path then true (* coinduction *)
+              else if depth >= config.max_depth then raise Exit
+              else
+                let on_path = GMap.add g true on_path in
+                let r = sim_body g depth on_path in
+                memo := GMap.add g r !memo;
+                r
+        and sim_body g depth on_path =
+          (* Termination clause. *)
+          if Ps.Thread.is_terminal g.tst then
+            wind_down config.wind_down (g.sst, g.mem_s, g.phi, g.d)
+              (fun (_, mem_s, phi, d) ->
+                Delayed.is_empty d
+                && Invariant.holds_wf inv phi (g.mem_t, mem_s) atomics)
+            || fail "termination: source cannot wind down with D empty and I"
+          else
+            let tsteps = Ps.Thread.steps ~code:target g.tst g.mem_t in
+            let psteps =
+              if g.promised >= config.max_promises || not g.bit then []
+              else
+                let cands =
+                  Ps.Cert.certifiable_writes ~code:target g.tst g.mem_t
+                in
+                Ps.Thread.promise_steps ~candidates:cands ~atomics g.tst
+                  g.mem_t
+                |> List.filter (fun (s : Ps.Thread.step) ->
+                       Ps.Cert.consistent ~code:target s.Ps.Thread.ts
+                         s.Ps.Thread.mem)
+            in
+            if tsteps = [] && psteps = [] then
+              (* stuck target (e.g. unfulfillable promise): vacuously
+                 simulated — such executions never commit *)
+              true
+            else
+              List.for_all
+                (fun (s : Ps.Thread.step) -> match_step g s depth on_path)
+                tsteps
+              && List.for_all
+                   (fun (s : Ps.Thread.step) ->
+                     match_promise g s depth on_path)
+                   psteps
+        and match_step g (s : Ps.Thread.step) depth on_path =
+          let te = s.Ps.Thread.event in
+          match Ps.Event.classify te with
+          | Ps.Event.NA -> (
+              (* (tgt-D): a target na write becomes a pending item. *)
+              let d1 =
+                match te with
+                | Ps.Event.Wr (_, x, _) -> (
+                    match written_ts g.mem_t s.Ps.Thread.mem g.tst s.Ps.Thread.ts x with
+                    | Some t -> Delayed.record_target_write x t g.d
+                    | None -> g.d)
+                | _ -> g.d
+              in
+              let responses =
+                src_bursts config.src_burst (g.sst, g.mem_s, g.phi, d1) []
+              in
+              let ok =
+                List.exists
+                  (fun (sst, mem_s, phi, d2) ->
+                    match Delayed.decrease d2 with
+                    | None -> false (* an index ran out: source too late *)
+                    | Some d3 ->
+                        sim
+                          {
+                            tst = s.Ps.Thread.ts;
+                            mem_t = s.Ps.Thread.mem;
+                            sst;
+                            mem_s;
+                            phi;
+                            d = d3;
+                            bit = false;
+                            promised = g.promised;
+                          }
+                          (depth + 1) on_path)
+                  responses
+              in
+              match ok with
+              | true -> true
+              | false ->
+                  fail "NA diagram: no source response for %s"
+                    (Format.asprintf "%a" Ps.Event.pp_te te))
+          | Ps.Event.AT -> (
+              (* catch-up bursts, then the same atomic event *)
+              let responses =
+                src_bursts config.src_burst (g.sst, g.mem_s, g.phi, g.d) []
+              in
+              let ok =
+                List.exists
+                  (fun (sst, mem_s, phi, d) ->
+                    Delayed.is_empty d
+                    && List.exists
+                         (fun (ss : Ps.Thread.step) ->
+                           Ps.Event.equal_te ss.Ps.Thread.event te
+                           &&
+                           (* extend φ over an atomic write *)
+                           let phi =
+                             match te with
+                             | Ps.Event.Wr (_, x, _)
+                             | Ps.Event.Upd (_, _, x, _, _) -> (
+                                 match
+                                   ( written_ts g.mem_t s.Ps.Thread.mem g.tst
+                                       s.Ps.Thread.ts x,
+                                     written_ts mem_s ss.Ps.Thread.mem sst
+                                       ss.Ps.Thread.ts x )
+                                 with
+                                 | Some tt, Some ts' -> Tmap.add x tt ts' phi
+                                 | _ -> phi)
+                             | _ -> phi
+                           in
+                           Invariant.holds_wf inv phi
+                             (s.Ps.Thread.mem, ss.Ps.Thread.mem)
+                             atomics
+                           && sim
+                                {
+                                  tst = s.Ps.Thread.ts;
+                                  mem_t = s.Ps.Thread.mem;
+                                  sst = ss.Ps.Thread.ts;
+                                  mem_s = ss.Ps.Thread.mem;
+                                  phi;
+                                  d;
+                                  bit = true;
+                                  promised = g.promised;
+                                }
+                                (depth + 1) on_path)
+                         (Ps.Thread.steps ~code:source sst mem_s))
+                  responses
+              in
+              match ok with
+              | true -> true
+              | false ->
+                  fail
+                    "AT diagram: source cannot match %s with D empty and I \
+                     re-established"
+                    (Format.asprintf "%a" Ps.Event.pp_te te))
+          | Ps.Event.PRC ->
+              (* reserve/cancel steps are not enumerated for the
+                 target here (promises are handled separately) *)
+              true
+        and match_promise g (s : Ps.Thread.step) depth on_path =
+          match promised_msg g.tst s.Ps.Thread.ts with
+          | None -> true
+          | Some pm -> (
+              let x = Ps.Message.var pm in
+              let v = Option.value ~default:0 (Ps.Message.value pm) in
+              let cands = [ (x, v) ] in
+              let ok =
+                Ps.Thread.promise_steps ~candidates:cands ~atomics g.sst
+                  g.mem_s
+                |> List.exists (fun (ss : Ps.Thread.step) ->
+                       match promised_msg g.sst ss.Ps.Thread.ts with
+                       | None -> false
+                       | Some sm ->
+                           let phi =
+                             Tmap.add x (Ps.Message.to_ pm)
+                               (Ps.Message.to_ sm) g.phi
+                           in
+                           Invariant.holds_wf inv phi
+                             (s.Ps.Thread.mem, ss.Ps.Thread.mem)
+                             atomics
+                           && sim
+                                {
+                                  tst = s.Ps.Thread.ts;
+                                  mem_t = s.Ps.Thread.mem;
+                                  sst = ss.Ps.Thread.ts;
+                                  mem_s = ss.Ps.Thread.mem;
+                                  phi;
+                                  d = g.d;
+                                  bit = true;
+                                  promised = g.promised + 1;
+                                }
+                                (depth + 1) on_path)
+              in
+              match ok with
+              | true -> true
+              | false ->
+                  fail "promise diagram: source cannot promise (%s,%d)" x v)
+        in
+        (* One game per environment scenario: the simulation must
+           survive every modelled interference (the empty scenario
+           included). *)
+        let game scenario =
+          let mem0, phi0 =
+            List.fold_left
+              (fun (mem, phi) msg ->
+                match Ps.Memory.add msg mem with
+                | Ok mem ->
+                    ( mem,
+                      Tmap.add (Ps.Message.var msg) (Ps.Message.to_ msg)
+                        (Ps.Message.to_ msg) phi )
+                | Error _ -> (mem, phi))
+              (m0, Tmap.init vars) scenario
+          in
+          let g0 =
+            {
+              tst;
+              mem_t = mem0;
+              sst;
+              mem_s = mem0;
+              phi = phi0;
+              d = Delayed.empty;
+              bit = true;
+              promised = 0;
+            }
+          in
+          sim g0 0 GMap.empty
+        in
+        let outcome =
+          try
+            if List.for_all game ([] :: scenarios) then Holds
+            else
+              Fails
+                (Option.value ~default:"no matching strategy" !first_failure)
+          with Exit -> Unknown "depth budget exhausted"
+        in
+        outcome
+
+let check_program ?config ~inv ~target ~source () =
+  let fnames = List.sort_uniq String.compare target.Lang.Ast.threads in
+  List.map
+    (fun f ->
+      let scenarios = Scenario.of_program source ~except:f in
+      ( f,
+        check ?config ~scenarios ~inv ~atomics:target.Lang.Ast.atomics
+          ~target:target.Lang.Ast.code ~source:source.Lang.Ast.code f ))
+    fnames

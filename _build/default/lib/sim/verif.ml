@@ -1,0 +1,81 @@
+type stage =
+  | Source_ww_rf
+  | Simulation of Lang.Ast.fname
+  | Refinement
+  | Target_ww_rf
+
+type verdict = Verified | Fail of stage * string | Inconclusive of string
+
+type registered = {
+  name : string;
+  transform : Lang.Ast.program -> Lang.Ast.program;
+  invariant : Invariant.t;
+}
+
+let reg name (pass : Opt.Pass.t) invariant =
+  { name; transform = pass.Opt.Pass.run; invariant }
+
+let registry =
+  [
+    reg "constprop" Opt.Constprop.pass Invariant.iid;
+    reg "dce" Opt.Dce.pass Invariant.idce;
+    reg "cse" Opt.Cse.pass Invariant.iid;
+    reg "copyprop" Opt.Copyprop.pass Invariant.iid;
+    reg "linv" Opt.Linv.pass Invariant.iid;
+    reg "licm" Opt.Licm.pass Invariant.iid;
+    reg "cleanup" Opt.Cleanup.pass Invariant.iid;
+  ]
+
+let find name = List.find_opt (fun r -> String.equal r.name name) registry
+
+let pp_stage ppf = function
+  | Source_ww_rf -> Format.pp_print_string ppf "ww-RF(source)"
+  | Simulation f -> Format.fprintf ppf "simulation(%s)" f
+  | Refinement -> Format.pp_print_string ppf "refinement"
+  | Target_ww_rf -> Format.pp_print_string ppf "ww-RF(target)"
+
+let pp_verdict ppf = function
+  | Verified -> Format.pp_print_string ppf "verified"
+  | Fail (st, why) -> Format.fprintf ppf "failed at %a: %s" pp_stage st why
+  | Inconclusive why -> Format.fprintf ppf "inconclusive: %s" why
+
+let check ?sim_config ?explore_config r (src : Lang.Ast.program) =
+  let tgt = r.transform src in
+  (* 1. The theorem's premise: the source is ww-race-free. *)
+  match Race.ww_rf ?config:explore_config src with
+  | Error e -> Inconclusive e
+  | Ok (Race.Racy race) ->
+      Fail (Source_ww_rf, Format.asprintf "%a" Race.pp_race race)
+  | Ok Race.Free -> (
+      (* 2. Thread-local simulations (Def. 6.1, one per function). *)
+      let sims =
+        Simcheck.check_program ?config:sim_config ~inv:r.invariant ~target:tgt
+          ~source:src ()
+      in
+      let bad_sim =
+        List.find_opt (fun (_, v) -> v <> Simcheck.Holds) sims
+      in
+      match bad_sim with
+      | Some (f, Simcheck.Fails why) -> Fail (Simulation f, why)
+      | Some (f, Simcheck.Unknown why) ->
+          Inconclusive (Format.asprintf "simulation(%s): %s" f why)
+      | Some (_, Simcheck.Holds) -> assert false
+      | None -> (
+          (* 3. Whole-program refinement of the bounded behaviour sets. *)
+          let rep =
+            Explore.Refine.check ?config:explore_config ~target:tgt
+              ~source:src ()
+          in
+          match rep.Explore.Refine.verdict with
+          | Explore.Refine.Violates bad ->
+              Fail
+                ( Refinement,
+                  Format.asprintf "%a" Ps.Event.pp_trace (List.hd bad) )
+          | Explore.Refine.Inconclusive why -> Inconclusive why
+          | Explore.Refine.Refines -> (
+              (* 4. ww-RF preservation (Lemma 6.2). *)
+              match Race.ww_rf ?config:explore_config tgt with
+              | Error e -> Inconclusive e
+              | Ok (Race.Racy race) ->
+                  Fail (Target_ww_rf, Format.asprintf "%a" Race.pp_race race)
+              | Ok Race.Free -> Verified)))

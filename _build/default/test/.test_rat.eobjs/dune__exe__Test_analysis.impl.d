@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ast Cfg Format Int Lang List Parse Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cert.ml: Alcotest Lang List Option Ps Rat

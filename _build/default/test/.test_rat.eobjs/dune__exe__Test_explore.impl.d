@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Explore Lang List Litmus Printf Ps String

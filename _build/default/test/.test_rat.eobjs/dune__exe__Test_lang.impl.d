@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Cfg Expr Format Int32 Lang List Litmus Parse Pp Printf QCheck QCheck_alcotest Sexp String Wf

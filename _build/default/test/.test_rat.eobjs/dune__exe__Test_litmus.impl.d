@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Explore Format Lang List Litmus

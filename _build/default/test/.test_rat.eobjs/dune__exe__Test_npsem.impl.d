@@ -1,0 +1,1 @@
+test/test_npsem.ml: Alcotest Explore Lang Litmus Npsem Ps

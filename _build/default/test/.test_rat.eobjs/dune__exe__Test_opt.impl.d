@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Analysis Ast Explore Format Lang List Litmus Opt Parse Pp Printf Race Wf

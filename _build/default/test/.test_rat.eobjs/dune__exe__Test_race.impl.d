@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Explore List Litmus Option Ps Race Rat

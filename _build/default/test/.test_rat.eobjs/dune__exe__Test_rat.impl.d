@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest List QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Lang List Litmus Opt Option Ps Rat Sim

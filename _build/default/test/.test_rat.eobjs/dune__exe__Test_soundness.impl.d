@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Explore Lang List Opt Printf Ps QCheck QCheck_alcotest Race

@@ -1,0 +1,1 @@
+test/test_thread.ml: Alcotest Lang List Option Ps Rat

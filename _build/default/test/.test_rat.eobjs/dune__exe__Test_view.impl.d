@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Format Lang List Printf Ps QCheck QCheck_alcotest Rat

@@ -1,0 +1,401 @@
+(* The bounded-exhaustive explorer and refinement checker: machine
+   semantics (Fig. 9/10), Theorem 4.1, prefix-closed behaviour sets,
+   and the sampling sanity property. *)
+
+let sorted l = List.sort compare l
+
+let outcomes ?config disc prog =
+  let o = Explore.Enum.behaviors_exn ?config disc prog in
+  ( Explore.Traceset.done_outs o.Explore.Enum.traces
+    |> List.map sorted |> List.sort_uniq compare,
+    o )
+
+let test_sb_weak_outcome () =
+  let outs, o = outcomes Explore.Enum.Interleaving Litmus.sb.Litmus.prog in
+  Alcotest.(check bool) "exact" true o.Explore.Enum.exact;
+  Alcotest.(check bool) "0/0 observable" true (List.mem [ 0; 0 ] outs);
+  Alcotest.(check bool) "1/1 observable" true (List.mem [ 1; 1 ] outs)
+
+let test_lb_needs_promises () =
+  let with_p, _ = outcomes Explore.Enum.Interleaving Litmus.lb.Litmus.prog in
+  Alcotest.(check bool) "1/1 with promises" true (List.mem [ 1; 1 ] with_p);
+  let without, _ =
+    outcomes ~config:Explore.Config.quick Explore.Enum.Interleaving
+      Litmus.lb.Litmus.prog
+  in
+  Alcotest.(check bool) "1/1 impossible without promises" false
+    (List.mem [ 1; 1 ] without)
+
+let test_oota_forbidden () =
+  let outs, _ = outcomes Explore.Enum.Interleaving Litmus.lb_oota.Litmus.prog in
+  Alcotest.(check (list (list int))) "only 0/0" [ [ 0; 0 ] ] outs
+
+let test_syntactic_promise_mode () =
+  (* the LB promise (y := 1 is a constant store) is also found by the
+     cheap syntactic candidate collector *)
+  let cfg = { Explore.Config.default with promise_mode = Explore.Config.Syntactic } in
+  let outs, _ = outcomes ~config:cfg Explore.Enum.Interleaving Litmus.lb.Litmus.prog in
+  Alcotest.(check bool) "1/1 via syntactic candidates" true
+    (List.mem [ 1; 1 ] outs)
+
+let test_every_litmus_claim () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let outs, o = outcomes Explore.Enum.Interleaving t.Litmus.prog in
+      Alcotest.(check bool) (t.Litmus.name ^ " exact") true o.Explore.Enum.exact;
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s expects %s" t.Litmus.name
+               (String.concat ";" (List.map string_of_int e)))
+            true
+            (List.mem (sorted e) outs))
+        t.Litmus.expected;
+      List.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s forbids %s" t.Litmus.name
+               (String.concat ";" (List.map string_of_int f)))
+            false
+            (List.mem (sorted f) outs))
+        t.Litmus.forbidden)
+    Litmus.all
+
+let test_np_equivalence_corpus () =
+  (* Theorem 4.1, exhaustively on the corpus. *)
+  List.iter
+    (fun (t : Litmus.t) ->
+      Alcotest.(check bool)
+        (t.Litmus.name ^ " interleaving = non-preemptive")
+        true
+        (Explore.Refine.equivalent_disciplines t.Litmus.prog))
+    Litmus.all
+
+let test_np_never_larger () =
+  (* the non-preemptive machine visits at most as many states *)
+  List.iter
+    (fun (t : Litmus.t) ->
+      let _, oi = outcomes Explore.Enum.Interleaving t.Litmus.prog in
+      let _, onp = outcomes Explore.Enum.Non_preemptive t.Litmus.prog in
+      Alcotest.(check bool)
+        (t.Litmus.name ^ " np state count <= interleaving")
+        true
+        (onp.Explore.Enum.stats.Explore.Stats.nodes
+        <= oi.Explore.Enum.stats.Explore.Stats.nodes))
+    Litmus.all
+
+let test_closure () =
+  let tr outs ending = { Ps.Event.outs; ending } in
+  let s = Explore.Traceset.of_list [ tr [ 1; 2 ] Ps.Event.Done ] in
+  let c = Explore.Traceset.closure s in
+  Alcotest.(check int) "done + 3 open prefixes" 4 (Explore.Traceset.cardinal c);
+  Alcotest.(check bool) "keeps done" true
+    (Explore.Traceset.mem (tr [ 1; 2 ] Ps.Event.Done) c);
+  Alcotest.(check bool) "[1] open" true
+    (Explore.Traceset.mem (tr [ 1 ] Ps.Event.Open) c);
+  Alcotest.(check bool) "[] open" true
+    (Explore.Traceset.mem (tr [] Ps.Event.Open) c);
+  (* closure is idempotent *)
+  Alcotest.(check bool) "idempotent" true
+    (Explore.Traceset.equal c (Explore.Traceset.closure c))
+
+let test_traceset_ops () =
+  let tr outs ending = { Ps.Event.outs; ending } in
+  let s =
+    Explore.Traceset.of_list
+      [ tr [ 1 ] Ps.Event.Done; tr [ 2 ] Ps.Event.Open; tr [ 3 ] Ps.Event.Cut ]
+  in
+  Alcotest.(check int) "completed keeps done only" 1
+    (Explore.Traceset.cardinal (Explore.Traceset.completed s));
+  Alcotest.(check (list (list int))) "done_outs" [ [ 1 ] ]
+    (Explore.Traceset.done_outs s);
+  Alcotest.(check bool) "has_done" true (Explore.Traceset.has_done [ 1 ] s);
+  Alcotest.(check bool) "has_done needs done ending" false
+    (Explore.Traceset.has_done [ 2 ] s);
+  let p = Explore.Traceset.prepend 9 s in
+  Alcotest.(check bool) "prepend" true
+    (Explore.Traceset.has_done [ 9; 1 ] p);
+  let src = Explore.Traceset.of_list [ tr [ 1 ] Ps.Event.Done; tr [ 4 ] Ps.Event.Done ] in
+  Alcotest.(check bool) "is_refined_by" true
+    (Explore.Traceset.is_refined_by
+       ~target:(Explore.Traceset.of_list [ tr [ 1 ] Ps.Event.Done ])
+       ~source:src);
+  Alcotest.(check bool) "violation detected" false
+    (Explore.Traceset.is_refined_by
+       ~target:(Explore.Traceset.of_list [ tr [ 5 ] Ps.Event.Done ])
+       ~source:src);
+  Alcotest.(check int) "diff_done lists offenders" 1
+    (Explore.Traceset.cardinal
+       (Explore.Traceset.diff_done
+          ~target:(Explore.Traceset.of_list [ tr [ 5 ] Ps.Event.Done ])
+          ~source:src))
+
+let test_refinement_verdicts () =
+  (* identical programs refine both ways *)
+  let p = Litmus.sb.Litmus.prog in
+  Alcotest.(check bool) "refl" true (Explore.Refine.refines ~target:p ~source:p ());
+  (* Fig. 1: the violating direction and the sound direction *)
+  let rep =
+    Explore.Refine.check ~target:Litmus.fig1_foo_opt.Litmus.prog
+      ~source:Litmus.fig1_foo.Litmus.prog ()
+  in
+  (match rep.Explore.Refine.verdict with
+  | Explore.Refine.Violates bad ->
+      Alcotest.(check bool) "counterexample prints 0" true
+        (List.exists
+           (fun tr ->
+             tr.Ps.Event.outs = [ 0 ] && tr.Ps.Event.ending = Ps.Event.Done)
+           bad)
+  | v ->
+      Alcotest.failf "expected violation, got %a" Explore.Refine.pp_verdict v);
+  Alcotest.(check bool) "source refines target here (opt has more)" true
+    (Explore.Refine.refines ~target:Litmus.fig1_foo.Litmus.prog
+       ~source:Litmus.fig1_foo_opt.Litmus.prog ());
+  (* the relaxed variants are equivalent *)
+  Alcotest.(check bool) "rlx variants equivalent" true
+    (Explore.Refine.equivalent Litmus.fig1_foo_rlx.Litmus.prog
+       Litmus.fig1_foo_opt_rlx.Litmus.prog)
+
+let test_np_discipline_refinement () =
+  (* refinement verdicts agree across disciplines on a violation *)
+  let check d =
+    (Explore.Refine.check ~discipline:d ~target:Litmus.fig15_bad_tgt.Litmus.prog
+       ~source:Litmus.fig15_src.Litmus.prog ())
+      .Explore.Refine.verdict
+  in
+  let v_il = check Explore.Enum.Interleaving in
+  let v_np = check Explore.Enum.Non_preemptive in
+  let violates = function Explore.Refine.Violates _ -> true | _ -> false in
+  Alcotest.(check bool) "interleaving violates" true (violates v_il);
+  Alcotest.(check bool) "np violates" true (violates v_np)
+
+let test_cut_reported () =
+  (* an artificial tiny budget must surface as inexact, not silently *)
+  let cfg = { Explore.Config.quick with max_steps = 3 } in
+  let o =
+    Explore.Enum.behaviors_exn ~config:cfg Explore.Enum.Interleaving
+      Litmus.sb.Litmus.prog
+  in
+  Alcotest.(check bool) "inexact" false o.Explore.Enum.exact;
+  Alcotest.(check bool) "cut trace present" true
+    (Explore.Traceset.exists
+       (fun tr -> tr.Ps.Event.ending = Ps.Event.Cut)
+       o.Explore.Enum.traces);
+  (* and refinement refuses to conclude *)
+  let rep =
+    Explore.Refine.check ~config:cfg ~target:Litmus.sb.Litmus.prog
+      ~source:Litmus.sb.Litmus.prog ()
+  in
+  match rep.Explore.Refine.verdict with
+  | Explore.Refine.Inconclusive _ -> ()
+  | v -> Alcotest.failf "expected inconclusive, got %a" Explore.Refine.pp_verdict v
+
+let test_memoization_agrees () =
+  (* memoized and non-memoized exploration compute the same set *)
+  List.iter
+    (fun name ->
+      let t = Litmus.find name in
+      let cfg_no = { Explore.Config.default with memoize = false } in
+      let o1 = Explore.Enum.behaviors_exn Explore.Enum.Interleaving t.Litmus.prog in
+      let o2 =
+        Explore.Enum.behaviors_exn ~config:cfg_no Explore.Enum.Interleaving
+          t.Litmus.prog
+      in
+      Alcotest.(check bool) (name ^ " memo-independent") true
+        (Explore.Traceset.equal_behaviour o1.Explore.Enum.traces
+           o2.Explore.Enum.traces))
+    [ "sb"; "mp_rel_acq"; "cas_exclusive"; "fig16_src" ]
+
+let test_sampling () =
+  let freqs = Explore.Random_run.sample ~runs:200 Litmus.lb.Litmus.prog in
+  Alcotest.(check bool) "some outcomes" true (freqs <> []);
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 freqs in
+  Alcotest.(check int) "all runs complete on lb" 200 total;
+  (* frequencies sorted descending *)
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by frequency" true (sorted freqs);
+  (* sampling is promise-free: the LB outcome never appears, while
+     the exhaustive explorer finds it *)
+  Alcotest.(check bool) "1/1 never sampled" false
+    (List.mem_assoc [ 1; 1 ] freqs);
+  let enumerated =
+    (Explore.Enum.behaviors_exn Explore.Enum.Interleaving Litmus.lb.Litmus.prog)
+      .Explore.Enum.traces
+  in
+  List.iter
+    (fun (outs, _) ->
+      Alcotest.(check bool) "every sampled outcome enumerated" true
+        (Explore.Traceset.has_done outs enumerated))
+    freqs
+
+let test_random_runs_within_enumeration () =
+  (* every sampled trace is in the enumerated behaviour set *)
+  List.iter
+    (fun (t : Litmus.t) ->
+      let o =
+        Explore.Enum.behaviors_exn Explore.Enum.Interleaving t.Litmus.prog
+      in
+      let closure = Explore.Traceset.closure o.Explore.Enum.traces in
+      for seed = 0 to 19 do
+        let r = Explore.Random_run.run_exn ~seed t.Litmus.prog in
+        let tr = r.Explore.Random_run.trace in
+        if tr.Ps.Event.ending = Ps.Event.Done then
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d sampled trace enumerated" t.Litmus.name
+               seed)
+            true
+            (Explore.Traceset.mem tr closure)
+      done)
+    [ Litmus.sb; Litmus.mp_rel_acq; Litmus.coherence; Litmus.cas_exclusive ]
+
+let test_iter_reachable () =
+  let count = ref 0 and committed = ref 0 in
+  (match
+     Explore.Enum.iter_reachable Explore.Enum.Interleaving Litmus.sb.Litmus.prog
+       ~f:(fun ~committed:c _ ->
+         incr count;
+         if c then incr committed)
+   with
+  | Ok stats ->
+      Alcotest.(check int) "visits every node once" stats.Explore.Stats.nodes
+        !count;
+      Alcotest.(check bool) "some committed" true (!committed > 0);
+      Alcotest.(check bool) "committed <= all" true (!committed <= !count)
+  | Error e -> Alcotest.fail e)
+
+let test_reservations_no_new_outcomes () =
+  (* Enumerating reserve/cancel steps may widen the state space but
+     must not change the completed outcomes: reservations only block
+     others, never enable new values.  Kept to a small two-thread
+     program — reservation interleavings multiply the state space
+     (the explorer caps threads at one outstanding reservation; the
+     certification-level uses are unit-tested in test_cert). *)
+  let p =
+    Lang.Build.(
+      program ~atomics:[ "x" ]
+        [
+          proc "t1"
+            [ blk "L0" [ store "x" ~mode:Lang.Modes.WRlx (i 1) ] ret ];
+          proc "t2"
+            [
+              blk "L0"
+                [ load "r" "x" ~mode:Lang.Modes.Rlx; print (r "r") ]
+                ret;
+            ];
+        ]
+        ~threads:[ "t1"; "t2" ])
+  in
+  let cfg = { Explore.Config.default with reservations = true } in
+  let base, _ = outcomes Explore.Enum.Interleaving p in
+  let with_rsv, _ = outcomes ~config:cfg Explore.Enum.Interleaving p in
+  Alcotest.(check (list (list int)))
+    "outcomes stable under reservations" base with_rsv
+
+let test_witness_lb () =
+  (* The paper's annotated LB execution: a promise must appear. *)
+  match Explore.Witness.find ~outs:[ 1; 1 ] Litmus.lb.Litmus.prog with
+  | None -> Alcotest.fail "LB 1/1 should have a witness"
+  | Some w ->
+      Alcotest.(check bool) "contains a promise step" true
+        (List.exists
+           (fun (s : Explore.Witness.step) -> s.Explore.Witness.event = Ps.Event.Prm)
+           w);
+      Alcotest.(check int) "two output steps" 2
+        (List.length
+           (List.filter
+              (fun (s : Explore.Witness.step) ->
+                match s.Explore.Witness.event with
+                | Ps.Event.Out _ -> true
+                | _ -> false)
+              w))
+
+let test_witness_forbidden () =
+  Alcotest.(check bool) "oota 1/1 has no witness" true
+    (Explore.Witness.forbidden ~outs:[ 1; 1 ] Litmus.lb_oota.Litmus.prog);
+  Alcotest.(check bool) "mp_rel_acq stale payload has no witness" true
+    (Explore.Witness.forbidden ~outs:[ 0 ] Litmus.mp_rel_acq.Litmus.prog);
+  (* out-order sensitivity: the witness search asks for the exact
+     sequence, and mp only ever emits one output *)
+  Alcotest.(check bool) "mp 42 observable" true
+    (Explore.Witness.find ~outs:[ 42 ] Litmus.mp_rel_acq.Litmus.prog <> None)
+
+let test_witness_np () =
+  match
+    Explore.Witness.find ~discipline:Explore.Enum.Non_preemptive
+      ~outs:[ 1; 1 ] Litmus.lb.Litmus.prog
+  with
+  | None -> Alcotest.fail "np machine should also witness LB 1/1"
+  | Some _ -> ()
+
+let test_machine_init () =
+  match Ps.Machine.init Litmus.sb.Litmus.prog with
+  | Error e -> Alcotest.fail e
+  | Ok w ->
+      Alcotest.(check (list int)) "tids" [ 0; 1 ] (Ps.Machine.tids w);
+      Alcotest.(check int) "cur" 0 w.Ps.Machine.cur;
+      Alcotest.(check bool) "not finished" false (Ps.Machine.all_finished w);
+      Alcotest.(check bool) "not terminal" false (Ps.Machine.terminal w)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "sb weak outcome" `Quick test_sb_weak_outcome;
+          Alcotest.test_case "lb needs promises" `Quick test_lb_needs_promises;
+          Alcotest.test_case "oota forbidden" `Quick test_oota_forbidden;
+          Alcotest.test_case "syntactic promises" `Quick
+            test_syntactic_promise_mode;
+          Alcotest.test_case "whole corpus claims" `Slow test_every_litmus_claim;
+        ] );
+      ( "non-preemptive",
+        [
+          Alcotest.test_case "Theorem 4.1 on corpus" `Slow
+            test_np_equivalence_corpus;
+          Alcotest.test_case "state-space reduction" `Slow test_np_never_larger;
+          Alcotest.test_case "verdicts agree on violations" `Quick
+            test_np_discipline_refinement;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "prefix closure" `Quick test_closure;
+          Alcotest.test_case "trace-set operations" `Quick test_traceset_ops;
+          Alcotest.test_case "refinement verdicts" `Quick
+            test_refinement_verdicts;
+          Alcotest.test_case "cuts reported" `Quick test_cut_reported;
+          Alcotest.test_case "memoization-independent" `Quick
+            test_memoization_agrees;
+          Alcotest.test_case "random runs enumerated" `Quick
+            test_random_runs_within_enumeration;
+          Alcotest.test_case "sampling histogram" `Quick test_sampling;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "Safe(P) on the corpus" `Quick (fun () ->
+              List.iter
+                (fun (t : Litmus.t) ->
+                  Alcotest.(check bool) (t.Litmus.name ^ " safe") true
+                    (Explore.Refine.safe t.Litmus.prog))
+                [ Litmus.sb; Litmus.fig4; Litmus.spinlock ]);
+        ] );
+      ( "reservations",
+        [
+          Alcotest.test_case "no new outcomes" `Quick
+            test_reservations_no_new_outcomes;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "LB annotated execution" `Quick test_witness_lb;
+          Alcotest.test_case "forbidden outcomes" `Quick
+            test_witness_forbidden;
+          Alcotest.test_case "non-preemptive" `Quick test_witness_np;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "iter_reachable" `Quick test_iter_reachable;
+          Alcotest.test_case "init" `Quick test_machine_init;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+(* Golden regression: the EXACT completed-outcome sets of the whole
+   corpus, pinned.
+
+   The claim-based tests (expected observable, forbidden absent) catch
+   gross soundness bugs; this suite catches silent drift in either
+   direction — a semantics change that adds or removes any outcome of
+   any corpus program fails here, with the diff in the message.  The
+   sets were generated from the exhaustive explorer and audited
+   against the paper's annotations; regenerate with the snippet in
+   this file's history if the corpus is deliberately extended. *)
+
+let golden : (string * int list list) list =
+  [
+    ("sb", [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 1 ] ]);
+    ("lb", [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 1 ] ]);
+    ("lb_oota", [ [ 0; 0 ] ]);
+    ("cas_exclusive", [ [ 0; 1 ] ]);
+    ("mp_rel_acq", [ [ -1 ]; [ 42 ] ]);
+    ("mp_rlx", [ [ -1 ]; [ 0 ]; [ 42 ] ]);
+    ("fig1_foo", [ [ 1 ] ]);
+    ("fig1_foo_opt", [ [ 0 ]; [ 1 ] ]);
+    ("fig1_foo_rlx", [ [ 0 ]; [ 1 ] ]);
+    ("fig1_foo_opt_rlx", [ [ 0 ]; [ 1 ] ]);
+    ("reorder_src", [ [ 0; 0 ]; [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ] ]);
+    ("reorder_tgt", [ [ 0; 0 ]; [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ] ]);
+    ("fig4", [ [ 0; 0 ]; [ 0; 1 ] ]);
+    ("fig15_src", [ [ -1 ]; [ 2 ]; [ 4 ] ]);
+    ("fig15_bad_tgt", [ [ -1 ]; [ 0 ]; [ 4 ] ]);
+    ("fig16_src", [ [ 0 ]; [ 1 ]; [ 2 ] ]);
+    ("fig16_tgt", [ [ 0 ]; [ 2 ] ]);
+    ("coherence", [ [ 0 ]; [ 1 ]; [ 2 ]; [ 11 ]; [ 12 ]; [ 22 ] ]);
+    ("corw", [ [ 1 ]; [ 2 ] ]);
+    ("lb_ctrl_dep", [ [ 0; 0 ] ]);
+    ("lb_ctrl_indep", [ [ 0; 0 ]; [ 0; 1 ] ]);
+    ("release_seq", [ [ -1 ]; [ 42 ] ]);
+    ("release_seq_rmw", [ [ -1 ]; [ 42 ] ]);
+    ("spinlock", [ [ 0; 1 ] ]);
+    ("mp_fences", [ [ -1 ]; [ 42 ] ]);
+    ( "iriw",
+      [
+        [ 0; 0 ]; [ 0; 1 ]; [ 0; 10 ]; [ 0; 11 ]; [ 1; 1 ]; [ 1; 10 ];
+        [ 1; 11 ]; [ 10; 10 ]; [ 10; 11 ]; [ 11; 11 ];
+      ] );
+    ("wrc", [ [ -1 ]; [ 1 ] ]);
+    ("ww_racy", [ [ 1 ]; [ 2 ] ]);
+    ("ww_sync", [ [ -1 ]; [ 2 ] ]);
+    ("fig5_src", [ [ -1 ]; [ 9 ] ]);
+    ("fig5_tgt", [ [ -1 ]; [ 9 ] ]);
+  ]
+
+let outcomes prog =
+  let o = Explore.Enum.behaviors_exn Explore.Enum.Interleaving prog in
+  Explore.Traceset.done_outs o.Explore.Enum.traces
+  |> List.map (List.sort compare)
+  |> List.sort_uniq compare
+
+let test_exact_outcomes () =
+  List.iter
+    (fun (name, expected) ->
+      let t = Litmus.find name in
+      Alcotest.(check (list (list int)))
+        (name ^ " exact outcome set")
+        expected (outcomes t.Litmus.prog))
+    golden
+
+let test_golden_covers_corpus () =
+  (* every corpus program has a golden entry, so extending the corpus
+     forces extending the goldens *)
+  List.iter
+    (fun (t : Litmus.t) ->
+      Alcotest.(check bool)
+        (t.Litmus.name ^ " has a golden entry")
+        true
+        (List.mem_assoc t.Litmus.name golden))
+    Litmus.all
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "outcomes",
+        [
+          Alcotest.test_case "exact sets" `Slow test_exact_outcomes;
+          Alcotest.test_case "coverage" `Quick test_golden_covers_corpus;
+        ] );
+    ]

@@ -1,0 +1,411 @@
+(* CSimpRTL language: expressions, parser round-trips, well-formedness
+   and CFG utilities. *)
+
+open Lang
+
+let expr = Alcotest.testable Pp.pp_expr Ast.equal_expr
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let test_eval () =
+  let env = function "a" -> 3 | "b" -> -2 | _ -> 0 in
+  let e s = Parse.expr_of_string s in
+  Alcotest.(check int) "add" 1 (Expr.eval env (e "a + b"));
+  Alcotest.(check int) "mul" (-6) (Expr.eval env (e "a * b"));
+  Alcotest.(check int) "sub" 5 (Expr.eval env (e "a - b"));
+  Alcotest.(check int) "precedence" 7 (Expr.eval env (e "1 + a * 2"));
+  Alcotest.(check int) "parens" 8 (Expr.eval env (e "(1 + a) * 2"));
+  Alcotest.(check int) "lt true" 1 (Expr.eval env (e "b < a"));
+  Alcotest.(check int) "lt false" 0 (Expr.eval env (e "a < b"));
+  Alcotest.(check int) "eq" 1 (Expr.eval env (e "a == 3"));
+  Alcotest.(check int) "ne" 1 (Expr.eval env (e "a != b"));
+  Alcotest.(check int) "le" 1 (Expr.eval env (e "3 <= a"));
+  Alcotest.(check int) "ge" 1 (Expr.eval env (e "a >= 3"));
+  Alcotest.(check int) "unknown reg is 0" 0 (Expr.eval env (e "zz"))
+
+let test_wrap32 () =
+  Alcotest.(check int) "wraps" (Int32.to_int Int32.min_int)
+    (Expr.eval (fun _ -> Int32.to_int Int32.max_int)
+       (Ast.Bin (Ast.Add, Ast.Reg "r", Ast.Val 1)))
+
+let test_const_fold () =
+  let e s = Parse.expr_of_string s in
+  Alcotest.check expr "folds constants" (Ast.Val 7) (Expr.const_fold (e "1 + 2 * 3"));
+  Alcotest.check expr "partial fold keeps reg"
+    (e "r + 3")
+    (Expr.const_fold (e "r + (1 + 2)"));
+  Alcotest.check expr "fold inside"
+    (Ast.Bin (Ast.Mul, Ast.Reg "r", Ast.Val 6))
+    (Expr.const_fold (e "r * (2 * 3)"))
+
+let test_subst_uses () =
+  let e s = Parse.expr_of_string s in
+  Alcotest.check expr "subst" (e "(1 + 2) * y") (Expr.subst "x" (e "1 + 2") (e "x * y"));
+  Alcotest.(check bool) "uses yes" true (Expr.uses "x" (e "1 + x"));
+  Alcotest.(check bool) "uses no" false (Expr.uses "z" (e "1 + x"));
+  Alcotest.(check (option int)) "is_const" (Some 4) (Expr.is_const (Ast.Val 4));
+  Alcotest.(check (option int)) "is_const no" None (Expr.is_const (e "r"))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let mp_text =
+  {|atomics flag;
+threads writer reader;
+proc writer entry W0 {
+W0:
+  data.na := 42;
+  flag.rel := 1;
+  return;
+}
+proc reader entry R0 {
+R0:
+  r1 := flag.acq;
+  be r1 == 1, R1, R2;
+R1:
+  r2 := data.na;
+  print(r2);
+  return;
+R2:
+  print(0 - 1);
+  return;
+}|}
+
+let test_parse_program () =
+  let p = Parse.program_of_string mp_text in
+  Alcotest.(check int) "two functions" 2 (Ast.FnameMap.cardinal p.Ast.code);
+  Alcotest.(check (list string)) "threads" [ "writer"; "reader" ] p.Ast.threads;
+  Alcotest.(check bool) "flag atomic" true (Ast.VarSet.mem "flag" p.Ast.atomics);
+  Alcotest.(check bool) "data not atomic" false (Ast.VarSet.mem "data" p.Ast.atomics);
+  let reader = Ast.FnameMap.find "reader" p.Ast.code in
+  Alcotest.(check string) "entry" "R0" reader.Ast.entry;
+  Alcotest.(check int) "3 blocks" 3 (Ast.LabelMap.cardinal reader.Ast.blocks)
+
+let test_parse_instr_kinds () =
+  let text =
+    {|threads t;
+proc t entry L {
+L:
+  r := x.na;
+  r2 := cas.acq.rel(a, 0, r + 1);
+  a.rlx := 5;
+  skip;
+  fence.sc;
+  r3 := r * 2;
+  print(r3);
+  call(t, L2);
+L2:
+  jmp L3;
+L3:
+  return;
+}|}
+  in
+  (* not wf (CAS on non-atomic), but parseable *)
+  let p = Parse.program_of_string text in
+  let t = Ast.FnameMap.find "t" p.Ast.code in
+  let l = Ast.LabelMap.find "L" t.Ast.blocks in
+  (match l.Ast.instrs with
+  | [ Ast.Load ("r", "x", Lang.Modes.Na);
+      Ast.Cas ("r2", "a", Ast.Val 0, _, Lang.Modes.Acq, Lang.Modes.WRel);
+      Ast.Store ("a", Ast.Val 5, Lang.Modes.WRlx);
+      Ast.Skip;
+      Ast.Fence Lang.Modes.FSc;
+      Ast.Assign ("r3", _);
+      Ast.Print _ ] -> ()
+  | _ -> Alcotest.fail "unexpected instruction shapes");
+  match l.Ast.term with
+  | Ast.Call ("t", "L2") -> ()
+  | _ -> Alcotest.fail "expected call terminator"
+
+let test_parse_errors () =
+  let bad s =
+    match Parse.program_of_string s with
+    | exception Parse.Error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  bad "";
+  bad "threads;";
+  bad "threads t; proc t entry L { L: r := ; return; }";
+  bad "threads t; proc t entry L { L: x.bogus := 1; return; }";
+  bad "threads t; proc t entry L { L: r := x.na }";
+  bad "threads t; proc t entry L { L: jmp; }";
+  bad "threads t; proc t { L: return; }"
+
+let test_parse_comments_and_negatives () =
+  let p =
+    Parse.program_of_string
+      "// leading comment\nthreads t;\nproc t entry L {\nL: // mid\n  r := -5;\n  print(r); // trailing\n  return;\n}"
+  in
+  let t = Ast.FnameMap.find "t" p.Ast.code in
+  let l = Ast.LabelMap.find "L" t.Ast.blocks in
+  match l.Ast.instrs with
+  | [ Ast.Assign ("r", e); Ast.Print _ ] ->
+      Alcotest.(check int) "negative literal" (-5) (Expr.eval (fun _ -> 0) e)
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_roundtrip () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let printed = Pp.program_to_string t.Litmus.prog in
+      let reparsed = Parse.program_of_string printed in
+      Alcotest.(check bool)
+        (t.Litmus.name ^ " roundtrips")
+        true
+        (Ast.equal_program t.Litmus.prog reparsed))
+    Litmus.all
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness *)
+
+let test_wf_ok () =
+  match Wf.check (Parse.program_of_string mp_text) with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "unexpected wf errors: %a"
+        (Format.pp_print_list Wf.pp_error)
+        es
+
+let contains s frag =
+  let n = String.length frag in
+  let rec go i = i + n <= String.length s && (String.sub s i n = frag || go (i + 1)) in
+  go 0
+
+let expect_wf_error text frag =
+  match Wf.check (Parse.program_of_string text) with
+  | Ok () -> Alcotest.failf "expected a wf error mentioning %S" frag
+  | Error es ->
+      let shown =
+        String.concat "; "
+          (List.map (fun e -> Format.asprintf "%a" Wf.pp_error e) es)
+      in
+      if not (contains shown frag) then
+        Alcotest.failf "errors %S do not mention %S" shown frag
+
+let test_wf_errors () =
+  expect_wf_error "threads missing;\nproc t entry L { L: return; }" "missing";
+  expect_wf_error "threads t;\nproc t entry NOPE { L: return; }" "entry";
+  expect_wf_error "threads t;\nproc t entry L { L: jmp NOWHERE; }" "NOWHERE";
+  expect_wf_error "threads t;\nproc t entry L { L: call(ghost, L); }" "ghost";
+  expect_wf_error
+    "atomics x;\nthreads t;\nproc t entry L { L: r := x.na; return; }"
+    "non-atomic read of atomic";
+  expect_wf_error
+    "threads t;\nproc t entry L { L: r := x.acq; return; }"
+    "atomic read of non-atomic";
+  expect_wf_error
+    "atomics x;\nthreads t;\nproc t entry L { L: x.na := 1; return; }"
+    "non-atomic write of atomic";
+  expect_wf_error
+    "threads t;\nproc t entry L { L: x.rel := 1; return; }"
+    "atomic write of non-atomic";
+  expect_wf_error
+    "threads t;\nproc t entry L { L: r := cas.rlx.rlx(x, 0, 1); return; }"
+    "CAS on non-atomic";
+  expect_wf_error
+    "threads t;\nproc t entry L { L: x := 1; x.na := 2; return; }"
+    "both as a register and as a variable"
+
+(* ------------------------------------------------------------------ *)
+(* CFG *)
+
+let diamond =
+  Parse.program_of_string
+    {|threads t;
+proc t entry A {
+A:
+  be r < 1, B, C;
+B:
+  jmp D;
+C:
+  jmp D;
+D:
+  return;
+}|}
+
+let test_cfg () =
+  let ch = Ast.FnameMap.find "t" diamond.Ast.code in
+  let succs l = Cfg.successors (Ast.LabelMap.find l ch.Ast.blocks) in
+  Alcotest.(check (slist string compare)) "A succs" [ "B"; "C" ] (succs "A");
+  Alcotest.(check (list string)) "D succs" [] (succs "D");
+  let preds = Cfg.predecessors ch in
+  Alcotest.(check (slist string compare))
+    "D preds" [ "B"; "C" ]
+    (Ast.LabelMap.find "D" preds);
+  Alcotest.(check (slist string compare))
+    "reachable" [ "A"; "B"; "C"; "D" ] (Cfg.reachable ch);
+  let rpo = Cfg.reverse_postorder ch in
+  Alcotest.(check string) "rpo starts at entry" "A" (List.hd rpo);
+  Alcotest.(check bool)
+    "rpo ends at D" true
+    (List.nth rpo (List.length rpo - 1) = "D")
+
+let test_cfg_unreachable () =
+  let p =
+    Parse.program_of_string
+      {|threads t;
+proc t entry A {
+A:
+  return;
+Z:
+  jmp A;
+}|}
+  in
+  let ch = Ast.FnameMap.find "t" p.Ast.code in
+  Alcotest.(check (list string)) "only A reachable" [ "A" ] (Cfg.reachable ch)
+
+let test_vars_regs () =
+  let ch = Ast.FnameMap.find "reader" (Parse.program_of_string mp_text).Ast.code in
+  Alcotest.(check (slist string compare))
+    "vars" [ "data"; "flag" ]
+    (Ast.VarSet.elements (Cfg.vars_of_codeheap ch));
+  Alcotest.(check (slist string compare))
+    "regs" [ "r1"; "r2" ]
+    (Ast.RegSet.elements (Cfg.regs_of_codeheap ch))
+
+let test_be_same_target () =
+  let b = Ast.block [] (Ast.Be (Ast.Val 1, "X", "X")) in
+  Alcotest.(check (list string)) "dedup branch targets" [ "X" ] (Cfg.successors b)
+
+(* ------------------------------------------------------------------ *)
+(* S-expression serialization *)
+
+let test_sexp_roundtrip_corpus () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      match Sexp.program_of_string (Sexp.program_to_string t.Litmus.prog) with
+      | Ok p ->
+          Alcotest.(check bool)
+            (t.Litmus.name ^ " sexp roundtrips")
+            true
+            (Ast.equal_program p t.Litmus.prog)
+      | Error e -> Alcotest.failf "%s: %s" t.Litmus.name e)
+    Litmus.all
+
+let test_sexp_shape () =
+  let p =
+    Parse.program_of_string
+      "threads t;\nproc t entry L {\nL:\n  x.na := 1;\n  return;\n}"
+  in
+  Alcotest.(check string) "stable textual form"
+    "(program (atomics) (threads t) (proc t (entry L) (block L (store x na \
+     (int 1)) (return))))"
+    (Sexp.program_to_string p)
+
+let test_sexp_errors () =
+  let bad s =
+    match Sexp.program_of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "should reject %S" s
+  in
+  bad "";
+  bad "(program)";
+  (* a program without procs parses (wf rejects it later) *)
+  (match Sexp.program_of_string "(program (atomics) (threads t))" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "empty code should parse at sexp level: %s" e);
+  bad "(program (atomics) (threads t) (proc t (entry L) (block L (bogus))))";
+  bad "(program (atomics x (threads t)))";
+  bad "(((";
+  bad "(program (atomics) (threads t) (proc t (entry L) (block L (return))) extra"
+
+let test_sexp_tree () =
+  (match Sexp.parse "(a (b c) d)" with
+  | Ok (Sexp.List [ Sexp.Atom "a"; Sexp.List [ Sexp.Atom "b"; Sexp.Atom "c" ]; Sexp.Atom "d" ]) -> ()
+  | _ -> Alcotest.fail "tree parse");
+  match Sexp.parse "atom" with
+  | Ok (Sexp.Atom "atom") -> ()
+  | _ -> Alcotest.fail "bare atom"
+
+(* ------------------------------------------------------------------ *)
+(* Property: pretty-print/parse round-trip on random straightline
+   programs. *)
+
+let instr_gen =
+  let open QCheck.Gen in
+  let reg = map (Printf.sprintf "r%d") (int_range 0 4) in
+  let var = map (Printf.sprintf "v%d") (int_range 0 3) in
+  let expr =
+    oneof
+      [
+        map (fun v -> Ast.Val v) (int_range (-8) 8);
+        map (fun r -> Ast.Reg r) reg;
+        map3 (fun a b op -> Ast.Bin (op, Ast.Reg a, Ast.Val b)) reg
+          (int_range 0 9)
+          (oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Lt; Ast.Eq ]);
+      ]
+  in
+  oneof
+    [
+      map2 (fun r x -> Ast.Load (r, x, Lang.Modes.Na)) reg var;
+      map2 (fun x e -> Ast.Store (x, e, Lang.Modes.WNa)) var expr;
+      map2 (fun r e -> Ast.Assign (r, e)) reg expr;
+      return Ast.Skip;
+      map (fun e -> Ast.Print e) expr;
+    ]
+
+let program_gen =
+  QCheck.make
+    ~print:(fun p -> Lang.Pp.program_to_string p)
+    (QCheck.Gen.map
+       (fun instrs ->
+         Ast.program
+           ~code:[ ("t", Ast.codeheap ~entry:"L" [ ("L", Ast.block instrs Ast.Return) ]) ]
+           [ "t" ])
+       (QCheck.Gen.list_size (QCheck.Gen.int_range 0 12) instr_gen))
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"pp/parse roundtrip" program_gen (fun p ->
+      Ast.equal_program p (Parse.program_of_string (Pp.program_to_string p)))
+
+let sexp_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"sexp roundtrip" program_gen (fun p ->
+      match Sexp.program_of_string (Sexp.program_to_string p) with
+      | Ok p' -> Ast.equal_program p p'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "wrap32" `Quick test_wrap32;
+          Alcotest.test_case "const_fold" `Quick test_const_fold;
+          Alcotest.test_case "subst/uses" `Quick test_subst_uses;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "program" `Quick test_parse_program;
+          Alcotest.test_case "instruction kinds" `Quick test_parse_instr_kinds;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments/negatives" `Quick
+            test_parse_comments_and_negatives;
+          Alcotest.test_case "corpus roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "wf",
+        [
+          Alcotest.test_case "accepts mp" `Quick test_wf_ok;
+          Alcotest.test_case "rejects violations" `Quick test_wf_errors;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "diamond" `Quick test_cfg;
+          Alcotest.test_case "unreachable" `Quick test_cfg_unreachable;
+          Alcotest.test_case "vars/regs" `Quick test_vars_regs;
+          Alcotest.test_case "be same target" `Quick test_be_same_target;
+        ] );
+      ( "sexp",
+        [
+          Alcotest.test_case "corpus roundtrip" `Quick
+            test_sexp_roundtrip_corpus;
+          Alcotest.test_case "stable shape" `Quick test_sexp_shape;
+          Alcotest.test_case "errors" `Quick test_sexp_errors;
+          Alcotest.test_case "tree parser" `Quick test_sexp_tree;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest roundtrip_prop;
+          QCheck_alcotest.to_alcotest sexp_roundtrip_prop;
+        ] );
+    ]

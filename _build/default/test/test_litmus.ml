@@ -1,0 +1,105 @@
+(* Corpus integrity: names, well-formedness, claim sanity. *)
+
+let test_names_unique () =
+  let names = List.map (fun (t : Litmus.t) -> t.Litmus.name) Litmus.all in
+  Alcotest.(check int) "no duplicates"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      Alcotest.(check string) "find by name" t.Litmus.name
+        (Litmus.find t.Litmus.name).Litmus.name)
+    Litmus.all;
+  Alcotest.check_raises "unknown raises" Not_found (fun () ->
+      ignore (Litmus.find "no_such_test"))
+
+let test_well_formed () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      match Lang.Wf.check t.Litmus.prog with
+      | Ok () -> ()
+      | Error es ->
+          Alcotest.failf "%s ill-formed: %a" t.Litmus.name
+            (Format.pp_print_list Lang.Wf.pp_error)
+            es)
+    Litmus.all
+
+let test_claims_sane () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      Alcotest.(check bool)
+        (t.Litmus.name ^ " has expected outcomes")
+        true
+        (t.Litmus.expected <> []);
+      (* no outcome is both expected and forbidden *)
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            (t.Litmus.name ^ " consistent claims")
+            false
+            (List.mem (List.sort compare e)
+               (List.map (List.sort compare) t.Litmus.forbidden)))
+        (List.map (List.sort compare) t.Litmus.expected))
+    Litmus.all
+
+let test_pairings () =
+  (* the source/target pairs used by the experiments exist and share
+     their thread structure *)
+  List.iter
+    (fun (s, tt) ->
+      let src = Litmus.find s and tgt = Litmus.find tt in
+      Alcotest.(check (list string))
+        (s ^ "/" ^ tt ^ " same threads")
+        src.Litmus.prog.Lang.Ast.threads tgt.Litmus.prog.Lang.Ast.threads)
+    [
+      ("fig1_foo", "fig1_foo_opt");
+      ("fig1_foo_rlx", "fig1_foo_opt_rlx");
+      ("reorder_src", "reorder_tgt");
+      ("fig15_src", "fig15_bad_tgt");
+      ("fig16_src", "fig16_tgt");
+      ("fig5_src", "fig5_tgt");
+    ]
+
+let test_promise_annotations () =
+  (* programs marked needs_promises really do lose an expected outcome
+     under promise-free exploration *)
+  List.iter
+    (fun (t : Litmus.t) ->
+      if t.Litmus.needs_promises then begin
+        let sorted l = List.sort compare l in
+        let outs cfg =
+          let o =
+            Explore.Enum.behaviors_exn ~config:cfg Explore.Enum.Interleaving
+              t.Litmus.prog
+          in
+          Explore.Traceset.done_outs o.Explore.Enum.traces
+          |> List.map sorted |> List.sort_uniq compare
+        in
+        let without = outs Explore.Config.quick in
+        let missing =
+          List.exists
+            (fun e -> not (List.mem (sorted e) without))
+            t.Litmus.expected
+        in
+        Alcotest.(check bool)
+          (t.Litmus.name ^ " promise-dependent outcome")
+          true missing
+      end)
+    Litmus.all
+
+let () =
+  Alcotest.run "litmus"
+    [
+      ( "integrity",
+        [
+          Alcotest.test_case "unique names" `Quick test_names_unique;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "well-formed" `Quick test_well_formed;
+          Alcotest.test_case "claims sane" `Quick test_claims_sane;
+          Alcotest.test_case "pairings" `Quick test_pairings;
+          Alcotest.test_case "promise annotations" `Slow
+            test_promise_annotations;
+        ] );
+    ]

@@ -1,0 +1,252 @@
+(* The message memory: disjoint insertion, readability, canonical
+   slotting and the capped memory (Sec. 3). *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+let msg = Alcotest.testable Ps.Message.pp Ps.Message.equal
+let t n = Rat.of_int n
+
+let mk x v f to_ =
+  Ps.Message.msg ~var:x ~value:v ~from_:(t f) ~to_:(t to_) ~view:Ps.View.bot
+
+let test_init () =
+  let m = Ps.Memory.init [ "x"; "y" ] in
+  Alcotest.(check (slist string compare)) "vars" [ "x"; "y" ] (Ps.Memory.vars m);
+  match Ps.Memory.per_loc "x" m with
+  | [ init ] ->
+      Alcotest.check msg "init message" (Ps.Message.init "x") init;
+      Alcotest.(check (option int)) "value 0" (Some 0) (Ps.Message.value init)
+  | _ -> Alcotest.fail "expected exactly the initialization message"
+
+let test_add_disjoint () =
+  let m = Ps.Memory.init [ "x" ] in
+  let m = Ps.Memory.add_exn (mk "x" 1 1 2) m in
+  let m = Ps.Memory.add_exn (mk "x" 2 3 4) m in
+  Alcotest.(check int) "3 messages" 3 (List.length (Ps.Memory.per_loc "x" m));
+  (* overlapping insert rejected *)
+  (match Ps.Memory.add (mk "x" 9 1 3) m with
+  | Error clash ->
+      Alcotest.check msg "clash is the (1,2] message" (mk "x" 1 1 2) clash
+  | Ok _ -> Alcotest.fail "overlap accepted");
+  (* duplicate "to" rejected *)
+  (match Ps.Memory.add (mk "x" 9 5 4) m with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "should reject: interval (5,4] nonsensical/overlap");
+  (* same location, touching endpoints are fine: (2,3] fits *)
+  match Ps.Memory.add (mk "x" 7 2 3) m with
+  | Ok m' -> Alcotest.(check int) "4 messages" 4 (List.length (Ps.Memory.per_loc "x" m'))
+  | Error _ -> Alcotest.fail "adjacent interval rejected"
+
+let test_add_implicit_init () =
+  let m = Ps.Memory.init [] in
+  let m = Ps.Memory.add_exn (mk "z" 5 1 2) m in
+  Alcotest.(check int) "init added implicitly" 2
+    (List.length (Ps.Memory.per_loc "z" m))
+
+let test_find_contains_remove () =
+  let m = Ps.Memory.init [ "x" ] in
+  let msg1 = mk "x" 1 1 2 in
+  let m = Ps.Memory.add_exn msg1 m in
+  (match Ps.Memory.find "x" (t 2) m with
+  | Some found -> Alcotest.check msg "find by to" msg1 found
+  | None -> Alcotest.fail "not found");
+  Alcotest.(check bool) "contains" true (Ps.Memory.contains msg1 m);
+  let m' = Ps.Memory.remove msg1 m in
+  Alcotest.(check bool) "removed" false (Ps.Memory.contains msg1 m')
+
+let test_readable () =
+  let m = Ps.Memory.init [ "x" ] in
+  let m = Ps.Memory.add_exn (mk "x" 1 1 2) m in
+  let m = Ps.Memory.add_exn (mk "x" 2 3 4) m in
+  (* a non-atomic read bumps Trlx only, so Tna stays 0 *)
+  let view = Ps.View.observe_read Lang.Modes.Na "x" (t 2) Ps.View.bot in
+  let readable = Ps.Memory.readable Lang.Modes.Rlx "x" view m in
+  Alcotest.(check int) "two readable (>= Trlx)" 2 (List.length readable);
+  let readable_na = Ps.Memory.readable Lang.Modes.Na "x" view m in
+  Alcotest.(check int) "na uses Tna (still 0): all three" 3
+    (List.length readable_na);
+  (* reservations are never readable *)
+  let m = Ps.Memory.add_exn (Ps.Message.rsv ~var:"x" ~from_:(t 4) ~to_:(t 5)) m in
+  Alcotest.(check int) "reservation not readable" 2
+    (List.length (Ps.Memory.readable Lang.Modes.Rlx "x" view m))
+
+let test_last_ts () =
+  let m = Ps.Memory.init [ "x" ] in
+  Alcotest.check rat "init last" Rat.zero (Ps.Memory.last_ts "x" m);
+  let m = Ps.Memory.add_exn (mk "x" 1 1 2) m in
+  Alcotest.check rat "after add" (t 2) (Ps.Memory.last_ts "x" m);
+  Alcotest.check rat "unknown loc" Rat.zero (Ps.Memory.last_ts "zz" m)
+
+let test_write_slots () =
+  let m = Ps.Memory.init [ "x" ] in
+  let m = Ps.Memory.add_exn (mk "x" 1 4 6) m in
+  let slots = Ps.Memory.write_slots "x" ~min:Rat.zero m in
+  (* one slot inside the gap (0, 4), one beyond 6 *)
+  Alcotest.(check int) "two slots" 2 (List.length slots);
+  List.iter
+    (fun (f, to_) ->
+      Alcotest.(check bool) "from < to" true (Rat.lt f to_);
+      let probe = Ps.Message.msg ~var:"x" ~value:9 ~from_:f ~to_ ~view:Ps.View.bot in
+      match Ps.Memory.add probe m with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "slot overlaps existing message")
+    slots;
+  (* min constraint: everything below the view is filtered *)
+  let slots_hi = Ps.Memory.write_slots "x" ~min:(t 6) m in
+  List.iter
+    (fun (_, to_) -> Alcotest.(check bool) "to > min" true (Rat.gt to_ (t 6)))
+    slots_hi
+
+let test_attach_slot () =
+  let m = Ps.Memory.init [ "x" ] in
+  let m = Ps.Memory.add_exn (mk "x" 1 4 6) m in
+  (* attach after the init message: the gap (0,4) is free *)
+  (match Ps.Memory.attach_slot "x" ~after:Rat.zero m with
+  | Some (f, to_) ->
+      Alcotest.check rat "from is exactly 0" Rat.zero f;
+      Alcotest.(check bool) "to inside gap" true (Rat.lt to_ (t 4))
+  | None -> Alcotest.fail "expected an attach slot");
+  (* attach after the last message *)
+  (match Ps.Memory.attach_slot "x" ~after:(t 6) m with
+  | Some (f, _) -> Alcotest.check rat "from is 6" (t 6) f
+  | None -> Alcotest.fail "expected a slot after last");
+  (* blocked: a message starting exactly at 'after' *)
+  let m2 = Ps.Memory.add_exn (mk "x" 2 6 8) m in
+  (match Ps.Memory.attach_slot "x" ~after:(t 6) m2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "adjacent space is occupied");
+  (* blocked: 'after' strictly inside an interval *)
+  match Ps.Memory.attach_slot "x" ~after:(t 5) m with
+  | None -> ()
+  | Some _ -> Alcotest.fail "inside an occupied interval"
+
+let test_cap () =
+  let m = Ps.Memory.init [ "x"; "y" ] in
+  let m = Ps.Memory.add_exn (mk "x" 1 2 3) m in
+  let m = Ps.Memory.add_exn (mk "x" 2 5 6) m in
+  let capped = Ps.Memory.cap m in
+  let xs = Ps.Memory.per_loc "x" capped in
+  (* init(0,0], rsv(0,2], msg(2,3], rsv(3,5], msg(5,6], cap rsv(6,7] *)
+  Alcotest.(check int) "gaps filled + cap" 6 (List.length xs);
+  let rsvs = List.filter Ps.Message.is_reservation xs in
+  Alcotest.(check int) "three reservations" 3 (List.length rsvs);
+  (* cap reservation spans (t_last, t_last+1] *)
+  let cap_rsv = List.nth xs (List.length xs - 1) in
+  Alcotest.check rat "cap from" (t 6) (Ps.Message.from_ cap_rsv);
+  Alcotest.check rat "cap to" (t 7) (Ps.Message.to_ cap_rsv);
+  (* y has just its init and a cap *)
+  Alcotest.(check int) "y capped" 2 (List.length (Ps.Memory.per_loc "y" capped));
+  (* no write slot fits strictly between existing messages anymore *)
+  let slots = Ps.Memory.write_slots "x" ~min:Rat.zero capped in
+  List.iter
+    (fun (_, to_) ->
+      Alcotest.(check bool) "only beyond the cap" true (Rat.gt to_ (t 7)))
+    slots
+
+let test_overlaps () =
+  Alcotest.(check bool) "overlap" true
+    (Ps.Message.overlaps (mk "x" 1 1 3) (mk "x" 2 2 4));
+  Alcotest.(check bool) "disjoint" false
+    (Ps.Message.overlaps (mk "x" 1 1 2) (mk "x" 2 2 3));
+  Alcotest.(check bool) "different locations" false
+    (Ps.Message.overlaps (mk "x" 1 1 3) (mk "y" 2 2 4));
+  Alcotest.(check bool) "zero-width init never overlaps" false
+    (Ps.Message.overlaps (Ps.Message.init "x") (mk "x" 1 0 1))
+
+(* ------------------------------------------------------------------ *)
+(* Properties: random insertion sequences keep per-location lists
+   sorted and disjoint; slots returned are always insertable. *)
+
+let ops_gen =
+  QCheck.Gen.(list_size (int_range 1 25) (pair (int_range 0 2) (int_range 0 50)))
+
+let build ops =
+  List.fold_left
+    (fun m (loc_i, _) ->
+      let x = Printf.sprintf "v%d" loc_i in
+      match Ps.Memory.write_slots x ~min:Rat.zero m with
+      | [] -> m
+      | slots ->
+          let f, to_ = List.nth slots (loc_i mod List.length slots) in
+          Ps.Memory.add_exn
+            (Ps.Message.msg ~var:x ~value:loc_i ~from_:f ~to_ ~view:Ps.View.bot)
+            m)
+    (Ps.Memory.init [ "v0"; "v1"; "v2" ])
+    ops
+
+let mem_gen =
+  QCheck.make ~print:(fun m -> Format.asprintf "%a" Ps.Memory.pp m)
+    (QCheck.Gen.map build ops_gen)
+
+let sorted_disjoint m =
+  List.for_all
+    (fun x ->
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            Rat.le (Ps.Message.to_ a) (Ps.Message.from_ b)
+            && (not (Ps.Message.overlaps a b))
+            && ok rest
+        | _ -> true
+      in
+      ok (Ps.Memory.per_loc x m))
+    (Ps.Memory.vars m)
+
+let props =
+  [
+    QCheck.Test.make ~count:200 ~name:"insertion keeps sorted+disjoint" mem_gen
+      sorted_disjoint;
+    QCheck.Test.make ~count:200 ~name:"every slot is insertable" mem_gen
+      (fun m ->
+        List.for_all
+          (fun x ->
+            List.for_all
+              (fun (f, to_) ->
+                match
+                  Ps.Memory.add
+                    (Ps.Message.msg ~var:x ~value:0 ~from_:f ~to_
+                       ~view:Ps.View.bot)
+                    m
+                with
+                | Ok _ -> true
+                | Error _ -> false)
+              (Ps.Memory.write_slots x ~min:Rat.zero m))
+          (Ps.Memory.vars m));
+    QCheck.Test.make ~count:200 ~name:"cap leaves no gaps" mem_gen (fun m ->
+        let capped = Ps.Memory.cap m in
+        List.for_all
+          (fun x ->
+            let rec no_gap = function
+              | a :: (b :: _ as rest) ->
+                  Rat.equal (Ps.Message.to_ a) (Ps.Message.from_ b)
+                  && no_gap rest
+              | _ -> true
+            in
+            no_gap (Ps.Memory.per_loc x capped))
+          (Ps.Memory.vars capped));
+    QCheck.Test.make ~count:200 ~name:"cap preserves concrete messages" mem_gen
+      (fun m ->
+        let capped = Ps.Memory.cap m in
+        List.for_all
+          (fun msg ->
+            (not (Ps.Message.is_concrete msg)) || Ps.Memory.contains msg capped)
+          (Ps.Memory.messages m));
+  ]
+
+let () =
+  Alcotest.run "memory"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "init" `Quick test_init;
+          Alcotest.test_case "add/disjointness" `Quick test_add_disjoint;
+          Alcotest.test_case "implicit init" `Quick test_add_implicit_init;
+          Alcotest.test_case "find/contains/remove" `Quick
+            test_find_contains_remove;
+          Alcotest.test_case "readable" `Quick test_readable;
+          Alcotest.test_case "last_ts" `Quick test_last_ts;
+          Alcotest.test_case "write_slots" `Quick test_write_slots;
+          Alcotest.test_case "attach_slot" `Quick test_attach_slot;
+          Alcotest.test_case "capped memory" `Quick test_cap;
+          Alcotest.test_case "overlaps" `Quick test_overlaps;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]

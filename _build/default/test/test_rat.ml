@@ -1,0 +1,118 @@
+(* Rational timestamps: unit tests and algebraic properties. *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let check_rat = Alcotest.check rat
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests *)
+
+let test_normalization () =
+  check_rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  check_rat "-6/-4 = 3/2" (Rat.make 3 2) (Rat.make (-6) (-4));
+  check_rat "6/-4 = -3/2" (Rat.make (-3) 2) (Rat.make 6 (-4));
+  check_rat "0/7 = 0" Rat.zero (Rat.make 0 7);
+  Alcotest.check_raises "den 0" Division_by_zero (fun () ->
+      ignore (Rat.make 1 0))
+
+let test_arith () =
+  check_rat "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "1/2 - 1/3" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "2/3 * 3/4" (Rat.make 1 2) (Rat.mul (Rat.make 2 3) (Rat.make 3 4));
+  check_rat "1/2 / 1/4" (Rat.of_int 2) (Rat.div (Rat.make 1 2) (Rat.make 1 4));
+  check_rat "neg" (Rat.make (-1) 2) (Rat.neg (Rat.make 1 2));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "1/2 < 2/3" true (Rat.lt (Rat.make 1 2) (Rat.make 2 3));
+  Alcotest.(check bool) "le refl" true (Rat.le Rat.one Rat.one);
+  Alcotest.(check bool) "gt" true (Rat.gt (Rat.of_int 2) Rat.one);
+  Alcotest.(check bool) "ge eq" true (Rat.ge Rat.one Rat.one);
+  check_rat "min" Rat.zero (Rat.min Rat.zero Rat.one);
+  check_rat "max" Rat.one (Rat.max Rat.zero Rat.one)
+
+let test_midpoint () =
+  let a = Rat.make 1 3 and b = Rat.make 1 2 in
+  let m = Rat.midpoint a b in
+  Alcotest.(check bool) "a < mid" true (Rat.lt a m);
+  Alcotest.(check bool) "mid < b" true (Rat.lt m b);
+  check_rat "midpoint value" (Rat.make 5 12) m
+
+let test_succ_int () =
+  check_rat "succ 0" Rat.one (Rat.succ Rat.zero);
+  Alcotest.(check bool) "is_integer 3" true (Rat.is_integer (Rat.of_int 3));
+  Alcotest.(check bool) "not integer 1/2" false (Rat.is_integer (Rat.make 1 2))
+
+let test_pp () =
+  Alcotest.(check string) "int pp" "5" (Rat.to_string (Rat.of_int 5));
+  Alcotest.(check string) "frac pp" "5/12" (Rat.to_string (Rat.make 5 12));
+  Alcotest.(check string) "neg pp" "-1/2" (Rat.to_string (Rat.make 1 (-2)))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-9)) "to_float" 0.5 (Rat.to_float (Rat.make 1 2))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let rat_gen =
+  QCheck.make
+    ~print:(fun r -> Rat.to_string r)
+    (QCheck.Gen.map2
+       (fun n d -> Rat.make n d)
+       (QCheck.Gen.int_range (-1000) 1000)
+       (QCheck.Gen.int_range 1 1000))
+
+let prop name law = QCheck.Test.make ~count:500 ~name law
+
+let props =
+  [
+    prop "add commutative" (QCheck.pair rat_gen rat_gen) (fun (a, b) ->
+        Rat.equal (Rat.add a b) (Rat.add b a));
+    prop "add associative"
+      (QCheck.triple rat_gen rat_gen rat_gen)
+      (fun (a, b, c) ->
+        Rat.equal (Rat.add (Rat.add a b) c) (Rat.add a (Rat.add b c)));
+    prop "mul distributes"
+      (QCheck.triple rat_gen rat_gen rat_gen)
+      (fun (a, b, c) ->
+        Rat.equal (Rat.mul a (Rat.add b c))
+          (Rat.add (Rat.mul a b) (Rat.mul a c)));
+    prop "sub then add" (QCheck.pair rat_gen rat_gen) (fun (a, b) ->
+        Rat.equal a (Rat.add (Rat.sub a b) b));
+    prop "compare total order"
+      (QCheck.pair rat_gen rat_gen)
+      (fun (a, b) ->
+        let c = Rat.compare a b in
+        (c = 0) = Rat.equal a b
+        && (c < 0) = Rat.lt a b
+        && (c > 0) = Rat.gt a b);
+    prop "midpoint strictly between"
+      (QCheck.pair rat_gen rat_gen)
+      (fun (a, b) ->
+        QCheck.assume (not (Rat.equal a b));
+        let lo = Rat.min a b and hi = Rat.max a b in
+        let m = Rat.midpoint lo hi in
+        Rat.lt lo m && Rat.lt m hi);
+    prop "normal form: equal iff compare 0"
+      (QCheck.pair rat_gen rat_gen)
+      (fun (a, b) -> Rat.equal a b = (Rat.compare a b = 0));
+    prop "hash respects equality" rat_gen (fun a ->
+        Rat.hash a = Rat.hash (Rat.add a Rat.zero));
+  ]
+
+let () =
+  Alcotest.run "rat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "comparison" `Quick test_compare;
+          Alcotest.test_case "midpoint" `Quick test_midpoint;
+          Alcotest.test_case "succ/is_integer" `Quick test_succ_int;
+          Alcotest.test_case "pretty-printing" `Quick test_pp;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest props);
+    ]
