@@ -262,6 +262,106 @@ let fig1_sweep () =
     [ 1; 2; 3 ];
   Format.printf "(expected: acq violates at every bound, rlx always refines)@.@."
 
+(* Cert-cache ablation: node throughput of the full exploration with
+   the certification cache on (default) vs off.
+
+   Certification — a bounded exploration of the promising thread's
+   future per check — is the one per-node cost that is not O(step), so
+   the workload family here is built to be certification-bound: a
+   promiser whose fulfillment sits [pad] register steps after the
+   promise (each consistency check walks that suffix, so uncached
+   certification work grows quadratically with [pad] while the state
+   space grows linearly), interleaved with a reader thread whose
+   [noise] loads of an unwritten location revisit the promiser's exact
+   (thread-state, memory) configuration over and over.  On litmus-size
+   programs certification is a few percent of runtime and the cache is
+   neutral; these rows show the regime it exists for.
+
+   The behaviour sets must be identical with the cache on and off —
+   the cache only skips re-deriving results that are pure functions of
+   the (thread-state, memory) configuration; CI runs this equivalence
+   check via [--check]. *)
+let cert_heavy ~pad ~noise =
+  let h1 = pad / 2 in
+  let h2 = pad - h1 in
+  let open Lang.Build in
+  let padding n = List.init n (fun _ -> assign "a" (r "a" + i 1)) in
+  let noise_instrs =
+    List.init noise (fun _ -> load "s" "z" ~mode:Lang.Modes.Rlx)
+  in
+  program ~atomics:[ "x"; "y"; "z" ]
+    [
+      proc "t1"
+        [
+          blk "L0"
+            ([ assign "a" (i 0) ]
+            @ padding h1
+            @ [ load "r1" "y" ~mode:Lang.Modes.Rlx ]
+            @ padding h2
+            @ [ store "x" ~mode:Lang.Modes.WRlx (i 1); print (r "r1") ])
+            ret;
+        ];
+      proc "t2"
+        [
+          blk "L0"
+            (noise_instrs
+            @ [ load "r2" "x" ~mode:Lang.Modes.Rlx;
+                store "y" ~mode:Lang.Modes.WRlx (i 1); print (r "r2") ])
+            ret;
+        ];
+    ]
+    ~threads:[ "t1"; "t2" ]
+
+let cert_cache_table ~timings =
+  Format.printf
+    "== ablation: certification cache on certification-bound workloads ==@.";
+  if timings then
+    Format.printf "%-22s %9s %12s %12s %9s@." "workload" "nodes"
+      "cached n/s" "uncached n/s" "speedup";
+  let time f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, Sys.time () -. t0)
+  in
+  let geo = ref 1.0 and count = ref 0 in
+  List.iter
+    (fun (pad, noise) ->
+      let name = Printf.sprintf "cert_heavy %d/%d" pad noise in
+      let prog = cert_heavy ~pad ~noise in
+      let run cache =
+        let config = { Explore.Config.default with cert_cache = cache } in
+        time (fun () ->
+            Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving prog)
+      in
+      let cached, t_on = run true in
+      let uncached, t_off = run false in
+      if
+        not
+          (Explore.Traceset.equal cached.Explore.Enum.traces
+             uncached.Explore.Enum.traces)
+      then (
+        Format.printf "%-22s traceset MISMATCH between ablations@." name;
+        incr failed)
+      else begin
+        incr passed;
+        if timings then begin
+          let n = float_of_int cached.Explore.Enum.stats.Explore.Stats.nodes in
+          let speedup = t_off /. t_on in
+          geo := !geo *. speedup;
+          incr count;
+          Format.printf "%-22s %9.0f %12.0f %12.0f %8.2fx@." name n
+            (n /. t_on) (n /. t_off) speedup
+        end
+        else
+          Format.printf "%-22s tracesets identical across ablation  ok@." name
+      end)
+    [ (60, 16); (80, 20); (100, 24) ];
+  if timings then begin
+    let g = !geo ** (1.0 /. float_of_int (max 1 !count)) in
+    Format.printf "geometric-mean speedup: %.2fx@." g
+  end;
+  Format.printf "@."
+
 (* ------------------------------------------------------------------ *)
 (* Synthetic workload generator for optimizer throughput *)
 
@@ -376,6 +476,14 @@ let tests =
          Explore.Enum.Interleaving lbp);
     t "abl_promise_none"
       (explore_bench ~config:Explore.Config.quick Explore.Enum.Interleaving lbp);
+    t "abl_cert_cache_on"
+      (explore_bench
+         ~config:{ Explore.Config.default with cert_cache = true }
+         Explore.Enum.Interleaving (cert_heavy ~pad:20 ~noise:8));
+    t "abl_cert_cache_off"
+      (explore_bench
+         ~config:{ Explore.Config.default with cert_cache = false }
+         Explore.Enum.Interleaving (cert_heavy ~pad:20 ~noise:8));
     (* optimizer throughput on the synthetic CFG *)
     t "opt_dce_120blocks" (fun () -> ignore (Opt.Pass.apply Opt.Dce.pass big));
     t "opt_licm_120blocks" (fun () -> ignore (Opt.Pass.apply Opt.Licm.pass big));
@@ -421,9 +529,16 @@ let run_benchmarks () =
     tests
 
 let () =
+  (* [--check]: reproduction rows and the cert-cache equivalence only —
+     the deterministic pass/fail half of the harness, suitable for CI.
+     Without it, the timing phases run too. *)
+  let check_only = Array.mem "--check" Sys.argv in
   reproduce ();
-  state_space_table ();
-  fig1_sweep ();
-  run_benchmarks ();
+  cert_cache_table ~timings:(not check_only);
+  if not check_only then begin
+    state_space_table ();
+    fig1_sweep ();
+    run_benchmarks ()
+  end;
   Format.printf "@.experiments: %d ok, %d failed@." !passed !failed;
   if !failed > 0 then exit 1

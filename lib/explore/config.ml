@@ -8,6 +8,7 @@ type t = {
   cert_fuel : int;
   cap_certification : bool;
   memoize : bool;
+  cert_cache : bool;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     cert_fuel = 64;
     cap_certification = true;
     memoize = true;
+    cert_cache = true;
   }
 
 let quick =
@@ -38,10 +40,11 @@ let with_promises n t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "{steps=%d; promises=%d(%s); rsv=%b; cert_fuel=%d; cap=%b; memo=%b}"
+    "{steps=%d; promises=%d(%s); rsv=%b; cert_fuel=%d; cap=%b; memo=%b; \
+     cert_cache=%b}"
     t.max_steps t.max_promises
     (match t.promise_mode with
     | No_promises -> "none"
     | Semantic -> "semantic"
     | Syntactic -> "syntactic")
-    t.reservations t.cert_fuel t.cap_certification t.memoize
+    t.reservations t.cert_fuel t.cap_certification t.memoize t.cert_cache

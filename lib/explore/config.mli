@@ -32,6 +32,14 @@ type t = {
   memoize : bool;
       (** memoize suffix sets per machine state (exact for acyclic
           state spaces; divergence is reported as [Open] prefixes) *)
+  cert_cache : bool;
+      (** cache certification verdicts per [(thread-state, memory)]
+          configuration, so {!Ps.Cert.consistent} — the dominant cost
+          of the hot path, forced for every output, switch and promise
+          candidate — runs once per distinct configuration instead of
+          once per successor.  Sound: the verdict is a pure function
+          of the configuration (fuel and capping are fixed per
+          search).  [false] is the bench ablation. *)
 }
 
 val default : t

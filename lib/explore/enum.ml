@@ -23,9 +23,36 @@ module Node = struct
     else
       let c = Bool.compare a.bit b.bit in
       if c <> 0 then c else TidMap.compare Int.compare a.promised b.promised
+
+  let equal a b = compare a b = 0
+
+  let hash n =
+    let promised =
+      TidMap.fold
+        (fun tid k h -> Rat.hash_combine (Rat.hash_combine h tid) k)
+        n.promised 0x6e6f
+    in
+    Rat.hash_combine
+      (Rat.hash_combine (Ps.Machine.hash n.world) (Bool.to_int n.bit))
+      promised
 end
 
-module NodeMap = Map.Make (Node)
+module NodeTbl = Hashtbl.Make (Node)
+
+(* Certification-cache key: the certified configuration.  The verdict
+   of [Ps.Cert.consistent] is a pure function of the thread state and
+   the memory (fuel, capping and code are fixed per search), so one
+   entry answers every successor enumeration that reaches the same
+   configuration — which the interleavings of the other threads do
+   constantly. *)
+module CertTbl = Hashtbl.Make (struct
+  type t = Ps.Thread.ts * Ps.Memory.t
+
+  let equal (ts1, m1) (ts2, m2) =
+    Ps.Thread.equal ts1 ts2 && Ps.Memory.equal m1 m2
+
+  let hash (ts, m) = Rat.hash_combine (Ps.Thread.hash ts) (Ps.Memory.hash m)
+end)
 
 (* One successor: the output emitted (if any) and the next node. *)
 type succ = { emit : Lang.Ast.value option; next : Node.t }
@@ -36,22 +63,73 @@ type search = {
   disc : discipline;
   cfg : Config.t;
   stats : Stats.t;
-  mutable memo : Traceset.t NodeMap.t;
-  mutable on_stack : int NodeMap.t;  (* node -> stack index *)
+  memo : Traceset.t NodeTbl.t;
+  on_stack : int NodeTbl.t;  (* node -> stack index *)
+  cert_cache : bool CertTbl.t;
+  cand_cache : (Lang.Ast.var * Lang.Ast.value) list CertTbl.t;
+      (* semantic promise candidates, the other certification search
+         ran per node (see [promise_candidates]) *)
 }
+
+let make_search code atomics disc cfg =
+  {
+    code;
+    atomics;
+    disc;
+    cfg;
+    stats = Stats.create ();
+    memo = NodeTbl.create 1024;
+    on_stack = NodeTbl.create 256;
+    cert_cache = CertTbl.create 1024;
+    cand_cache = CertTbl.create 1024;
+  }
+
+let run_cert s ts mem =
+  Ps.Cert.consistent ~fuel:s.cfg.Config.cert_fuel
+    ~cap:s.cfg.Config.cap_certification ~code:s.code ts mem
 
 let consistent s ts mem =
   s.stats.Stats.cert_checks <- s.stats.Stats.cert_checks + 1;
-  Ps.Cert.consistent ~fuel:s.cfg.Config.cert_fuel
-    ~cap:s.cfg.Config.cap_certification ~code:s.code ts mem
+  (* Promise-free thread states are trivially consistent; don't spend
+     a hash of the whole configuration on them. *)
+  if Ps.Thread.concrete_promises ts = [] then true
+  else if not s.cfg.Config.cert_cache then run_cert s ts mem
+  else
+    let key = (ts, mem) in
+    match CertTbl.find_opt s.cert_cache key with
+    | Some verdict ->
+        s.stats.Stats.cert_cache_hits <- s.stats.Stats.cert_cache_hits + 1;
+        verdict
+    | None ->
+        let verdict = run_cert s ts mem in
+        CertTbl.add s.cert_cache key verdict;
+        verdict
 
 let promise_candidates s ts mem =
   match s.cfg.Config.promise_mode with
   | Config.No_promises -> []
   | Config.Syntactic -> Ps.Thread.writes_in_code ~code:s.code ts
   | Config.Semantic ->
-      Ps.Cert.certifiable_writes ~fuel:s.cfg.Config.cert_fuel ~code:s.code ts
-        mem
+      (* Candidate discovery is the other certification search, run
+         for every node with promise budget left; like the verdicts it
+         is a pure function of the configuration, so it shares the
+         cache discipline (and the hit/size counters). *)
+      let compute () =
+        Ps.Cert.certifiable_writes ~fuel:s.cfg.Config.cert_fuel ~code:s.code
+          ts mem
+      in
+      if not s.cfg.Config.cert_cache then compute ()
+      else
+        let key = (ts, mem) in
+        match CertTbl.find_opt s.cand_cache key with
+        | Some cands ->
+            s.stats.Stats.cert_cache_hits <-
+              s.stats.Stats.cert_cache_hits + 1;
+            cands
+        | None ->
+            let cands = compute () in
+            CertTbl.add s.cand_cache key cands;
+            cands
 
 let successors s (n : Node.t) : succ list =
   let w = n.world in
@@ -164,16 +242,17 @@ let successors s (n : Node.t) : succ list =
 let max_taint = max_int
 
 let rec dfs s (n : Node.t) depth stack_ix : Traceset.t * int =
+  if depth > s.stats.Stats.peak_depth then s.stats.Stats.peak_depth <- depth;
   if depth >= s.cfg.Config.max_steps then (
     s.stats.Stats.cuts <- s.stats.Stats.cuts + 1;
     (Traceset.singleton (Ps.Event.trace_cut []), -1 (* depth taint *)))
   else
-    match NodeMap.find_opt n s.memo with
+    match NodeTbl.find_opt s.memo n with
     | Some traces ->
         s.stats.Stats.memo_hits <- s.stats.Stats.memo_hits + 1;
         (traces, max_taint)
     | None -> (
-        match NodeMap.find_opt n s.on_stack with
+        match NodeTbl.find_opt s.on_stack n with
         | Some ix ->
             (* Back-edge: divergence.  The honest behaviour is the
                prefix observed so far, i.e. the empty suffix with an
@@ -183,7 +262,7 @@ let rec dfs s (n : Node.t) depth stack_ix : Traceset.t * int =
               ix )
         | None ->
             s.stats.Stats.nodes <- s.stats.Stats.nodes + 1;
-            s.on_stack <- NodeMap.add n stack_ix s.on_stack;
+            NodeTbl.add s.on_stack n stack_ix;
             let base =
               if Ps.Machine.terminal n.world then
                 Traceset.singleton (Ps.Event.trace_done [])
@@ -212,31 +291,27 @@ let rec dfs s (n : Node.t) depth stack_ix : Traceset.t * int =
                   (Traceset.union acc sub, min taint t))
                 (base, max_taint) succs
             in
-            s.on_stack <- NodeMap.remove n s.on_stack;
+            NodeTbl.remove s.on_stack n;
             if s.cfg.Config.memoize && taint >= stack_ix && taint >= 0 then (
               (* No dependency below this node on the stack (cycle
                  heads close here) and no depth cut: safe to memoize. *)
-              s.memo <- NodeMap.add n traces s.memo;
+              NodeTbl.replace s.memo n traces;
               (traces, max_taint))
             else (traces, taint))
+
+let finish_stats s =
+  s.stats.Stats.memo_size <- NodeTbl.length s.memo;
+  s.stats.Stats.cert_cache_size <-
+    CertTbl.length s.cert_cache + CertTbl.length s.cand_cache
 
 let behaviors ?(config = Config.default) disc (p : Lang.Ast.program) =
   match Ps.Machine.init p with
   | Error e -> Error e
   | Ok world ->
-      let s =
-        {
-          code = p.Lang.Ast.code;
-          atomics = p.Lang.Ast.atomics;
-          disc;
-          cfg = config;
-          stats = Stats.create ();
-          memo = NodeMap.empty;
-          on_stack = NodeMap.empty;
-        }
-      in
+      let s = make_search p.Lang.Ast.code p.Lang.Ast.atomics disc config in
       let root = { Node.world; bit = true; promised = TidMap.empty } in
       let traces, _ = dfs s root 0 0 in
+      finish_stats s;
       Ok { traces; exact = s.stats.Stats.cuts = 0; stats = s.stats }
 
 let behaviors_exn ?config disc p =
@@ -248,32 +323,42 @@ let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
   match Ps.Machine.init p with
   | Error e -> Error e
   | Ok world ->
-      let s =
-        {
-          code = p.Lang.Ast.code;
-          atomics = p.Lang.Ast.atomics;
-          disc;
-          cfg = config;
-          stats = Stats.create ();
-          memo = NodeMap.empty;
-          on_stack = NodeMap.empty;
-        }
-      in
-      let visited = ref NodeMap.empty in
+      let s = make_search p.Lang.Ast.code p.Lang.Ast.atomics disc config in
+      (* Best (lowest) depth each node was expanded at.  Marking a node
+         visited at the depth it is *first* seen is wrong under a step
+         budget: a node first reached near [max_steps] would never be
+         re-expanded when later reachable at a shallower depth, cutting
+         off its successors and undercounting both states and
+         transitions.  Re-expansion on improvement makes the walk
+         budget-complete: every state reachable within [max_steps]
+         micro-steps along some path is visited. *)
+      let best = NodeTbl.create 1024 in
       let rec visit (n : Node.t) depth =
-        if depth < s.cfg.Config.max_steps && not (NodeMap.mem n !visited)
-        then (
-          visited := NodeMap.add n () !visited;
-          s.stats.Stats.nodes <- s.stats.Stats.nodes + 1;
-          let ts = Ps.Machine.cur_ts n.world in
-          let committed = consistent s ts n.world.Ps.Machine.mem in
-          f ~committed n.Node.world;
-          let succs = successors s n in
-          s.stats.Stats.transitions <-
-            s.stats.Stats.transitions + List.length succs;
-          List.iter (fun { next; _ } -> visit next (depth + 1)) succs)
-        else if depth >= s.cfg.Config.max_steps then
+        if depth >= s.cfg.Config.max_steps then
           s.stats.Stats.cuts <- s.stats.Stats.cuts + 1
+        else
+          let prev = NodeTbl.find_opt best n in
+          match prev with
+          | Some d when d <= depth -> ()
+          | _ ->
+              if depth > s.stats.Stats.peak_depth then
+                s.stats.Stats.peak_depth <- depth;
+              NodeTbl.replace best n depth;
+              let first = prev = None in
+              if first then begin
+                s.stats.Stats.nodes <- s.stats.Stats.nodes + 1;
+                let ts = Ps.Machine.cur_ts n.world in
+                let committed = consistent s ts n.world.Ps.Machine.mem in
+                f ~committed n.Node.world
+              end;
+              let succs = successors s n in
+              if first then
+                s.stats.Stats.transitions <-
+                  s.stats.Stats.transitions + List.length succs;
+              List.iter (fun { next; _ } -> visit next (depth + 1)) succs
       in
       visit { Node.world; bit = true; promised = TidMap.empty } 0;
+      s.stats.Stats.memo_size <- NodeTbl.length best;
+      s.stats.Stats.cert_cache_size <-
+        CertTbl.length s.cert_cache + CertTbl.length s.cand_cache;
       Ok s.stats

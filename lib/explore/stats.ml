@@ -2,10 +2,14 @@ type t = {
   mutable nodes : int;
   mutable transitions : int;
   mutable memo_hits : int;
+  mutable memo_size : int;
   mutable cert_checks : int;
+  mutable cert_cache_hits : int;
+  mutable cert_cache_size : int;
   mutable cycles : int;
   mutable cuts : int;
   mutable promises : int;
+  mutable peak_depth : int;
 }
 
 let create () =
@@ -13,14 +17,21 @@ let create () =
     nodes = 0;
     transitions = 0;
     memo_hits = 0;
+    memo_size = 0;
     cert_checks = 0;
+    cert_cache_hits = 0;
+    cert_cache_size = 0;
     cycles = 0;
     cuts = 0;
     promises = 0;
+    peak_depth = 0;
   }
 
 let pp ppf s =
   Format.fprintf ppf
-    "nodes=%d transitions=%d memo_hits=%d cert_checks=%d cycles=%d cuts=%d \
-     promises=%d"
-    s.nodes s.transitions s.memo_hits s.cert_checks s.cycles s.cuts s.promises
+    "nodes=%d transitions=%d memo_hits=%d memo_size=%d cert_checks=%d \
+     cert_cache_hits=%d cert_cache_size=%d cycles=%d cuts=%d promises=%d \
+     peak_depth=%d"
+    s.nodes s.transitions s.memo_hits s.memo_size s.cert_checks
+    s.cert_cache_hits s.cert_cache_size s.cycles s.cuts s.promises
+    s.peak_depth

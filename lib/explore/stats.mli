@@ -1,15 +1,27 @@
 (** Exploration statistics — the measurements behind experiments E9
     and E16 (state-space size of the interleaving vs the
-    non-preemptive machine) and the bench harness. *)
+    non-preemptive machine), the bench harness and its certification
+    ablation. *)
 
 type t = {
   mutable nodes : int;  (** distinct machine states visited *)
   mutable transitions : int;  (** micro-steps enumerated *)
   mutable memo_hits : int;
-  mutable cert_checks : int;  (** consistency checks performed *)
+  mutable memo_size : int;
+      (** entries in the suffix-set memo table at the end of the
+          search (distinct memoized machine states) *)
+  mutable cert_checks : int;  (** consistency checks requested *)
+  mutable cert_cache_hits : int;
+      (** consistency checks answered by the certification cache
+          without re-running {!Ps.Cert.consistent}; checks on
+          promise-free thread states are trivially true and counted
+          in neither this nor [cert_cache_size] *)
+  mutable cert_cache_size : int;
+      (** distinct [(thread-state, memory)] configurations certified *)
   mutable cycles : int;  (** back-edges (divergence points) found *)
   mutable cuts : int;  (** paths truncated by the step budget *)
   mutable promises : int;  (** promise steps explored *)
+  mutable peak_depth : int;  (** deepest micro-step stack reached *)
 }
 
 val create : unit -> t

@@ -17,20 +17,23 @@ let has_done outs s =
   mem { Ps.Event.outs; ending = Ps.Event.Done } s
 
 let closure s =
+  (* Every prefix — the full output sequence included — is also a
+     trace with the Open ending; the original record keeps its own
+     ending alongside.  Prefixes are produced left to right by
+     extending one reversed prefix, so each costs work proportional to
+     its own length — the minimum, given that it is materialized. *)
   fold
     (fun tr acc ->
-      let rec prefixes acc = function
-        | [] -> add { Ps.Event.outs = []; ending = Ps.Event.Open } acc
-        | _ :: _ as outs ->
-            let outs' = List.filteri (fun i _ -> i < List.length outs - 1) outs in
-            prefixes
-              (add { Ps.Event.outs; ending = Ps.Event.Open } acc)
-              outs'
-      in
-      (* Every prefix — the full output sequence included — is also a
-         trace with the Open ending; the original record keeps its own
-         ending alongside. *)
-      prefixes (add tr acc) tr.Ps.Event.outs)
+      let acc = add { tr with Ps.Event.ending = Ps.Event.Open } (add tr acc) in
+      fst
+        (List.fold_left
+           (fun (acc, rev_prefix) v ->
+             ( add
+                 { Ps.Event.outs = List.rev rev_prefix;
+                   ending = Ps.Event.Open }
+                 acc,
+               v :: rev_prefix ))
+           (acc, []) tr.Ps.Event.outs))
     s s
 
 let equal_behaviour a b = equal (closure a) (closure b)

@@ -77,6 +77,19 @@ let compare (a : t) (b : t) =
 
 let equal a b = compare a b = 0
 
+let hash (t : t) =
+  (* [regs] is a map: fold bindings in key order (equal maps may have
+     different tree shapes).  [pos] and [stack] are plain data, where
+     structural equality licenses the structural [Hashtbl.hash]. *)
+  let regs =
+    RegMap.fold
+      (fun r v h -> Rat.hash_combine (Rat.hash_combine h (Hashtbl.hash r)) v)
+      t.regs 0x10ca1
+  in
+  Rat.hash_combine
+    (Rat.hash_combine regs (Hashtbl.hash t.pos))
+    (Hashtbl.hash t.stack)
+
 let pp ppf t =
   let pos ppf = function
     | Finished -> Format.pp_print_string ppf "finished"

@@ -53,4 +53,8 @@ val step_over : t -> t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit

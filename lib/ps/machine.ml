@@ -39,6 +39,14 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let hash w =
+  let tp =
+    TidMap.fold
+      (fun tid ts h -> Rat.hash_combine (Rat.hash_combine h tid) (Thread.hash ts))
+      w.tp 0x3a3a
+  in
+  Rat.hash_combine (Rat.hash_combine tp w.cur) (Memory.hash w.mem)
+
 let pp ppf w =
   Format.fprintf ppf "@[<v>cur: t%d@ mem:@ %a" w.cur Memory.pp w.mem;
   TidMap.iter

@@ -40,4 +40,9 @@ val terminal : world -> bool
 
 val compare : world -> world -> int
 val equal : world -> world -> bool
+
+val hash : world -> int
+(** Consistent with {!equal}; the key of the hashed exploration
+    tables in {!Explore.Enum}. *)
+
 val pp : Format.formatter -> world -> unit

@@ -11,7 +11,9 @@ let init vars =
 let vars m = List.map fst (VarMap.bindings m)
 let per_loc x m = match VarMap.find_opt x m with Some l -> l | None -> []
 let concrete x m = List.filter Message.is_concrete (per_loc x m)
-let messages m = VarMap.fold (fun _ l acc -> acc @ l) m []
+(* Linear: the previous [acc @ l] fold re-copied the accumulator per
+   location (quadratic in the number of locations). *)
+let messages m = List.concat_map snd (VarMap.bindings m)
 
 let find x ts m =
   List.find_opt (fun mg -> Rat.equal (Message.to_ mg) ts) (per_loc x m)
@@ -149,6 +151,15 @@ let cap m =
 
 let equal a b = VarMap.equal (List.equal Message.equal) a b
 let compare a b = VarMap.compare (List.compare Message.compare) a b
+
+let hash m =
+  VarMap.fold
+    (fun x l h ->
+      List.fold_left
+        (fun h mg -> Rat.hash_combine h (Message.hash mg))
+        (Rat.hash_combine h (Hashtbl.hash x))
+        l)
+    m 0x4d454d
 let fold f m acc = VarMap.fold (fun _ l acc -> List.fold_right f l acc) m acc
 
 let pp ppf m =

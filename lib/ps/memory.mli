@@ -77,5 +77,11 @@ val cap : t -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Consistent with {!equal}; folds locations and their message lists
+    in key order.  Linear in the number of messages — the basis of the
+    hashed state memoization in {!Explore}. *)
+
 val fold : (Message.t -> 'a -> 'a) -> t -> 'a -> 'a
 val pp : Format.formatter -> t -> unit

@@ -51,6 +51,14 @@ let compare (a : t) (b : t) =
 
 let equal a b = compare a b = 0
 
+let hash m =
+  let ( ++ ) = Rat.hash_combine in
+  match m with
+  | Msg m ->
+      Hashtbl.hash m.var ++ m.value ++ Rat.hash m.from_ ++ Rat.hash m.to_
+      ++ View.hash m.view
+  | Rsv r -> 0x5e5e ++ Hashtbl.hash r.var ++ Rat.hash r.from_ ++ Rat.hash r.to_
+
 let pp ppf = function
   | Msg m ->
       Format.fprintf ppf "<%s:%d@(%a,%a] %a>" m.var m.value Rat.pp m.from_

@@ -45,4 +45,9 @@ val overlaps : t -> t -> bool
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Consistent with {!equal}; mixes the location, interval, value and
+    message view. *)
+
 val pp : Format.formatter -> t -> unit

@@ -47,6 +47,17 @@ let compare (a : ts) (b : ts) =
 
 let equal a b = compare a b = 0
 
+let hash (t : ts) =
+  let ( ++ ) = Rat.hash_combine in
+  let vrel_loc =
+    Ast.VarMap.fold
+      (fun x v h -> h ++ Hashtbl.hash x ++ View.hash v)
+      t.vrel_loc 0x7e1
+  in
+  let prm = List.fold_left (fun h m -> h ++ Message.hash m) 0x975 t.prm in
+  Local.hash t.local ++ View.hash t.view ++ View.hash t.vacq
+  ++ View.hash t.vrel ++ vrel_loc ++ prm
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>local: %a@ view: %a@ promises: %a@]" Local.pp
     t.local View.pp t.view

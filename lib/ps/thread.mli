@@ -36,6 +36,11 @@ val init : Lang.Ast.code -> Lang.Ast.fname -> ts option
 
 val compare : ts -> ts -> int
 val equal : ts -> ts -> bool
+
+val hash : ts -> int
+(** Consistent with {!equal}; mixes the local state, all views and
+    the promise set. *)
+
 val pp : Format.formatter -> ts -> unit
 
 val concrete_promises : ts -> Message.t list

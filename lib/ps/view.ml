@@ -19,6 +19,14 @@ module TimeMap = struct
   let compare a b = VarMap.compare Rat.compare a b
   let bindings t = VarMap.bindings t
 
+  let hash t =
+    (* fold in key order: equal maps hash equal regardless of the
+       internal tree shape *)
+    VarMap.fold
+      (fun x r h ->
+        Rat.hash_combine (Rat.hash_combine h (Hashtbl.hash x)) (Rat.hash r))
+      t 0x51f15
+
   let pp ppf t =
     Format.fprintf ppf "{%a}"
       (Format.pp_print_list
@@ -40,6 +48,8 @@ let equal a b = TimeMap.equal a.na b.na && TimeMap.equal a.rlx b.rlx
 let compare a b =
   let c = TimeMap.compare a.na b.na in
   if c <> 0 then c else TimeMap.compare a.rlx b.rlx
+
+let hash v = Rat.hash_combine (TimeMap.hash v.na) (TimeMap.hash v.rlx)
 
 let read_ts (mode : Lang.Modes.read) x v =
   match mode with

@@ -24,6 +24,10 @@ module TimeMap : sig
 
   val equal : t -> t -> bool
   val compare : t -> t -> int
+
+  val hash : t -> int
+  (** Consistent with {!equal} (folds bindings in key order). *)
+
   val bindings : t -> (Lang.Ast.var * Rat.t) list
   val pp : Format.formatter -> t -> unit
 end
@@ -40,6 +44,9 @@ val join : t -> t -> t
 val le : t -> t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Consistent with {!equal}. *)
 
 val read_ts : Lang.Modes.read -> Lang.Ast.var -> t -> Rat.t
 (** The lower bound the semantics imposes on the timestamp of a

@@ -1,0 +1,252 @@
+(* Arbitrary-precision naturals: the overflow escape hatch of {!Rat}.
+
+   Little-endian limbs in base 2^31, no trailing zero limbs, [||] is
+   zero.  Limb products fit native 63-bit ints: (2^31-1)^2 + 2*(2^31-1)
+   = 2^62 - 1 = max_int, so schoolbook multiplication never wraps. *)
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type t = int array
+
+let zero = [||]
+let one = [| 1 |]
+let is_zero a = Array.length a = 0
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative"
+  else if n = 0 then zero
+  else if n < base then [| n |]
+  else
+    let rec limbs n = if n = 0 then [] else (n land mask) :: limbs (n lsr limb_bits) in
+    Array.of_list (limbs n)
+
+let of_int_abs n =
+  (* |min_int| = 2^62 is not representable as a positive [int]. *)
+  if n = min_int then [| 0; 0; 1 |] else of_int (abs n)
+
+let to_int_opt a =
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl limb_bits))
+  | _ -> None (* >= 2^62 > max_int *)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb + 1 in
+  let r = Array.make l 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  normalize r
+
+let sub a b =
+  let la = Array.length a and lb = Array.length b in
+  if la < lb then invalid_arg "Bignat.sub: underflow";
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then (
+      r.(i) <- d + base;
+      borrow := 1)
+    else (
+      r.(i) <- d;
+      borrow := 0)
+  done;
+  if !borrow <> 0 then invalid_arg "Bignat.sub: underflow";
+  normalize r
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let t = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- t land mask;
+          carry := t lsr limb_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let t = r.(!k) + !carry in
+          r.(!k) <- t land mask;
+          carry := t lsr limb_bits;
+          incr k
+        done
+      end
+    done;
+    normalize r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shifts and bits (for division and gcd) *)
+
+let bit_length a =
+  if is_zero a then 0
+  else
+    let top = a.(Array.length a - 1) in
+    let rec width n acc = if n = 0 then acc else width (n lsr 1) (acc + 1) in
+    ((Array.length a - 1) * limb_bits) + width top 0
+
+let get_bit a i =
+  let limb = i / limb_bits in
+  if limb >= Array.length a then 0 else (a.(limb) lsr (i mod limb_bits)) land 1
+
+let shift_right1 a =
+  let la = Array.length a in
+  if la = 0 then a
+  else begin
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      let lo = a.(i) lsr 1 in
+      let hi = if i + 1 < la then (a.(i + 1) land 1) lsl (limb_bits - 1) else 0 in
+      r.(i) <- lo lor hi
+    done;
+    normalize r
+  end
+
+let shift_left a k =
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land mask);
+      r.(i + limbs + 1) <- r.(i + limbs + 1) lor (v lsr limb_bits)
+    done;
+    normalize r
+  end
+
+let is_even a = is_zero a || a.(0) land 1 = 0
+
+(* Binary long division: O(bits(a) * limbs(b)); ample for the rare
+   big-rational normalizations this backs. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero
+  else if compare a b < 0 then (zero, a)
+  else begin
+    let n = bit_length a in
+    let q = Array.make ((n + limb_bits - 1) / limb_bits) 0 in
+    let r = ref zero in
+    for i = n - 1 downto 0 do
+      let shifted = shift_left !r 1 in
+      r := if get_bit a i = 1 then add shifted one else shifted;
+      if compare !r b >= 0 then begin
+        r := sub !r b;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (normalize q, !r)
+  end
+
+let div_exact a b = fst (divmod a b)
+
+(* Stein's binary gcd: only shifts, subtraction and comparison. *)
+let gcd a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else begin
+    let a = ref a and b = ref b and shift = ref 0 in
+    while is_even !a && is_even !b do
+      a := shift_right1 !a;
+      b := shift_right1 !b;
+      incr shift
+    done;
+    while is_even !a do
+      a := shift_right1 !a
+    done;
+    (* invariant: a odd *)
+    let continue = ref true in
+    while !continue do
+      while is_even !b do
+        b := shift_right1 !b
+      done;
+      if compare !a !b > 0 then begin
+        let t = !a in
+        a := !b;
+        b := t
+      end;
+      b := sub !b !a;
+      if is_zero !b then continue := false
+    done;
+    shift_left !a !shift
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Conversions *)
+
+let hash a =
+  Array.fold_left (fun h l -> (h * 0x01000193) lxor l) 0x811c9dc5 a
+
+let to_float a =
+  let f = ref 0.0 in
+  for i = Array.length a - 1 downto 0 do
+    f := (!f *. float_of_int base) +. float_of_int a.(i)
+  done;
+  !f
+
+let divmod_small a d =
+  (* d in (0, 2^31): rem * base + limb <= (d-1) * 2^31 + 2^31 - 1 < 2^62 *)
+  if d <= 0 || d >= base then invalid_arg "Bignat.divmod_small";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem * base) + a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let chunk = 1_000_000_000 in
+    let rec groups a acc =
+      if is_zero a then acc
+      else
+        let q, r = divmod_small a chunk in
+        groups q (r :: acc)
+    in
+    match groups a [] with
+    | [] -> "0"
+    | g :: rest ->
+        String.concat ""
+          (string_of_int g :: List.map (Printf.sprintf "%09d") rest)
+  end
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)

@@ -1,0 +1,60 @@
+(** Arbitrary-precision natural numbers.
+
+    The overflow escape hatch behind {!Rat}: timestamps produced by
+    canonical slotting ({!Rat.midpoint}/{!Rat.succ} chains) grow
+    without bound on deep executions, so the rational layer promotes
+    to these bignums the moment a numerator or denominator leaves the
+    native fast-path range.  Pure OCaml (no [Zarith] dependency):
+    little-endian limbs in base [2^31], schoolbook arithmetic, binary
+    long division and Stein's gcd — tiny-input performance is
+    irrelevant because {!Rat} only reaches for this module off the
+    fast path. *)
+
+type t
+(** A natural number.  Structural equality coincides with numeric
+    equality (no trailing zero limbs). *)
+
+val zero : t
+val one : t
+val is_zero : t -> bool
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val of_int_abs : int -> t
+(** Magnitude of any [int], [min_int] included. *)
+
+val to_int_opt : t -> int option
+(** [Some n] iff the value fits a native [int]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division: [a = q*b + r] with [0 <= r < b].
+    @raise Division_by_zero if the divisor is zero. *)
+
+val div_exact : t -> t -> t
+(** Quotient of {!divmod} (intended for known-exact divisions). *)
+
+val gcd : t -> t -> t
+
+val shift_left : t -> int -> t
+val shift_right1 : t -> t
+val is_even : t -> bool
+val bit_length : t -> int
+
+val hash : t -> int
+val to_float : t -> float
+
+val to_string : t -> string
+(** Decimal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,44 +1,182 @@
-type t = { num : int; den : int }
+(* Exact rationals with a native fast path and a bignum slow path.
 
-let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+   Small values are kept with |num| <= small_max and den <= small_max
+   (2^30), so every cross product the fast paths form — [num * den'],
+   and sums of two such products — stays within 62 bits and cannot
+   wrap.  The moment a normalized result leaves that range it is
+   promoted to {!Bignat}-backed form; values representable small are
+   always stored small, so structural equality per constructor
+   coincides with numeric equality. *)
+
+module Bignat = Bignat
+
+type big = { sign : int; (* -1 | 1; zero is always small *) bnum : Bignat.t; bden : Bignat.t }
+
+type t =
+  | S of { num : int; den : int }  (* normalized, den > 0, both <= 2^30 *)
+  | B of big  (* normalized, not representable as S *)
+
+let small_max = 1 lsl 30
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+(* Normalize a big pair (sign, |num|, den); demote when it fits. *)
+let norm_big sign n d =
+  if Bignat.is_zero d then raise Division_by_zero
+  else if Bignat.is_zero n then S { num = 0; den = 1 }
+  else
+    let g = Bignat.gcd n d in
+    let n = Bignat.div_exact n g and d = Bignat.div_exact d g in
+    match (Bignat.to_int_opt n, Bignat.to_int_opt d) with
+    | Some ni, Some di when ni <= small_max && di <= small_max ->
+        S { num = sign * ni; den = di }
+    | _ -> B { sign; bnum = n; bden = d }
+
+(* Normalize native ints whose magnitudes are known to be below
+   2^61 (products of the small fast path): the gcd runs on native
+   ints, only the residue may promote. *)
+let norm_ints num den =
+  let den, num = if den < 0 then (-den, -num) else (den, num) in
+  if num = 0 then S { num = 0; den = 1 }
+  else
+    let g = gcd_int (abs num) den in
+    let num = num / g and den = den / g in
+    if abs num <= small_max && den <= small_max then S { num; den }
+    else
+      B
+        {
+          sign = (if num < 0 then -1 else 1);
+          bnum = Bignat.of_int_abs num;
+          bden = Bignat.of_int_abs den;
+        }
 
 let make num den =
   if den = 0 then raise Division_by_zero
+  else if abs num <= small_max && abs den <= small_max && num <> min_int
+          && den <> min_int then norm_ints num den
   else
-    let sign = if den < 0 then -1 else 1 in
-    let num = sign * num and den = sign * den in
-    let g = gcd (abs num) den in
-    if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+    let sign = if (num < 0) = (den < 0) then 1 else -1 in
+    norm_big sign (Bignat.of_int_abs num) (Bignat.of_int_abs den)
 
-let of_int n = { num = n; den = 1 }
-let zero = of_int 0
-let one = of_int 1
-let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
-let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
-let mul a b = make (a.num * b.num) (a.den * b.den)
+let of_int n = make n 1
+let zero = S { num = 0; den = 1 }
+let one = S { num = 1; den = 1 }
+
+(* Decompose into (sign, |num|, den) over bignums for slow paths. *)
+let parts = function
+  | S { num; den } ->
+      ( (if num < 0 then -1 else if num = 0 then 0 else 1),
+        Bignat.of_int_abs num,
+        Bignat.of_int_abs den )
+  | B { sign; bnum; bden } -> (sign, bnum, bden)
+
+(* Signed combination s1*m1 + s2*m2 over magnitudes. *)
+let signed_add (s1, m1) (s2, m2) =
+  if s1 = 0 then (s2, m2)
+  else if s2 = 0 then (s1, m1)
+  else if s1 = s2 then (s1, Bignat.add m1 m2)
+  else
+    match Bignat.compare m1 m2 with
+    | 0 -> (0, Bignat.zero)
+    | c when c > 0 -> (s1, Bignat.sub m1 m2)
+    | _ -> (s2, Bignat.sub m2 m1)
+
+let add a b =
+  match (a, b) with
+  | S a, S b -> norm_ints ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+  | _ ->
+      let sa, na, da = parts a and sb, nb, db = parts b in
+      let s, n = signed_add (sa, Bignat.mul na db) (sb, Bignat.mul nb da) in
+      if s = 0 then zero else norm_big s n (Bignat.mul da db)
+
+let neg = function
+  | S { num; den } -> S { num = -num; den }
+  | B b -> B { b with sign = -b.sign }
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | S a, S b -> norm_ints (a.num * b.num) (a.den * b.den)
+  | _ ->
+      let sa, na, da = parts a and sb, nb, db = parts b in
+      if sa = 0 || sb = 0 then zero
+      else norm_big (sa * sb) (Bignat.mul na nb) (Bignat.mul da db)
 
 let div a b =
-  if b.num = 0 then raise Division_by_zero
-  else make (a.num * b.den) (a.den * b.num)
+  match (a, b) with
+  | _, S { num = 0; _ } -> raise Division_by_zero
+  | S a, S b -> norm_ints (a.num * b.den) (a.den * b.num)
+  | _ ->
+      let sa, na, da = parts a and sb, nb, db = parts b in
+      if sa = 0 then zero else norm_big (sa * sb) (Bignat.mul na db) (Bignat.mul da nb)
 
-let neg a = { a with num = -a.num }
+let compare a b =
+  match (a, b) with
+  | S a, S b ->
+      (* |num| and den bounded by 2^30: products fit in 60 bits. *)
+      Int.compare (a.num * b.den) (b.num * a.den)
+  | _ ->
+      let sa, na, da = parts a and sb, nb, db = parts b in
+      if sa <> sb then Int.compare sa sb
+      else if sa = 0 then 0
+      else
+        let c = Bignat.compare (Bignat.mul na db) (Bignat.mul nb da) in
+        if sa > 0 then c else -c
 
-let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
-let equal a b = a.num = b.num && a.den = b.den
+let equal a b =
+  (* Canonical forms: small-representable values are never stored big. *)
+  match (a, b) with
+  | S a, S b -> a.num = b.num && a.den = b.den
+  | B a, B b ->
+      a.sign = b.sign && Bignat.equal a.bnum b.bnum && Bignat.equal a.bden b.bden
+  | S _, B _ | B _, S _ -> false
+
 let lt a b = compare a b < 0
 let le a b = compare a b <= 0
 let gt a b = compare a b > 0
 let ge a b = compare a b >= 0
 let min a b = if le a b then a else b
 let max a b = if ge a b then a else b
-let midpoint a b = div (add a b) (of_int 2)
-let succ t = add t one
-let is_integer t = t.den = 1
-let to_float t = float_of_int t.num /. float_of_int t.den
-let hash t = (t.num * 31) lxor t.den
 
-let pp ppf t =
-  if t.den = 1 then Format.fprintf ppf "%d" t.num
-  else Format.fprintf ppf "%d/%d" t.num t.den
+let two = S { num = 2; den = 1 }
+let midpoint a b = div (add a b) two
+let succ t = add t one
+
+let is_integer = function
+  | S { den; _ } -> den = 1
+  | B { bden; _ } -> Bignat.equal bden Bignat.one
+
+let to_float = function
+  | S { num; den } -> float_of_int num /. float_of_int den
+  | B { sign; bnum; bden } ->
+      float_of_int sign *. (Bignat.to_float bnum /. Bignat.to_float bden)
+
+(* SplitMix64-style finalizer, truncated to OCaml's 63-bit ints: a
+   real avalanche so that Hashtbl buckets spread even on the dense,
+   regular timestamps canonical slotting produces. *)
+let mix k =
+  let k = k lxor (k lsr 30) in
+  let k = k * 0x2545F4914F6CDD1D in
+  let k = k lxor (k lsr 27) in
+  let k = k * 0x61C8864680B583EB in
+  (k lxor (k lsr 31)) land max_int
+
+let hash_combine h k = mix ((h * 0x1FFFFFFFFFFFFFFD) + k + 0x9E3779B9)
+
+let hash = function
+  | S { num; den } -> mix ((num * 0x3B9ACA07) lxor (den * 0x5DEECE66D))
+  | B { sign; bnum; bden } ->
+      hash_combine (hash_combine (Bignat.hash bnum) (Bignat.hash bden)) sign
+
+let pp ppf = function
+  | S { num; den } ->
+      if den = 1 then Format.fprintf ppf "%d" num
+      else Format.fprintf ppf "%d/%d" num den
+  | B { sign; bnum; bden } ->
+      let s = if sign < 0 then "-" else "" in
+      if Bignat.equal bden Bignat.one then
+        Format.fprintf ppf "%s%a" s Bignat.pp bnum
+      else Format.fprintf ppf "%s%a/%a" s Bignat.pp bnum Bignat.pp bden
 
 let to_string t = Format.asprintf "%a" pp t

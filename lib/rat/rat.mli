@@ -3,18 +3,28 @@
     The promising semantics draws timestamps from a dense total order
     ([Time = Q] in Fig. 8 of the paper): between any two distinct
     timestamps there must be room for another, so that a write can
-    always be slotted into a gap between existing messages.  We
-    implement rationals over native [int]s; the bounded explorations
-    performed by this library keep numerators and denominators tiny
-    (the canonical slotting in {!Explore} only ever takes midpoints and
-    successors), so 63-bit overflow is not a practical concern.
+    always be slotted into a gap between existing messages.
 
-    Values are kept in normal form: the denominator is positive and
-    [gcd |num| den = 1].  Structural equality therefore coincides with
-    numeric equality, and values are usable as keys of maps and sets. *)
+    Representation: a native-int fast path (numerator magnitude and
+    denominator bounded by [2^30], so cross products in comparison and
+    arithmetic fit 62 bits and cannot wrap) with automatic promotion
+    to arbitrary-precision {!Bignat}-backed rationals beyond that
+    range.  Deep executions repeatedly halving the same gap double the
+    denominator per write, so overflow is a real regime — the earlier
+    all-native implementation silently misordered timestamps there,
+    which is fatal to a memory model built on a total timestamp order.
 
-type t = private { num : int; den : int }
-(** A normalized rational [num/den] with [den > 0]. *)
+    Values are kept in normal form: the denominator is positive,
+    [gcd |num| den = 1], and values representable on the fast path are
+    always stored there.  Structural equality therefore coincides with
+    numeric equality, and values are usable as keys of maps, sets and
+    hash tables. *)
+
+module Bignat = Bignat
+(** The arbitrary-precision backend, re-exported for direct use and
+    testing ([rat.ml] being the library's main module hides siblings). *)
+
+type t
 
 val make : int -> int -> t
 (** [make num den] is the normalized rational [num/den].
@@ -36,7 +46,9 @@ val div : t -> t -> t
 val neg : t -> t
 
 val compare : t -> t -> int
-(** Numeric comparison; total order. *)
+(** Numeric comparison; total order.  Never overflows: the fast path
+    is product-safe by the representation invariant, mixed and big
+    comparisons cross-multiply in arbitrary precision. *)
 
 val equal : t -> t -> bool
 val lt : t -> t -> bool
@@ -63,6 +75,15 @@ val to_float : t -> float
 (** Lossy; for diagnostics only. *)
 
 val hash : t -> int
+(** Mixing hash consistent with {!equal}: equal values hash equal, and
+    the dense, regular timestamps produced by canonical slotting
+    avalanche across the full word (SplitMix-style finalizer). *)
+
+val hash_combine : int -> int -> int
+(** [hash_combine h k] folds component hash [k] into accumulator [h];
+    order-dependent.  The combinator used by the [hash] functions of
+    the whole machine-state stack ({!Ps.View}, {!Ps.Message},
+    {!Ps.Memory}, {!Ps.Thread}, {!Ps.Machine}). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints [n] for integers and [n/d] otherwise. *)

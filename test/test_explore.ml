@@ -99,6 +99,58 @@ let test_closure () =
   Alcotest.(check bool) "idempotent" true
     (Explore.Traceset.equal c (Explore.Traceset.closure c))
 
+let test_closure_oracle () =
+  (* Pin the closure extensionally against a brute-force oracle on a
+     longer trace mix, so the linear-time rewrite cannot drift from
+     the spec: closure(S) = S ∪ { prefix·Open | trace ∈ S, prefix of
+     its outs }.  Also guards the worst case the old implementation
+     made cubic (it rebuilt every prefix with filteri/length). *)
+  let tr outs ending = { Ps.Event.outs; ending } in
+  let long = List.init 200 (fun i -> i) in
+  let s =
+    Explore.Traceset.of_list
+      [
+        tr long Ps.Event.Done;
+        tr [ 1; 2; 3 ] Ps.Event.Cut;
+        tr [ 1; 2 ] Ps.Event.Done;
+        tr [] Ps.Event.Done;
+      ]
+  in
+  let oracle =
+    Explore.Traceset.fold
+      (fun t acc ->
+        let rec prefixes = function
+          | [] -> [ [] ]
+          | x :: rest -> [] :: List.map (fun p -> x :: p) (prefixes rest)
+        in
+        List.fold_left
+          (fun acc p -> Explore.Traceset.add (tr p Ps.Event.Open) acc)
+          acc (prefixes t.Ps.Event.outs))
+      s s
+  in
+  Alcotest.(check bool) "closure matches brute-force oracle" true
+    (Explore.Traceset.equal oracle (Explore.Traceset.closure s))
+
+let test_equal_behaviour () =
+  let tr outs ending = { Ps.Event.outs; ending } in
+  let a = Explore.Traceset.of_list [ tr [ 1; 2 ] Ps.Event.Done ] in
+  (* open prefixes are implied, so adding them does not change the
+     behaviour... *)
+  let b = Explore.Traceset.add (tr [ 1 ] Ps.Event.Open) a in
+  Alcotest.(check bool) "implied prefixes are no-ops" true
+    (Explore.Traceset.equal_behaviour a b);
+  (* ...but a non-prefix open trace, a different output order, or a
+     different ending does *)
+  Alcotest.(check bool) "extra open trace distinguishes" false
+    (Explore.Traceset.equal_behaviour a
+       (Explore.Traceset.add (tr [ 3 ] Ps.Event.Open) a));
+  Alcotest.(check bool) "output order distinguishes" false
+    (Explore.Traceset.equal_behaviour a
+       (Explore.Traceset.of_list [ tr [ 2; 1 ] Ps.Event.Done ]));
+  Alcotest.(check bool) "ending distinguishes" false
+    (Explore.Traceset.equal_behaviour a
+       (Explore.Traceset.of_list [ tr [ 1; 2 ] Ps.Event.Cut ]))
+
 let test_traceset_ops () =
   let tr outs ending = { Ps.Event.outs; ending } in
   let s =
@@ -266,6 +318,50 @@ let test_iter_reachable () =
       Alcotest.(check bool) "committed <= all" true (!committed <= !count)
   | Error e -> Alcotest.fail e)
 
+let test_iter_reachable_budget_complete () =
+  (* Regression: the walk used to mark a node visited at the depth it
+     was *first* seen.  With reservations on, reserve/cancel detours
+     are enumerated before the direct switch successors, so DFS first
+     reaches many states above their minimal depth; under a tight
+     [max_steps] their successors were cut at that deep first visit
+     and never reconsidered when the state turned up again on a
+     shorter path — undercounting reachable states, and doing so
+     non-monotonically in the budget.  Recording the best (lowest)
+     depth per node and re-expanding on improvement makes the walk
+     budget-complete: once the budget covers every minimal path, the
+     count equals the full state space. *)
+  let p =
+    Lang.Build.(
+      program ~atomics:[ "x" ]
+        [
+          proc "t1"
+            [ blk "L0" [ store "x" ~mode:Lang.Modes.WRlx (i 1) ] ret ];
+          proc "t2"
+            [
+              blk "L0"
+                [ load "r" "x" ~mode:Lang.Modes.Rlx; print (r "r") ]
+                ret;
+            ];
+        ]
+        ~threads:[ "t1"; "t2" ])
+  in
+  let count b =
+    let cfg =
+      { Explore.Config.default with max_steps = b; reservations = true }
+    in
+    match
+      Explore.Enum.iter_reachable ~config:cfg Explore.Enum.Interleaving p
+        ~f:(fun ~committed:_ _ -> ())
+    with
+    | Ok st -> (st.Explore.Stats.nodes, st.Explore.Stats.transitions)
+    | Error e -> Alcotest.fail e
+  in
+  let full = count 40 in
+  Alcotest.(check (pair int int))
+    "tight budget covers the full state space" full (count 15);
+  let n12, _ = count 12 and n13, _ = count 13 in
+  Alcotest.(check bool) "node count monotone in the budget" true (n12 <= n13)
+
 let test_reservations_no_new_outcomes () =
   (* Enumerating reserve/cancel steps may widen the state space but
      must not change the completed outcomes: reservations only block
@@ -362,6 +458,8 @@ let () =
       ( "traces",
         [
           Alcotest.test_case "prefix closure" `Quick test_closure;
+          Alcotest.test_case "closure oracle" `Quick test_closure_oracle;
+          Alcotest.test_case "equal behaviour" `Quick test_equal_behaviour;
           Alcotest.test_case "trace-set operations" `Quick test_traceset_ops;
           Alcotest.test_case "refinement verdicts" `Quick
             test_refinement_verdicts;
@@ -396,6 +494,8 @@ let () =
       ( "machine",
         [
           Alcotest.test_case "iter_reachable" `Quick test_iter_reachable;
+          Alcotest.test_case "iter_reachable budget-complete" `Quick
+            test_iter_reachable_budget_complete;
           Alcotest.test_case "init" `Quick test_machine_init;
         ] );
     ]

@@ -53,6 +53,121 @@ let test_to_float () =
   Alcotest.(check (float 1e-9)) "to_float" 0.5 (Rat.to_float (Rat.make 1 2))
 
 (* ------------------------------------------------------------------ *)
+(* Overflow regression: deep timestamp chains.
+
+   Canonical slotting halves the same gap once per write, doubling the
+   denominator each time; a long execution therefore leaves native-int
+   range quickly.  The all-native seed implementation wrapped its
+   cross products — first silently misordering timestamps, then dying
+   with [Division_by_zero] once a denominator product wrapped to 0.
+   These tests iterate the exact operations {!Explore} performs
+   ({!Rat.midpoint}, {!Rat.succ}, the thirds of [Memory.detached])
+   thousands of times and check the ordering invariants throughout. *)
+
+let test_deep_midpoint_chain () =
+  let lo = ref Rat.zero and hi = ref Rat.one in
+  for i = 1 to 2000 do
+    let m = Rat.midpoint !lo !hi in
+    Alcotest.(check bool)
+      (Printf.sprintf "lo < mid at iteration %d" i)
+      true (Rat.lt !lo m);
+    Alcotest.(check bool)
+      (Printf.sprintf "mid < hi at iteration %d" i)
+      true (Rat.lt m !hi);
+    if i mod 2 = 0 then lo := m else hi := m
+  done;
+  (* the chain stays inside the unit interval *)
+  Alcotest.(check bool) "0 <= lo" true (Rat.le Rat.zero !lo);
+  Alcotest.(check bool) "hi <= 1" true (Rat.le !hi Rat.one)
+
+let test_deep_succ_chain () =
+  let t = ref Rat.zero in
+  for _ = 1 to 5000 do
+    let t' = Rat.succ !t in
+    assert (Rat.lt !t t');
+    t := t'
+  done;
+  check_rat "5000 succs" (Rat.of_int 5000) !t;
+  (* succ distributes over a big fraction *)
+  let deep = ref (Rat.make 1 2) in
+  for _ = 1 to 100 do
+    deep := Rat.midpoint Rat.zero !deep
+  done;
+  Alcotest.(check bool) "succ of deep fraction > deep" true
+    (Rat.lt !deep (Rat.succ !deep))
+
+let test_deep_thirds_chain () =
+  (* the [Memory.detached] slotting pattern: occupy the middle third *)
+  let a = ref Rat.zero and b = ref Rat.one in
+  for i = 1 to 600 do
+    let third = Rat.div (Rat.sub !b !a) (Rat.of_int 3) in
+    let f = Rat.add !a third and t = Rat.sub !b third in
+    Alcotest.(check bool)
+      (Printf.sprintf "a < f < t < b at iteration %d" i)
+      true
+      (Rat.lt !a f && Rat.lt f t && Rat.lt t !b);
+    a := f;
+    b := t
+  done
+
+let test_big_small_boundary () =
+  (* values crossing the native/bignum boundary compare and hash
+     consistently, whatever path constructed them *)
+  let a = Rat.make 12345678901234567 89 in
+  let b = Rat.sub (Rat.add a Rat.one) Rat.one in
+  check_rat "add/sub roundtrip across boundary" a b;
+  Alcotest.(check int) "hash agrees" (Rat.hash a) (Rat.hash b);
+  let big = Rat.make max_int 3 in
+  check_rat "mul back to integer" (Rat.of_int max_int)
+    (Rat.mul big (Rat.of_int 3));
+  Alcotest.(check bool) "big comparison" true
+    (Rat.lt (Rat.make (max_int - 1) max_int) Rat.one);
+  Alcotest.(check bool) "min_int magnitudes" true
+    (Rat.equal (Rat.make min_int min_int) Rat.one);
+  Alcotest.(check bool) "negative big" true
+    (Rat.lt (Rat.make min_int 1) Rat.zero)
+
+(* ------------------------------------------------------------------ *)
+(* Bignat backend *)
+
+module N = Rat.Bignat
+
+let test_bignat_small_oracle () =
+  (* cross-check every operation against native ints where they fit *)
+  let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b) in
+  for i = 0 to 500 do
+    let x = (i * 7919 + 13) * ((i mod 97) + 1) and y = (i * 10473) + 3 in
+    let bx = N.of_int x and by = N.of_int y in
+    Alcotest.(check (option int)) "add" (Some (x + y)) (N.to_int_opt (N.add bx by));
+    Alcotest.(check (option int)) "mul" (Some (x * y)) (N.to_int_opt (N.mul bx by));
+    let q, r = N.divmod bx by in
+    Alcotest.(check (option int)) "div" (Some (x / y)) (N.to_int_opt q);
+    Alcotest.(check (option int)) "mod" (Some (x mod y)) (N.to_int_opt r);
+    Alcotest.(check (option int)) "gcd" (Some (gcd_int x y))
+      (N.to_int_opt (N.gcd bx by));
+    Alcotest.(check string) "decimal" (string_of_int x) (N.to_string bx)
+  done
+
+let test_bignat_large () =
+  (* (2^200)^2 / 2^200 = 2^200; divmod and shifting round-trip *)
+  let p200 = N.shift_left N.one 200 in
+  let sq = N.mul p200 p200 in
+  let q, r = N.divmod sq p200 in
+  Alcotest.(check bool) "square/div roundtrip" true (N.equal q p200);
+  Alcotest.(check bool) "no remainder" true (N.is_zero r);
+  Alcotest.(check int) "bit_length 2^200" 201 (N.bit_length p200);
+  (* subtraction: 2^200 - (2^200 - 1) = 1 *)
+  let m1 = N.sub p200 N.one in
+  Alcotest.(check bool) "sub borrow chain" true (N.equal (N.sub p200 m1) N.one);
+  (* gcd of 2^200 and 3*2^100 is 2^100 *)
+  let p100 = N.shift_left N.one 100 in
+  let three_p100 = N.mul (N.of_int 3) p100 in
+  Alcotest.(check bool) "gcd powers of two" true
+    (N.equal (N.gcd p200 three_p100) p100);
+  Alcotest.(check string) "2^100 decimal" "1267650600228229401496703205376"
+    (N.to_string p100)
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let rat_gen =
@@ -62,6 +177,24 @@ let rat_gen =
        (fun n d -> Rat.make n d)
        (QCheck.Gen.int_range (-1000) 1000)
        (QCheck.Gen.int_range 1 1000))
+
+(* Rationals spanning the native/bignum boundary: numerators and
+   denominators up to 2^62-1, far beyond the 2^30 fast-path bound. *)
+let rat_gen_wide =
+  QCheck.make
+    ~print:(fun r -> Rat.to_string r)
+    (QCheck.Gen.map2
+       (fun n d -> Rat.make n d)
+       (QCheck.Gen.oneof
+          [
+            QCheck.Gen.int_range (-1000) 1000;
+            QCheck.Gen.int_range (-max_int) max_int;
+          ])
+       (QCheck.Gen.oneof
+          [
+            QCheck.Gen.int_range 1 1000;
+            QCheck.Gen.int_range 1 max_int;
+          ]))
 
 let prop name law = QCheck.Test.make ~count:500 ~name law
 
@@ -99,6 +232,34 @@ let props =
       (fun (a, b) -> Rat.equal a b = (Rat.compare a b = 0));
     prop "hash respects equality" rat_gen (fun a ->
         Rat.hash a = Rat.hash (Rat.add a Rat.zero));
+    prop "wide: compare total order"
+      (QCheck.pair rat_gen_wide rat_gen_wide)
+      (fun (a, b) ->
+        let c = Rat.compare a b in
+        (c = 0) = Rat.equal a b
+        && (c < 0) = Rat.lt a b
+        && (c > 0) = Rat.gt a b
+        && Rat.compare b a = -c);
+    prop "wide: compare antisymmetric with midpoint"
+      (QCheck.pair rat_gen_wide rat_gen_wide)
+      (fun (a, b) ->
+        QCheck.assume (not (Rat.equal a b));
+        let lo = Rat.min a b and hi = Rat.max a b in
+        let m = Rat.midpoint lo hi in
+        Rat.lt lo m && Rat.lt m hi);
+    prop "wide: sub then add roundtrips"
+      (QCheck.pair rat_gen_wide rat_gen_wide)
+      (fun (a, b) -> Rat.equal a (Rat.add (Rat.sub a b) b));
+    prop "wide: hash respects equality"
+      (QCheck.pair rat_gen_wide rat_gen_wide)
+      (fun (a, b) ->
+        let s = Rat.sub (Rat.add a b) b in
+        Rat.equal a s && Rat.hash a = Rat.hash s);
+    prop "wide: mul div roundtrips"
+      (QCheck.pair rat_gen_wide rat_gen_wide)
+      (fun (a, b) ->
+        QCheck.assume (not (Rat.equal b Rat.zero));
+        Rat.equal a (Rat.div (Rat.mul a b) b));
   ]
 
 let () =
@@ -113,6 +274,20 @@ let () =
           Alcotest.test_case "succ/is_integer" `Quick test_succ_int;
           Alcotest.test_case "pretty-printing" `Quick test_pp;
           Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ( "overflow-regression",
+        [
+          Alcotest.test_case "deep midpoint chain" `Quick
+            test_deep_midpoint_chain;
+          Alcotest.test_case "deep succ chain" `Quick test_deep_succ_chain;
+          Alcotest.test_case "deep thirds chain" `Quick test_deep_thirds_chain;
+          Alcotest.test_case "small/big boundary" `Quick
+            test_big_small_boundary;
+        ] );
+      ( "bignat",
+        [
+          Alcotest.test_case "native oracle" `Quick test_bignat_small_oracle;
+          Alcotest.test_case "large values" `Quick test_bignat_large;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest props);
     ]
