@@ -363,6 +363,53 @@ let cert_cache_table ~timings =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Truncation pressure: the resource-budget counters under tight
+   budgets, so perf PRs can see at a glance how much of a search each
+   budget is eating.  The completeness column is also a checked
+   invariant (pass/fail): a tight budget must report Truncated and the
+   default config must stay Exhaustive. *)
+
+let truncation_pressure_table () =
+  Format.printf "== truncation pressure under tight budgets ==@.";
+  Format.printf "%-24s %8s %6s %9s %9s %7s %7s  %s@." "config" "nodes" "cuts"
+    "deadline" "node_bgt" "oom" "faults" "completeness";
+  let prog = lit "spinlock" in
+  let row name config ~expect_truncated =
+    let o = Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving prog in
+    let st = o.Explore.Enum.stats in
+    Format.printf "%-24s %8d %6d %9d %9d %7d %7d  %a@." name
+      st.Explore.Stats.nodes st.Explore.Stats.cuts
+      st.Explore.Stats.deadline_hits st.Explore.Stats.node_budget_hits
+      st.Explore.Stats.oom_hits st.Explore.Stats.faults_injected
+      Explore.Enum.pp_completeness o.Explore.Enum.completeness;
+    let truncated = o.Explore.Enum.completeness <> Explore.Enum.Exhaustive in
+    if truncated = expect_truncated then incr passed
+    else begin
+      Format.printf "%-24s completeness MISMATCH@." name;
+      incr failed
+    end
+  in
+  let dflt = Explore.Config.default in
+  row "default" dflt ~expect_truncated:false;
+  row "max_steps=12"
+    { dflt with Explore.Config.max_steps = 12 }
+    ~expect_truncated:true;
+  row "max_nodes=50"
+    { dflt with Explore.Config.max_nodes = Some 50 }
+    ~expect_truncated:true;
+  row "deadline_ms=0"
+    { dflt with Explore.Config.deadline_ms = Some 0; max_steps = 100_000 }
+    ~expect_truncated:true;
+  row "fault seed=42 rate=5%"
+    {
+      dflt with
+      Explore.Config.fault =
+        Some { Explore.Config.fault_seed = 42; fault_rate = 0.05 };
+    }
+    ~expect_truncated:true;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Synthetic workload generator for optimizer throughput *)
 
 let synth_cfg ~blocks =
@@ -535,6 +582,7 @@ let () =
   let check_only = Array.mem "--check" Sys.argv in
   reproduce ();
   cert_cache_table ~timings:(not check_only);
+  truncation_pressure_table ();
   if not check_only then begin
     state_space_table ();
     fig1_sweep ();

@@ -4,15 +4,37 @@
    Subcommands mirror the library's layers: parse/print, run, explore
    (behaviour sets under either machine), optimize, refine (trace-set
    inclusion), races (ww-RF / rw report), sim (the thread-local
-   simulation game) and litmus (the paper's corpus). *)
+   simulation game), litmus (the paper's corpus) and stress (the
+   crash-safe batch runner).
+
+   Exit codes are script-friendly and uniform across subcommands:
+   0 verified / claim holds, 1 refuted / violation / race found,
+   2 inconclusive (truncated exploration or unknown simulation),
+   3 usage, parse or well-formedness error. *)
 
 open Cmdliner
 
+let exit_ok = 0
+let exit_fail = 1
+let exit_inconclusive = 2
+let exit_error = 3
+
 let read_program path =
   try Ok (Lang.Wf.check_exn (Lang.Parse.program_of_file path)) with
-  | Lang.Parse.Error e -> Error (`Msg (path ^ ": " ^ e))
-  | Invalid_argument e -> Error (`Msg e)
-  | Sys_error e -> Error (`Msg e)
+  | Lang.Parse.Error e ->
+      Error (path ^ ":" ^ Lang.Parse.error_message e)
+  | Lang.Wf.Ill_formed errs ->
+      Error (path ^ ": ill-formed: " ^ Lang.Wf.errors_message errs)
+  | Sys_error e -> Error e
+
+(* Run [f] on the parsed program; parse/well-formedness problems go to
+   stderr (never an OCaml backtrace) with the usage/parse exit code. *)
+let with_program path f =
+  match read_program path with
+  | Ok p -> f p
+  | Error msg ->
+      Printf.eprintf "psopt: %s\n" msg;
+      exit_error
 
 let program_arg idx name =
   let doc = "CSimpRTL program file." in
@@ -38,15 +60,25 @@ let config_term =
     let doc = "Certify promises against the plain (uncapped) memory." in
     Arg.(value & flag & info [ "no-cap" ] ~doc)
   in
+  let deadline =
+    let doc = "Wall-clock budget in milliseconds (0 = none)." in
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~doc)
+  in
+  let nodes =
+    let doc = "Budget on distinct explored states (0 = none)." in
+    Arg.(value & opt int 0 & info [ "max-nodes" ] ~doc)
+  in
   Term.(
-    const (fun promises max_steps no_cap ->
+    const (fun promises max_steps no_cap deadline nodes ->
         Explore.Config.with_promises promises
           {
             Explore.Config.default with
             max_steps;
             cap_certification = not no_cap;
+            deadline_ms = (if deadline > 0 then Some deadline else None);
+            max_nodes = (if nodes > 0 then Some nodes else None);
           })
-    $ promises $ steps $ no_cap)
+    $ promises $ steps $ no_cap $ deadline $ nodes)
 
 (* ------------------------------------------------------------------ *)
 
@@ -58,13 +90,12 @@ let parse_cmd =
           ~doc:"Emit the machine-readable s-expression form instead.")
   in
   let run file sexp =
-    Result.map
-      (fun p ->
+    with_program file (fun p ->
         if sexp then print_endline (Lang.Sexp.program_to_string p)
-        else print_string (Lang.Pp.program_to_string p))
-      (read_program file)
+        else print_string (Lang.Pp.program_to_string p);
+        exit_ok)
   in
-  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ sexp_flag)) in
+  let term = Term.(const run $ program_arg 0 "FILE" $ sexp_flag) in
   Cmd.v
     (Cmd.info "parse"
        ~doc:
@@ -77,14 +108,13 @@ let run_cmd =
     Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Scheduler seed.")
   in
   let run file seed =
-    Result.map
-      (fun p ->
+    with_program file (fun p ->
         let r = Explore.Random_run.run_exn ~seed p in
         Format.printf "trace: %a (%d steps)@." Ps.Event.pp_trace
-          r.Explore.Random_run.trace r.Explore.Random_run.steps)
-      (read_program file)
+          r.Explore.Random_run.trace r.Explore.Random_run.steps;
+        exit_ok)
   in
-  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ seed)) in
+  let term = Term.(const run $ program_arg 0 "FILE" $ seed) in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute once with a pseudo-random scheduler (promise-free).")
@@ -96,8 +126,7 @@ let sample_cmd =
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base seed.") in
   let run file runs seed =
-    Result.map
-      (fun p ->
+    with_program file (fun p ->
         let freqs = Explore.Random_run.sample ~seed ~runs p in
         let total = List.fold_left (fun a (_, n) -> a + n) 0 freqs in
         Format.printf "%d completed runs, %d distinct outcomes@." total
@@ -109,10 +138,10 @@ let sample_cmd =
           freqs;
         Format.printf
           "(sampling under-approximates: promise-dependent outcomes never \
-           appear; compare with `explore`)@.")
-      (read_program file)
+           appear; compare with `explore`)@.";
+        exit_ok)
   in
-  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ runs $ seed)) in
+  let term = Term.(const run $ program_arg 0 "FILE" $ runs $ seed) in
   Cmd.v
     (Cmd.info "sample"
        ~doc:
@@ -122,27 +151,26 @@ let sample_cmd =
 
 let explore_cmd =
   let run file disc cfg =
-    Result.map
-      (fun p ->
+    with_program file (fun p ->
         let o = Explore.Enum.behaviors_exn ~config:cfg disc p in
         Format.printf "discipline: %a@.config: %a@." Explore.Enum.pp_discipline
           disc Explore.Config.pp cfg;
-        Format.printf "behaviours (%s):@.%a@."
-          (if o.Explore.Enum.exact then "exact" else "cut by budget")
-          Explore.Traceset.pp o.Explore.Enum.traces;
-        Format.printf "stats: %a@." Explore.Stats.pp o.Explore.Enum.stats)
-      (read_program file)
+        Format.printf "behaviours (%a):@.%a@." Explore.Enum.pp_completeness
+          o.Explore.Enum.completeness Explore.Traceset.pp
+          o.Explore.Enum.traces;
+        Format.printf "stats: %a@." Explore.Stats.pp o.Explore.Enum.stats;
+        match o.Explore.Enum.completeness with
+        | Explore.Enum.Exhaustive -> exit_ok
+        | Explore.Enum.Truncated _ -> exit_inconclusive)
   in
   let term =
-    Term.(
-      term_result
-        (const run $ program_arg 0 "FILE" $ discipline_term $ config_term))
+    Term.(const run $ program_arg 0 "FILE" $ discipline_term $ config_term)
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Enumerate the full behaviour set (bounded-exhaustive, promises \
-          included).")
+          included).  Exits 2 when the exploration was truncated.")
     term
 
 let passes_assoc =
@@ -164,24 +192,27 @@ let opt_cmd =
     Arg.(value & opt string "constprop,cse,dce,cleanup" & info [ "passes" ] ~doc)
   in
   let run file passes =
-    Result.bind (read_program file) (fun p ->
+    with_program file (fun p ->
         let names = String.split_on_char ',' passes in
         let rec build = function
           | [] -> Ok []
           | n :: rest -> (
               match List.assoc_opt (String.trim n) passes_assoc with
               | Some pass -> Result.map (fun l -> pass :: l) (build rest)
-              | None -> Error (`Msg ("unknown pass: " ^ n)))
+              | None -> Error ("unknown pass: " ^ n))
         in
-        Result.map
-          (fun ps ->
+        match build names with
+        | Error msg ->
+            Printf.eprintf "psopt: %s\n" msg;
+            exit_error
+        | Ok ps ->
             let out =
               List.fold_left (fun p pass -> Opt.Pass.apply pass p) p ps
             in
-            print_string (Lang.Pp.program_to_string out))
-          (build names))
+            print_string (Lang.Pp.program_to_string out);
+            exit_ok)
   in
-  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ passes)) in
+  let term = Term.(const run $ program_arg 0 "FILE" $ passes) in
   Cmd.v (Cmd.info "opt" ~doc:"Apply optimization passes and print the result.")
     term
 
@@ -199,20 +230,21 @@ let refine_cmd =
       & info [ "source" ] ~doc:"Original program.")
   in
   let run tfile sfile disc cfg =
-    Result.bind (read_program tfile) (fun t ->
-        Result.map
-          (fun s ->
+    with_program tfile (fun t ->
+        with_program sfile (fun s ->
             let rep =
               Explore.Refine.check ~config:cfg ~discipline:disc ~target:t
                 ~source:s ()
             in
-            Format.printf "%a@." Explore.Refine.pp_verdict rep.Explore.Refine.verdict;
-            if rep.Explore.Refine.verdict <> Explore.Refine.Refines then exit 1)
-          (read_program sfile))
+            Format.printf "%a@." Explore.Refine.pp_verdict
+              rep.Explore.Refine.verdict;
+            match rep.Explore.Refine.verdict with
+            | Explore.Refine.Refines -> exit_ok
+            | Explore.Refine.Violates _ -> exit_fail
+            | Explore.Refine.Inconclusive _ -> exit_inconclusive))
   in
   let term =
-    Term.(
-      term_result (const run $ target $ source $ discipline_term $ config_term))
+    Term.(const run $ target $ source $ discipline_term $ config_term)
   in
   Cmd.v
     (Cmd.info "refine"
@@ -221,27 +253,40 @@ let refine_cmd =
 
 let races_cmd =
   let run file cfg =
-    Result.map
-      (fun p ->
-        (match Race.ww_rf ~config:cfg p with
-        | Ok v -> Format.printf "ww-RF:   %a@." Race.pp_verdict v
-        | Error e -> Format.printf "ww-RF:   error: %s@." e);
-        (match Race.ww_nprf ~config:cfg p with
-        | Ok v -> Format.printf "ww-NPRF: %a@." Race.pp_verdict v
-        | Error e -> Format.printf "ww-NPRF: error: %s@." e);
-        match Race.rw_races ~config:cfg p with
+    with_program file (fun p ->
+        let worst = ref exit_ok in
+        let bump c = if c > !worst then worst := c in
+        let report label v =
+          match v with
+          | Ok (Race.Racy _ as v) ->
+              Format.printf "%s %a@." label Race.pp_verdict v;
+              bump exit_fail
+          | Ok (Race.Inconclusive _ as v) ->
+              Format.printf "%s %a@." label Race.pp_verdict v;
+              bump exit_inconclusive
+          | Ok Race.Free -> Format.printf "%s %a@." label Race.pp_verdict Race.Free
+          | Error e ->
+              Format.printf "%s error: %s@." label e;
+              bump exit_error
+        in
+        report "ww-RF:  " (Race.ww_rf ~config:cfg p);
+        report "ww-NPRF:" (Race.ww_nprf ~config:cfg p);
+        (match Race.rw_races ~config:cfg p with
         | Ok [] -> Format.printf "rw:      none@."
         | Ok rs ->
             List.iter (fun r -> Format.printf "rw:      %a@." Race.pp_race r) rs
-        | Error e -> Format.printf "rw:      error: %s@." e)
-      (read_program file)
+        | Error e ->
+            Format.printf "rw:      error: %s@." e;
+            bump exit_error);
+        !worst)
   in
-  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ config_term)) in
+  let term = Term.(const run $ program_arg 0 "FILE" $ config_term) in
   Cmd.v
     (Cmd.info "races"
        ~doc:
          "Check write-write race freedom (Fig. 11) under both machines and \
-          report read-write races.")
+          report read-write races.  Exits 1 on a race, 2 when truncation \
+          prevents a freedom claim.")
     term
 
 let sim_cmd =
@@ -258,25 +303,27 @@ let sim_cmd =
     Arg.(value & opt (enum [ ("iid", `Iid); ("idce", `Idce) ]) `Iid & info [ "inv" ] ~doc)
   in
   let run tfile sfile inv =
-    Result.bind (read_program tfile) (fun t ->
-        Result.map
-          (fun s ->
+    with_program tfile (fun t ->
+        with_program sfile (fun s ->
             let inv =
               match inv with
               | `Iid -> Sim.Invariant.iid
               | `Idce -> Sim.Invariant.idce
             in
             let rs = Sim.Simcheck.check_program ~inv ~target:t ~source:s () in
-            let ok = ref true in
+            let worst = ref exit_ok in
             List.iter
               (fun (f, v) ->
-                if v <> Sim.Simcheck.Holds then ok := false;
+                (match v with
+                | Sim.Simcheck.Holds -> ()
+                | Sim.Simcheck.Fails _ -> worst := max !worst exit_fail
+                | Sim.Simcheck.Unknown _ ->
+                    worst := max !worst exit_inconclusive);
                 Format.printf "%s: %a@." f Sim.Simcheck.pp_verdict v)
               rs;
-            if not !ok then exit 1)
-          (read_program sfile))
+            !worst))
   in
-  let term = Term.(term_result (const run $ target $ source $ inv)) in
+  let term = Term.(const run $ target $ source $ inv) in
   Cmd.v
     (Cmd.info "sim"
        ~doc:
@@ -289,22 +336,30 @@ let verify_cmd =
     let doc = "Optimizer to verify (constprop, dce, cse, copyprop, linv, licm, cleanup)." in
     Arg.(value & opt string "dce" & info [ "pass" ] ~doc)
   in
-  let run file pass =
-    Result.bind (read_program file) (fun p ->
+  let run file pass cfg =
+    with_program file (fun p ->
         match Sim.Verif.find pass with
-        | None -> Error (`Msg ("unknown optimizer: " ^ pass))
-        | Some r ->
-            let v = Sim.Verif.check r p in
+        | None ->
+            Printf.eprintf "psopt: unknown optimizer: %s\n" pass;
+            exit_error
+        | Some r -> (
+            let v = Sim.Verif.check ~explore_config:cfg r p in
             Format.printf "%s on %s: %a@." pass file Sim.Verif.pp_verdict v;
-            if v <> Sim.Verif.Verified then exit 1 else Ok ())
+            match v with
+            | Sim.Verif.Verified -> exit_ok
+            | Sim.Verif.Fail _ -> exit_fail
+            | Sim.Verif.Inconclusive _ -> exit_inconclusive))
   in
-  let term = Term.(term_result (const run $ program_arg 0 "FILE" $ pass_arg)) in
+  let term =
+    Term.(const run $ program_arg 0 "FILE" $ pass_arg $ config_term)
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Run the full Fig. 6 pipeline for one optimizer on one program: \
           ww-RF of the source, the thread-local simulation with the pass's \
-          invariant, whole-program refinement, ww-RF preservation.")
+          invariant, whole-program refinement, ww-RF preservation.  Exits 0 \
+          verified, 1 failed, 2 inconclusive.")
     term
 
 let witness_cmd =
@@ -316,7 +371,7 @@ let witness_cmd =
     Arg.(value & flag & info [ "full" ] ~doc:"Show silent steps too.")
   in
   let run file outs full disc cfg =
-    Result.bind (read_program file) (fun p ->
+    with_program file (fun p ->
         let parse_outs s =
           if String.trim s = "" then Ok []
           else
@@ -325,35 +380,47 @@ let witness_cmd =
                 (List.map
                    (fun x -> int_of_string (String.trim x))
                    (String.split_on_char ',' s))
-            with Failure _ -> Error (`Msg ("invalid --outs: " ^ s))
+            with Failure _ -> Error ("invalid --outs: " ^ s)
         in
-        Result.map
-          (fun outs ->
+        match parse_outs outs with
+        | Error msg ->
+            Printf.eprintf "psopt: %s\n" msg;
+            exit_error
+        | Ok outs -> (
             match
               Explore.Witness.find ~config:cfg ~discipline:disc ~outs p
             with
             | Some w ->
                 Format.printf "witness:@.%a@."
                   (if full then Explore.Witness.pp_full else Explore.Witness.pp)
-                  w
+                  w;
+                exit_ok
             | None ->
-                Format.printf
-                  "no witness within bounds (outcome unobservable if the \
-                   exploration is exact)@.";
-                exit 1)
-          (parse_outs outs))
+                let o = Explore.Enum.behaviors_exn ~config:cfg disc p in
+                if o.Explore.Enum.exact then (
+                  Format.printf
+                    "no witness: the outcome is unobservable \
+                     (bounded-exhaustive)@.";
+                  exit_fail)
+                else (
+                  Format.printf
+                    "no witness within bounds, and the exploration was \
+                     truncated (%a): inconclusive@."
+                    Explore.Enum.pp_completeness o.Explore.Enum.completeness;
+                  exit_inconclusive)))
   in
   let term =
     Term.(
-      term_result
-        (const run $ program_arg 0 "FILE" $ outs $ full $ discipline_term
-       $ config_term))
+      const run $ program_arg 0 "FILE" $ outs $ full $ discipline_term
+      $ config_term)
   in
   Cmd.v
     (Cmd.info "witness"
        ~doc:
          "Find an annotated execution (schedule) producing the given \
-          outputs, in the style of the paper's Sec. 2.1 executions.")
+          outputs, in the style of the paper's Sec. 2.1 executions.  Exits \
+          1 when the outcome is provably unobservable, 2 when the search \
+          was truncated.")
     term
 
 let litmus_cmd =
@@ -361,39 +428,116 @@ let litmus_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Litmus name.")
   in
   let run name =
-    let sorted l = List.sort compare l in
     let check (t : Litmus.t) =
-      let o = Explore.Enum.behaviors_exn Explore.Enum.Interleaving t.Litmus.prog in
-      let outs =
-        Explore.Traceset.done_outs o.Explore.Enum.traces
-        |> List.map sorted |> List.sort_uniq compare
-      in
-      let ok_exp =
-        List.for_all (fun e -> List.mem (sorted e) outs) t.Litmus.expected
-      in
-      let ok_forb =
-        List.for_all (fun f -> not (List.mem (sorted f) outs)) t.Litmus.forbidden
-      in
-      Format.printf "%-18s %s — %s@." t.Litmus.name
-        (if ok_exp && ok_forb then "ok" else "MISMATCH")
-        t.Litmus.descr;
+      let r = Litmus.check t in
+      Format.printf "%-18s %a — %s@." t.Litmus.name Litmus.pp_verdict
+        r.Litmus.verdict t.Litmus.descr;
       List.iter
         (fun o ->
           Format.printf "    [%s]@."
             (String.concat ";" (List.map string_of_int o)))
-        outs
+        r.Litmus.observed;
+      match r.Litmus.verdict with
+      | Litmus.Pass -> exit_ok
+      | Litmus.Mismatch _ -> exit_fail
+      | Litmus.Inconclusive _ -> exit_inconclusive
     in
     match name with
-    | None -> Ok (List.iter check Litmus.all)
+    | None -> List.fold_left (fun acc t -> max acc (check t)) exit_ok Litmus.all
     | Some n -> (
         match List.find_opt (fun t -> t.Litmus.name = n) Litmus.all with
-        | Some t -> Ok (check t)
-        | None -> Error (`Msg ("unknown litmus test: " ^ n)))
+        | Some t -> check t
+        | None ->
+            Printf.eprintf "psopt: unknown litmus test: %s\n" n;
+            exit_error)
   in
-  let term = Term.(term_result (const run $ name_arg)) in
+  let term = Term.(const run $ name_arg) in
   Cmd.v
     (Cmd.info "litmus"
        ~doc:"Run the paper's litmus corpus against the explorer.")
+    term
+
+let stress_cmd =
+  let cases =
+    Arg.(value & opt int 50 & info [ "cases" ] ~doc:"Number of random cases.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Base seed.") in
+  let deadline =
+    Arg.(
+      value & opt int 2000
+      & info [ "deadline-ms" ] ~doc:"Per-attempt wall-clock budget.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ]
+          ~doc:"Extra attempts with doubled budgets while inconclusive.")
+  in
+  let qdir =
+    Arg.(
+      value
+      & opt string "_stress_quarantine"
+      & info [ "quarantine-dir" ] ~doc:"Where crashed cases are persisted.")
+  in
+  let pass_arg =
+    let doc =
+      "Optimizer to stress (constprop, dce, cse, copyprop, linv, licm, \
+       cleanup); by default each case picks one deterministically from its \
+       program."
+    in
+    Arg.(value & opt (some string) None & info [ "pass" ] ~doc)
+  in
+  let registry_of = function
+    | Some name -> (
+        match Sim.Verif.find name with
+        | Some r -> Ok (fun _ -> r)
+        | None -> Error ("unknown optimizer: " ^ name))
+    | None ->
+        let all =
+          List.filter_map (fun (n, _) -> Sim.Verif.find n)
+            [ ("constprop", ()); ("dce", ()); ("cse", ()); ("copyprop", ());
+              ("linv", ()); ("licm", ()); ("cleanup", ()) ]
+        in
+        (* Deterministic per program (stable across retries), varied
+           across cases. *)
+        Ok (fun p -> List.nth all (Hashtbl.hash p mod List.length all))
+  in
+  let run cases seed deadline_ms retries qdir pass =
+    match registry_of pass with
+    | Error msg ->
+        Printf.eprintf "psopt: %s\n" msg;
+        exit_error
+    | Ok pick ->
+        let check ~config p =
+          match Sim.Verif.check ~explore_config:config (pick p) p with
+          | Sim.Verif.Verified -> `Verified
+          | Sim.Verif.Fail (st, why) ->
+              `Refuted (Format.asprintf "%a: %s" Sim.Verif.pp_stage st why)
+          | Sim.Verif.Inconclusive why -> `Inconclusive why
+        in
+        let s =
+          Explore.Stress.run ~retries ~quarantine_dir:qdir ~cases ~seed
+            ~deadline_ms ~check ()
+        in
+        Format.printf "%a@." Explore.Stress.pp_summary s;
+        if s.Explore.Stress.quarantined > 0 then (
+          Printf.eprintf
+            "psopt: %d case(s) quarantined under %s — each .sexp is a \
+             reproducible bug report\n"
+            s.Explore.Stress.quarantined qdir;
+          exit_fail)
+        else exit_ok
+  in
+  let term =
+    Term.(const run $ cases $ seed $ deadline $ retries $ qdir $ pass_arg)
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Crash-safe batch stress: seeded random programs through the full \
+          optimize-then-verify pipeline under per-case deadlines, with \
+          budget-escalating retries and an internal-error quarantine.  \
+          Exits 1 if any case was quarantined.")
     term
 
 let () =
@@ -403,19 +547,24 @@ let () =
         "Verifying optimizations of concurrent programs in the promising \
          semantics (PLDI 2022) — executable reproduction."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            parse_cmd;
-            run_cmd;
-            sample_cmd;
-            explore_cmd;
-            opt_cmd;
-            refine_cmd;
-            races_cmd;
-            sim_cmd;
-            verify_cmd;
-            witness_cmd;
-            litmus_cmd;
-          ]))
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [
+           parse_cmd;
+           run_cmd;
+           sample_cmd;
+           explore_cmd;
+           opt_cmd;
+           refine_cmd;
+           races_cmd;
+           sim_cmd;
+           verify_cmd;
+           witness_cmd;
+           litmus_cmd;
+           stress_cmd;
+         ])
+  in
+  (* cmdliner reports CLI/usage problems as 124/125; fold them into
+     the documented usage-error code. *)
+  exit (if code >= 123 then exit_error else code)

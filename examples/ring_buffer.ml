@@ -67,6 +67,7 @@ let () =
   (match Race.ww_rf strong with
   | Ok Race.Free -> Format.printf "ww-race free: yes@.@."
   | Ok (Racy r) -> Format.printf "unexpected race: %a@." Race.pp_race r
+  | Ok (Inconclusive why) -> Format.printf "inconclusive: %s@." why
   | Error e -> Format.printf "error: %s@." e);
 
   let weak_outs = outcomes weak in

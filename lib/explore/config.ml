@@ -1,5 +1,7 @@
 type promise_mode = No_promises | Semantic | Syntactic
 
+type fault = { fault_seed : int; fault_rate : float }
+
 type t = {
   max_steps : int;
   max_promises : int;
@@ -9,6 +11,11 @@ type t = {
   cap_certification : bool;
   memoize : bool;
   cert_cache : bool;
+  deadline_ms : int option;
+  max_nodes : int option;
+  max_live_words : int option;
+  strict_promises : bool;
+  fault : fault option;
 }
 
 let default =
@@ -21,6 +28,11 @@ let default =
     cap_certification = true;
     memoize = true;
     cert_cache = true;
+    deadline_ms = None;
+    max_nodes = None;
+    max_live_words = None;
+    strict_promises = false;
+    fault = None;
   }
 
 let quick =
@@ -38,13 +50,31 @@ let with_promises n t =
     promise_mode = (if n = 0 then No_promises else t.promise_mode);
   }
 
+let with_deadline_ms ms t = { t with deadline_ms = Some ms }
+
+let pp_opt ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some n -> Format.pp_print_int ppf n
+
 let pp ppf t =
   Format.fprintf ppf
     "{steps=%d; promises=%d(%s); rsv=%b; cert_fuel=%d; cap=%b; memo=%b; \
-     cert_cache=%b}"
+     cert_cache=%b"
     t.max_steps t.max_promises
     (match t.promise_mode with
     | No_promises -> "none"
     | Semantic -> "semantic"
     | Syntactic -> "syntactic")
-    t.reservations t.cert_fuel t.cap_certification t.memoize t.cert_cache
+    t.reservations t.cert_fuel t.cap_certification t.memoize t.cert_cache;
+  (match (t.deadline_ms, t.max_nodes, t.max_live_words) with
+  | None, None, None -> ()
+  | d, n, w ->
+      Format.fprintf ppf "; deadline_ms=%a; max_nodes=%a; max_live_words=%a"
+        pp_opt d pp_opt n pp_opt w);
+  if t.strict_promises then Format.fprintf ppf "; strict_promises";
+  (match t.fault with
+  | None -> ()
+  | Some f ->
+      Format.fprintf ppf "; fault={seed=%d; rate=%g}" f.fault_seed
+        f.fault_rate);
+  Format.fprintf ppf "}"

@@ -2,7 +2,13 @@
     branching finite, and the switches for the ablation experiments.
 
     Defaults are tuned so that every litmus program of the paper
-    explores exhaustively (no [Cut] traces) in well under a second. *)
+    explores exhaustively (no [Cut] traces) in well under a second.
+    The optional resource budgets ([deadline_ms], [max_nodes],
+    [max_live_words]) are off by default; when one trips, the search
+    degrades explicitly — the affected subtree becomes a [Cut] trace,
+    the {!Stats} counter for the reason increments, and the
+    {!Enum.outcome} reports [Truncated] so downstream verdicts become
+    inconclusive instead of over-claiming (docs/ROBUSTNESS.md). *)
 
 type promise_mode =
   | No_promises
@@ -14,6 +20,19 @@ type promise_mode =
   | Syntactic
       (** candidates are constant stores syntactically reachable in
           the thread's remaining code *)
+
+type fault = {
+  fault_seed : int;  (** PRNG seed — the schedule is a pure function of it *)
+  fault_rate : float;
+      (** probability in [0,1] that any given enumeration or
+          certification step is killed *)
+}
+(** Deterministic fault injection: with probability [fault_rate], an
+    enumeration step is cut (as if a budget had tripped there) or a
+    certification query answers "inconsistent".  Both moves only
+    remove behaviours, so completed traces under any schedule are a
+    subset of the fault-free run and verdicts can only degrade toward
+    inconclusive — the property test in test/test_robustness.ml. *)
 
 type t = {
   max_steps : int;
@@ -40,6 +59,19 @@ type t = {
           once per successor.  Sound: the verdict is a pure function
           of the configuration (fuel and capping are fixed per
           search).  [false] is the bench ablation. *)
+  deadline_ms : int option;
+      (** wall-clock budget for one exploration, measured from the
+          start of the search *)
+  max_nodes : int option;  (** budget on distinct states expanded *)
+  max_live_words : int option;
+      (** abandon the search when the major heap's live words exceed
+          this (checked periodically via [Gc.quick_stat]) *)
+  strict_promises : bool;
+      (** also report [Promise_budget] truncation when [max_promises]
+          suppresses a nonempty certifiable-candidate set.  Off by
+          default: the bounded-promise exploration is the intended
+          semantics for the paper's experiments, not a truncation. *)
+  fault : fault option;  (** fault-injection mode (testing only) *)
 }
 
 val default : t
@@ -47,4 +79,5 @@ val quick : t
 (** Promise-free, shallower: for smoke tests and benches. *)
 
 val with_promises : int -> t -> t
+val with_deadline_ms : int -> t -> t
 val pp : Format.formatter -> t -> unit

@@ -2,7 +2,18 @@ module TidMap = Ps.Machine.TidMap
 
 type discipline = Interleaving | Non_preemptive
 
-type outcome = { traces : Traceset.t; exact : bool; stats : Stats.t }
+type completeness = Exhaustive | Truncated of Errors.reason list
+
+type outcome = {
+  traces : Traceset.t;
+  completeness : completeness;
+  exact : bool;
+  stats : Stats.t;
+}
+
+let pp_completeness ppf = function
+  | Exhaustive -> Format.pp_print_string ppf "exhaustive"
+  | Truncated rs -> Format.fprintf ppf "truncated (%a)" Errors.pp_reasons rs
 
 let pp_discipline ppf = function
   | Interleaving -> Format.pp_print_string ppf "interleaving"
@@ -69,6 +80,14 @@ type search = {
   cand_cache : (Lang.Ast.var * Lang.Ast.value) list CertTbl.t;
       (* semantic promise candidates, the other certification search
          ran per node (see [promise_candidates]) *)
+  deadline : float option;  (* absolute, [Unix.gettimeofday] scale *)
+  fault : (Random.State.t * float) option;
+  mutable tick : int;
+  (* Sticky resource flags: once the wall clock or the heap budget
+     trips, every remaining subtree is abandoned — there is no way to
+     "recover" time or memory mid-search. *)
+  mutable out_of_time : bool;
+  mutable out_of_mem : bool;
 }
 
 let make_search code atomics disc cfg =
@@ -82,7 +101,62 @@ let make_search code atomics disc cfg =
     on_stack = NodeTbl.create 256;
     cert_cache = CertTbl.create 1024;
     cand_cache = CertTbl.create 1024;
+    deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+        cfg.Config.deadline_ms;
+    fault =
+      Option.map
+        (fun f ->
+          (Random.State.make [| f.Config.fault_seed |], f.Config.fault_rate))
+        cfg.Config.fault;
+    tick = 0;
+    out_of_time = false;
+    out_of_mem = false;
   }
+
+(* Wall-clock and heap probes are amortized over this many calls; the
+   node budget and the sticky flags are checked every time. *)
+let probe_mask = 0x3F
+
+let budget_stop s : Errors.reason option =
+  s.tick <- s.tick + 1;
+  if s.tick land probe_mask = 0 then begin
+    (match s.deadline with
+    | Some d when Unix.gettimeofday () > d -> s.out_of_time <- true
+    | _ -> ());
+    match s.cfg.Config.max_live_words with
+    | Some w when (Gc.quick_stat ()).Gc.heap_words > w -> s.out_of_mem <- true
+    | _ -> ()
+  end;
+  if s.out_of_time then begin
+    s.stats.Stats.deadline_hits <- s.stats.Stats.deadline_hits + 1;
+    Some Errors.Deadline
+  end
+  else if s.out_of_mem then begin
+    s.stats.Stats.oom_hits <- s.stats.Stats.oom_hits + 1;
+    Some Errors.Oom
+  end
+  else
+    match s.cfg.Config.max_nodes with
+    | Some n when s.stats.Stats.nodes >= n ->
+        s.stats.Stats.node_budget_hits <- s.stats.Stats.node_budget_hits + 1;
+        Some Errors.Node_budget
+    | _ -> None
+
+(* Deterministic fault injection: fires with probability [rate] per
+   draw.  A firing site either cuts the enumeration subtree or answers
+   a certification query "inconsistent"/"no candidates" — every move
+   only removes behaviours, so completed traces under any schedule are
+   a subset of the fault-free run (test/test_robustness.ml). *)
+let fault_fires s =
+  match s.fault with
+  | None -> false
+  | Some (rng, rate) ->
+      let fire = Random.State.float rng 1.0 < rate in
+      if fire then
+        s.stats.Stats.faults_injected <- s.stats.Stats.faults_injected + 1;
+      fire
 
 let run_cert s ts mem =
   Ps.Cert.consistent ~fuel:s.cfg.Config.cert_fuel
@@ -90,9 +164,14 @@ let run_cert s ts mem =
 
 let consistent s ts mem =
   s.stats.Stats.cert_checks <- s.stats.Stats.cert_checks + 1;
-  (* Promise-free thread states are trivially consistent; don't spend
-     a hash of the whole configuration on them. *)
-  if Ps.Thread.concrete_promises ts = [] then true
+  (* An injected fault answers "inconsistent" without consulting the
+     cache, so the cache stays pure and the pruning is per-draw. *)
+  if fault_fires s then false
+  else if
+    (* Promise-free thread states are trivially consistent; don't
+       spend a hash of the whole configuration on them. *)
+    Ps.Thread.concrete_promises ts = []
+  then true
   else if not s.cfg.Config.cert_cache then run_cert s ts mem
   else
     let key = (ts, mem) in
@@ -108,6 +187,10 @@ let consistent s ts mem =
 let promise_candidates s ts mem =
   match s.cfg.Config.promise_mode with
   | Config.No_promises -> []
+  | (Config.Syntactic | Config.Semantic) when fault_fires s ->
+      (* Candidate discovery killed by an injected fault: no promise
+         successors from here — behaviours shrink, never grow. *)
+      []
   | Config.Syntactic -> Ps.Thread.writes_in_code ~code:s.code ts
   | Config.Semantic ->
       (* Candidate discovery is the other certification search, run
@@ -161,12 +244,23 @@ let successors s (n : Node.t) : succ list =
   in
   let regular = List.filter_map lift (Ps.Thread.steps ~code:s.code ts mem) in
   let promises =
-    let allowed =
-      promised_cur < s.cfg.Config.max_promises
-      && (match s.disc with Interleaving -> true | Non_preemptive -> n.bit)
+    let budget_left = promised_cur < s.cfg.Config.max_promises in
+    let sched_ok =
+      (match s.disc with Interleaving -> true | Non_preemptive -> n.bit)
       && not (Ps.Local.is_finished ts.Ps.Thread.local)
     in
-    if not allowed then []
+    if not (budget_left && sched_ok) then begin
+      (* Under [strict_promises], a nonempty candidate set suppressed
+         purely by the promise budget counts as truncation (a
+         conservative over-approximation: the candidates are not
+         re-certified here, so this can only push verdicts toward
+         inconclusive, never toward a claim). *)
+      if s.cfg.Config.strict_promises && sched_ok && not budget_left then
+        if promise_candidates s ts mem <> [] then
+          s.stats.Stats.promise_budget_hits <-
+            s.stats.Stats.promise_budget_hits + 1;
+      []
+    end
     else
       let candidates = promise_candidates s ts mem in
       Ps.Thread.promise_steps ~candidates ~atomics:s.atomics ts mem
@@ -241,11 +335,20 @@ let successors s (n : Node.t) : succ list =
    the depth budget truncated it. *)
 let max_taint = max_int
 
+let cut_trace = (Traceset.singleton (Ps.Event.trace_cut []), -1 (* taint *))
+
 let rec dfs s (n : Node.t) depth stack_ix : Traceset.t * int =
   if depth > s.stats.Stats.peak_depth then s.stats.Stats.peak_depth <- depth;
   if depth >= s.cfg.Config.max_steps then (
     s.stats.Stats.cuts <- s.stats.Stats.cuts + 1;
-    (Traceset.singleton (Ps.Event.trace_cut []), -1 (* depth taint *)))
+    cut_trace)
+  else if budget_stop s <> None then
+    (* Deadline / node budget / heap budget: the subtree is abandoned
+       with the same honest [Cut] marker (and the same negative taint,
+       so nothing truncated is ever memoized) as a depth cut; the
+       per-reason stats counter was incremented by [budget_stop]. *)
+    cut_trace
+  else if fault_fires s then cut_trace
   else
     match NodeTbl.find_opt s.memo n with
     | Some traces ->
@@ -312,12 +415,23 @@ let behaviors ?(config = Config.default) disc (p : Lang.Ast.program) =
       let root = { Node.world; bit = true; promised = TidMap.empty } in
       let traces, _ = dfs s root 0 0 in
       finish_stats s;
-      Ok { traces; exact = s.stats.Stats.cuts = 0; stats = s.stats }
+      let completeness =
+        match Stats.truncation_reasons s.stats with
+        | [] -> Exhaustive
+        | reasons -> Truncated reasons
+      in
+      Ok
+        {
+          traces;
+          completeness;
+          exact = completeness = Exhaustive;
+          stats = s.stats;
+        }
 
 let behaviors_exn ?config disc p =
   match behaviors ?config disc p with
   | Ok o -> o
-  | Error e -> invalid_arg ("Enum.behaviors: " ^ e)
+  | Error e -> raise (Errors.Error (Errors.Ill_formed e))
 
 let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
   match Ps.Machine.init p with
@@ -336,6 +450,11 @@ let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
       let rec visit (n : Node.t) depth =
         if depth >= s.cfg.Config.max_steps then
           s.stats.Stats.cuts <- s.stats.Stats.cuts + 1
+        else if budget_stop s <> None || fault_fires s then
+          (* Budget or fault: skip the subtree.  The stats counters
+             record the reason, so callers recover completeness via
+             [Stats.truncation_reasons]. *)
+          ()
         else
           let prev = NodeTbl.find_opt best n in
           match prev with

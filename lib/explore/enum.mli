@@ -24,20 +24,36 @@
 
 type discipline = Interleaving | Non_preemptive
 
+(** Whether the traceset covers the whole (bounded-promise) state
+    space.  Any verdict derived from a [Truncated] outcome must
+    degrade to inconclusive — {!Refine}, {!Race}, [Sim.Verif] and
+    [Litmus] all enforce this (docs/ROBUSTNESS.md). *)
+type completeness =
+  | Exhaustive
+  | Truncated of Errors.reason list
+      (** the distinct reasons subtrees were abandoned: step budget,
+          wall-clock deadline, node budget, heap budget, suppressed
+          promises (strict mode) or injected faults *)
+
 type outcome = {
   traces : Traceset.t;
+  completeness : completeness;
   exact : bool;
-      (** no path was cut by the step budget: for programs with finite
-          (up to silent divergence) behaviour this is the full PS2.1
+      (** [completeness = Exhaustive]: for programs with finite (up to
+          silent divergence) behaviour this is the full PS2.1
           behaviour set under the configured promise bound *)
   stats : Stats.t;
 }
+
+val pp_completeness : Format.formatter -> completeness -> unit
 
 val behaviors :
   ?config:Config.t -> discipline -> Lang.Ast.program -> (outcome, string) result
 
 val behaviors_exn :
   ?config:Config.t -> discipline -> Lang.Ast.program -> outcome
+(** @raise Errors.Error [(Ill_formed _)] when the program's machine
+    cannot be initialised. *)
 
 val iter_reachable :
   ?config:Config.t ->

@@ -60,7 +60,7 @@ let run ?(seed = 0) ?(max_steps = 10_000) (p : Lang.Ast.program) =
 let run_exn ?seed ?max_steps p =
   match run ?seed ?max_steps p with
   | Ok r -> r
-  | Error e -> invalid_arg ("Random_run.run: " ^ e)
+  | Error e -> raise (Errors.Error (Errors.Ill_formed e))
 
 let sample ?(seed = 0) ?max_steps ~runs p =
   let tbl = Hashtbl.create 16 in

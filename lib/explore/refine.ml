@@ -14,9 +14,20 @@ let check ?(config = Config.default) ?(discipline = Enum.Interleaving)
   let t = Enum.behaviors_exn ~config discipline target in
   let s = Enum.behaviors_exn ~config discipline source in
   let verdict =
-    if not (t.Enum.exact && s.Enum.exact) then
-      Inconclusive "exploration budget exhausted; raise Config.max_steps"
-    else
+    let reasons o =
+      match o.Enum.completeness with
+      | Enum.Exhaustive -> []
+      | Enum.Truncated rs -> rs
+    in
+    match
+      List.sort_uniq compare (reasons t @ reasons s)
+    with
+    | _ :: _ as rs ->
+        Inconclusive
+          (Format.asprintf
+             "exploration truncated (%a); raise the exhausted budgets"
+             Errors.pp_reasons rs)
+    | [] ->
       (* The paper's behaviour sets are prefix-closed; compare the
          closures so that a divergence prefix of one side is matched
          by any extension on the other. *)

@@ -10,6 +10,11 @@ type t = {
   mutable cuts : int;
   mutable promises : int;
   mutable peak_depth : int;
+  mutable deadline_hits : int;
+  mutable node_budget_hits : int;
+  mutable oom_hits : int;
+  mutable promise_budget_hits : int;
+  mutable faults_injected : int;
 }
 
 let create () =
@@ -25,7 +30,22 @@ let create () =
     cuts = 0;
     promises = 0;
     peak_depth = 0;
+    deadline_hits = 0;
+    node_budget_hits = 0;
+    oom_hits = 0;
+    promise_budget_hits = 0;
+    faults_injected = 0;
   }
+
+let truncation_reasons s =
+  let add cond r acc = if cond then r :: acc else acc in
+  []
+  |> add (s.faults_injected > 0) Errors.Fault
+  |> add (s.oom_hits > 0) Errors.Oom
+  |> add (s.node_budget_hits > 0) Errors.Node_budget
+  |> add (s.deadline_hits > 0) Errors.Deadline
+  |> add (s.promise_budget_hits > 0) Errors.Promise_budget
+  |> add (s.cuts > 0) Errors.Step_budget
 
 let pp ppf s =
   Format.fprintf ppf
@@ -34,4 +54,13 @@ let pp ppf s =
      peak_depth=%d"
     s.nodes s.transitions s.memo_hits s.memo_size s.cert_checks
     s.cert_cache_hits s.cert_cache_size s.cycles s.cuts s.promises
-    s.peak_depth
+    s.peak_depth;
+  if
+    s.deadline_hits > 0 || s.node_budget_hits > 0 || s.oom_hits > 0
+    || s.promise_budget_hits > 0 || s.faults_injected > 0
+  then
+    Format.fprintf ppf
+      " deadline_hits=%d node_budget_hits=%d oom_hits=%d \
+       promise_budget_hits=%d faults_injected=%d"
+      s.deadline_hits s.node_budget_hits s.oom_hits s.promise_budget_hits
+      s.faults_injected

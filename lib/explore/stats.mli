@@ -1,7 +1,8 @@
 (** Exploration statistics — the measurements behind experiments E9
     and E16 (state-space size of the interleaving vs the
     non-preemptive machine), the bench harness and its certification
-    ablation. *)
+    ablation, and the truncation-pressure counters the resilience
+    layer reports. *)
 
 type t = {
   mutable nodes : int;  (** distinct machine states visited *)
@@ -22,7 +23,27 @@ type t = {
   mutable cuts : int;  (** paths truncated by the step budget *)
   mutable promises : int;  (** promise steps explored *)
   mutable peak_depth : int;  (** deepest micro-step stack reached *)
+  mutable deadline_hits : int;
+      (** subtrees abandoned because [Config.deadline_ms] passed *)
+  mutable node_budget_hits : int;
+      (** subtrees abandoned because [Config.max_nodes] was reached *)
+  mutable oom_hits : int;
+      (** subtrees abandoned because the live-word budget
+          [Config.max_live_words] was exceeded *)
+  mutable promise_budget_hits : int;
+      (** nonempty certifiable-promise candidate sets suppressed by
+          [Config.max_promises] (counted only under
+          [Config.strict_promises]) *)
+  mutable faults_injected : int;
+      (** injected faults that fired ([Config.fault] mode) *)
 }
 
 val create : unit -> t
+
+val truncation_reasons : t -> Errors.reason list
+(** The distinct reasons this search was incomplete — empty iff the
+    exploration was exhaustive.  Derived from the counters, so callers
+    of {!Enum.iter_reachable} (which streams states instead of
+    returning an {!Enum.outcome}) can judge completeness too. *)
+
 val pp : Format.formatter -> t -> unit

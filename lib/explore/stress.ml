@@ -1,0 +1,173 @@
+(* ------------------------------------------------------------------ *)
+(* Seeded random program generation.
+
+   Same shape as the soundness property tests: two straight-line
+   threads over two non-atomic locations and one atomic flag, each
+   ending in a print — every access mode and the print interleavings
+   are exercised while exhaustive exploration stays tractable.  The
+   program is a pure function of the seed, so any quarantined case is
+   reproducible from its seed alone (and from the persisted .sexp). *)
+
+let gen_instr rng : Lang.Ast.instr =
+  let open Lang.Ast in
+  let reg () = Printf.sprintf "r%d" (Random.State.int rng 4) in
+  let navar () = if Random.State.bool rng then "x" else "y" in
+  let value () = Random.State.int rng 4 in
+  let expr () =
+    match Random.State.int rng 3 with
+    | 0 -> Val (value ())
+    | 1 -> Reg (reg ())
+    | _ -> Bin (Add, Reg (reg ()), Val (value ()))
+  in
+  match Random.State.int rng 14 with
+  | 0 | 1 | 2 -> Load (reg (), navar (), Lang.Modes.Na)
+  | 3 | 4 | 5 -> Store (navar (), expr (), Lang.Modes.WNa)
+  | 6 | 7 -> Assign (reg (), expr ())
+  | 8 -> Load (reg (), "f", Lang.Modes.Rlx)
+  | 9 -> Load (reg (), "f", Lang.Modes.Acq)
+  | 10 -> Store ("f", expr (), Lang.Modes.WRlx)
+  | 11 -> Store ("f", expr (), Lang.Modes.WRel)
+  | 12 ->
+      Fence (if Random.State.bool rng then Lang.Modes.FAcq else Lang.Modes.FRel)
+  | _ -> Skip
+
+let gen_thread rng name =
+  let open Lang.Ast in
+  let n = 1 + Random.State.int rng 4 in
+  let instrs = List.init n (fun _ -> gen_instr rng) @ [ Print (Reg "r0") ] in
+  (name, codeheap ~entry:"L" [ ("L", block instrs Return) ])
+
+let generate ~seed =
+  let rng = Random.State.make [| 0x5752; seed |] in
+  Lang.Ast.program ~atomics:[ "f" ]
+    ~code:[ gen_thread rng "t1"; gen_thread rng "t2" ]
+    [ "t1"; "t2" ]
+
+(* ------------------------------------------------------------------ *)
+(* The supervised optimize-then-verify cycle. *)
+
+type case_verdict =
+  | Verified
+  | Refuted of string
+  | Inconclusive of string
+  | Quarantined of string
+
+type case_result = {
+  id : int;
+  case_seed : int;
+  attempts : int;
+  verdict : case_verdict;
+}
+
+type summary = {
+  cases : int;
+  verified : int;
+  refuted : int;
+  inconclusive : int;
+  quarantined : int;
+  results : case_result list;
+}
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let ensure_dir dir = try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let case_base ~id ~case_seed = Printf.sprintf "case-%04d-seed-%d" id case_seed
+
+let inflight_path dir = Filename.concat dir "inflight.sexp"
+
+let quarantine ~dir ~id ~case_seed p reason =
+  ensure_dir dir;
+  let base = case_base ~id ~case_seed in
+  write_file
+    (Filename.concat dir (base ^ ".sexp"))
+    (Lang.Sexp.program_to_string p);
+  write_file (Filename.concat dir (base ^ ".reason")) (reason ^ "\n")
+
+(* One case: run [check] under a per-attempt deadline, escalating the
+   step and wall-clock budgets (×2 per retry) while the verdict stays
+   inconclusive.  Any escaped exception other than [Budget_exhausted]
+   is a bug in the library — the case is quarantined with its program
+   persisted as a reproducible artifact. *)
+let run_case ~config ~deadline_ms ~retries ~check p =
+  let rec attempt k =
+    let scale = 1 lsl k in
+    let cfg =
+      {
+        config with
+        Config.max_steps = config.Config.max_steps * scale;
+        deadline_ms = Some (deadline_ms * scale);
+      }
+    in
+    let verdict =
+      match check ~config:cfg p with
+      | `Verified -> Verified
+      | `Refuted why -> Refuted why
+      | `Inconclusive why -> Inconclusive why
+      | exception Errors.Error (Errors.Budget_exhausted why) ->
+          Inconclusive why
+      | exception exn -> Quarantined (Errors.to_string (Errors.of_exn exn))
+    in
+    match verdict with
+    | Inconclusive _ when k < retries -> attempt (k + 1)
+    | v -> (v, k + 1)
+  in
+  attempt 0
+
+let run ?(config = Config.default) ?(retries = 2)
+    ?(quarantine_dir = "_stress_quarantine") ~cases ~seed ~deadline_ms ~check
+    () =
+  let results = ref [] in
+  for id = 0 to cases - 1 do
+    let case_seed = seed + id in
+    let p = generate ~seed:case_seed in
+    (* Crash safety: the program under test is on disk before the
+       check runs, so even a hard crash (segfault, OOM kill) leaves a
+       reproducible artifact behind.  Removed again on a clean
+       verdict. *)
+    ensure_dir quarantine_dir;
+    write_file (inflight_path quarantine_dir)
+      (Printf.sprintf ";; %s\n%s" (case_base ~id ~case_seed)
+         (Lang.Sexp.program_to_string p));
+    let verdict, attempts =
+      run_case ~config ~deadline_ms ~retries ~check p
+    in
+    (match verdict with
+    | Quarantined reason -> quarantine ~dir:quarantine_dir ~id ~case_seed p reason
+    | Verified | Refuted _ | Inconclusive _ -> ());
+    (try Sys.remove (inflight_path quarantine_dir) with Sys_error _ -> ());
+    results := { id; case_seed; attempts; verdict } :: !results
+  done;
+  let results = List.rev !results in
+  let count f = List.length (List.filter f results) in
+  {
+    cases;
+    verified = count (fun r -> r.verdict = Verified);
+    refuted = count (fun r -> match r.verdict with Refuted _ -> true | _ -> false);
+    inconclusive =
+      count (fun r -> match r.verdict with Inconclusive _ -> true | _ -> false);
+    quarantined =
+      count (fun r -> match r.verdict with Quarantined _ -> true | _ -> false);
+    results;
+  }
+
+let pp_case_verdict ppf = function
+  | Verified -> Format.pp_print_string ppf "verified"
+  | Refuted why -> Format.fprintf ppf "refuted: %s" why
+  | Inconclusive why -> Format.fprintf ppf "inconclusive: %s" why
+  | Quarantined why -> Format.fprintf ppf "QUARANTINED: %s" why
+
+let pp_summary ppf s =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-22s (attempts %d) %a@."
+        (case_base ~id:r.id ~case_seed:r.case_seed)
+        r.attempts pp_case_verdict r.verdict)
+    s.results;
+  Format.fprintf ppf
+    "total %d: verified=%d refuted=%d inconclusive=%d quarantined=%d" s.cases
+    s.verified s.refuted s.inconclusive s.quarantined

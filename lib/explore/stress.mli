@@ -1,0 +1,65 @@
+(** Crash-safe batch stress runner: seeded random CSimpRTL programs
+    fed through an optimize-then-verify cycle under per-case deadlines,
+    with bounded budget-escalating retries and an [Internal]-error
+    quarantine (docs/ROBUSTNESS.md).
+
+    The verification pipeline itself lives above this library
+    ([Sim.Verif]), so the runner is parameterized over a [check]
+    callback; [bin/psopt.ml]'s [stress] subcommand wires the two
+    together. *)
+
+val generate : seed:int -> Lang.Ast.program
+(** A small well-formed two-thread program, a pure function of
+    [seed]: two non-atomic locations, one atomic flag, every access
+    mode, each thread ending in a print. *)
+
+type case_verdict =
+  | Verified
+  | Refuted of string  (** includes racy-source rejections *)
+  | Inconclusive of string  (** still truncated after all retries *)
+  | Quarantined of string
+      (** the checker crashed or reported [Errors.Internal]; the
+          program was persisted as a [.sexp] artifact *)
+
+type case_result = {
+  id : int;
+  case_seed : int;  (** regenerate with {!generate}[ ~seed:case_seed] *)
+  attempts : int;  (** 1 + retries used *)
+  verdict : case_verdict;
+}
+
+type summary = {
+  cases : int;
+  verified : int;
+  refuted : int;
+  inconclusive : int;
+  quarantined : int;
+  results : case_result list;  (** in case order *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?retries:int ->
+  ?quarantine_dir:string ->
+  cases:int ->
+  seed:int ->
+  deadline_ms:int ->
+  check:
+    (config:Config.t ->
+    Lang.Ast.program ->
+    [ `Verified | `Refuted of string | `Inconclusive of string ]) ->
+  unit ->
+  summary
+(** Run [cases] seeded cases (seeds [seed..seed+cases-1]).  Each case
+    runs [check] with a config whose [max_steps] and [deadline_ms]
+    double on every retry (at most [retries] extra attempts, default
+    2, taken only while the verdict is inconclusive).  A case whose
+    checker raises anything but [Errors.Budget_exhausted] is
+    quarantined: the program and the reason are persisted under
+    [quarantine_dir] (default [_stress_quarantine]).  Crash safety:
+    the in-flight program is written to [<quarantine_dir>/inflight.sexp]
+    before its check starts and removed after, so a hard crash of the
+    whole process still leaves the offending case on disk. *)
+
+val pp_case_verdict : Format.formatter -> case_verdict -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -25,7 +25,7 @@ module KeySet = Set.Make (Key)
 let find ?(config = Config.default) ?(discipline = Enum.Interleaving) ~outs
     (p : Lang.Ast.program) =
   match Ps.Machine.init p with
-  | Error _ -> None
+  | Error e -> raise (Errors.Error (Errors.Ill_formed e))
   | Ok world0 ->
       let code = p.Lang.Ast.code in
       let target = Array.of_list outs in

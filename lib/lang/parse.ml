@@ -1,4 +1,8 @@
-exception Error of string
+type error = { line : int; col : int; msg : string }
+
+exception Error of error
+
+let error_message e = Printf.sprintf "%d:%d: %s" e.line e.col e.msg
 
 type token =
   | IDENT of string
@@ -55,16 +59,21 @@ let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
 
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize (src : string) : (token * int) list =
+(* Tokens carry their start position (line and column, both
+   1-based), so parse errors can point at the offending token. *)
+let tokenize (src : string) : (token * int * int) list =
   let n = String.length src in
   let toks = ref [] in
   let line = ref 1 in
-  let emit t = toks := (t, !line) :: !toks in
-  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  let bol = ref 0 in
+  (* byte offset of the current line's start *)
   let i = ref 0 in
+  let col () = !i - !bol + 1 in
+  let emit t = toks := (t, !line, col ()) :: !toks in
+  let fail msg = raise (Error { line = !line; col = col (); msg }) in
   while !i < n do
     let c = src.[!i] in
-    if c = '\n' then (incr line; incr i)
+    if c = '\n' then (incr line; incr i; bol := !i)
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then (
       while !i < n && src.[!i] <> '\n' do incr i done)
@@ -110,15 +119,21 @@ let tokenize (src : string) : (token * int) list =
 (* ------------------------------------------------------------------ *)
 (* Parser state: a mutable cursor over the token list. *)
 
-type state = { mutable toks : (token * int) list }
+type state = { mutable toks : (token * int * int) list }
 
-let peek st = match st.toks with (t, _) :: _ -> t | [] -> EOF
-let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let peek st = match st.toks with (t, _, _) :: _ -> t | [] -> EOF
+let pos st = match st.toks with (_, l, c) :: _ -> (l, c) | [] -> (0, 0)
 let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
 
 let fail st msg =
-  raise (Error (Printf.sprintf "line %d: %s, got %s" (line st) msg
-                  (pp_token (peek st))))
+  let line, col = pos st in
+  raise
+    (Error
+       {
+         line;
+         col;
+         msg = Printf.sprintf "%s, got %s" msg (pp_token (peek st));
+       })
 
 let expect st t =
   if peek st = t then advance st
@@ -278,7 +293,7 @@ let parse_stmt st : stmt =
               I (Ast.Cas (lhs, x, er, ew, orr, ow))
           | IDENT x
             when (match st.toks with
-                 | _ :: (DOT, _) :: (IDENT m, _) :: _ ->
+                 | _ :: (DOT, _, _) :: (IDENT m, _, _) :: _ ->
                      Modes.read_of_string m <> None
                  | _ -> false) ->
               (* load: r := x.mode — lookahead distinguishes it from an

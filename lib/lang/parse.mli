@@ -27,9 +27,14 @@
     variable is determined by position: memory accesses name variables,
     everything else names registers ({!Wf} checks consistency). *)
 
-exception Error of string
-(** Raised on lexical or syntax errors, with a message including the
-    line number. *)
+type error = { line : int; col : int; msg : string }
+(** A lexical or syntax error, positioned at the offending character
+    or token (1-based line and column). *)
+
+exception Error of error
+
+val error_message : error -> string
+(** ["<line>:<col>: <msg>"]. *)
 
 val program_of_string : string -> Ast.program
 val program_of_file : string -> Ast.program

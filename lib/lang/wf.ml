@@ -2,7 +2,12 @@ open Ast
 
 type error = { where : string; what : string }
 
+exception Ill_formed of error list
+
 let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
+
+let errors_message errs =
+  String.concat "; " (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)
 
 let check (p : program) : (unit, error list) result =
   let errs = ref [] in
@@ -68,11 +73,4 @@ let check (p : program) : (unit, error list) result =
   match List.rev !errs with [] -> Ok () | errs -> Error errs
 
 let check_exn p =
-  match check p with
-  | Ok () -> p
-  | Error errs ->
-      let msg =
-        String.concat "; "
-          (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)
-      in
-      invalid_arg ("Wf.check_exn: " ^ msg)
+  match check p with Ok () -> p | Error errs -> raise (Ill_formed errs)

@@ -15,9 +15,15 @@
 
 type error = { where : string; what : string }
 
+exception Ill_formed of error list
+
 val pp_error : Format.formatter -> error -> unit
+
+val errors_message : error list -> string
+(** All violations, ["; "]-separated. *)
+
 val check : Ast.program -> (unit, error list) result
 
 val check_exn : Ast.program -> Ast.program
 (** Identity on well-formed programs.
-    @raise Invalid_argument listing all violations otherwise. *)
+    @raise Ill_formed listing all violations otherwise. *)

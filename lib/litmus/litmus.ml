@@ -850,3 +850,62 @@ let all =
   ]
 
 let find name = List.find (fun t -> String.equal t.name name) all
+
+(* ------------------------------------------------------------------ *)
+(* Checking a corpus entry against the explorer. *)
+
+type verdict =
+  | Pass
+  | Mismatch of {
+      unexpected : Lang.Ast.value list list;
+      missing : Lang.Ast.value list list;
+    }
+  | Inconclusive of string
+
+type result = { verdict : verdict; observed : Lang.Ast.value list list }
+
+let check ?(config = Explore.Config.default) t =
+  let o = Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving t.prog in
+  let sorted l = List.sort compare l in
+  let observed =
+    Explore.Traceset.done_outs o.Explore.Enum.traces
+    |> List.map sorted |> List.sort_uniq compare
+  in
+  let unexpected = List.filter (fun f -> List.mem (sorted f) observed) t.forbidden in
+  let missing =
+    List.filter (fun e -> not (List.mem (sorted e) observed)) t.expected
+  in
+  let verdict =
+    (* A forbidden outcome that showed up is decisive regardless of
+       completeness: observed traces are genuinely producible.  The
+       absence of an outcome is only meaningful on an exhaustive
+       exploration. *)
+    if unexpected <> [] then Mismatch { unexpected; missing }
+    else
+      match o.Explore.Enum.completeness with
+      | Explore.Enum.Truncated reasons ->
+          Inconclusive
+            (Format.asprintf "exploration truncated (%a)"
+               Explore.Errors.pp_reasons reasons)
+      | Explore.Enum.Exhaustive ->
+          if missing <> [] then Mismatch { unexpected; missing } else Pass
+  in
+  { verdict; observed }
+
+let pp_verdict ppf = function
+  | Pass -> Format.pp_print_string ppf "ok"
+  | Mismatch { unexpected; missing } ->
+      let pp_outs ppf outs =
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+          (fun ppf o ->
+            Format.fprintf ppf "[%s]"
+              (String.concat ";" (List.map string_of_int o)))
+          ppf outs
+      in
+      Format.pp_print_string ppf "MISMATCH";
+      if unexpected <> [] then
+        Format.fprintf ppf " forbidden-observed: %a" pp_outs unexpected;
+      if missing <> [] then
+        Format.fprintf ppf " expected-missing: %a" pp_outs missing
+  | Inconclusive why -> Format.fprintf ppf "inconclusive: %s" why

@@ -146,3 +146,26 @@ val all : t list
 
 val find : string -> t
 (** @raise Not_found on unknown name. *)
+
+(** The paper's claim, checked against the explorer. *)
+type verdict =
+  | Pass
+  | Mismatch of {
+      unexpected : Lang.Ast.value list list;
+          (** forbidden outcomes that were observed — decisive even on
+              a truncated exploration (observed means producible) *)
+      missing : Lang.Ast.value list list;
+          (** expected outcomes that never showed up *)
+    }
+  | Inconclusive of string
+      (** the exploration was truncated and no forbidden outcome was
+          observed: absence claims cannot be trusted *)
+
+type result = {
+  verdict : verdict;
+  observed : Lang.Ast.value list list;
+      (** sorted output multisets of completed traces *)
+}
+
+val check : ?config:Explore.Config.t -> t -> result
+val pp_verdict : Format.formatter -> verdict -> unit

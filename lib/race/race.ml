@@ -53,7 +53,7 @@ let race_at kind (w : Ps.Machine.world) =
               Option.map (fun m -> { kind; tid; var = x; message = m }) racy))
     w.Ps.Machine.tp None
 
-type verdict = Free | Racy of race
+type verdict = Free | Racy of race | Inconclusive of string
 
 exception Found of race
 
@@ -65,7 +65,19 @@ let scan kind disc ?config p =
           | Some r -> raise (Found r)
           | None -> ())
   with
-  | Ok _ -> Ok Free
+  | Ok stats -> (
+      (* A race found anywhere is a race at a genuinely reachable
+         state, so [Racy] needs no completeness caveat — but claiming
+         freedom over a truncated walk would be unsound. *)
+      match Explore.Stats.truncation_reasons stats with
+      | [] -> Ok Free
+      | reasons ->
+          Ok
+            (Inconclusive
+               (Format.asprintf
+                  "no race found, but the reachability walk was truncated \
+                   (%a)"
+                  Explore.Errors.pp_reasons reasons)))
   | Error e -> Error e
   | exception Found r -> Ok (Racy r)
 
@@ -96,3 +108,4 @@ let is_ww_rf ?config p =
 let pp_verdict ppf = function
   | Free -> Format.pp_print_string ppf "write-write race free"
   | Racy r -> pp_race ppf r
+  | Inconclusive why -> Format.fprintf ppf "inconclusive: %s" why

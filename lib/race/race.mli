@@ -38,7 +38,14 @@ type race = {
 val race_at : kind -> Ps.Machine.world -> race option
 (** Evaluate the race predicate at one machine state (all threads). *)
 
-type verdict = Free | Racy of race
+type verdict =
+  | Free
+  | Racy of race
+  | Inconclusive of string
+      (** no race found, but the reachability walk was truncated
+          (budget, deadline or injected fault) — race freedom cannot
+          be claimed.  [Racy] by contrast is always trustworthy: the
+          racy state was genuinely reached. *)
 
 val ww_rf :
   ?config:Explore.Config.t -> Lang.Ast.program -> (verdict, string) result

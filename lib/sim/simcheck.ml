@@ -176,7 +176,11 @@ let check ?(config = default_config) ?(scenarios = ([] : Scenario.t list))
           | Some r -> r
           | None ->
               if GMap.mem g on_path then true (* coinduction *)
-              else if depth >= config.max_depth then raise Exit
+              else if depth >= config.max_depth then
+                raise
+                  (Explore.Errors.Error
+                     (Explore.Errors.Budget_exhausted
+                        "simulation depth budget"))
               else
                 let on_path = GMap.add g true on_path in
                 let r = sim_body g depth on_path in
@@ -388,7 +392,8 @@ let check ?(config = default_config) ?(scenarios = ([] : Scenario.t list))
             else
               Fails
                 (Option.value ~default:"no matching strategy" !first_failure)
-          with Exit -> Unknown "depth budget exhausted"
+          with Explore.Errors.Error (Explore.Errors.Budget_exhausted why) ->
+            Unknown (why ^ " exhausted")
         in
         outcome
 

@@ -44,6 +44,8 @@ let check ?sim_config ?explore_config r (src : Lang.Ast.program) =
   (* 1. The theorem's premise: the source is ww-race-free. *)
   match Race.ww_rf ?config:explore_config src with
   | Error e -> Inconclusive e
+  | Ok (Race.Inconclusive why) ->
+      Inconclusive (Format.asprintf "ww-RF(source): %s" why)
   | Ok (Race.Racy race) ->
       Fail (Source_ww_rf, Format.asprintf "%a" Race.pp_race race)
   | Ok Race.Free -> (
@@ -76,6 +78,8 @@ let check ?sim_config ?explore_config r (src : Lang.Ast.program) =
               (* 4. ww-RF preservation (Lemma 6.2). *)
               match Race.ww_rf ?config:explore_config tgt with
               | Error e -> Inconclusive e
+              | Ok (Race.Inconclusive why) ->
+                  Inconclusive (Format.asprintf "ww-RF(target): %s" why)
               | Ok (Race.Racy race) ->
                   Fail (Target_ww_rf, Format.asprintf "%a" Race.pp_race race)
               | Ok Race.Free -> Verified)))
