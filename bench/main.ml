@@ -21,32 +21,89 @@ open Toolkit
 let lit n = (Litmus.find n).Litmus.prog
 
 (* ------------------------------------------------------------------ *)
+(* CLI: [-j N] sets the domain pool width the reproduction rows run
+   under (default: $PSOPT_J, else 1 — rows must verdict identically at
+   every width); [--json FILE] dumps the machine-readable summary;
+   [--check] keeps only the deterministic pass/fail phases. *)
+
+let bench_j = ref Explore.Config.default.Explore.Config.domains
+let json_file : string option ref = ref None
+let check_only = ref false
+
+let parse_argv () =
+  let argv = Sys.argv in
+  let i = ref 1 in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--check" -> check_only := true
+    | ("-j" | "--jobs") when !i + 1 < Array.length argv ->
+        incr i;
+        bench_j := max 1 (int_of_string argv.(!i))
+    | "--json" when !i + 1 < Array.length argv ->
+        incr i;
+        json_file := Some argv.(!i)
+    | a ->
+        Printf.eprintf
+          "bench: unknown argument %s (expected --check, -j N, --json FILE)\n"
+          a;
+        exit 2);
+    incr i
+  done
+
+(* [Config.default] is evaluated at module init, so an explicit [-j]
+   cannot go through $PSOPT_J: every helper threads this config. *)
+let bench_config () =
+  { Explore.Config.default with Explore.Config.domains = !bench_j }
+
+(* Node-count comparisons must run single-domain: splitting the
+   frontier re-expands subtrees shared across tasks, so parallel
+   [nodes] counters over-approximate the sequential state count. *)
+let seq_config () =
+  { Explore.Config.default with Explore.Config.domains = 1 }
+
+(* ------------------------------------------------------------------ *)
 (* Phase 1: reproduction rows *)
 
 let passed = ref 0
 let failed = ref 0
 
+(* Collected for [--json]. *)
+let json_rows : (string * string * bool) list ref = ref []
+
+let json_scaling :
+    (string * float * float * float * bool) list ref =
+  ref []
+
 let row id claim ok =
   incr (if ok then passed else failed);
+  json_rows := (id, claim, ok) :: !json_rows;
   Format.printf "%-4s %-62s %s@." id claim (if ok then "ok" else "FAIL")
 
 let sorted l = List.sort compare l
 
 let outcomes ?config prog =
-  let o = Explore.Enum.behaviors_exn ?config Explore.Enum.Interleaving prog in
+  let config = match config with Some c -> c | None -> bench_config () in
+  let o = Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving prog in
   Explore.Traceset.done_outs o.Explore.Enum.traces
   |> List.map sorted |> List.sort_uniq compare
 
 let observable prog out = List.mem (sorted out) (outcomes prog)
 
-let refines t s = Explore.Refine.refines ~target:t ~source:s ()
+let refines t s =
+  Explore.Refine.refines ~config:(bench_config ()) ~target:t ~source:s ()
 
 let violates t s =
-  match (Explore.Refine.check ~target:t ~source:s ()).Explore.Refine.verdict with
+  match
+    (Explore.Refine.check ~config:(bench_config ()) ~target:t ~source:s ())
+      .Explore.Refine.verdict
+  with
   | Explore.Refine.Violates _ -> true
   | _ -> false
 
-let ww_free p = match Race.ww_rf p with Ok Race.Free -> true | _ -> false
+let ww_free p =
+  match Race.ww_rf ~config:(bench_config ()) p with
+  | Ok Race.Free -> true
+  | _ -> false
 
 let sim_holds inv t s =
   List.for_all
@@ -60,8 +117,8 @@ let sim_fails_on f inv t s =
     (Sim.Simcheck.check_program ~inv ~target:t ~source:s ())
 
 let nodes disc prog =
-  let o = Explore.Enum.behaviors_exn disc prog in
-  o.Explore.Enum.stats.Explore.Stats.nodes
+  let o = Explore.Enum.behaviors_exn ~config:(seq_config ()) disc prog in
+  Atomic.get o.Explore.Enum.stats.Explore.Stats.nodes
 
 let reproduce () =
   Format.printf "== experiment reproduction (DESIGN.md index) ==@.";
@@ -104,14 +161,15 @@ let reproduce () =
   row "E9" "Thm 4.1: interleaving = non-preemptive behaviours (whole corpus)"
     (List.for_all
        (fun (t : Litmus.t) ->
-         Explore.Refine.equivalent_disciplines t.Litmus.prog)
+         Explore.Refine.equivalent_disciplines ~config:(bench_config ())
+           t.Litmus.prog)
        Litmus.all);
   row "E10" "Lm 5.1: ww-RF = ww-NPRF (whole corpus)"
     (List.for_all
        (fun (t : Litmus.t) ->
          let a = ww_free t.Litmus.prog in
          let b =
-           match Race.ww_nprf t.Litmus.prog with
+           match Race.ww_nprf ~config:(bench_config ()) t.Litmus.prog with
            | Ok Race.Free -> true
            | _ -> false
          in
@@ -151,7 +209,7 @@ let reproduce () =
          <= nodes Explore.Enum.Interleaving t.Litmus.prog)
        Litmus.all);
   row "E17" "np semantics keeps promise-visible writes (lb still 1/1)"
-    (let cfg = Explore.Config.default in
+    (let cfg = bench_config () in
      let o = Explore.Enum.behaviors_exn ~config:cfg Explore.Enum.Non_preemptive (lit "lb") in
      List.mem [ 1; 1 ]
        (Explore.Traceset.done_outs o.Explore.Enum.traces |> List.map sorted));
@@ -169,7 +227,9 @@ let reproduce () =
   row "X5" "fence MP: rel fence + rlx write synchronizes (0 forbidden)"
     (not (observable (lit "mp_fences") [ 0 ]));
   row "X6" "witness: LB's annotated execution contains a promise step"
-    (match Explore.Witness.find ~outs:[ 1; 1 ] (lit "lb") with
+    (match
+       Explore.Witness.find ~config:(bench_config ()) ~outs:[ 1; 1 ] (lit "lb")
+     with
     | Some w ->
         List.exists
           (fun (s : Explore.Witness.step) ->
@@ -177,7 +237,8 @@ let reproduce () =
           w
     | None -> false);
   row "X7" "witness: oota outcome refuted bounded-exhaustively"
-    (Explore.Witness.forbidden ~outs:[ 1; 1 ] (lit "lb_oota"));
+    (Explore.Witness.forbidden ~config:(bench_config ()) ~outs:[ 1; 1 ]
+       (lit "lb_oota"));
   row "X11" "read-own-write coherence: the writer cannot read back 0"
     (not (observable (lit "corw") [ 0 ]));
   row "X12" "control-dependent LB: guarded write cannot be promised (oota)"
@@ -192,7 +253,10 @@ let reproduce () =
   row "X8" "Verif pipeline (Fig. 6) verifies dce/cse/licm on their examples"
     (List.for_all
        (fun (pass, prog) ->
-         Sim.Verif.check (Option.get (Sim.Verif.find pass)) (lit prog)
+         Sim.Verif.check
+           ~explore_config:(bench_config ())
+           (Option.get (Sim.Verif.find pass))
+           (lit prog)
          = Sim.Verif.Verified)
        [ ("dce", "fig16_src"); ("cse", "fig5_tgt"); ("licm", "fig1_foo_rlx") ]);
   Format.printf "@."
@@ -329,7 +393,7 @@ let cert_cache_table ~timings =
       let name = Printf.sprintf "cert_heavy %d/%d" pad noise in
       let prog = cert_heavy ~pad ~noise in
       let run cache =
-        let config = { Explore.Config.default with cert_cache = cache } in
+        let config = { (bench_config ()) with Explore.Config.cert_cache = cache } in
         time (fun () ->
             Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving prog)
       in
@@ -345,7 +409,10 @@ let cert_cache_table ~timings =
       else begin
         incr passed;
         if timings then begin
-          let n = float_of_int cached.Explore.Enum.stats.Explore.Stats.nodes in
+          let n =
+            float_of_int
+              (Atomic.get cached.Explore.Enum.stats.Explore.Stats.nodes)
+          in
           let speedup = t_off /. t_on in
           geo := !geo *. speedup;
           incr count;
@@ -377,10 +444,11 @@ let truncation_pressure_table () =
   let row name config ~expect_truncated =
     let o = Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving prog in
     let st = o.Explore.Enum.stats in
+    let ( ! ) = Atomic.get in
     Format.printf "%-24s %8d %6d %9d %9d %7d %7d  %a@." name
-      st.Explore.Stats.nodes st.Explore.Stats.cuts
-      st.Explore.Stats.deadline_hits st.Explore.Stats.node_budget_hits
-      st.Explore.Stats.oom_hits st.Explore.Stats.faults_injected
+      !(st.Explore.Stats.nodes) !(st.Explore.Stats.cuts)
+      !(st.Explore.Stats.deadline_hits) !(st.Explore.Stats.node_budget_hits)
+      !(st.Explore.Stats.oom_hits) !(st.Explore.Stats.faults_injected)
       Explore.Enum.pp_completeness o.Explore.Enum.completeness;
     let truncated = o.Explore.Enum.completeness <> Explore.Enum.Exhaustive in
     if truncated = expect_truncated then incr passed
@@ -389,7 +457,7 @@ let truncation_pressure_table () =
       incr failed
     end
   in
-  let dflt = Explore.Config.default in
+  let dflt = bench_config () in
   row "default" dflt ~expect_truncated:false;
   row "max_steps=12"
     { dflt with Explore.Config.max_steps = 12 }
@@ -408,6 +476,117 @@ let truncation_pressure_table () =
     }
     ~expect_truncated:true;
   Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel scaling: the certification-bound workloads (where
+   the shared cert cache lets extra domains pay off) plus two wide
+   litmus shapes, explored at j=1/2/4.  The checked invariant — at
+   every width — is the tentpole's determinism contract: identical
+   tracesets and identical completeness.  Timings are wall-clock (the
+   whole point is overlapping domains) and only meaningful on a
+   multicore host; [--check] runs the equivalence without printing
+   them. *)
+
+let scaling_table ~timings () =
+  Format.printf "== scaling: domain-parallel exploration at j=1/2/4 ==@.";
+  if timings then
+    Format.printf "%-22s %10s %10s %10s %8s@." "workload" "t(j=1)" "t(j=2)"
+      "t(j=4)" "x(j=4)";
+  let workloads =
+    [
+      ("cert_heavy 80/20", cert_heavy ~pad:80 ~noise:20);
+      ("cert_heavy 100/24", cert_heavy ~pad:100 ~noise:24);
+      ("iriw", lit "iriw");
+      ("spinlock", lit "spinlock");
+    ]
+  in
+  List.iter
+    (fun (name, prog) ->
+      let run j =
+        let config =
+          { Explore.Config.default with Explore.Config.domains = j }
+        in
+        let t0 = Unix.gettimeofday () in
+        let o =
+          Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving prog
+        in
+        (o, Unix.gettimeofday () -. t0)
+      in
+      let o1, t1 = run 1 in
+      let o2, t2 = run 2 in
+      let o4, t4 = run 4 in
+      let same (o : Explore.Enum.outcome) =
+        Explore.Traceset.equal o1.Explore.Enum.traces o.Explore.Enum.traces
+        && o1.Explore.Enum.completeness = o.Explore.Enum.completeness
+      in
+      let ok = same o2 && same o4 in
+      if ok then incr passed
+      else begin
+        Format.printf "%-22s parallel/sequential MISMATCH@." name;
+        incr failed
+      end;
+      json_scaling := (name, t1, t2, t4, ok) :: !json_scaling;
+      if timings then
+        Format.printf "%-22s %9.3fs %9.3fs %9.3fs %7.2fx@." name t1 t2 t4
+          (t1 /. Float.max 1e-9 t4)
+      else if ok then
+        Format.printf "%-22s identical traces+completeness at j=1/2/4  ok@."
+          name)
+    workloads;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* [--json FILE]: a stable, hand-rolled summary for CI artifacts. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json file =
+  let oc = open_out file in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"schema\": \"psopt-bench/1\",\n";
+  pf "  \"jobs\": %d,\n" !bench_j;
+  pf "  \"domains_recommended\": %d,\n" (Domain.recommended_domain_count ());
+  pf "  \"domain_cap\": %d,\n" Explore.Pool.domain_cap;
+  pf "  \"passed\": %d,\n" !passed;
+  pf "  \"failed\": %d,\n" !failed;
+  pf "  \"rows\": [\n";
+  let rows = List.rev !json_rows in
+  List.iteri
+    (fun i (id, claim, ok) ->
+      pf "    {\"id\": \"%s\", \"claim\": \"%s\", \"ok\": %b}%s\n"
+        (json_escape id) (json_escape claim) ok
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pf "  ],\n";
+  pf "  \"scaling\": [\n";
+  let sc = List.rev !json_scaling in
+  List.iteri
+    (fun i (name, t1, t2, t4, ok) ->
+      pf
+        "    {\"workload\": \"%s\", \"t1_s\": %.6f, \"t2_s\": %.6f, \"t4_s\": \
+         %.6f, \"speedup_j4\": %.3f, \"equivalent\": %b}%s\n"
+        (json_escape name) t1 t2 t4
+        (t1 /. Float.max 1e-9 t4)
+        ok
+        (if i = List.length sc - 1 then "" else ","))
+    sc;
+  pf "  ]\n";
+  pf "}\n";
+  close_out oc;
+  Format.printf "json summary written to %s@." file
 
 (* ------------------------------------------------------------------ *)
 (* Synthetic workload generator for optimizer throughput *)
@@ -576,17 +755,24 @@ let run_benchmarks () =
     tests
 
 let () =
-  (* [--check]: reproduction rows and the cert-cache equivalence only —
-     the deterministic pass/fail half of the harness, suitable for CI.
-     Without it, the timing phases run too. *)
-  let check_only = Array.mem "--check" Sys.argv in
+  (* [--check]: reproduction rows, the cert-cache equivalence and the
+     parallel-scaling equivalence only — the deterministic pass/fail
+     half of the harness, suitable for CI.  Without it, the timing
+     phases run too. *)
+  parse_argv ();
+  let check_only = !check_only in
+  Format.printf "domains: j=%d (recommended %d, cap %d)@.@." !bench_j
+    (Domain.recommended_domain_count ())
+    Explore.Pool.domain_cap;
   reproduce ();
   cert_cache_table ~timings:(not check_only);
   truncation_pressure_table ();
+  scaling_table ~timings:(not check_only) ();
   if not check_only then begin
     state_space_table ();
     fig1_sweep ();
     run_benchmarks ()
   end;
   Format.printf "@.experiments: %d ok, %d failed@." !passed !failed;
+  Option.iter write_json !json_file;
   if !failed > 0 then exit 1

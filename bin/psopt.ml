@@ -47,6 +47,21 @@ let discipline_term =
         if np then Explore.Enum.Non_preemptive else Explore.Enum.Interleaving)
     $ Arg.(value & flag & info [ "np"; "non-preemptive" ] ~doc))
 
+(* Default domain-pool width: an explicit PSOPT_J wins (the CI matrix
+   pins it), otherwise whatever this machine recommends. *)
+let default_j =
+  match Sys.getenv_opt "PSOPT_J" with
+  | Some _ -> Explore.Config.default.Explore.Config.domains
+  | None -> Explore.Pool.recommended ()
+
+let jobs_term =
+  let doc =
+    "Domain pool width for parallel exploration (default: the machine's \
+     recommended domain count, or \\$PSOPT_J when set).  Results are \
+     identical for every width."
+  in
+  Arg.(value & opt int default_j & info [ "j"; "jobs" ] ~doc ~docv:"N")
+
 let config_term =
   let promises =
     let doc = "Promise steps allowed per thread (0 disables promising)." in
@@ -69,7 +84,7 @@ let config_term =
     Arg.(value & opt int 0 & info [ "max-nodes" ] ~doc)
   in
   Term.(
-    const (fun promises max_steps no_cap deadline nodes ->
+    const (fun promises max_steps no_cap deadline nodes j ->
         Explore.Config.with_promises promises
           {
             Explore.Config.default with
@@ -77,8 +92,9 @@ let config_term =
             cap_certification = not no_cap;
             deadline_ms = (if deadline > 0 then Some deadline else None);
             max_nodes = (if nodes > 0 then Some nodes else None);
+            domains = max 1 j;
           })
-    $ promises $ steps $ no_cap $ deadline $ nodes)
+    $ promises $ steps $ no_cap $ deadline $ nodes $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -269,9 +285,10 @@ let races_cmd =
               Format.printf "%s error: %s@." label e;
               bump exit_error
         in
-        report "ww-RF:  " (Race.ww_rf ~config:cfg p);
-        report "ww-NPRF:" (Race.ww_nprf ~config:cfg p);
-        (match Race.rw_races ~config:cfg p with
+        let rep = Race.check_all ~config:cfg p in
+        report "ww-RF:  " rep.Race.ww;
+        report "ww-NPRF:" rep.Race.ww_np;
+        (match rep.Race.rw with
         | Ok [] -> Format.printf "rw:      none@."
         | Ok rs ->
             List.iter (fun r -> Format.printf "rw:      %a@." Race.pp_race r) rs
@@ -427,9 +444,8 @@ let litmus_cmd =
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Litmus name.")
   in
-  let run name =
-    let check (t : Litmus.t) =
-      let r = Litmus.check t in
+  let run name j =
+    let report (t : Litmus.t) (r : Litmus.result) =
       Format.printf "%-18s %a — %s@." t.Litmus.name Litmus.pp_verdict
         r.Litmus.verdict t.Litmus.descr;
       List.iter
@@ -443,15 +459,19 @@ let litmus_cmd =
       | Litmus.Inconclusive _ -> exit_inconclusive
     in
     match name with
-    | None -> List.fold_left (fun acc t -> max acc (check t)) exit_ok Litmus.all
+    | None ->
+        List.fold_left
+          (fun acc (t, r) -> max acc (report t r))
+          exit_ok
+          (Litmus.check_all ~j ())
     | Some n -> (
         match List.find_opt (fun t -> t.Litmus.name = n) Litmus.all with
-        | Some t -> check t
+        | Some t -> report t (Litmus.check t)
         | None ->
             Printf.eprintf "psopt: unknown litmus test: %s\n" n;
             exit_error)
   in
-  let term = Term.(const run $ name_arg) in
+  let term = Term.(const run $ name_arg $ jobs_term) in
   Cmd.v
     (Cmd.info "litmus"
        ~doc:"Run the paper's litmus corpus against the explorer.")
@@ -502,7 +522,7 @@ let stress_cmd =
            across cases. *)
         Ok (fun p -> List.nth all (Hashtbl.hash p mod List.length all))
   in
-  let run cases seed deadline_ms retries qdir pass =
+  let run cases seed deadline_ms retries qdir pass j =
     match registry_of pass with
     | Error msg ->
         Printf.eprintf "psopt: %s\n" msg;
@@ -516,7 +536,7 @@ let stress_cmd =
           | Sim.Verif.Inconclusive why -> `Inconclusive why
         in
         let s =
-          Explore.Stress.run ~retries ~quarantine_dir:qdir ~cases ~seed
+          Explore.Stress.run ~j ~retries ~quarantine_dir:qdir ~cases ~seed
             ~deadline_ms ~check ()
         in
         Format.printf "%a@." Explore.Stress.pp_summary s;
@@ -529,7 +549,9 @@ let stress_cmd =
         else exit_ok
   in
   let term =
-    Term.(const run $ cases $ seed $ deadline $ retries $ qdir $ pass_arg)
+    Term.(
+      const run $ cases $ seed $ deadline $ retries $ qdir $ pass_arg
+      $ jobs_term)
   in
   Cmd.v
     (Cmd.info "stress"

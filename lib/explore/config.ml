@@ -16,7 +16,20 @@ type t = {
   max_live_words : int option;
   strict_promises : bool;
   fault : fault option;
+  domains : int;
 }
+
+(* PSOPT_J lets the CI matrix (and users) run the entire test suite
+   through the parallel engine without threading a flag into every
+   call site that uses [default]. *)
+let env_domains =
+  match Sys.getenv_opt "PSOPT_J" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+               | Some n when n >= 1 -> Some n
+               | _ -> None)
+  | None -> None
+
+let default_domains = match env_domains with Some n -> n | None -> 1
 
 let default =
   {
@@ -33,6 +46,7 @@ let default =
     max_live_words = None;
     strict_promises = false;
     fault = None;
+    domains = default_domains;
   }
 
 let quick =
@@ -52,6 +66,8 @@ let with_promises n t =
 
 let with_deadline_ms ms t = { t with deadline_ms = Some ms }
 
+let with_domains j t = { t with domains = max 1 j }
+
 let pp_opt ppf = function
   | None -> Format.pp_print_string ppf "-"
   | Some n -> Format.pp_print_int ppf n
@@ -59,13 +75,14 @@ let pp_opt ppf = function
 let pp ppf t =
   Format.fprintf ppf
     "{steps=%d; promises=%d(%s); rsv=%b; cert_fuel=%d; cap=%b; memo=%b; \
-     cert_cache=%b"
+     cert_cache=%b; j=%d"
     t.max_steps t.max_promises
     (match t.promise_mode with
     | No_promises -> "none"
     | Semantic -> "semantic"
     | Syntactic -> "syntactic")
-    t.reservations t.cert_fuel t.cap_certification t.memoize t.cert_cache;
+    t.reservations t.cert_fuel t.cap_certification t.memoize t.cert_cache
+    t.domains;
   (match (t.deadline_ms, t.max_nodes, t.max_live_words) with
   | None, None, None -> ()
   | d, n, w ->

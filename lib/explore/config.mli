@@ -72,12 +72,24 @@ type t = {
           default: the bounded-promise exploration is the intended
           semantics for the paper's experiments, not a truncation. *)
   fault : fault option;  (** fault-injection mode (testing only) *)
+  domains : int;
+      (** width of the domain pool for the parallel engine (clamped to
+          [Pool.recommended ()] at search start); [1] — the default
+          unless the [PSOPT_J] environment variable is set — runs the
+          original sequential DFS.  The returned traceset and
+          completeness are identical for every value
+          (docs/PARALLEL.md). *)
 }
 
 val default : t
+(** [domains] defaults to [$PSOPT_J] when that environment variable
+    holds a positive integer (the CI matrix runs the whole test suite
+    parallel this way), [1] otherwise. *)
+
 val quick : t
 (** Promise-free, shallower: for smoke tests and benches. *)
 
 val with_promises : int -> t -> t
 val with_deadline_ms : int -> t -> t
+val with_domains : int -> t -> t
 val pp : Format.formatter -> t -> unit

@@ -56,39 +56,60 @@ module NodeTbl = Hashtbl.Make (Node)
    entry answers every successor enumeration that reaches the same
    configuration — which the interleavings of the other threads do
    constantly. *)
-module CertTbl = Hashtbl.Make (struct
+module CertKey = struct
   type t = Ps.Thread.ts * Ps.Memory.t
 
   let equal (ts1, m1) (ts2, m2) =
     Ps.Thread.equal ts1 ts2 && Ps.Memory.equal m1 m2
 
   let hash (ts, m) = Rat.hash_combine (Ps.Thread.hash ts) (Ps.Memory.hash m)
-end)
+end
+
+(* The certification and candidate caches are hash-sharded so workers
+   of the parallel engine contend per shard, not per lookup; at j=1
+   the per-shard mutex is uncontended and costs nothing measurable
+   next to hashing a whole memory. *)
+module CertShards = Pool.Sharded (CertKey)
 
 (* One successor: the output emitted (if any) and the next node. *)
 type succ = { emit : Lang.Ast.value option; next : Node.t }
 
+(* State shared by every worker domain of one search.  All counters
+   are atomics ({!Stats}); the caches are sharded; the sticky resource
+   flags are atomics so one worker tripping the wall-clock or heap
+   budget abandons every other worker's remaining subtrees too. *)
 type search = {
   code : Lang.Ast.code;
   atomics : Lang.Ast.VarSet.t;
   disc : discipline;
   cfg : Config.t;
   stats : Stats.t;
-  memo : Traceset.t NodeTbl.t;
-  on_stack : int NodeTbl.t;  (* node -> stack index *)
-  cert_cache : bool CertTbl.t;
-  cand_cache : (Lang.Ast.var * Lang.Ast.value) list CertTbl.t;
-      (* semantic promise candidates, the other certification search
-         ran per node (see [promise_candidates]) *)
+  memo_merged : (Traceset.t * int) NodeTbl.t;
+      (* domain-local memo tables merged here on worker join (under
+         [memo_lock]); entries are [(suffixes, rel_peak)] — see [dfs] *)
+  memo_lock : Mutex.t;
+  cert_cache : bool CertShards.t;
+  cand_cache : (Lang.Ast.var * Lang.Ast.value) list CertShards.t;
   deadline : float option;  (* absolute, [Unix.gettimeofday] scale *)
-  fault : (Random.State.t * float) option;
-  mutable tick : int;
-  (* Sticky resource flags: once the wall clock or the heap budget
-     trips, every remaining subtree is abandoned — there is no way to
-     "recover" time or memory mid-search. *)
-  mutable out_of_time : bool;
-  mutable out_of_mem : bool;
+  fault : (int * int) option;  (* seed, threshold in [0, 2^30] *)
+  out_of_time : bool Atomic.t;
+  out_of_mem : bool Atomic.t;
 }
+
+(* Per-domain state: the memo and stack tables are domain-local (no
+   locking on the DFS hot path); [tick] amortizes the clock/heap
+   probes per worker. *)
+type worker = {
+  s : search;
+  memo : (Traceset.t * int) NodeTbl.t;
+  on_stack : int NodeTbl.t;  (* node -> entry depth (= stack index) *)
+  mutable tick : int;
+}
+
+let fault_threshold rate =
+  (* [Hashtbl.hash] ranges over [0, 2^30); a rate >= 1.0 must fire on
+     every site. *)
+  int_of_float (rate *. 1073741824.0)
 
 let make_search code atomics disc cfg =
   {
@@ -97,106 +118,138 @@ let make_search code atomics disc cfg =
     disc;
     cfg;
     stats = Stats.create ();
-    memo = NodeTbl.create 1024;
-    on_stack = NodeTbl.create 256;
-    cert_cache = CertTbl.create 1024;
-    cand_cache = CertTbl.create 1024;
+    memo_merged = NodeTbl.create 1024;
+    memo_lock = Mutex.create ();
+    cert_cache = CertShards.create 1024;
+    cand_cache = CertShards.create 1024;
     deadline =
       Option.map
         (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
         cfg.Config.deadline_ms;
     fault =
       Option.map
-        (fun f ->
-          (Random.State.make [| f.Config.fault_seed |], f.Config.fault_rate))
+        (fun f -> (f.Config.fault_seed, fault_threshold f.Config.fault_rate))
         cfg.Config.fault;
-    tick = 0;
-    out_of_time = false;
-    out_of_mem = false;
+    out_of_time = Atomic.make false;
+    out_of_mem = Atomic.make false;
   }
+
+let make_worker s =
+  { s; memo = NodeTbl.create 1024; on_stack = NodeTbl.create 256; tick = 0 }
 
 (* Wall-clock and heap probes are amortized over this many calls; the
    node budget and the sticky flags are checked every time. *)
 let probe_mask = 0x3F
 
-let budget_stop s : Errors.reason option =
-  s.tick <- s.tick + 1;
-  if s.tick land probe_mask = 0 then begin
+let budget_stop w : Errors.reason option =
+  let s = w.s in
+  w.tick <- w.tick + 1;
+  if w.tick land probe_mask = 0 then begin
     (match s.deadline with
-    | Some d when Unix.gettimeofday () > d -> s.out_of_time <- true
+    | Some d when Unix.gettimeofday () > d -> Atomic.set s.out_of_time true
     | _ -> ());
     match s.cfg.Config.max_live_words with
-    | Some w when (Gc.quick_stat ()).Gc.heap_words > w -> s.out_of_mem <- true
+    | Some words when (Gc.quick_stat ()).Gc.heap_words > words ->
+        Atomic.set s.out_of_mem true
     | _ -> ()
   end;
-  if s.out_of_time then begin
-    s.stats.Stats.deadline_hits <- s.stats.Stats.deadline_hits + 1;
+  if Atomic.get s.out_of_time then begin
+    Atomic.incr s.stats.Stats.deadline_hits;
     Some Errors.Deadline
   end
-  else if s.out_of_mem then begin
-    s.stats.Stats.oom_hits <- s.stats.Stats.oom_hits + 1;
+  else if Atomic.get s.out_of_mem then begin
+    Atomic.incr s.stats.Stats.oom_hits;
     Some Errors.Oom
   end
   else
     match s.cfg.Config.max_nodes with
-    | Some n when s.stats.Stats.nodes >= n ->
-        s.stats.Stats.node_budget_hits <- s.stats.Stats.node_budget_hits + 1;
+    | Some n when Atomic.get s.stats.Stats.nodes >= n ->
+        Atomic.incr s.stats.Stats.node_budget_hits;
         Some Errors.Node_budget
     | _ -> None
 
-(* Deterministic fault injection: fires with probability [rate] per
-   draw.  A firing site either cuts the enumeration subtree or answers
-   a certification query "inconsistent"/"no candidates" — every move
-   only removes behaviours, so completed traces under any schedule are
-   a subset of the fault-free run (test/test_robustness.ml). *)
-let fault_fires s =
+(* Deterministic fault injection.  A site fires iff
+   [hash (seed, site, salt) < rate * 2^30] — a pure function of the
+   fault seed and the machine state (NOT of the draw order or the
+   schedule), so the same sites fire no matter how the search is split
+   across domains, and the set of firing sites grows monotonically
+   with the rate.  A firing site either cuts the enumeration subtree
+   or answers a certification query "inconsistent"/"no candidates" —
+   every move only removes behaviours, so completed traces under any
+   schedule are a subset of the fault-free run
+   (test/test_robustness.ml). *)
+let salt_cut = 0x11
+let salt_cert = 0x22
+let salt_cand = 0x33
+
+let fault_fires s site salt =
   match s.fault with
   | None -> false
-  | Some (rng, rate) ->
-      let fire = Random.State.float rng 1.0 < rate in
-      if fire then
-        s.stats.Stats.faults_injected <- s.stats.Stats.faults_injected + 1;
-      fire
+  | Some (seed, threshold) -> Hashtbl.hash (seed, site, salt) < threshold
+
+let node_fault_fires s n =
+  let fire = fault_fires s (Node.hash n) salt_cut in
+  if fire then Atomic.incr s.stats.Stats.faults_injected;
+  fire
 
 let run_cert s ts mem =
   Ps.Cert.consistent ~fuel:s.cfg.Config.cert_fuel
     ~cap:s.cfg.Config.cap_certification ~code:s.code ts mem
 
+(* Exact certification accounting: every call bumps [cert_checks] and
+   then exactly one of [cert_faults] / [cert_trivial] /
+   [cert_cache_hits] / [cert_runs]. *)
 let consistent s ts mem =
-  s.stats.Stats.cert_checks <- s.stats.Stats.cert_checks + 1;
+  Atomic.incr s.stats.Stats.cert_checks;
   (* An injected fault answers "inconsistent" without consulting the
-     cache, so the cache stays pure and the pruning is per-draw. *)
-  if fault_fires s then false
+     cache, so the cache stays pure; the decision is a pure function
+     of the configuration, so it is the same on every path and every
+     domain that reaches it. *)
+  if fault_fires s (CertKey.hash (ts, mem)) salt_cert then begin
+    Atomic.incr s.stats.Stats.cert_faults;
+    Atomic.incr s.stats.Stats.faults_injected;
+    false
+  end
   else if
     (* Promise-free thread states are trivially consistent; don't
        spend a hash of the whole configuration on them. *)
     Ps.Thread.concrete_promises ts = []
-  then true
-  else if not s.cfg.Config.cert_cache then run_cert s ts mem
+  then begin
+    Atomic.incr s.stats.Stats.cert_trivial;
+    true
+  end
+  else if not s.cfg.Config.cert_cache then begin
+    Atomic.incr s.stats.Stats.cert_runs;
+    run_cert s ts mem
+  end
   else
     let key = (ts, mem) in
-    match CertTbl.find_opt s.cert_cache key with
+    match CertShards.find_opt s.cert_cache key with
     | Some verdict ->
-        s.stats.Stats.cert_cache_hits <- s.stats.Stats.cert_cache_hits + 1;
+        Atomic.incr s.stats.Stats.cert_cache_hits;
         verdict
     | None ->
+        Atomic.incr s.stats.Stats.cert_runs;
         let verdict = run_cert s ts mem in
-        CertTbl.add s.cert_cache key verdict;
+        CertShards.replace s.cert_cache key verdict;
         verdict
 
 let promise_candidates s ts mem =
   match s.cfg.Config.promise_mode with
   | Config.No_promises -> []
-  | (Config.Syntactic | Config.Semantic) when fault_fires s ->
+  | Config.Syntactic | Config.Semantic
+    when fault_fires s (CertKey.hash (ts, mem)) salt_cand ->
       (* Candidate discovery killed by an injected fault: no promise
          successors from here — behaviours shrink, never grow. *)
+      Atomic.incr s.stats.Stats.faults_injected;
       []
   | Config.Syntactic -> Ps.Thread.writes_in_code ~code:s.code ts
-  | Config.Semantic ->
+  | Config.Semantic -> (
       (* Candidate discovery is the other certification search, run
          for every node with promise budget left; like the verdicts it
          is a pure function of the configuration, so it shares the
-         cache discipline (and the hit/size counters). *)
+         cache discipline (hits are counted separately in
+         [cand_cache_hits]). *)
       let compute () =
         Ps.Cert.certifiable_writes ~fuel:s.cfg.Config.cert_fuel ~code:s.code
           ts mem
@@ -204,15 +257,14 @@ let promise_candidates s ts mem =
       if not s.cfg.Config.cert_cache then compute ()
       else
         let key = (ts, mem) in
-        match CertTbl.find_opt s.cand_cache key with
+        match CertShards.find_opt s.cand_cache key with
         | Some cands ->
-            s.stats.Stats.cert_cache_hits <-
-              s.stats.Stats.cert_cache_hits + 1;
+            Atomic.incr s.stats.Stats.cand_cache_hits;
             cands
         | None ->
             let cands = compute () in
-            CertTbl.add s.cand_cache key cands;
-            cands
+            CertShards.replace s.cand_cache key cands;
+            cands)
 
 let successors s (n : Node.t) : succ list =
   let w = n.world in
@@ -257,8 +309,7 @@ let successors s (n : Node.t) : succ list =
          inconclusive, never toward a claim). *)
       if s.cfg.Config.strict_promises && sched_ok && not budget_left then
         if promise_candidates s ts mem <> [] then
-          s.stats.Stats.promise_budget_hits <-
-            s.stats.Stats.promise_budget_hits + 1;
+          Atomic.incr s.stats.Stats.promise_budget_hits;
       []
     end
     else
@@ -269,7 +320,7 @@ let successors s (n : Node.t) : succ list =
                 slot; pruning inconsistent promise placements is sound
                 because a τ machine step must end consistent. *)
              if consistent s step.Ps.Thread.ts step.Ps.Thread.mem then (
-               s.stats.Stats.promises <- s.stats.Stats.promises + 1;
+               Atomic.incr s.stats.Stats.promises;
                let world =
                  Ps.Machine.set_cur_ts w step.Ps.Thread.ts step.Ps.Thread.mem
                in
@@ -332,80 +383,274 @@ let successors s (n : Node.t) : succ list =
    lowest stack index this result depends on ([max_int] if none).  A
    result is memoized only when it closes over its own subtree —
    cycle heads included, inner cycle members excluded — and never when
-   the depth budget truncated it. *)
+   the depth budget truncated it.
+
+   Depth honesty: [dfs] additionally returns the deepest entry depth
+   reached in its subtree (virtual for memo hits), and the memo stores
+   it relative to the memoizing depth.  An entry is reused at depth
+   [d] only when [d + rel_peak < max_steps] — i.e. exactly when a
+   fresh recomputation would also complete without hitting the step
+   budget.  Reuse is therefore recomputation-equivalent, which is what
+   makes the traceset a pure function of the node and the remaining
+   depth budget — independent of visit order, memo state, and hence of
+   how the parallel engine splits the search (docs/PARALLEL.md). *)
 let max_taint = max_int
 
-let cut_trace = (Traceset.singleton (Ps.Event.trace_cut []), -1 (* taint *))
+let cut_traces = Traceset.singleton (Ps.Event.trace_cut [])
+let open_traces = Traceset.singleton { Ps.Event.outs = []; ending = Ps.Event.Open }
 
-let rec dfs s (n : Node.t) depth stack_ix : Traceset.t * int =
-  if depth > s.stats.Stats.peak_depth then s.stats.Stats.peak_depth <- depth;
-  if depth >= s.cfg.Config.max_steps then (
-    s.stats.Stats.cuts <- s.stats.Stats.cuts + 1;
-    cut_trace)
-  else if budget_stop s <> None then
+(* [dfs w n depth] -> [(suffixes, taint, peak)].  [depth] doubles as
+   the stack index: both start at 0 at the search root and increment
+   together on every recursive call. *)
+let rec dfs w (n : Node.t) depth : Traceset.t * int * int =
+  let s = w.s in
+  Stats.record_max s.stats.Stats.peak_depth depth;
+  if depth >= s.cfg.Config.max_steps then begin
+    Atomic.incr s.stats.Stats.cuts;
+    (cut_traces, -1, depth)
+  end
+  else if budget_stop w <> None then
     (* Deadline / node budget / heap budget: the subtree is abandoned
        with the same honest [Cut] marker (and the same negative taint,
        so nothing truncated is ever memoized) as a depth cut; the
        per-reason stats counter was incremented by [budget_stop]. *)
-    cut_trace
-  else if fault_fires s then cut_trace
+    (cut_traces, -1, depth)
+  else if node_fault_fires s n then (cut_traces, -1, depth)
   else
-    match NodeTbl.find_opt s.memo n with
-    | Some traces ->
-        s.stats.Stats.memo_hits <- s.stats.Stats.memo_hits + 1;
-        (traces, max_taint)
-    | None -> (
-        match NodeTbl.find_opt s.on_stack n with
+    match NodeTbl.find_opt w.memo n with
+    | Some (traces, rel_peak) when depth + rel_peak < s.cfg.Config.max_steps ->
+        Atomic.incr s.stats.Stats.memo_hits;
+        (traces, max_taint, depth + rel_peak)
+    | _ -> (
+        match NodeTbl.find_opt w.on_stack n with
         | Some ix ->
             (* Back-edge: divergence.  The honest behaviour is the
                prefix observed so far, i.e. the empty suffix with an
                [Open] ending. *)
-            s.stats.Stats.cycles <- s.stats.Stats.cycles + 1;
-            ( Traceset.singleton { Ps.Event.outs = []; ending = Ps.Event.Open },
-              ix )
+            Atomic.incr s.stats.Stats.cycles;
+            (open_traces, ix, depth)
         | None ->
-            s.stats.Stats.nodes <- s.stats.Stats.nodes + 1;
-            NodeTbl.add s.on_stack n stack_ix;
+            Atomic.incr s.stats.Stats.nodes;
+            NodeTbl.add w.on_stack n depth;
             let base =
               if Ps.Machine.terminal n.world then
                 Traceset.singleton (Ps.Event.trace_done [])
               else Traceset.empty
             in
             let succs = successors s n in
-            s.stats.Stats.transitions <-
-              s.stats.Stats.transitions + List.length succs;
+            ignore
+              (Atomic.fetch_and_add s.stats.Stats.transitions
+                 (List.length succs));
             let base =
               if Traceset.is_empty base && succs = [] then
                 (* Stuck without terminating: an execution that cannot
                    commit further; its observable behaviour is the
                    open prefix. *)
-                Traceset.singleton { Ps.Event.outs = []; ending = Ps.Event.Open }
+                open_traces
               else base
             in
-            let traces, taint =
+            let traces, taint, peak =
               List.fold_left
-                (fun (acc, taint) { emit; next } ->
-                  let sub, t = dfs s next (depth + 1) (stack_ix + 1) in
+                (fun (acc, taint, peak) { emit; next } ->
+                  let sub, t, pk = dfs w next (depth + 1) in
                   let sub =
                     match emit with
                     | Some v -> Traceset.prepend v sub
                     | None -> sub
                   in
-                  (Traceset.union acc sub, min taint t))
-                (base, max_taint) succs
+                  (Traceset.union acc sub, min taint t, max peak pk))
+                (base, max_taint, depth) succs
             in
-            NodeTbl.remove s.on_stack n;
-            if s.cfg.Config.memoize && taint >= stack_ix && taint >= 0 then (
+            NodeTbl.remove w.on_stack n;
+            if s.cfg.Config.memoize && taint >= depth && taint >= 0 then begin
               (* No dependency below this node on the stack (cycle
-                 heads close here) and no depth cut: safe to memoize. *)
-              NodeTbl.replace s.memo n traces;
-              (traces, max_taint))
-            else (traces, taint))
+                 heads close here) and no cut anywhere in the subtree:
+                 safe to memoize, with the peak made depth-relative. *)
+              NodeTbl.replace w.memo n (traces, peak - depth);
+              (traces, max_taint, peak)
+            end
+            else (traces, taint, peak))
+
+let merge_memo w =
+  let s = w.s in
+  Mutex.lock s.memo_lock;
+  NodeTbl.iter (fun n e -> NodeTbl.replace s.memo_merged n e) w.memo;
+  Mutex.unlock s.memo_lock
+
+(* ------------------------------------------------------------------ *)
+(* The parallel engine: plan / execute / fold.
+
+   Plan: the coordinator runs a breadth-first expansion of the search
+   tree — replicating [dfs]'s per-node decisions exactly (depth cut,
+   global budgets, fault, ancestor cycle) — until the frontier holds
+   enough unexpanded leaves to feed the pool.
+
+   Execute: each leaf subtree is a task; a worker seeds its on-stack
+   table with the leaf's ancestor chain (the exact stack the
+   sequential DFS would carry there) and runs [dfs] from the leaf.
+   Memo tables are domain-local and merged on join.
+
+   Fold: the coordinator folds the plan tree bottom-up with the same
+   union/prepend/min-taint accumulation as [dfs], so the root traceset
+   is byte-identical to the sequential one — see the purity argument
+   at [dfs]. *)
+
+type pnode = {
+  pn : Node.t;
+  pdepth : int;
+  pparent : pnode option;
+  pemit : Lang.Ast.value option;  (* edge label from the parent *)
+  mutable pbase : Traceset.t;
+  mutable pchildren : pnode list option;  (* Some: expanded in planning *)
+  mutable presolved : (Traceset.t * int * int) option;
+}
+
+let plan wc root j =
+  let s = wc.s in
+  let target = 8 * j in
+  let expansion_cap = 64 * j in
+  let proot =
+    {
+      pn = root;
+      pdepth = 0;
+      pparent = None;
+      pemit = None;
+      pbase = Traceset.empty;
+      pchildren = None;
+      presolved = None;
+    }
+  in
+  let q = Queue.create () in
+  Queue.push proot q;
+  let frontier = ref 1 in
+  let expansions = ref 0 in
+  let leaves = ref [] in
+  while (not (Queue.is_empty q)) && !frontier < target && !expansions < expansion_cap do
+    let p = Queue.pop q in
+    decr frontier;
+    let n = p.pn and depth = p.pdepth in
+    Stats.record_max s.stats.Stats.peak_depth depth;
+    if depth >= s.cfg.Config.max_steps then begin
+      Atomic.incr s.stats.Stats.cuts;
+      p.presolved <- Some (cut_traces, -1, depth)
+    end
+    else if budget_stop wc <> None then p.presolved <- Some (cut_traces, -1, depth)
+    else if node_fault_fires s n then p.presolved <- Some (cut_traces, -1, depth)
+    else begin
+      (* Ancestor-chain cycle check: the plan-tree ancestors of [p]
+         are exactly the DFS stack under which [p] would be visited. *)
+      let rec back = function
+        | None -> None
+        | Some a -> if Node.equal a.pn n then Some a.pdepth else back a.pparent
+      in
+      match back p.pparent with
+      | Some ix ->
+          Atomic.incr s.stats.Stats.cycles;
+          p.presolved <- Some (open_traces, ix, depth)
+      | None ->
+          Atomic.incr s.stats.Stats.nodes;
+          incr expansions;
+          let base =
+            if Ps.Machine.terminal n.world then
+              Traceset.singleton (Ps.Event.trace_done [])
+            else Traceset.empty
+          in
+          let succs = successors s n in
+          ignore
+            (Atomic.fetch_and_add s.stats.Stats.transitions (List.length succs));
+          if Traceset.is_empty base && succs = [] then
+            p.presolved <- Some (open_traces, max_taint, depth)
+          else begin
+            p.pbase <- base;
+            let children =
+              List.map
+                (fun { emit; next } ->
+                  {
+                    pn = next;
+                    pdepth = depth + 1;
+                    pparent = Some p;
+                    pemit = emit;
+                    pbase = Traceset.empty;
+                    pchildren = None;
+                    presolved = None;
+                  })
+                succs
+            in
+            p.pchildren <- Some children;
+            List.iter
+              (fun c ->
+                Queue.push c q;
+                incr frontier)
+              children
+          end
+    end
+  done;
+  Queue.iter (fun p -> leaves := p :: !leaves) q;
+  (proot, List.rev !leaves)
+
+let run_task w leaf =
+  NodeTbl.reset w.on_stack;
+  let rec seed = function
+    | None -> ()
+    | Some a ->
+        NodeTbl.replace w.on_stack a.pn a.pdepth;
+        seed a.pparent
+  in
+  seed leaf.pparent;
+  dfs w leaf.pn leaf.pdepth
+
+let rec fold_plan cfg p =
+  match p.presolved with
+  | Some r -> r
+  | None -> (
+      match p.pchildren with
+      | None ->
+          (* unreachable: every unexpanded leaf was resolved by a task *)
+          assert false
+      | Some children ->
+          let traces, taint, peak =
+            List.fold_left
+              (fun (acc, taint, peak) c ->
+                let sub, t, pk = fold_plan cfg c in
+                let sub =
+                  match c.pemit with
+                  | Some v -> Traceset.prepend v sub
+                  | None -> sub
+                in
+                (Traceset.union acc sub, min taint t, max peak pk))
+              (p.pbase, max_taint, p.pdepth) children
+          in
+          if cfg.Config.memoize && taint >= p.pdepth && taint >= 0 then
+            (traces, max_taint, peak)
+          else (traces, taint, peak))
+
+let parallel_traces s root j =
+  let wc = make_worker s in
+  let proot, leaves = plan wc root j in
+  (match leaves with
+  | [] -> ()
+  | _ ->
+      let results =
+        Pool.map_with ~j
+          ~init:(fun () -> make_worker s)
+          ~finish:merge_memo
+          run_task leaves
+      in
+      List.iter2 (fun leaf r -> leaf.presolved <- Some r) leaves results);
+  let traces, _, _ = fold_plan s.cfg proot in
+  traces
+
+let effective_domains cfg = max 1 (min cfg.Config.domains Pool.domain_cap)
 
 let finish_stats s =
-  s.stats.Stats.memo_size <- NodeTbl.length s.memo;
-  s.stats.Stats.cert_cache_size <-
-    CertTbl.length s.cert_cache + CertTbl.length s.cand_cache
+  Atomic.set s.stats.Stats.memo_size (NodeTbl.length s.memo_merged);
+  Atomic.set s.stats.Stats.cert_cache_size
+    (CertShards.length s.cert_cache + CertShards.length s.cand_cache)
+
+let record_domains s used =
+  Atomic.set s.stats.Stats.domains_used used;
+  Atomic.set s.stats.Stats.domains_recommended
+    (Domain.recommended_domain_count ())
 
 let behaviors ?(config = Config.default) disc (p : Lang.Ast.program) =
   match Ps.Machine.init p with
@@ -413,7 +658,17 @@ let behaviors ?(config = Config.default) disc (p : Lang.Ast.program) =
   | Ok world ->
       let s = make_search p.Lang.Ast.code p.Lang.Ast.atomics disc config in
       let root = { Node.world; bit = true; promised = TidMap.empty } in
-      let traces, _ = dfs s root 0 0 in
+      let j = effective_domains config in
+      record_domains s j;
+      let traces =
+        if j <= 1 then begin
+          let w = make_worker s in
+          let traces, _, _ = dfs w root 0 in
+          merge_memo w;
+          traces
+        end
+        else parallel_traces s root j
+      in
       finish_stats s;
       let completeness =
         match Stats.truncation_reasons s.stats with
@@ -438,6 +693,11 @@ let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
   | Error e -> Error e
   | Ok world ->
       let s = make_search p.Lang.Ast.code p.Lang.Ast.atomics disc config in
+      (* The reachability walk streams states to [f] in visit order,
+         so it stays single-domain; [Race.check_all] parallelizes at
+         the granularity of whole scans instead. *)
+      record_domains s 1;
+      let w = make_worker s in
       (* Best (lowest) depth each node was expanded at.  Marking a node
          visited at the depth it is *first* seen is wrong under a step
          budget: a node first reached near [max_steps] would never be
@@ -449,8 +709,8 @@ let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
       let best = NodeTbl.create 1024 in
       let rec visit (n : Node.t) depth =
         if depth >= s.cfg.Config.max_steps then
-          s.stats.Stats.cuts <- s.stats.Stats.cuts + 1
-        else if budget_stop s <> None || fault_fires s then
+          Atomic.incr s.stats.Stats.cuts
+        else if budget_stop w <> None || node_fault_fires s n then
           (* Budget or fault: skip the subtree.  The stats counters
              record the reason, so callers recover completeness via
              [Stats.truncation_reasons]. *)
@@ -460,24 +720,24 @@ let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
           match prev with
           | Some d when d <= depth -> ()
           | _ ->
-              if depth > s.stats.Stats.peak_depth then
-                s.stats.Stats.peak_depth <- depth;
+              Stats.record_max s.stats.Stats.peak_depth depth;
               NodeTbl.replace best n depth;
               let first = prev = None in
               if first then begin
-                s.stats.Stats.nodes <- s.stats.Stats.nodes + 1;
+                Atomic.incr s.stats.Stats.nodes;
                 let ts = Ps.Machine.cur_ts n.world in
                 let committed = consistent s ts n.world.Ps.Machine.mem in
                 f ~committed n.Node.world
               end;
               let succs = successors s n in
               if first then
-                s.stats.Stats.transitions <-
-                  s.stats.Stats.transitions + List.length succs;
+                ignore
+                  (Atomic.fetch_and_add s.stats.Stats.transitions
+                     (List.length succs));
               List.iter (fun { next; _ } -> visit next (depth + 1)) succs
       in
       visit { Node.world; bit = true; promised = TidMap.empty } 0;
-      s.stats.Stats.memo_size <- NodeTbl.length best;
-      s.stats.Stats.cert_cache_size <-
-        CertTbl.length s.cert_cache + CertTbl.length s.cand_cache;
+      Atomic.set s.stats.Stats.memo_size (NodeTbl.length best);
+      Atomic.set s.stats.Stats.cert_cache_size
+        (CertShards.length s.cert_cache + CertShards.length s.cand_cache);
       Ok s.stats

@@ -1,0 +1,154 @@
+(* A hand-rolled work-sharing pool over OCaml 5 domains.
+
+   No external dependencies: a [Mutex]/[Condition]-protected queue of
+   indexed tasks, a fixed set of worker domains (the calling domain
+   participates as one of them), and results gathered positionally so
+   the merge order is deterministic regardless of which domain ran
+   which task.
+
+   The pool is batch-oriented: [map]/[map_with] enqueue the whole
+   input, close the queue, and join.  Worker exceptions are captured
+   per task and re-raised in task order after the join, so a failure
+   is reported identically at every [j]. *)
+
+let domain_cap = 8
+
+let recommended () =
+  max 1 (min domain_cap (Domain.recommended_domain_count ()))
+
+(* ------------------------------------------------------------------ *)
+(* The shared queue.  Tasks are indices into the input array; [closed]
+   lets workers distinguish "momentarily empty" from "drained". *)
+
+type queue = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  q : int Queue.t;
+  mutable closed : bool;
+}
+
+let queue_create () =
+  {
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    closed = false;
+  }
+
+let queue_push qu i =
+  Mutex.lock qu.m;
+  Queue.push i qu.q;
+  Condition.signal qu.nonempty;
+  Mutex.unlock qu.m
+
+let queue_close qu =
+  Mutex.lock qu.m;
+  qu.closed <- true;
+  Condition.broadcast qu.nonempty;
+  Mutex.unlock qu.m
+
+let queue_pop qu =
+  Mutex.lock qu.m;
+  let rec wait () =
+    match Queue.take_opt qu.q with
+    | Some i ->
+        Mutex.unlock qu.m;
+        Some i
+    | None ->
+        if qu.closed then begin
+          Mutex.unlock qu.m;
+          None
+        end
+        else begin
+          Condition.wait qu.nonempty qu.m;
+          wait ()
+        end
+  in
+  wait ()
+
+(* ------------------------------------------------------------------ *)
+
+let map_with ~j ~init ~finish f xs =
+  let n = List.length xs in
+  let j = max 1 (min j n) in
+  if j <= 1 then begin
+    let w = init () in
+    let r = List.map (f w) xs in
+    finish w;
+    r
+  end
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let qu = queue_create () in
+    Array.iteri (fun i _ -> queue_push qu i) input;
+    queue_close qu;
+    let worker () =
+      let w = init () in
+      let rec loop () =
+        match queue_pop qu with
+        | None -> ()
+        | Some i ->
+            (results.(i) <-
+               Some
+                 (try Ok (f w input.(i))
+                  with e -> Error (e, Printexc.get_raw_backtrace ())));
+            loop ()
+      in
+      loop ();
+      finish w
+    in
+    let spawned = List.init (j - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let map ~j f xs = map_with ~j ~init:(fun () -> ()) ~finish:(fun () -> ()) (fun () x -> f x) xs
+
+(* ------------------------------------------------------------------ *)
+(* Hash-sharded mutex-protected hash tables: one lock per shard so
+   concurrent cache lookups from different domains rarely collide.
+   Purely a cache structure — callers must only store values that are
+   pure functions of their key, so a lost race (two domains computing
+   the same entry) is benign. *)
+
+module Sharded (H : Hashtbl.HashedType) = struct
+  module T = Hashtbl.Make (H)
+
+  type 'a shard = { lock : Mutex.t; tbl : 'a T.t }
+  type 'a t = { shards : 'a shard array; mask : int }
+
+  let create ?(shards = 64) size =
+    (* round the shard count up to a power of two for mask indexing *)
+    let rec pow2 n = if n >= shards then n else pow2 (n * 2) in
+    let n = pow2 1 in
+    {
+      shards =
+        Array.init n (fun _ ->
+            { lock = Mutex.create (); tbl = T.create (max 1 (size / n)) });
+      mask = n - 1;
+    }
+
+  let shard t k = t.shards.(H.hash k land t.mask)
+
+  let find_opt t k =
+    let s = shard t k in
+    Mutex.lock s.lock;
+    let r = T.find_opt s.tbl k in
+    Mutex.unlock s.lock;
+    r
+
+  let replace t k v =
+    let s = shard t k in
+    Mutex.lock s.lock;
+    T.replace s.tbl k v;
+    Mutex.unlock s.lock
+
+  let length t =
+    Array.fold_left (fun acc s -> acc + T.length s.tbl) 0 t.shards
+end

@@ -1,0 +1,50 @@
+(** A fixed-width domain pool with a hand-rolled work-sharing queue.
+
+    Workers are OCaml 5 [Domain]s coordinated by a [Mutex]/[Condition]
+    index queue; the calling domain always participates as one of the
+    [j] workers, so [~j:1] spawns nothing and degenerates to
+    [List.map].  Results are returned in input order and worker
+    exceptions are re-raised deterministically (lowest task index
+    first), so observable behaviour is independent of [j]. *)
+
+val domain_cap : int
+(** Hard upper bound on pool width (8): oversubscribing a small core
+    count still works (the OS time-slices the domains), but unbounded
+    widths only add queue and counter contention. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] clamped to [1, domain_cap]. *)
+
+val map : j:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~j f xs] applies [f] to every element on a pool of [j]
+    domains (including the caller) and returns results in input
+    order. *)
+
+val map_with :
+  j:int ->
+  init:(unit -> 'w) ->
+  finish:('w -> unit) ->
+  ('w -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** Like {!map} but each worker domain first builds private state with
+    [init] (e.g. a domain-local memo table), threads it through every
+    task it executes, and hands it to [finish] before joining (e.g. to
+    merge the local table into a global one). *)
+
+(** Hash-sharded hash tables: a power-of-two array of
+    mutex-protected [Hashtbl.Make(H)] shards indexed by key hash, so
+    concurrent lookups from different domains contend only when they
+    land on the same shard.  Intended for caches of pure values: a
+    racing double-insert of the same key is benign. *)
+module Sharded (H : Hashtbl.HashedType) : sig
+  type 'a t
+
+  val create : ?shards:int -> int -> 'a t
+  (** [create ?shards size] — [shards] (default 64) is rounded up to a
+      power of two; [size] is the aggregate initial capacity. *)
+
+  val find_opt : 'a t -> H.t -> 'a option
+  val replace : 'a t -> H.t -> 'a -> unit
+  val length : 'a t -> int
+end

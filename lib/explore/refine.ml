@@ -9,10 +9,30 @@ type report = {
   source : Enum.outcome;
 }
 
+(* The two sides of a refinement check (and the two disciplines of an
+   equivalence check) are independent explorations: with a domain
+   budget > 1 they run as two pool tasks, each with half the budget
+   for its own inner engine.  [Enum.behaviors] is deterministic in
+   [domains], so the verdict is identical either way. *)
+let both_behaviors ~config disc pa pb =
+  if config.Config.domains > 1 then
+    let inner =
+      { config with Config.domains = max 1 (config.Config.domains / 2) }
+    in
+    match
+      Pool.map ~j:2
+        (fun (d, p) -> Enum.behaviors_exn ~config:inner d p)
+        [ (fst disc, pa); (snd disc, pb) ]
+    with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  else
+    ( Enum.behaviors_exn ~config (fst disc) pa,
+      Enum.behaviors_exn ~config (snd disc) pb )
+
 let check ?(config = Config.default) ?(discipline = Enum.Interleaving)
     ~target ~source () =
-  let t = Enum.behaviors_exn ~config discipline target in
-  let s = Enum.behaviors_exn ~config discipline source in
+  let t, s = both_behaviors ~config (discipline, discipline) target source in
   let verdict =
     let reasons o =
       match o.Enum.completeness with
@@ -54,9 +74,11 @@ let equivalent ?config ?discipline p1 p2 =
   refines ?config ?discipline ~target:p1 ~source:p2 ()
   && refines ?config ?discipline ~target:p2 ~source:p1 ()
 
-let equivalent_disciplines ?config p =
-  let b d = (Enum.behaviors_exn ?config d p).Enum.traces in
-  Traceset.equal_behaviour (b Enum.Interleaving) (b Enum.Non_preemptive)
+let equivalent_disciplines ?(config = Config.default) p =
+  let a, b =
+    both_behaviors ~config (Enum.Interleaving, Enum.Non_preemptive) p p
+  in
+  Traceset.equal_behaviour a.Enum.traces b.Enum.traces
 
 let safe ?config p =
   let o = Enum.behaviors_exn ?config Enum.Interleaving p in

@@ -1,66 +1,89 @@
 type t = {
-  mutable nodes : int;
-  mutable transitions : int;
-  mutable memo_hits : int;
-  mutable memo_size : int;
-  mutable cert_checks : int;
-  mutable cert_cache_hits : int;
-  mutable cert_cache_size : int;
-  mutable cycles : int;
-  mutable cuts : int;
-  mutable promises : int;
-  mutable peak_depth : int;
-  mutable deadline_hits : int;
-  mutable node_budget_hits : int;
-  mutable oom_hits : int;
-  mutable promise_budget_hits : int;
-  mutable faults_injected : int;
+  nodes : int Atomic.t;
+  transitions : int Atomic.t;
+  memo_hits : int Atomic.t;
+  memo_size : int Atomic.t;
+  cert_checks : int Atomic.t;
+  cert_cache_hits : int Atomic.t;
+  cert_runs : int Atomic.t;
+  cert_trivial : int Atomic.t;
+  cert_faults : int Atomic.t;
+  cand_cache_hits : int Atomic.t;
+  cert_cache_size : int Atomic.t;
+  cycles : int Atomic.t;
+  cuts : int Atomic.t;
+  promises : int Atomic.t;
+  peak_depth : int Atomic.t;
+  deadline_hits : int Atomic.t;
+  node_budget_hits : int Atomic.t;
+  oom_hits : int Atomic.t;
+  promise_budget_hits : int Atomic.t;
+  faults_injected : int Atomic.t;
+  domains_used : int Atomic.t;
+  domains_recommended : int Atomic.t;
 }
 
 let create () =
   {
-    nodes = 0;
-    transitions = 0;
-    memo_hits = 0;
-    memo_size = 0;
-    cert_checks = 0;
-    cert_cache_hits = 0;
-    cert_cache_size = 0;
-    cycles = 0;
-    cuts = 0;
-    promises = 0;
-    peak_depth = 0;
-    deadline_hits = 0;
-    node_budget_hits = 0;
-    oom_hits = 0;
-    promise_budget_hits = 0;
-    faults_injected = 0;
+    nodes = Atomic.make 0;
+    transitions = Atomic.make 0;
+    memo_hits = Atomic.make 0;
+    memo_size = Atomic.make 0;
+    cert_checks = Atomic.make 0;
+    cert_cache_hits = Atomic.make 0;
+    cert_runs = Atomic.make 0;
+    cert_trivial = Atomic.make 0;
+    cert_faults = Atomic.make 0;
+    cand_cache_hits = Atomic.make 0;
+    cert_cache_size = Atomic.make 0;
+    cycles = Atomic.make 0;
+    cuts = Atomic.make 0;
+    promises = Atomic.make 0;
+    peak_depth = Atomic.make 0;
+    deadline_hits = Atomic.make 0;
+    node_budget_hits = Atomic.make 0;
+    oom_hits = Atomic.make 0;
+    promise_budget_hits = Atomic.make 0;
+    faults_injected = Atomic.make 0;
+    domains_used = Atomic.make 1;
+    domains_recommended = Atomic.make 1;
   }
+
+let record_max c v =
+  let rec go () =
+    let cur = Atomic.get c in
+    if v > cur && not (Atomic.compare_and_set c cur v) then go ()
+  in
+  go ()
 
 let truncation_reasons s =
   let add cond r acc = if cond then r :: acc else acc in
+  let ( ! ) = Atomic.get in
   []
-  |> add (s.faults_injected > 0) Errors.Fault
-  |> add (s.oom_hits > 0) Errors.Oom
-  |> add (s.node_budget_hits > 0) Errors.Node_budget
-  |> add (s.deadline_hits > 0) Errors.Deadline
-  |> add (s.promise_budget_hits > 0) Errors.Promise_budget
-  |> add (s.cuts > 0) Errors.Step_budget
+  |> add (!(s.faults_injected) > 0) Errors.Fault
+  |> add (!(s.oom_hits) > 0) Errors.Oom
+  |> add (!(s.node_budget_hits) > 0) Errors.Node_budget
+  |> add (!(s.deadline_hits) > 0) Errors.Deadline
+  |> add (!(s.promise_budget_hits) > 0) Errors.Promise_budget
+  |> add (!(s.cuts) > 0) Errors.Step_budget
 
 let pp ppf s =
+  let ( ! ) = Atomic.get in
   Format.fprintf ppf
     "nodes=%d transitions=%d memo_hits=%d memo_size=%d cert_checks=%d \
-     cert_cache_hits=%d cert_cache_size=%d cycles=%d cuts=%d promises=%d \
-     peak_depth=%d"
-    s.nodes s.transitions s.memo_hits s.memo_size s.cert_checks
-    s.cert_cache_hits s.cert_cache_size s.cycles s.cuts s.promises
-    s.peak_depth;
+     cert_cache_hits=%d cert_runs=%d cert_trivial=%d cand_cache_hits=%d \
+     cert_cache_size=%d cycles=%d cuts=%d promises=%d peak_depth=%d \
+     domains=%d/%d"
+    !(s.nodes) !(s.transitions) !(s.memo_hits) !(s.memo_size)
+    !(s.cert_checks) !(s.cert_cache_hits) !(s.cert_runs) !(s.cert_trivial)
+    !(s.cand_cache_hits) !(s.cert_cache_size) !(s.cycles) !(s.cuts)
+    !(s.promises) !(s.peak_depth) !(s.domains_used) !(s.domains_recommended);
   if
-    s.deadline_hits > 0 || s.node_budget_hits > 0 || s.oom_hits > 0
-    || s.promise_budget_hits > 0 || s.faults_injected > 0
+    !(s.deadline_hits) > 0 || !(s.node_budget_hits) > 0 || !(s.oom_hits) > 0
+    || !(s.promise_budget_hits) > 0 || !(s.faults_injected) > 0
   then
     Format.fprintf ppf
       " deadline_hits=%d node_budget_hits=%d oom_hits=%d \
-       promise_budget_hits=%d faults_injected=%d"
-      s.deadline_hits s.node_budget_hits s.oom_hits s.promise_budget_hits
-      s.faults_injected
+       promise_budget_hits=%d faults_injected=%d cert_faults=%d"
+      !(s.deadline_hits) !(s.node_budget_hits) !(s.oom_hits)
+      !(s.promise_budget_hits) !(s.faults_injected) !(s.cert_faults)

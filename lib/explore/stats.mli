@@ -2,43 +2,73 @@
     and E16 (state-space size of the interleaving vs the
     non-preemptive machine), the bench harness and its certification
     ablation, and the truncation-pressure counters the resilience
-    layer reports. *)
+    layer reports.
+
+    Every counter is an [Atomic.t] so the domain-parallel engine keeps
+    accounting exact without a global lock: workers bump counters with
+    [Atomic.incr]/[Atomic.fetch_and_add]; readers use [Atomic.get].
+
+    Certification accounting is partitioned exactly: every consistency
+    check requested bumps [cert_checks] and then exactly one of
+    [cert_cache_hits], [cert_runs], [cert_trivial], or [cert_faults] —
+    so [cert_checks = cert_cache_hits + cert_runs + cert_trivial +
+    cert_faults] always holds (asserted in the test suite). *)
 
 type t = {
-  mutable nodes : int;  (** distinct machine states visited *)
-  mutable transitions : int;  (** micro-steps enumerated *)
-  mutable memo_hits : int;
-  mutable memo_size : int;
-      (** entries in the suffix-set memo table at the end of the
-          search (distinct memoized machine states) *)
-  mutable cert_checks : int;  (** consistency checks requested *)
-  mutable cert_cache_hits : int;
+  nodes : int Atomic.t;  (** distinct machine states visited *)
+  transitions : int Atomic.t;  (** micro-steps enumerated *)
+  memo_hits : int Atomic.t;
+  memo_size : int Atomic.t;
+      (** entries in the (merged) suffix-set memo table at the end of
+          the search (distinct memoized machine states) *)
+  cert_checks : int Atomic.t;  (** consistency checks requested *)
+  cert_cache_hits : int Atomic.t;
       (** consistency checks answered by the certification cache
-          without re-running {!Ps.Cert.consistent}; checks on
-          promise-free thread states are trivially true and counted
-          in neither this nor [cert_cache_size] *)
-  mutable cert_cache_size : int;
+          without re-running {!Ps.Cert.consistent} *)
+  cert_runs : int Atomic.t;
+      (** consistency checks that actually ran {!Ps.Cert.consistent} *)
+  cert_trivial : int Atomic.t;
+      (** consistency checks on promise-free thread states, trivially
+          true without consulting the cache *)
+  cert_faults : int Atomic.t;
+      (** consistency checks answered [false] by the fault injector
+          (these bypass the cache and also count in
+          [faults_injected]) *)
+  cand_cache_hits : int Atomic.t;
+      (** promise-candidate sets answered by the candidate cache
+          (previously conflated with [cert_cache_hits]) *)
+  cert_cache_size : int Atomic.t;
       (** distinct [(thread-state, memory)] configurations certified *)
-  mutable cycles : int;  (** back-edges (divergence points) found *)
-  mutable cuts : int;  (** paths truncated by the step budget *)
-  mutable promises : int;  (** promise steps explored *)
-  mutable peak_depth : int;  (** deepest micro-step stack reached *)
-  mutable deadline_hits : int;
+  cycles : int Atomic.t;  (** back-edges (divergence points) found *)
+  cuts : int Atomic.t;  (** paths truncated by the step budget *)
+  promises : int Atomic.t;  (** promise steps explored *)
+  peak_depth : int Atomic.t;  (** deepest micro-step stack reached *)
+  deadline_hits : int Atomic.t;
       (** subtrees abandoned because [Config.deadline_ms] passed *)
-  mutable node_budget_hits : int;
+  node_budget_hits : int Atomic.t;
       (** subtrees abandoned because [Config.max_nodes] was reached *)
-  mutable oom_hits : int;
+  oom_hits : int Atomic.t;
       (** subtrees abandoned because the live-word budget
           [Config.max_live_words] was exceeded *)
-  mutable promise_budget_hits : int;
+  promise_budget_hits : int Atomic.t;
       (** nonempty certifiable-promise candidate sets suppressed by
           [Config.max_promises] (counted only under
           [Config.strict_promises]) *)
-  mutable faults_injected : int;
+  faults_injected : int Atomic.t;
       (** injected faults that fired ([Config.fault] mode) *)
+  domains_used : int Atomic.t;
+      (** effective pool width this search ran with ([Config.domains]
+          after clamping) *)
+  domains_recommended : int Atomic.t;
+      (** [Domain.recommended_domain_count ()] on this machine —
+          recorded so bench JSON carries the hardware context *)
 }
 
 val create : unit -> t
+
+val record_max : int Atomic.t -> int -> unit
+(** [record_max c v] atomically raises [c] to [v] if [v] is larger
+    (lock-free compare-and-set loop); used for [peak_depth]. *)
 
 val truncation_reasons : t -> Errors.reason list
 (** The distinct reasons this search was incomplete — empty iff the

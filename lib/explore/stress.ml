@@ -119,18 +119,32 @@ let run_case ~config ~deadline_ms ~retries ~check p =
   attempt 0
 
 let run ?(config = Config.default) ?(retries = 2)
-    ?(quarantine_dir = "_stress_quarantine") ~cases ~seed ~deadline_ms ~check
-    () =
-  let results = ref [] in
-  for id = 0 to cases - 1 do
+    ?(quarantine_dir = "_stress_quarantine") ?(j = 1) ~cases ~seed
+    ~deadline_ms ~check () =
+  let j = max 1 (min j Pool.domain_cap) in
+  (* Parallel dispatch is across whole cases; each case's own
+     explorations then run single-domain so a pool of [j] workers uses
+     [j] domains, not [j^2].  Per-case verdicts are a pure function of
+     the seed, so the summary is identical at every [j]. *)
+  let config =
+    if j > 1 then { config with Config.domains = 1 } else config
+  in
+  let run_one id =
     let case_seed = seed + id in
     let p = generate ~seed:case_seed in
     (* Crash safety: the program under test is on disk before the
        check runs, so even a hard crash (segfault, OOM kill) leaves a
        reproducible artifact behind.  Removed again on a clean
-       verdict. *)
+       verdict.  Under parallel dispatch each case gets its own
+       marker file (several are in flight at once). *)
     ensure_dir quarantine_dir;
-    write_file (inflight_path quarantine_dir)
+    let inflight =
+      if j <= 1 then inflight_path quarantine_dir
+      else
+        Filename.concat quarantine_dir
+          (Printf.sprintf "inflight-%s.sexp" (case_base ~id ~case_seed))
+    in
+    write_file inflight
       (Printf.sprintf ";; %s\n%s" (case_base ~id ~case_seed)
          (Lang.Sexp.program_to_string p));
     let verdict, attempts =
@@ -139,10 +153,10 @@ let run ?(config = Config.default) ?(retries = 2)
     (match verdict with
     | Quarantined reason -> quarantine ~dir:quarantine_dir ~id ~case_seed p reason
     | Verified | Refuted _ | Inconclusive _ -> ());
-    (try Sys.remove (inflight_path quarantine_dir) with Sys_error _ -> ());
-    results := { id; case_seed; attempts; verdict } :: !results
-  done;
-  let results = List.rev !results in
+    (try Sys.remove inflight with Sys_error _ -> ());
+    { id; case_seed; attempts; verdict }
+  in
+  let results = Pool.map ~j run_one (List.init cases Fun.id) in
   let count f = List.length (List.filter f results) in
   {
     cases;

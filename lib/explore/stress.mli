@@ -41,6 +41,7 @@ val run :
   ?config:Config.t ->
   ?retries:int ->
   ?quarantine_dir:string ->
+  ?j:int ->
   cases:int ->
   seed:int ->
   deadline_ms:int ->
@@ -56,10 +57,18 @@ val run :
     2, taken only while the verdict is inconclusive).  A case whose
     checker raises anything but [Errors.Budget_exhausted] is
     quarantined: the program and the reason are persisted under
-    [quarantine_dir] (default [_stress_quarantine]).  Crash safety:
-    the in-flight program is written to [<quarantine_dir>/inflight.sexp]
-    before its check starts and removed after, so a hard crash of the
-    whole process still leaves the offending case on disk. *)
+    [quarantine_dir] (default [_stress_quarantine]).
+
+    [j] (default 1) dispatches whole cases across a {!Pool} of that
+    many domains; each case's own explorations then run single-domain.
+    Per-case verdicts are a pure function of the seed, so the summary
+    is identical at every [j].
+
+    Crash safety: the in-flight program is written to
+    [<quarantine_dir>/inflight.sexp] ([inflight-<case>.sexp] per case
+    under parallel dispatch) before its check starts and removed
+    after, so a hard crash of the whole process still leaves the
+    offending case(s) on disk. *)
 
 val pp_case_verdict : Format.formatter -> case_verdict -> unit
 val pp_summary : Format.formatter -> summary -> unit

@@ -892,6 +892,20 @@ let check ?(config = Explore.Config.default) t =
   in
   { verdict; observed }
 
+let check_all ?(config = Explore.Config.default) ?j () =
+  let j =
+    match j with
+    | Some j -> max 1 (min j Explore.Pool.domain_cap)
+    | None -> max 1 (min config.Explore.Config.domains Explore.Pool.domain_cap)
+  in
+  (* One corpus program per pool task; each check's own exploration
+     then runs single-domain (case-level parallelism composes better
+     than nested pools on litmus-size state spaces). *)
+  let config =
+    if j > 1 then { config with Explore.Config.domains = 1 } else config
+  in
+  Explore.Pool.map ~j (fun t -> (t, check ~config t)) all
+
 let pp_verdict ppf = function
   | Pass -> Format.pp_print_string ppf "ok"
   | Mismatch { unexpected; missing } ->

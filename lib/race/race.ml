@@ -105,6 +105,26 @@ let rw_races ?config p =
 let is_ww_rf ?config p =
   match ww_rf ?config p with Ok Free -> true | _ -> false
 
+type report = {
+  ww : (verdict, string) result;
+  ww_np : (verdict, string) result;
+  rw : (race list, string) result;
+}
+
+(* The three scans are independent reachability walks; the walks
+   themselves stream states and stay single-domain, so with a domain
+   budget > 1 the parallelism is one pool task per scan. *)
+let check_all ?(config = Explore.Config.default) p =
+  let j = min config.Explore.Config.domains 3 in
+  let run = function
+    | `Ww -> `Ww (ww_rf ~config p)
+    | `Np -> `Np (ww_nprf ~config p)
+    | `Rw -> `Rw (rw_races ~config p)
+  in
+  match Explore.Pool.map ~j run [ `Ww; `Np; `Rw ] with
+  | [ `Ww ww; `Np ww_np; `Rw rw ] -> { ww; ww_np; rw }
+  | _ -> assert false
+
 let pp_verdict ppf = function
   | Free -> Format.pp_print_string ppf "write-write race free"
   | Racy r -> pp_race ppf r

@@ -61,5 +61,18 @@ val rw_races :
     location). *)
 
 val is_ww_rf : ?config:Explore.Config.t -> Lang.Ast.program -> bool
+
+type report = {
+  ww : (verdict, string) result;
+  ww_np : (verdict, string) result;
+  rw : (race list, string) result;
+}
+(** The three scans bundled: interleaving ww, non-preemptive ww, rw. *)
+
+val check_all : ?config:Explore.Config.t -> Lang.Ast.program -> report
+(** Run all three scans — [ww_rf], [ww_nprf], [rw_races] — as
+    independent pool tasks when [config.domains > 1] (the walks
+    themselves are single-domain; this parallelizes across scans). *)
+
 val pp_race : Format.formatter -> race -> unit
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -41,8 +41,42 @@ let pp_verdict ppf = function
 
 let check ?sim_config ?explore_config r (src : Lang.Ast.program) =
   let tgt = r.transform src in
+  let ecfg =
+    match explore_config with Some c -> c | None -> Explore.Config.default
+  in
+  let par = ecfg.Explore.Config.domains > 1 in
+  (* With a domain budget > 1 the four pipeline stages are evaluated
+     eagerly as pool tasks (each stage keeping half the budget for its
+     own inner parallelism); sequentially they stay lazy so the
+     original early exit is preserved.  Either way the verdict is
+     decided by inspecting the stages in pipeline order, and each
+     stage's result is deterministic, so the verdict is identical. *)
+  let scfg =
+    if par then
+      Some
+        { ecfg with Explore.Config.domains = max 1 (ecfg.Explore.Config.domains / 2) }
+    else explore_config
+  in
+  let src_rf = lazy (Race.ww_rf ?config:scfg src) in
+  let sims =
+    lazy
+      (Simcheck.check_program ?config:sim_config ~inv:r.invariant ~target:tgt
+         ~source:src ())
+  in
+  let refn = lazy (Explore.Refine.check ?config:scfg ~target:tgt ~source:src ()) in
+  let tgt_rf = lazy (Race.ww_rf ?config:scfg tgt) in
+  if par then
+    ignore
+      (Explore.Pool.map ~j:(min 4 ecfg.Explore.Config.domains)
+         (fun f -> f ())
+         [
+           (fun () -> ignore (Lazy.force src_rf));
+           (fun () -> ignore (Lazy.force sims));
+           (fun () -> ignore (Lazy.force refn));
+           (fun () -> ignore (Lazy.force tgt_rf));
+         ]);
   (* 1. The theorem's premise: the source is ww-race-free. *)
-  match Race.ww_rf ?config:explore_config src with
+  match Lazy.force src_rf with
   | Error e -> Inconclusive e
   | Ok (Race.Inconclusive why) ->
       Inconclusive (Format.asprintf "ww-RF(source): %s" why)
@@ -50,12 +84,8 @@ let check ?sim_config ?explore_config r (src : Lang.Ast.program) =
       Fail (Source_ww_rf, Format.asprintf "%a" Race.pp_race race)
   | Ok Race.Free -> (
       (* 2. Thread-local simulations (Def. 6.1, one per function). *)
-      let sims =
-        Simcheck.check_program ?config:sim_config ~inv:r.invariant ~target:tgt
-          ~source:src ()
-      in
       let bad_sim =
-        List.find_opt (fun (_, v) -> v <> Simcheck.Holds) sims
+        List.find_opt (fun (_, v) -> v <> Simcheck.Holds) (Lazy.force sims)
       in
       match bad_sim with
       | Some (f, Simcheck.Fails why) -> Fail (Simulation f, why)
@@ -64,11 +94,7 @@ let check ?sim_config ?explore_config r (src : Lang.Ast.program) =
       | Some (_, Simcheck.Holds) -> assert false
       | None -> (
           (* 3. Whole-program refinement of the bounded behaviour sets. *)
-          let rep =
-            Explore.Refine.check ?config:explore_config ~target:tgt
-              ~source:src ()
-          in
-          match rep.Explore.Refine.verdict with
+          match (Lazy.force refn).Explore.Refine.verdict with
           | Explore.Refine.Violates bad ->
               Fail
                 ( Refinement,
@@ -76,7 +102,7 @@ let check ?sim_config ?explore_config r (src : Lang.Ast.program) =
           | Explore.Refine.Inconclusive why -> Inconclusive why
           | Explore.Refine.Refines -> (
               (* 4. ww-RF preservation (Lemma 6.2). *)
-              match Race.ww_rf ?config:explore_config tgt with
+              match Lazy.force tgt_rf with
               | Error e -> Inconclusive e
               | Ok (Race.Inconclusive why) ->
                   Inconclusive (Format.asprintf "ww-RF(target): %s" why)

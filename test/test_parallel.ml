@@ -1,0 +1,223 @@
+(* The domain-parallel engine's determinism contract (docs/PARALLEL.md):
+   [Enum.behaviors] returns the same traceset and the same completeness
+   at every pool width.
+
+   Strict equality is checked for the deterministic truncation classes
+   (step budget, injected faults) over a seeded random-program corpus,
+   both disciplines.  The global budgets (deadline, node budget) are
+   scheduling-dependent, so for them only soundness is checked: the
+   verdict is Truncated and the completed outcomes are a subset of the
+   exhaustive set. *)
+
+let sorted l = List.sort compare l
+
+let outs_of (o : Explore.Enum.outcome) =
+  Explore.Traceset.done_outs o.Explore.Enum.traces
+  |> List.map sorted |> List.sort_uniq compare
+
+let at_j j config = { config with Explore.Config.domains = j }
+
+let run ~j ?(config = Explore.Config.default) disc prog =
+  Explore.Enum.behaviors_exn ~config:(at_j j config) disc prog
+
+let pp_comp = Explore.Enum.pp_completeness
+
+(* 1. Strict equivalence, >= 100 seeds, both disciplines, under hash
+   faults (even seeds) and a tight step budget (the two deterministic
+   truncation classes). *)
+let test_equivalence_seeds () =
+  for seed = 0 to 107 do
+    let prog = Explore.Stress.generate ~seed in
+    let config =
+      {
+        Explore.Config.default with
+        Explore.Config.max_steps = 48;
+        fault =
+          (if seed mod 2 = 0 then
+             Some
+               { Explore.Config.fault_seed = seed; fault_rate = 0.03 }
+           else None);
+      }
+    in
+    List.iter
+      (fun disc ->
+        let o1 = run ~j:1 ~config disc prog in
+        List.iter
+          (fun j ->
+            let oj = run ~j ~config disc prog in
+            let name =
+              Format.asprintf "seed %d %a j=%d" seed
+                Explore.Enum.pp_discipline disc j
+            in
+            Alcotest.(check bool)
+              (name ^ ": traceset equal")
+              true
+              (Explore.Traceset.equal o1.Explore.Enum.traces
+                 oj.Explore.Enum.traces);
+            Alcotest.(check string)
+              (name ^ ": completeness equal")
+              (Format.asprintf "%a" pp_comp o1.Explore.Enum.completeness)
+              (Format.asprintf "%a" pp_comp oj.Explore.Enum.completeness))
+          [ 2; 4 ])
+      [ Explore.Enum.Interleaving; Explore.Enum.Non_preemptive ]
+  done
+
+(* 2. The corpus programs with their real configs (promises on, no
+   truncation): exhaustive at every width, identical behaviour sets. *)
+let test_equivalence_corpus () =
+  List.iter
+    (fun (t : Litmus.t) ->
+      let o1 = run ~j:1 Explore.Enum.Interleaving t.Litmus.prog in
+      let o4 = run ~j:4 Explore.Enum.Interleaving t.Litmus.prog in
+      Alcotest.(check bool)
+        (t.Litmus.name ^ ": traceset equal at j=4")
+        true
+        (Explore.Traceset.equal o1.Explore.Enum.traces
+           o4.Explore.Enum.traces);
+      Alcotest.(check bool)
+        (t.Litmus.name ^ ": exact at j=4")
+        o1.Explore.Enum.exact o4.Explore.Enum.exact)
+    Litmus.all
+
+(* 3. Scheduling-dependent budgets: soundness only.  Parallel runs
+   under a deadline or node budget must report Truncated and may only
+   lose behaviours relative to the exhaustive set. *)
+let test_budget_soundness () =
+  let exhaustive_outs prog = outs_of (run ~j:1 Explore.Enum.Interleaving prog) in
+  let check_sound name prog config =
+    let o = run ~j:4 ~config Explore.Enum.Interleaving prog in
+    (match o.Explore.Enum.completeness with
+    | Explore.Enum.Truncated _ -> ()
+    | Explore.Enum.Exhaustive ->
+        Alcotest.failf "%s: tight budget not reported as truncated" name);
+    let full = exhaustive_outs prog in
+    List.iter
+      (fun out ->
+        Alcotest.(check bool)
+          (name ^ ": completed outcome in exhaustive set")
+          true (List.mem out full))
+      (outs_of o)
+  in
+  List.iter
+    (fun seed ->
+      let prog = Explore.Stress.generate ~seed in
+      check_sound
+        (Printf.sprintf "seed %d max_nodes" seed)
+        prog
+        { Explore.Config.default with Explore.Config.max_nodes = Some 30 };
+      check_sound
+        (Printf.sprintf "seed %d deadline" seed)
+        prog
+        {
+          Explore.Config.default with
+          Explore.Config.deadline_ms = Some 0;
+          max_steps = 100_000;
+        })
+    [ 1; 2; 3; 4; 5 ]
+
+(* 4. Exact partition of the certification counters: every consistency
+   query is counted exactly once as a cache hit, a run, a trivial
+   accept or an injected fault — at every width, with and without
+   faults.  (PR 3 fixed a double count where a fault firing under a
+   warm cache was also booked as a cache hit.) *)
+let test_cert_accounting () =
+  let check name (st : Explore.Stats.t) =
+    let ( ! ) = Atomic.get in
+    Alcotest.(check int)
+      (name ^ ": cert_checks = hits + runs + trivial + faults")
+      !(st.Explore.Stats.cert_checks)
+      (!(st.Explore.Stats.cert_cache_hits)
+      + !(st.Explore.Stats.cert_runs)
+      + !(st.Explore.Stats.cert_trivial)
+      + !(st.Explore.Stats.cert_faults));
+    Alcotest.(check bool)
+      (name ^ ": cert faults never exceed injected faults")
+      true
+      (!(st.Explore.Stats.cert_faults) <= !(st.Explore.Stats.faults_injected))
+  in
+  List.iter
+    (fun (name, fault) ->
+      let config =
+        { Explore.Config.default with Explore.Config.fault } in
+      List.iter
+        (fun j ->
+          let o = run ~j ~config Explore.Enum.Interleaving Litmus.lb.Litmus.prog in
+          check
+            (Printf.sprintf "lb %s j=%d" name j)
+            o.Explore.Enum.stats;
+          List.iter
+            (fun seed ->
+              let o =
+                run ~j ~config Explore.Enum.Interleaving
+                  (Explore.Stress.generate ~seed)
+              in
+              check
+                (Printf.sprintf "seed %d %s j=%d" seed name j)
+                o.Explore.Enum.stats)
+            [ 11; 12; 13 ])
+        [ 1; 4 ])
+    [
+      ("no-fault", None);
+      ( "fault",
+        Some { Explore.Config.fault_seed = 7; fault_rate = 0.05 } );
+    ]
+
+(* 5. The stats report the pool width actually used and the machine's
+   recommendation (satellite: psopt explore surfaces both). *)
+let test_domain_reporting () =
+  let used j =
+    let o = run ~j Explore.Enum.Interleaving Litmus.sb.Litmus.prog in
+    Atomic.get o.Explore.Enum.stats.Explore.Stats.domains_used
+  in
+  Alcotest.(check int) "j=1 reports 1 domain" 1 (used 1);
+  Alcotest.(check int) "j=4 reports 4 domains" 4 (used 4);
+  Alcotest.(check int)
+    "j beyond the cap is clamped" Explore.Pool.domain_cap
+    (used (Explore.Pool.domain_cap + 3));
+  let o = run ~j:2 Explore.Enum.Interleaving Litmus.sb.Litmus.prog in
+  Alcotest.(check bool)
+    "recommended >= 1" true
+    (Atomic.get o.Explore.Enum.stats.Explore.Stats.domains_recommended >= 1)
+
+(* 6. The pool itself: order preservation, error propagation, shards. *)
+let test_pool () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "map preserves input order at j=4"
+    (List.map (fun x -> x * x) xs)
+    (Explore.Pool.map ~j:4 (fun x -> x * x) xs);
+  (match
+     Explore.Pool.map ~j:4
+       (fun x -> if x = 41 then failwith "boom" else x)
+       xs
+   with
+  | exception Failure msg -> Alcotest.(check string) "first error wins" "boom" msg
+  | _ -> Alcotest.fail "expected the worker exception to propagate");
+  Alcotest.(check (list int))
+    "j=1 degenerates to List.map" (List.map succ xs)
+    (Explore.Pool.map ~j:1 succ xs)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "seeded corpus, faults + tight budget, j in {2,4}"
+            `Slow test_equivalence_seeds;
+          Alcotest.test_case "litmus corpus exact at j=4" `Quick
+            test_equivalence_corpus;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "deadline/node budgets: truncated + subset"
+            `Quick test_budget_soundness;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "cert counters partition exactly" `Quick
+            test_cert_accounting;
+          Alcotest.test_case "domain width reported in stats" `Quick
+            test_domain_reporting;
+        ] );
+      ("pool", [ Alcotest.test_case "order, errors, clamp" `Quick test_pool ]);
+    ]

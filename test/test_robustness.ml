@@ -66,7 +66,7 @@ let test_node_budget () =
   | Explore.Enum.Exhaustive -> Alcotest.fail "expected Truncated");
   Alcotest.(check bool)
     "counter incremented" true
-    (o.Explore.Enum.stats.Explore.Stats.node_budget_hits > 0)
+    ((Atomic.get o.Explore.Enum.stats.Explore.Stats.node_budget_hits) > 0)
 
 let test_deadline_budget () =
   (* A deadline of 0 ms is already past when the first wall-clock
@@ -86,7 +86,7 @@ let test_deadline_budget () =
   in
   Alcotest.(check bool)
     "deadline tripped" true
-    (o.Explore.Enum.stats.Explore.Stats.deadline_hits > 0);
+    ((Atomic.get o.Explore.Enum.stats.Explore.Stats.deadline_hits) > 0);
   match o.Explore.Enum.completeness with
   | Explore.Enum.Truncated reasons ->
       Alcotest.(check bool)
@@ -150,7 +150,7 @@ let test_fault_subset () =
               true (List.mem out base_outs))
           outs;
         (* A schedule that fired must surface as truncation. *)
-        if o.Explore.Enum.stats.Explore.Stats.faults_injected > 0 then
+        if (Atomic.get o.Explore.Enum.stats.Explore.Stats.faults_injected) > 0 then
           match o.Explore.Enum.completeness with
           | Explore.Enum.Truncated reasons ->
               Alcotest.(check bool)
