@@ -536,6 +536,90 @@ let scaling_table ~timings () =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Verification service: the content-addressed result store's cold vs
+   warm cost over the litmus corpus (docs/SERVICE.md), through the
+   same [Server.serve_work] path the daemon uses.  The checked
+   invariant — also under [--check] — is the cache contract: a cold
+   pass misses everywhere, a warm pass hits on every request, and the
+   two return byte-identical reports and exit codes.  The timings show
+   what the store buys a repeated batch. *)
+
+let json_service : (float * float * int * int) option ref = ref None
+
+let service_store_table ~timings () =
+  Format.printf "== service store: cold vs warm over the litmus corpus ==@.";
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psopt-bench-store-%d" (Unix.getpid ()))
+  in
+  let store = Service.Store.open_ dir in
+  let stats = Explore.Stats.Service.create () in
+  let config = bench_config () in
+  let pass () =
+    let t0 = Unix.gettimeofday () in
+    let replies =
+      List.map
+        (fun (t : Litmus.t) ->
+          match
+            Service.Server.serve_work ~store ~stats
+              (Service.Proto.Litmus t.Litmus.name)
+              config
+          with
+          | Service.Proto.Reply r -> r
+          | _ -> failwith ("service refused litmus " ^ t.Litmus.name))
+        Litmus.all
+    in
+    (replies, Unix.gettimeofday () -. t0)
+  in
+  let cold, t_cold = pass () in
+  let warm, t_warm = pass () in
+  let total = List.length warm in
+  let hits =
+    List.length (List.filter (fun r -> r.Service.Proto.cached) warm)
+  in
+  let cold_misses =
+    List.for_all (fun r -> not r.Service.Proto.cached) cold
+  in
+  let identical =
+    List.for_all2
+      (fun (a : Service.Proto.reply) (b : Service.Proto.reply) ->
+        a.Service.Proto.output = b.Service.Proto.output
+        && a.Service.Proto.exit_code = b.Service.Proto.exit_code)
+      cold warm
+  in
+  if cold_misses && hits = total && identical then begin
+    incr passed;
+    Format.printf
+      "%d programs: cold all misses, warm %d/%d hits, replies identical  ok@."
+      total hits total
+  end
+  else begin
+    incr failed;
+    Format.printf
+      "service store MISMATCH (cold misses %b, warm hits %d/%d, identical %b)@."
+      cold_misses hits total identical
+  end;
+  json_service := Some (t_cold, t_warm, hits, total);
+  if timings then
+    Format.printf "cold %.3fs   warm %.3fs   speedup %.1fx@." t_cold t_warm
+      (t_cold /. Float.max 1e-9 t_warm);
+  (try
+     Array.iter
+       (fun shard ->
+         let sd = Filename.concat dir shard in
+         if Sys.is_directory sd then begin
+           Array.iter
+             (fun f -> Sys.remove (Filename.concat sd f))
+             (Sys.readdir sd);
+           Unix.rmdir sd
+         end)
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* [--json FILE]: a stable, hand-rolled summary for CI artifacts. *)
 
 let json_escape s =
@@ -556,7 +640,10 @@ let write_json file =
   let oc = open_out file in
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
-  pf "  \"schema\": \"psopt-bench/1\",\n";
+  pf "  \"schema\": \"psopt-bench/2\",\n";
+  pf "  \"schema_version\": 2,\n";
+  pf "  \"config_fingerprint\": \"%s\",\n"
+    (json_escape (Explore.Config.fingerprint (bench_config ())));
   pf "  \"jobs\": %d,\n" !bench_j;
   pf "  \"domains_recommended\": %d,\n" (Domain.recommended_domain_count ());
   pf "  \"domain_cap\": %d,\n" Explore.Pool.domain_cap;
@@ -583,7 +670,14 @@ let write_json file =
         ok
         (if i = List.length sc - 1 then "" else ","))
     sc;
-  pf "  ]\n";
+  pf "  ],\n";
+  (match !json_service with
+  | Some (cold_s, warm_s, hits, programs) ->
+      pf
+        "  \"service\": {\"programs\": %d, \"cold_s\": %.6f, \"warm_s\": \
+         %.6f, \"store_hits_warm\": %d}\n"
+        programs cold_s warm_s hits
+  | None -> pf "  \"service\": null\n");
   pf "}\n";
   close_out oc;
   Format.printf "json summary written to %s@." file
@@ -768,6 +862,7 @@ let () =
   cert_cache_table ~timings:(not check_only);
   truncation_pressure_table ();
   scaling_table ~timings:(not check_only) ();
+  service_store_table ~timings:(not check_only) ();
   if not check_only then begin
     state_space_table ();
     fig1_sweep ();

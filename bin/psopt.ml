@@ -4,8 +4,10 @@
    Subcommands mirror the library's layers: parse/print, run, explore
    (behaviour sets under either machine), optimize, refine (trace-set
    inclusion), races (ww-RF / rw report), sim (the thread-local
-   simulation game), litmus (the paper's corpus) and stress (the
-   crash-safe batch runner).
+   simulation game), litmus (the paper's corpus), stress (the
+   crash-safe batch runner), and the verification service — serve
+   (the daemon), ping, submit and batch (its clients;
+   docs/SERVICE.md).
 
    Exit codes are script-friendly and uniform across subcommands:
    0 verified / claim holds, 1 refuted / violation / race found,
@@ -14,10 +16,10 @@
 
 open Cmdliner
 
-let exit_ok = 0
-let exit_fail = 1
-let exit_inconclusive = 2
-let exit_error = 3
+let exit_ok = Service.Render.exit_ok
+let exit_fail = Service.Render.exit_fail
+let exit_inconclusive = Service.Render.exit_inconclusive
+let exit_error = Service.Render.exit_error
 
 let read_program path =
   try Ok (Lang.Wf.check_exn (Lang.Parse.program_of_file path)) with
@@ -270,32 +272,11 @@ let refine_cmd =
 let races_cmd =
   let run file cfg =
     with_program file (fun p ->
-        let worst = ref exit_ok in
-        let bump c = if c > !worst then worst := c in
-        let report label v =
-          match v with
-          | Ok (Race.Racy _ as v) ->
-              Format.printf "%s %a@." label Race.pp_verdict v;
-              bump exit_fail
-          | Ok (Race.Inconclusive _ as v) ->
-              Format.printf "%s %a@." label Race.pp_verdict v;
-              bump exit_inconclusive
-          | Ok Race.Free -> Format.printf "%s %a@." label Race.pp_verdict Race.Free
-          | Error e ->
-              Format.printf "%s error: %s@." label e;
-              bump exit_error
-        in
-        let rep = Race.check_all ~config:cfg p in
-        report "ww-RF:  " rep.Race.ww;
-        report "ww-NPRF:" rep.Race.ww_np;
-        (match rep.Race.rw with
-        | Ok [] -> Format.printf "rw:      none@."
-        | Ok rs ->
-            List.iter (fun r -> Format.printf "rw:      %a@." Race.pp_race r) rs
-        | Error e ->
-            Format.printf "rw:      error: %s@." e;
-            bump exit_error);
-        !worst)
+        (* rendering shared with the service daemon, so `psopt submit`
+           replies are byte-identical to this output *)
+        let out, code = Service.Render.races (Race.check_all ~config:cfg p) in
+        print_string out;
+        code)
   in
   let term = Term.(const run $ program_arg 0 "FILE" $ config_term) in
   Cmd.v
@@ -446,17 +427,11 @@ let litmus_cmd =
   in
   let run name j =
     let report (t : Litmus.t) (r : Litmus.result) =
-      Format.printf "%-18s %a — %s@." t.Litmus.name Litmus.pp_verdict
-        r.Litmus.verdict t.Litmus.descr;
-      List.iter
-        (fun o ->
-          Format.printf "    [%s]@."
-            (String.concat ";" (List.map string_of_int o)))
-        r.Litmus.observed;
-      match r.Litmus.verdict with
-      | Litmus.Pass -> exit_ok
-      | Litmus.Mismatch _ -> exit_fail
-      | Litmus.Inconclusive _ -> exit_inconclusive
+      (* rendering shared with the service daemon: `psopt batch
+         --litmus` output is byte-identical to this *)
+      let out, code = Service.Render.litmus t r in
+      print_string out;
+      code
     in
     match name with
     | None ->
@@ -562,9 +537,338 @@ let stress_cmd =
           Exits 1 if any case was quarantined.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* The verification service: serve / ping / submit / batch
+   (docs/SERVICE.md).  The daemon and all clients default to the same
+   per-user socket so `psopt serve` in one shell and `psopt submit`
+   in another just work. *)
+
+let default_socket =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "psopt-%d.sock" (Unix.getuid ()))
+
+let socket_term =
+  let doc = "Unix-domain socket the daemon serves on." in
+  Arg.(value & opt string default_socket & info [ "socket" ] ~doc ~docv:"PATH")
+
+let version_cmd =
+  let run () =
+    print_endline Service.Version.version;
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the version (substituted at build time from the \
+          dune-project version), so deployed daemons and clients can be \
+          matched.")
+    Term.(const run $ const ())
+
+let serve_cmd =
+  let store =
+    let doc = "Result-store directory (content-addressed cache)." in
+    Arg.(value & opt string "_psopt_store" & info [ "store" ] ~doc ~docv:"DIR")
+  in
+  let no_store =
+    Arg.(value & flag & info [ "no-store" ] ~doc:"Disable the result store.")
+  in
+  let queue =
+    let doc =
+      "Admission-queue bound: work requests beyond the one executing and \
+       this many waiting are answered Busy."
+    in
+    Arg.(
+      value
+      & opt int Service.Server.default_capacity
+      & info [ "queue" ] ~doc ~docv:"N")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No log lines on stderr.")
+  in
+  let run socket store no_store queue quiet =
+    match
+      Service.Server.run
+        {
+          Service.Server.socket;
+          store_dir = (if no_store then None else Some store);
+          capacity = queue;
+          quiet;
+        }
+    with
+    | Ok () -> exit_ok
+    | Error msg ->
+        Printf.eprintf "psopt serve: %s\n" msg;
+        exit_error
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification daemon: accept clients on a Unix-domain \
+          socket, serve explore/verify/races/litmus requests out of a \
+          content-addressed result store, answer Busy beyond the admission \
+          queue, and shut down gracefully on SIGINT/SIGTERM.")
+    Term.(const run $ socket_term $ store $ no_store $ queue $ quiet)
+
+let ping_cmd =
+  let run socket =
+    match Service.Client.ping ~socket with
+    | Ok server_version ->
+        Printf.printf "pong: psopt %s at %s\n" server_version socket;
+        if server_version <> Service.Version.version then begin
+          Printf.eprintf
+            "psopt ping: warning: client %s != server %s (rebuild or \
+             redeploy)\n"
+            Service.Version.version server_version;
+          exit_fail
+        end
+        else exit_ok
+    | Error msg ->
+        Printf.eprintf "psopt ping: %s\n" msg;
+        exit_error
+  in
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:
+         "Check the daemon is alive and that client and server versions \
+          match.")
+    Term.(const run $ socket_term)
+
+(* What to ask the service for one program. *)
+let service_cmd_term =
+  let doc = "Query per program: explore, verify or races." in
+  Arg.(
+    value
+    & opt (enum [ ("explore", `Explore); ("verify", `Verify); ("races", `Races) ])
+        `Explore
+    & info [ "cmd" ] ~doc)
+
+let service_pass_term =
+  let doc = "Optimizer for --cmd verify." in
+  Arg.(value & opt string "dce" & info [ "pass" ] ~doc)
+
+let work_of ~cmd ~pass ~disc p =
+  match cmd with
+  | `Explore -> Service.Proto.Explore (disc, p)
+  | `Verify -> Service.Proto.Verify (pass, p)
+  | `Races -> Service.Proto.Races p
+
+(* Print a service reply the way the direct subcommand would: report
+   on stdout, errors on stderr. *)
+let print_reply (r : Service.Proto.reply) =
+  if r.Service.Proto.exit_code = exit_error then
+    prerr_string r.Service.Proto.output
+  else print_string r.Service.Proto.output;
+  r.Service.Proto.exit_code
+
+let submit_cmd =
+  let files =
+    let doc = "CSimpRTL program files." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let run socket files cmd pass disc cfg =
+    match Service.Client.connect ~socket with
+    | Error msg ->
+        Printf.eprintf "psopt submit: %s\n" msg;
+        exit_error
+    | Ok client ->
+        Fun.protect
+          ~finally:(fun () -> Service.Client.close client)
+          (fun () ->
+            List.fold_left
+              (fun worst file ->
+                let code =
+                  match read_program file with
+                  | Error msg ->
+                      Printf.eprintf "psopt: %s\n" msg;
+                      exit_error
+                  | Ok p -> (
+                      let work = work_of ~cmd ~pass ~disc p in
+                      match
+                        Service.Client.rpc_wait client
+                          (Service.Proto.Work (work, cfg))
+                      with
+                      | Ok (Service.Proto.Reply r) ->
+                          Printf.printf "== %s ==\n" file;
+                          print_reply r
+                      | Ok (Service.Proto.Busy _) ->
+                          Printf.eprintf "psopt submit: %s: server busy\n" file;
+                          exit_error
+                      | Ok (Service.Proto.Refused msg) ->
+                          Printf.eprintf "psopt submit: %s: %s\n" file msg;
+                          exit_error
+                      | Ok _ ->
+                          Printf.eprintf "psopt submit: %s: protocol error\n"
+                            file;
+                          exit_error
+                      | Error msg ->
+                          Printf.eprintf "psopt submit: %s: %s\n" file msg;
+                          exit_error)
+                in
+                max worst code)
+              exit_ok files)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Send programs to a running daemon (one --cmd query each) and \
+          print the replies; results come from the store when cached.")
+    Term.(
+      const run $ socket_term $ files $ service_cmd_term $ service_pass_term
+      $ discipline_term $ config_term)
+
+let batch_cmd =
+  let litmus_flag =
+    Arg.(
+      value & flag
+      & info [ "litmus" ]
+          ~doc:"Stream the compiled-in litmus corpus instead of a directory.")
+  in
+  let dir =
+    let doc = "Directory of programs (*.lit concrete syntax, *.sexp)." in
+    Arg.(value & pos 0 (some dir) None & info [] ~docv:"DIR" ~doc)
+  in
+  let min_hit_rate =
+    let doc =
+      "Fail (exit 1) when the store hit rate falls below this percentage — \
+       the CI warm-pass assertion."
+    in
+    Arg.(value & opt float 0.0 & info [ "min-hit-rate" ] ~doc ~docv:"PCT")
+  in
+  let run socket litmus dir min_hit_rate cmd pass disc cfg =
+    let targets =
+      if litmus then
+        Ok
+          (List.map
+             (fun (t : Litmus.t) ->
+               (t.Litmus.name, `Work (Service.Proto.Litmus t.Litmus.name)))
+             Litmus.all)
+      else
+        match dir with
+        | None ->
+            Error "psopt batch: need --litmus or a directory of programs"
+        | Some d ->
+            let files =
+              Sys.readdir d |> Array.to_list
+              |> List.filter (fun f ->
+                     Filename.check_suffix f ".lit"
+                     || Filename.check_suffix f ".sexp")
+              |> List.sort compare
+              |> List.map (fun f -> Filename.concat d f)
+            in
+            if files = [] then
+              Error ("psopt batch: no *.lit or *.sexp programs in " ^ d)
+            else
+              Ok
+                (List.map
+                   (fun f ->
+                     match
+                       if Filename.check_suffix f ".sexp" then
+                         match
+                           Lang.Sexp.program_of_string (In_channel.with_open_bin f In_channel.input_all)
+                         with
+                         | Ok p -> Ok (Lang.Wf.check_exn p)
+                         | Error e -> Error (f ^ ": " ^ e)
+                       else read_program f
+                     with
+                     | Ok p -> (f, `Work (work_of ~cmd ~pass ~disc p))
+                     | Error msg -> (f, `Parse_error msg))
+                   files)
+    in
+    match targets with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit_error
+    | Ok targets -> (
+        match Service.Client.connect ~socket with
+        | Error msg ->
+            Printf.eprintf "psopt batch: %s\n" msg;
+            exit_error
+        | Ok client ->
+            Fun.protect
+              ~finally:(fun () -> Service.Client.close client)
+              (fun () ->
+                let hits = ref 0 and misses = ref 0 in
+                let ok = ref 0 and refuted = ref 0 in
+                let inconclusive = ref 0 and errors = ref 0 in
+                let count code =
+                  if code = exit_ok then incr ok
+                  else if code = exit_fail then incr refuted
+                  else if code = exit_inconclusive then incr inconclusive
+                  else incr errors
+                in
+                let worst =
+                  List.fold_left
+                    (fun worst (name, target) ->
+                      let code =
+                        match target with
+                        | `Parse_error msg ->
+                            Printf.eprintf "psopt: %s\n" msg;
+                            exit_error
+                        | `Work w -> (
+                            match
+                              Service.Client.rpc_wait client
+                                (Service.Proto.Work (w, cfg))
+                            with
+                            | Ok (Service.Proto.Reply r) ->
+                                if r.Service.Proto.cached then incr hits
+                                else incr misses;
+                                print_reply r
+                            | Ok (Service.Proto.Busy _) ->
+                                Printf.eprintf
+                                  "psopt batch: %s: server busy\n" name;
+                                exit_error
+                            | Ok (Service.Proto.Refused msg) ->
+                                Printf.eprintf "psopt batch: %s: %s\n" name
+                                  msg;
+                                exit_error
+                            | Ok _ ->
+                                Printf.eprintf
+                                  "psopt batch: %s: protocol error\n" name;
+                                exit_error
+                            | Error msg ->
+                                Printf.eprintf "psopt batch: %s: %s\n" name
+                                  msg;
+                                exit_error)
+                      in
+                      count code;
+                      max worst code)
+                    exit_ok targets
+                in
+                let total = !hits + !misses in
+                let rate =
+                  if total = 0 then 0.0
+                  else 100.0 *. float_of_int !hits /. float_of_int total
+                in
+                (* the summary goes to stderr so stdout stays
+                   byte-identical to the direct subcommands *)
+                Printf.eprintf
+                  "psopt batch: %d requests — %d hits, %d misses (%.0f%% \
+                   hit rate); verdicts: %d ok, %d refuted, %d inconclusive, \
+                   %d errors\n"
+                  total !hits !misses rate !ok !refuted !inconclusive !errors;
+                if rate < min_hit_rate then begin
+                  Printf.eprintf
+                    "psopt batch: hit rate %.0f%% below required %.0f%%\n"
+                    rate min_hit_rate;
+                  max worst exit_fail
+                end
+                else worst))
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Stream a directory of programs (or the litmus corpus) through a \
+          running daemon and its result store; report hit/miss and verdict \
+          counts on stderr, with stdout byte-identical to the direct \
+          subcommands.")
+    Term.(
+      const run $ socket_term $ litmus_flag $ dir $ min_hit_rate
+      $ service_cmd_term $ service_pass_term $ discipline_term $ config_term)
+
 let () =
   let info =
-    Cmd.info "psopt" ~version:"1.0.0"
+    Cmd.info "psopt" ~version:Service.Version.version
       ~doc:
         "Verifying optimizations of concurrent programs in the promising \
          semantics (PLDI 2022) — executable reproduction."
@@ -585,6 +889,11 @@ let () =
            witness_cmd;
            litmus_cmd;
            stress_cmd;
+           version_cmd;
+           serve_cmd;
+           ping_cmd;
+           submit_cmd;
+           batch_cmd;
          ])
   in
   (* cmdliner reports CLI/usage problems as 124/125; fold them into

@@ -68,6 +68,39 @@ let with_deadline_ms ms t = { t with deadline_ms = Some ms }
 
 let with_domains j t = { t with domains = max 1 j }
 
+(* The fingerprint covers exactly the fields that can change the
+   *result* of a search (traceset / verdict), and none of the fields
+   that only change how fast it is computed or when it gets truncated:
+
+   - in:  max_promises, promise_mode, reservations, cert_fuel,
+          cap_certification, strict_promises, fault
+   - out: memoize, cert_cache, domains (the determinism contract of
+          docs/PARALLEL.md: identical results at every width and with
+          every cache setting)
+   - out: max_steps, deadline_ms, max_nodes, max_live_words — the
+          budgets.  An [Exhaustive] outcome is the same for every
+          budget large enough to reach it, so the result store keys on
+          the fingerprint and records the budget separately
+          (docs/SERVICE.md's cache-soundness argument). *)
+let fingerprint t =
+  let b = Buffer.create 96 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b ';') fmt in
+  add "psopt-config-fp/1";
+  add "promises=%d" t.max_promises;
+  add "mode=%s"
+    (match t.promise_mode with
+    | No_promises -> "none"
+    | Semantic -> "semantic"
+    | Syntactic -> "syntactic");
+  add "rsv=%b" t.reservations;
+  add "cert_fuel=%d" t.cert_fuel;
+  add "cap=%b" t.cap_certification;
+  add "strict=%b" t.strict_promises;
+  (match t.fault with
+  | None -> add "fault=none"
+  | Some f -> add "fault=%d:%h" f.fault_seed f.fault_rate);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let pp_opt ppf = function
   | None -> Format.pp_print_string ppf "-"
   | Some n -> Format.pp_print_int ppf n

@@ -89,6 +89,18 @@ val default : t
 val quick : t
 (** Promise-free, shallower: for smoke tests and benches. *)
 
+val fingerprint : t -> string
+(** A hex digest of the {e semantic} fields only — the ones that can
+    change a search's result rather than its speed: [max_promises],
+    [promise_mode], [reservations], [cert_fuel], [cap_certification],
+    [strict_promises] and [fault].  Excluded are [memoize],
+    [cert_cache] and [domains] (pure performance switches, identical
+    results by the determinism contract of docs/PARALLEL.md) and the
+    four budgets [max_steps]/[deadline_ms]/[max_nodes]/[max_live_words]
+    (an [Exhaustive] outcome is the same under every sufficient
+    budget).  The content-addressed result store keys on this
+    fingerprint and tracks budgets separately — docs/SERVICE.md. *)
+
 val with_promises : int -> t -> t
 val with_deadline_ms : int -> t -> t
 val with_domains : int -> t -> t

@@ -67,6 +67,30 @@ let truncation_reasons s =
   |> add (!(s.promise_budget_hits) > 0) Errors.Promise_budget
   |> add (!(s.cuts) > 0) Errors.Step_budget
 
+module Service = struct
+  type t = {
+    served : int Atomic.t;
+    store_hits : int Atomic.t;
+    store_misses : int Atomic.t;
+    busy : int Atomic.t;
+    errors : int Atomic.t;
+  }
+
+  let create () =
+    {
+      served = Atomic.make 0;
+      store_hits = Atomic.make 0;
+      store_misses = Atomic.make 0;
+      busy = Atomic.make 0;
+      errors = Atomic.make 0;
+    }
+
+  let pp ppf s =
+    let ( ! ) = Atomic.get in
+    Format.fprintf ppf "served=%d hits=%d misses=%d busy=%d errors=%d"
+      !(s.served) !(s.store_hits) !(s.store_misses) !(s.busy) !(s.errors)
+end
+
 let pp ppf s =
   let ( ! ) = Atomic.get in
   Format.fprintf ppf

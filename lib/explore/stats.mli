@@ -64,6 +64,25 @@ type t = {
           recorded so bench JSON carries the hardware context *)
 }
 
+(** Counters of the verification service ({!module:Service} in
+    [lib/service]): requests served, content-addressed store hits and
+    misses, admission-queue rejections and internal errors.  Atomics
+    for the same reason as above — the daemon bumps them from one
+    handler thread per connection and reports them lock-free via the
+    [Stats] request (docs/SERVICE.md). *)
+module Service : sig
+  type t = {
+    served : int Atomic.t;  (** work requests answered with a result *)
+    store_hits : int Atomic.t;  (** answered straight from the store *)
+    store_misses : int Atomic.t;  (** computed (and recorded) fresh *)
+    busy : int Atomic.t;  (** rejected with [Busy] by admission control *)
+    errors : int Atomic.t;  (** protocol or internal failures *)
+  }
+
+  val create : unit -> t
+  val pp : Format.formatter -> t -> unit
+end
+
 val create : unit -> t
 
 val record_max : int Atomic.t -> int -> unit

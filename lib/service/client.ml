@@ -1,0 +1,70 @@
+(* The blocking client: one Unix-domain connection, requests answered
+   in lock step.  Every failure is a [result] — callers (the CLI, the
+   batch driver) decide whether to retry, never this layer, except for
+   the explicit [Busy] backoff helper. *)
+
+type t = { fd : Unix.file_descr; socket : string }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    Ok { fd; socket }
+  with Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc t req =
+  match Proto.send_request t.fd req with
+  | () -> Proto.recv_response t.fd
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send to %s failed: %s" t.socket (Unix.error_message e))
+
+(* Retry [Busy] with linear backoff: the daemon's admission queue is
+   the real scheduler; the client just needs to come back.  Any other
+   response passes through. *)
+let rpc_wait ?(retries = 100) ?(delay_s = 0.1) t req =
+  let rec go k =
+    match rpc t req with
+    | Ok (Proto.Busy _ as b) when k >= retries -> Ok b
+    | Ok (Proto.Busy _) ->
+        Thread.delay delay_s;
+        go (k + 1)
+    | r -> r
+  in
+  go 0
+
+let with_client ~socket f =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () -> Ok (f t))
+
+let ping ~socket =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () ->
+          match rpc t Proto.Ping with
+          | Ok (Proto.Pong v) -> Ok v
+          | Ok _ -> Error "unexpected response to ping"
+          | Error _ as e -> e)
+
+let shutdown ~socket =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () ->
+          match rpc t Proto.Shutdown with
+          | Ok Proto.Shutting_down -> Ok ()
+          | Ok _ -> Error "unexpected response to shutdown"
+          | Error _ as e -> e)

@@ -1,0 +1,30 @@
+(** The blocking client library behind [psopt ping], [psopt submit]
+    and [psopt batch]: one Unix-domain connection, request/response in
+    lock step, every failure a [result]. *)
+
+type t
+
+val connect : socket:string -> (t, string) result
+val close : t -> unit
+
+val rpc : t -> Proto.request -> (Proto.response, string) result
+(** One request/response round trip. *)
+
+val rpc_wait :
+  ?retries:int ->
+  ?delay_s:float ->
+  t ->
+  Proto.request ->
+  (Proto.response, string) result
+(** Like {!rpc} but sleeps and retries on {!Proto.Busy} (default: up
+    to 100 times, 0.1 s apart) — the batch driver's answer to
+    backpressure.  The final [Busy] passes through once retries are
+    exhausted. *)
+
+val with_client : socket:string -> (t -> 'a) -> ('a, string) result
+
+val ping : socket:string -> (string, string) result
+(** Round-trip a {!Proto.Ping}; returns the server's version. *)
+
+val shutdown : socket:string -> (unit, string) result
+(** Ask the daemon to drain and exit. *)

@@ -1,0 +1,104 @@
+(** The verification service's wire protocol: typed requests and
+    responses serialized as {!Lang.Sexp} trees, framed with a 4-byte
+    big-endian length prefix over a Unix-domain socket.
+
+    One connection carries any number of request/response pairs in
+    lock step (the client library is blocking; the server handles each
+    connection on its own thread).  Responses to work requests carry
+    the same exit-code taxonomy as the CLI — 0 verified, 1 refuted,
+    2 inconclusive, 3 usage/parse error — plus the rendered report
+    text, so [psopt submit]/[psopt batch] print byte-identical output
+    to the direct subcommands (docs/SERVICE.md). *)
+
+(** A verification query.  [Explore]/[Verify]/[Races] ship the program
+    itself (as its canonical s-expression); [Litmus] names a program
+    of the compiled-in corpus. *)
+type work =
+  | Explore of Explore.Enum.discipline * Lang.Ast.program
+  | Verify of string * Lang.Ast.program  (** registered pass name *)
+  | Races of Lang.Ast.program
+  | Litmus of string  (** corpus name *)
+
+type request =
+  | Ping  (** liveness + version handshake *)
+  | Stats  (** service counters snapshot *)
+  | Shutdown  (** graceful drain, then exit *)
+  | Work of work * Explore.Config.t
+      (** a request is a complete description of the computation: the
+          full configuration travels with it *)
+
+val kind_tag : work -> string
+(** The store-key component naming the subcommand: ["explore:il"],
+    ["explore:np"], ["verify:<pass>"], ["races"], ["litmus:<name>"]. *)
+
+val program_of_work : work -> (Lang.Ast.program, string) result
+(** The program a work item is about ([Litmus] resolves through the
+    corpus; unknown names are an [Error]). *)
+
+type reply = {
+  exit_code : int;
+      (** 0 verified / claim holds, 1 refuted, 2 inconclusive,
+          3 usage or parse error *)
+  output : string;  (** rendered report, byte-identical to the CLI's *)
+  cached : bool;  (** answered from the content-addressed store *)
+  conclusive : bool;
+      (** [exit_code < 2]: the verdict cannot improve under a larger
+          budget, so the store may serve it forever *)
+}
+
+type stats_payload = {
+  served : int;
+  store_hits : int;
+  store_misses : int;
+  busy_rejections : int;
+  errors : int;
+  store_entries : int;
+  inflight : int;  (** admitted work requests (running + queued) *)
+  capacity : int;  (** admission-queue bound *)
+}
+
+type response =
+  | Pong of string  (** server version (from dune-project) *)
+  | Busy of { inflight : int; capacity : int }
+      (** backpressure: the admission queue is full; retry later *)
+  | Stats_reply of stats_payload
+  | Reply of reply
+  | Shutting_down
+  | Refused of string  (** protocol error, unknown pass/litmus name, … *)
+
+(** {1 Serialization} — every encoder round-trips exactly
+    (property-tested in test/test_service.ml). *)
+
+val atom_of_string : string -> Lang.Sexp.t
+(** Arbitrary strings as atoms: percent-encoded behind an ["s:"]
+    sigil, since {!Lang.Sexp} atoms carry no quoting. *)
+
+val string_of_atom : Lang.Sexp.t -> (string, string) result
+
+val sexp_of_int : int -> Lang.Sexp.t
+val int_of_sexp : Lang.Sexp.t -> (int, string) result
+val sexp_of_int_opt : int option -> Lang.Sexp.t
+val int_opt_of_sexp : Lang.Sexp.t -> (int option, string) result
+val sexp_of_bool : bool -> Lang.Sexp.t
+val bool_of_sexp : Lang.Sexp.t -> (bool, string) result
+
+val sexp_of_config : Explore.Config.t -> Lang.Sexp.t
+val config_of_sexp : Lang.Sexp.t -> (Explore.Config.t, string) result
+val sexp_of_request : request -> Lang.Sexp.t
+val request_of_sexp : Lang.Sexp.t -> (request, string) result
+val sexp_of_response : response -> Lang.Sexp.t
+val response_of_sexp : Lang.Sexp.t -> (response, string) result
+
+(** {1 Framing} *)
+
+val max_frame : int
+(** Upper bound (64 MiB) on one frame's payload: a corrupted length
+    word is rejected instead of driving allocation. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+val read_frame : Unix.file_descr -> (string, string) result
+
+val send_request : Unix.file_descr -> request -> unit
+val recv_request : Unix.file_descr -> (request, string) result
+val send_response : Unix.file_descr -> response -> unit
+val recv_response : Unix.file_descr -> (response, string) result

@@ -1,0 +1,376 @@
+(* The verification daemon.
+
+   One accept loop; one handler thread per connection (requests on a
+   connection are answered in order); work requests funnel through an
+   admission gate — a single execution slot plus a bounded wait queue,
+   the explicit [Busy] response as backpressure beyond it.  One slot
+   is deliberate: each exploration already parallelizes across the
+   domain pool ([Config.domains]), and two heavy searches racing for
+   the same cores just thrash — queueing preserves throughput and
+   keeps memory bounded (docs/SERVICE.md).
+
+   Store lookups happen *before* admission: a warm hit is a disk read
+   plus a frame write, so cached traffic never queues behind a heavy
+   miss.
+
+   Shutdown (SIGINT, SIGTERM, or a [Shutdown] request) is graceful:
+   stop accepting, answer queued clients' in-flight work, refuse new
+   work, flush the store, unlink the socket. *)
+
+type config = {
+  socket : string;
+  store_dir : string option;
+  capacity : int;
+  quiet : bool;
+}
+
+let default_capacity = 16
+
+(* ------------------------------------------------------------------ *)
+(* The admission gate: one execution slot, a bounded wait queue. *)
+
+module Admission = struct
+  type t = {
+    m : Mutex.t;
+    turn : Condition.t;
+    capacity : int;  (* waiters allowed beyond the one running *)
+    mutable running : bool;
+    mutable waiting : int;
+  }
+
+  let create ~capacity = {
+    m = Mutex.create ();
+    turn = Condition.create ();
+    capacity = max 0 capacity;
+    running = false;
+    waiting = 0;
+  }
+
+  let inflight t =
+    Mutex.lock t.m;
+    let n = (if t.running then 1 else 0) + t.waiting in
+    Mutex.unlock t.m;
+    n
+
+  (* Run [f] in the execution slot, waiting for a turn if the slot is
+     taken and the queue has room; [`Busy] otherwise.  The queue is
+     bounded so a traffic burst degrades into fast explicit rejections
+     instead of an unbounded convoy. *)
+  let try_run t f =
+    Mutex.lock t.m;
+    if t.running && t.waiting >= t.capacity then begin
+      let n = 1 + t.waiting in
+      Mutex.unlock t.m;
+      `Busy n
+    end
+    else begin
+      while t.running do
+        t.waiting <- t.waiting + 1;
+        Condition.wait t.turn t.m;
+        t.waiting <- t.waiting - 1
+      done;
+      t.running <- true;
+      Mutex.unlock t.m;
+      let release () =
+        Mutex.lock t.m;
+        t.running <- false;
+        Condition.broadcast t.turn;
+        Mutex.unlock t.m
+      in
+      let r = try f () with exn -> release (); raise exn in
+      release ();
+      `Done r
+    end
+
+  (* Block until the slot is free and nobody is queued — the shutdown
+     drain. *)
+  let drain t =
+    Mutex.lock t.m;
+    while t.running || t.waiting > 0 do
+      Condition.wait t.turn t.m
+    done;
+    Mutex.unlock t.m
+end
+
+(* ------------------------------------------------------------------ *)
+(* Executing one work item (no store, no queue): compute and render.
+   Every predictable failure maps into the CLI exit taxonomy; only
+   genuinely internal errors surface as [Error] (and are counted, not
+   cached). *)
+
+let run_work (w : Proto.work) (config : Explore.Config.t) :
+    (string * int, string) result =
+  let wf p = Lang.Wf.check_exn p in
+  match
+    match w with
+    | Proto.Explore (d, p) ->
+        let o = Explore.Enum.behaviors_exn ~config d (wf p) in
+        Ok (Render.explore d o)
+    | Proto.Verify (pass, p) -> (
+        match Sim.Verif.find pass with
+        | None -> Error ("unknown optimizer: " ^ pass)
+        | Some r ->
+            Ok (Render.verify ~pass (Sim.Verif.check ~explore_config:config r (wf p))))
+    | Proto.Races p -> Ok (Render.races (Race.check_all ~config (wf p)))
+    | Proto.Litmus name -> (
+        match List.find_opt (fun t -> t.Litmus.name = name) Litmus.all with
+        | None -> Error ("unknown litmus test: " ^ name)
+        | Some t -> Ok (Render.litmus t (Litmus.check ~config t)))
+  with
+  | result -> result
+  | exception Lang.Wf.Ill_formed errs ->
+      Ok ("ill-formed: " ^ Lang.Wf.errors_message errs ^ "\n", Render.exit_error)
+  | exception Explore.Errors.Error (Explore.Errors.Budget_exhausted why) ->
+      Ok ("inconclusive: " ^ why ^ "\n", Render.exit_inconclusive)
+  | exception
+      Explore.Errors.Error
+        ((Explore.Errors.Parse_error _ | Explore.Errors.Ill_formed _) as e) ->
+      Ok (Explore.Errors.to_string e ^ "\n", Render.exit_error)
+  | exception exn ->
+      Error (Explore.Errors.to_string (Explore.Errors.of_exn exn))
+
+(* The store-aware serve path, shared by the daemon, the bench
+   harness's cold/warm table and the unit tests: look up, else compute
+   and record.  Conclusive verdicts (exit 0/1) are cached forever;
+   inconclusive ones (exit 2) are cached with their budget so only a
+   no-larger-budget request can reuse them; errors (exit 3) are never
+   cached. *)
+let serve_work ?store ~(stats : Explore.Stats.Service.t) (w : Proto.work)
+    (config : Explore.Config.t) : Proto.response =
+  match Proto.program_of_work w with
+  | Error msg ->
+      Atomic.incr stats.errors;
+      Proto.Refused msg
+  | Ok prog -> (
+      let key =
+        Store.key
+          ~program_digest:(Store.program_digest prog)
+          ~kind:(Proto.kind_tag w)
+          ~fingerprint:(Explore.Config.fingerprint config)
+      in
+      let budget = Store.budget_of_config config in
+      match Option.bind store (fun st -> Store.find st ~key ~budget) with
+      | Some e ->
+          Atomic.incr stats.store_hits;
+          Atomic.incr stats.served;
+          Proto.Reply
+            {
+              exit_code = e.Store.exit_code;
+              output = e.Store.output;
+              cached = true;
+              conclusive = e.Store.conclusive;
+            }
+      | None -> (
+          match run_work w config with
+          | Error msg ->
+              Atomic.incr stats.errors;
+              Proto.Refused msg
+          | Ok (output, exit_code) ->
+              Atomic.incr stats.store_misses;
+              Atomic.incr stats.served;
+              let conclusive = exit_code < Render.exit_inconclusive in
+              if exit_code <> Render.exit_error then
+                Option.iter
+                  (fun st ->
+                    Store.put st ~key
+                      { Store.exit_code; output; conclusive; budget })
+                  store;
+              Proto.Reply { exit_code; output; cached = false; conclusive }))
+
+(* ------------------------------------------------------------------ *)
+(* The daemon proper *)
+
+type state = {
+  cfg : config;
+  store : Store.t option;
+  stats : Explore.Stats.Service.t;
+  gate : Admission.t;
+  stop : bool Atomic.t;
+  conns : (Unix.file_descr list ref * Mutex.t);
+}
+
+let log st fmt =
+  if st.cfg.quiet then Format.ifprintf Format.err_formatter fmt
+  else Format.eprintf fmt
+
+let track_conn st fd =
+  let l, m = st.conns in
+  Mutex.lock m;
+  l := fd :: !l;
+  Mutex.unlock m
+
+let untrack_conn st fd =
+  let l, m = st.conns in
+  Mutex.lock m;
+  l := List.filter (fun f -> f != fd) !l;
+  Mutex.unlock m
+
+let stats_payload st =
+  let ( ! ) = Atomic.get in
+  {
+    Proto.served = !(st.stats.served);
+    store_hits = !(st.stats.store_hits);
+    store_misses = !(st.stats.store_misses);
+    busy_rejections = !(st.stats.busy);
+    errors = !(st.stats.errors);
+    store_entries = (match st.store with Some s -> Store.entries s | None -> 0);
+    inflight = Admission.inflight st.gate;
+    capacity = st.gate.Admission.capacity;
+  }
+
+let handle_request st = function
+  | Proto.Ping -> Proto.Pong Version.version
+  | Proto.Stats -> Proto.Stats_reply (stats_payload st)
+  | Proto.Shutdown ->
+      Atomic.set st.stop true;
+      Proto.Shutting_down
+  | Proto.Work (w, config) ->
+      if Atomic.get st.stop then Proto.Refused "server is shutting down"
+      else begin
+        (* Cached answers bypass the gate entirely: a hit is a disk
+           read, not a search. *)
+        let cached_only =
+          match (st.store, Proto.program_of_work w) with
+          | Some store, Ok prog ->
+              let key =
+                Store.key
+                  ~program_digest:(Store.program_digest prog)
+                  ~kind:(Proto.kind_tag w)
+                  ~fingerprint:(Explore.Config.fingerprint config)
+              in
+              Store.find store ~key ~budget:(Store.budget_of_config config)
+          | _ -> None
+        in
+        match cached_only with
+        | Some e ->
+            Atomic.incr st.stats.store_hits;
+            Atomic.incr st.stats.served;
+            Proto.Reply
+              {
+                exit_code = e.Store.exit_code;
+                output = e.Store.output;
+                cached = true;
+                conclusive = e.Store.conclusive;
+              }
+        | None -> (
+            match
+              Admission.try_run st.gate (fun () ->
+                  serve_work ?store:st.store ~stats:st.stats w config)
+            with
+            | `Busy inflight ->
+                Atomic.incr st.stats.busy;
+                Proto.Busy { inflight; capacity = st.gate.Admission.capacity }
+            | `Done r -> r)
+      end
+
+let handle_connection st fd =
+  let rec loop () =
+    match Proto.recv_request fd with
+    | Error _ -> ()  (* disconnect or garbage: drop the connection *)
+    | Ok req ->
+        let resp =
+          try handle_request st req
+          with exn ->
+            Atomic.incr st.stats.errors;
+            Proto.Refused
+              (Explore.Errors.to_string (Explore.Errors.of_exn exn))
+        in
+        (match (try Ok (Proto.send_response fd resp) with exn -> Error exn) with
+        | Ok () -> if not (Atomic.get st.stop) then loop ()
+        | Error _ -> ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      untrack_conn st fd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* A live daemon already owns the socket iff connecting succeeds; a
+   stale path from a crashed one is safe to unlink. *)
+let claim_socket path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      try
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if alive then Error ("socket already served: " ^ path)
+    else begin
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Ok ()
+    end
+  end
+  else Ok ()
+
+let run ?(on_ready = fun () -> ()) cfg =
+  let ( let* ) = Result.bind in
+  let* () = claim_socket cfg.socket in
+  let store = Option.map Store.open_ cfg.store_dir in
+  let st =
+    {
+      cfg;
+      store;
+      stats = Explore.Stats.Service.create ();
+      gate = Admission.create ~capacity:cfg.capacity;
+      stop = Atomic.make false;
+      conns = (ref [], Mutex.create ());
+    }
+  in
+  (* A client vanishing mid-reply must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let request_stop _ = Atomic.set st.stop true in
+  let previous_handlers =
+    List.filter_map
+      (fun s ->
+        try
+          let old = Sys.signal s (Sys.Signal_handle request_stop) in
+          Some (s, old)
+        with Invalid_argument _ | Sys_error _ -> None)
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let result =
+    try
+      Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+      Unix.listen listen_fd 64;
+      log st "psopt serve %s: listening on %s (store: %s, queue: %d)@."
+        Version.version cfg.socket
+        (match cfg.store_dir with Some d -> d | None -> "off")
+        cfg.capacity;
+      on_ready ();
+      let threads = ref [] in
+      while not (Atomic.get st.stop) do
+        match Unix.select [ listen_fd ] [] [] 0.2 with
+        | [], _, _ -> ()
+        | _ :: _, _, _ ->
+            let fd, _ = Unix.accept listen_fd in
+            track_conn st fd;
+            threads := Thread.create (handle_connection st) fd :: !threads
+      done;
+      log st "psopt serve: draining…@.";
+      (* stop accepting, let admitted work finish *)
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Admission.drain st.gate;
+      Option.iter Store.flush store;
+      (* unblock handler threads still parked on reads *)
+      let l, m = st.conns in
+      Mutex.lock m;
+      let open_fds = !l in
+      Mutex.unlock m;
+      List.iter
+        (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        open_fds;
+      List.iter Thread.join !threads;
+      (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+      log st "psopt serve: bye (%a)@." Explore.Stats.Service.pp st.stats;
+      Ok ()
+    with exn ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
+      Error (Printexc.to_string exn)
+  in
+  List.iter (fun (s, old) -> try Sys.set_signal s old with _ -> ()) previous_handlers;
+  result

@@ -1,0 +1,70 @@
+(** The verification daemon: accepts concurrent clients on a
+    Unix-domain socket, answers {!Proto} requests, serves results out
+    of the content-addressed {!Store}, and schedules fresh work
+    through an admission gate — one execution slot (each search
+    already parallelizes across the domain pool) plus a bounded wait
+    queue with an explicit {!Proto.Busy} backpressure response beyond
+    it.
+
+    Store lookups happen {e before} admission, so cached traffic never
+    queues behind a heavy miss.  Shutdown — SIGINT, SIGTERM or a
+    {!Proto.Shutdown} request — is graceful: stop accepting, drain
+    admitted work, flush the store, unlink the socket
+    (docs/SERVICE.md). *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  store_dir : string option;  (** result store root; [None] disables *)
+  capacity : int;  (** wait-queue bound beyond the execution slot *)
+  quiet : bool;
+}
+
+val default_capacity : int
+
+(** The admission gate, exposed for direct testing: one execution
+    slot, a bounded wait queue, [`Busy] beyond it. *)
+module Admission : sig
+  type t = {
+    m : Mutex.t;
+    turn : Condition.t;
+    capacity : int;
+    mutable running : bool;
+    mutable waiting : int;
+  }
+
+  val create : capacity:int -> t
+  val inflight : t -> int
+
+  val try_run : t -> (unit -> 'a) -> [ `Busy of int | `Done of 'a ]
+  (** Run in the slot (waiting for a turn if the queue has room);
+      [`Busy inflight] when the queue is full. *)
+
+  val drain : t -> unit
+  (** Block until the slot is free and the queue empty. *)
+end
+
+val run_work :
+  Proto.work -> Explore.Config.t -> (string * int, string) result
+(** Execute one work item with no store and no queue: compute, render
+    ({!Render}), and map every predictable failure into the exit-code
+    taxonomy (ill-formed program → 3, exhausted budget → 2).  [Error]
+    is reserved for internal failures and unknown pass/litmus names —
+    the classes that must not be cached. *)
+
+val serve_work :
+  ?store:Store.t ->
+  stats:Explore.Stats.Service.t ->
+  Proto.work ->
+  Explore.Config.t ->
+  Proto.response
+(** The store-aware serve path shared by the daemon, the bench
+    harness's cold/warm table and the tests: look up
+    (completeness-aware, {!Store.find}), else compute and record.
+    Conclusive verdicts (exit 0/1) are cached unconditionally;
+    inconclusive ones carry their budget; errors are never cached. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> (unit, string) result
+(** Run the daemon until shutdown.  [on_ready] fires once the socket
+    is listening (used by tests to sequence a client).  [Error] covers
+    startup failures (socket already served) and unexpected crashes of
+    the accept loop. *)

@@ -1,0 +1,6 @@
+(** The deployed version string, substituted at build time from the
+    [(version ...)] field of [dune-project] — the single source of
+    truth a daemon and its clients are matched against
+    ([psopt version], {!Proto.Pong}). *)
+
+val version : string

@@ -197,6 +197,48 @@ let test_pool () =
     "j=1 degenerates to List.map" (List.map succ xs)
     (Explore.Pool.map ~j:1 succ xs)
 
+(* 7. Pool edge cases (service PR): empty input, every task raising,
+   nested pools, and two independent pools driven concurrently from
+   separate domains — the daemon schedules client requests onto the
+   pool, so these shapes now occur in production. *)
+let test_pool_edges () =
+  Alcotest.(check (list int))
+    "zero tasks at j=4 yields []" []
+    (Explore.Pool.map ~j:4 (fun x -> x) []);
+  Alcotest.(check (list int))
+    "zero tasks at j=1 yields []" []
+    (Explore.Pool.map ~j:1 (fun x -> x) []);
+  (* every task raises: the lowest task index must win, at any width *)
+  List.iter
+    (fun j ->
+      match
+        Explore.Pool.map ~j
+          (fun x -> failwith (Printf.sprintf "task-%d" x))
+          (List.init 20 Fun.id)
+      with
+      | exception Failure msg ->
+          Alcotest.(check string)
+            (Printf.sprintf "all raise at j=%d: lowest index wins" j)
+            "task-0" msg
+      | _ -> Alcotest.fail "expected the exception to propagate")
+    [ 1; 4 ];
+  (* a task that itself runs a pool: from a j=1 caller and a j=4 caller *)
+  let inner x = Explore.Pool.map ~j:2 (fun y -> (x * 10) + y) [ 0; 1; 2 ] in
+  let expect = List.map inner [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list (list int)))
+    "nested pool from j=1" expect
+    (Explore.Pool.map ~j:1 inner [ 0; 1; 2; 3 ]);
+  Alcotest.(check (list (list int)))
+    "nested pool from j=4" expect
+    (Explore.Pool.map ~j:4 inner [ 0; 1; 2; 3 ]);
+  (* two independent pool runs from two domains at once *)
+  let xs = List.init 50 Fun.id in
+  let spawn () = Domain.spawn (fun () -> Explore.Pool.map ~j:3 succ xs) in
+  let d1 = spawn () and d2 = spawn () in
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  Alcotest.(check (list int)) "concurrent run 1" (List.map succ xs) r1;
+  Alcotest.(check (list int)) "concurrent run 2" (List.map succ xs) r2
+
 let () =
   Alcotest.run "parallel"
     [
@@ -219,5 +261,10 @@ let () =
           Alcotest.test_case "domain width reported in stats" `Quick
             test_domain_reporting;
         ] );
-      ("pool", [ Alcotest.test_case "order, errors, clamp" `Quick test_pool ]);
+      ( "pool",
+        [
+          Alcotest.test_case "order, errors, clamp" `Quick test_pool;
+          Alcotest.test_case "edges: empty, all-raise, nested, concurrent"
+            `Quick test_pool_edges;
+        ] );
     ]
