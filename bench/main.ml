@@ -430,6 +430,69 @@ let cert_cache_table ~timings =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Trace ablation: node throughput of the same certification-bound
+   exploration with span tracing off (the default) vs on.  The checked
+   invariant is twofold: tracesets must be identical (tracing is pure
+   observation), and the traced run must actually record spans.  The
+   throughput ratio is the headline number for docs/OBSERVABILITY.md's
+   "~zero cost disabled" claim — [--check] verifies only the
+   equivalences, CI being too noisy for a timing assert. *)
+
+let json_trace_ablation :
+    (string * float * float * float * int * bool) option ref =
+  ref None
+
+let trace_ablation_table ~timings () =
+  Format.printf "== ablation: span tracing off vs on ==@.";
+  let name = "cert_heavy 60/16" in
+  let prog = cert_heavy ~pad:60 ~noise:16 in
+  let config = bench_config () in
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    let o = Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving prog in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  (* warm-up: fault the code paths and the cert cache's allocator out
+     of the measurement (both runs below start from the same state —
+     the per-run caches live inside [behaviors_exn]). *)
+  ignore (run ());
+  let untraced, t_off = run () in
+  Obs.Trace.start ();
+  let traced, t_on = run () in
+  Obs.Trace.stop ();
+  let n_spans = List.length (Obs.Trace.events ()) in
+  let equal =
+    Explore.Traceset.equal untraced.Explore.Enum.traces
+      traced.Explore.Enum.traces
+  in
+  if equal && n_spans > 0 then begin
+    incr passed;
+    if not timings then
+      Format.printf
+        "%-22s tracesets identical, %d spans recorded  ok@." name n_spans
+  end
+  else begin
+    incr failed;
+    Format.printf "%-22s trace ablation MISMATCH (equal %b, spans %d)@." name
+      equal n_spans
+  end;
+  let nodes =
+    float_of_int (Atomic.get untraced.Explore.Enum.stats.Explore.Stats.nodes)
+  in
+  let off_rate = nodes /. Float.max 1e-9 t_off in
+  let on_rate = nodes /. Float.max 1e-9 t_on in
+  let overhead = (t_on -. t_off) /. Float.max 1e-9 t_off *. 100. in
+  json_trace_ablation :=
+    Some (name, off_rate, on_rate, overhead, n_spans, equal);
+  if timings then begin
+    Format.printf "%-22s %9s %14s %14s %9s %7s@." "workload" "nodes"
+      "untraced n/s" "traced n/s" "overhead" "spans";
+    Format.printf "%-22s %9.0f %14.0f %14.0f %8.1f%% %7d@." name nodes
+      off_rate on_rate overhead n_spans
+  end;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Truncation pressure: the resource-budget counters under tight
    budgets, so perf PRs can see at a glance how much of a search each
    budget is eating.  The completeness column is also a checked
@@ -636,12 +699,24 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* The histogram families the harness itself populates: certification
+   runs and pool tasks during the exploration phases, store lookups
+   during the service phase.  [psopt_service_request_duration_ns] only
+   fills in a live daemon (Server.handle_request), so it reads 0 here;
+   it is listed anyway to pin the schema. *)
+let json_histograms = [
+  "psopt_explore_cert_run_duration_ns";
+  "psopt_pool_task_duration_ns";
+  "psopt_store_lookup_duration_ns";
+  "psopt_service_request_duration_ns";
+]
+
 let write_json file =
   let oc = open_out file in
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
-  pf "  \"schema\": \"psopt-bench/2\",\n";
-  pf "  \"schema_version\": 2,\n";
+  pf "  \"schema\": \"psopt-bench/3\",\n";
+  pf "  \"schema_version\": 3,\n";
   pf "  \"config_fingerprint\": \"%s\",\n"
     (json_escape (Explore.Config.fingerprint (bench_config ())));
   pf "  \"jobs\": %d,\n" !bench_j;
@@ -675,9 +750,35 @@ let write_json file =
   | Some (cold_s, warm_s, hits, programs) ->
       pf
         "  \"service\": {\"programs\": %d, \"cold_s\": %.6f, \"warm_s\": \
-         %.6f, \"store_hits_warm\": %d}\n"
+         %.6f, \"store_hits_warm\": %d},\n"
         programs cold_s warm_s hits
-  | None -> pf "  \"service\": null\n");
+  | None -> pf "  \"service\": null,\n");
+  (match !json_trace_ablation with
+  | Some (name, off_rate, on_rate, overhead, spans, equal) ->
+      pf
+        "  \"trace_ablation\": {\"workload\": \"%s\", \"untraced_nodes_per_s\": \
+         %.0f, \"traced_nodes_per_s\": %.0f, \"overhead_pct\": %.2f, \
+         \"spans\": %d, \"equivalent\": %b},\n"
+        (json_escape name) off_rate on_rate overhead spans equal
+  | None -> pf "  \"trace_ablation\": null,\n");
+  pf "  \"histograms\": [\n";
+  List.iteri
+    (fun i name ->
+      let s =
+        match Obs.Metrics.find_histogram name with
+        | Some h -> Obs.Metrics.summary h
+        | None ->
+            { Obs.Metrics.count = 0; sum_ns = 0; p50_ns = 0.; p90_ns = 0.;
+              p99_ns = 0. }
+      in
+      pf
+        "    {\"name\": \"%s\", \"count\": %d, \"sum_ns\": %d, \"p50_ns\": \
+         %.0f, \"p90_ns\": %.0f, \"p99_ns\": %.0f}%s\n"
+        (json_escape name) s.Obs.Metrics.count s.Obs.Metrics.sum_ns
+        s.Obs.Metrics.p50_ns s.Obs.Metrics.p90_ns s.Obs.Metrics.p99_ns
+        (if i = List.length json_histograms - 1 then "" else ","))
+    json_histograms;
+  pf "  ]\n";
   pf "}\n";
   close_out oc;
   Format.printf "json summary written to %s@." file
@@ -860,6 +961,7 @@ let () =
     Explore.Pool.domain_cap;
   reproduce ();
   cert_cache_table ~timings:(not check_only);
+  trace_ablation_table ~timings:(not check_only) ();
   truncation_pressure_table ();
   scaling_table ~timings:(not check_only) ();
   service_store_table ~timings:(not check_only) ();

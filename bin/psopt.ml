@@ -99,6 +99,78 @@ let config_term =
     $ promises $ steps $ no_cap $ deadline $ nodes $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
+(* Observability switches shared by the instrumented subcommands
+   (docs/OBSERVABILITY.md): --log-level feeds the structured stderr
+   logger, --trace records a span trace of the whole run and writes it
+   as Chrome trace_event JSON. *)
+
+let log_level_term =
+  let doc =
+    "Minimum stderr log level: $(b,debug), $(b,info), $(b,warn), \
+     $(b,error) or $(b,quiet) (overrides \\$PSOPT_LOG)."
+  in
+  let levels =
+    [
+      ("debug", Obs.Log.Debug);
+      ("info", Obs.Log.Info);
+      ("warn", Obs.Log.Warn);
+      ("error", Obs.Log.Error);
+      ("quiet", Obs.Log.Quiet);
+    ]
+  in
+  Arg.(
+    value
+    & opt (some (enum levels)) None
+    & info [ "log-level" ] ~doc ~docv:"LEVEL")
+
+let trace_term =
+  let doc =
+    "Record a span trace of this run and write it to $(docv) as Chrome \
+     trace_event JSON (open in Perfetto or chrome://tracing; check with \
+     `psopt trace-check`)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+(* Evaluated before the command body runs: set the logger threshold,
+   pass the trace destination through. *)
+let obs_term =
+  Term.(
+    const (fun level trace ->
+        Option.iter Obs.Log.set_level level;
+        trace)
+    $ log_level_term $ trace_term)
+
+(* Run a command body inside a recording session when --trace was
+   given.  The trace is written even when the body raises (a truncated
+   run is exactly when the trace is interesting). *)
+let with_obs trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Obs.Trace.start ();
+      let dump () =
+        Obs.Trace.stop ();
+        match Obs.Trace.write_file path with
+        | Ok n ->
+            Obs.Log.info ~src:"trace" "trace written"
+              ~fields:
+                [
+                  ("file", path);
+                  ("events", string_of_int n);
+                  ("dropped", string_of_int (Obs.Trace.dropped ()));
+                ];
+            None
+        | Error msg ->
+            Printf.eprintf "psopt: cannot write trace %s: %s\n" path msg;
+            Some exit_error
+      in
+      (match f () with
+      | code -> ( match dump () with None -> code | Some err -> max code err)
+      | exception e ->
+          ignore (dump ());
+          raise e)
+
+(* ------------------------------------------------------------------ *)
 
 let parse_cmd =
   let sexp_flag =
@@ -168,7 +240,8 @@ let sample_cmd =
     term
 
 let explore_cmd =
-  let run file disc cfg =
+  let run file disc cfg trace =
+    with_obs trace @@ fun () ->
     with_program file (fun p ->
         let o = Explore.Enum.behaviors_exn ~config:cfg disc p in
         Format.printf "discipline: %a@.config: %a@." Explore.Enum.pp_discipline
@@ -182,7 +255,9 @@ let explore_cmd =
         | Explore.Enum.Truncated _ -> exit_inconclusive)
   in
   let term =
-    Term.(const run $ program_arg 0 "FILE" $ discipline_term $ config_term)
+    Term.(
+      const run $ program_arg 0 "FILE" $ discipline_term $ config_term
+      $ obs_term)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -247,7 +322,8 @@ let refine_cmd =
       & opt (some file) None
       & info [ "source" ] ~doc:"Original program.")
   in
-  let run tfile sfile disc cfg =
+  let run tfile sfile disc cfg trace =
+    with_obs trace @@ fun () ->
     with_program tfile (fun t ->
         with_program sfile (fun s ->
             let rep =
@@ -262,7 +338,8 @@ let refine_cmd =
             | Explore.Refine.Inconclusive _ -> exit_inconclusive))
   in
   let term =
-    Term.(const run $ target $ source $ discipline_term $ config_term)
+    Term.(
+      const run $ target $ source $ discipline_term $ config_term $ obs_term)
   in
   Cmd.v
     (Cmd.info "refine"
@@ -270,7 +347,8 @@ let refine_cmd =
     term
 
 let races_cmd =
-  let run file cfg =
+  let run file cfg trace =
+    with_obs trace @@ fun () ->
     with_program file (fun p ->
         (* rendering shared with the service daemon, so `psopt submit`
            replies are byte-identical to this output *)
@@ -278,7 +356,9 @@ let races_cmd =
         print_string out;
         code)
   in
-  let term = Term.(const run $ program_arg 0 "FILE" $ config_term) in
+  let term =
+    Term.(const run $ program_arg 0 "FILE" $ config_term $ obs_term)
+  in
   Cmd.v
     (Cmd.info "races"
        ~doc:
@@ -334,7 +414,8 @@ let verify_cmd =
     let doc = "Optimizer to verify (constprop, dce, cse, copyprop, linv, licm, cleanup)." in
     Arg.(value & opt string "dce" & info [ "pass" ] ~doc)
   in
-  let run file pass cfg =
+  let run file pass cfg trace =
+    with_obs trace @@ fun () ->
     with_program file (fun p ->
         match Sim.Verif.find pass with
         | None ->
@@ -349,7 +430,8 @@ let verify_cmd =
             | Sim.Verif.Inconclusive _ -> exit_inconclusive))
   in
   let term =
-    Term.(const run $ program_arg 0 "FILE" $ pass_arg $ config_term)
+    Term.(
+      const run $ program_arg 0 "FILE" $ pass_arg $ config_term $ obs_term)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -368,7 +450,8 @@ let witness_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Show silent steps too.")
   in
-  let run file outs full disc cfg =
+  let run file outs full disc cfg trace =
+    with_obs trace @@ fun () ->
     with_program file (fun p ->
         let parse_outs s =
           if String.trim s = "" then Ok []
@@ -410,7 +493,7 @@ let witness_cmd =
   let term =
     Term.(
       const run $ program_arg 0 "FILE" $ outs $ full $ discipline_term
-      $ config_term)
+      $ config_term $ obs_term)
   in
   Cmd.v
     (Cmd.info "witness"
@@ -425,7 +508,8 @@ let litmus_cmd =
   let name_arg =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Litmus name.")
   in
-  let run name j =
+  let run name j trace =
+    with_obs trace @@ fun () ->
     let report (t : Litmus.t) (r : Litmus.result) =
       (* rendering shared with the service daemon: `psopt batch
          --litmus` output is byte-identical to this *)
@@ -446,7 +530,7 @@ let litmus_cmd =
             Printf.eprintf "psopt: unknown litmus test: %s\n" n;
             exit_error)
   in
-  let term = Term.(const run $ name_arg $ jobs_term) in
+  let term = Term.(const run $ name_arg $ jobs_term $ obs_term) in
   Cmd.v
     (Cmd.info "litmus"
        ~doc:"Run the paper's litmus corpus against the explorer.")
@@ -497,7 +581,8 @@ let stress_cmd =
            across cases. *)
         Ok (fun p -> List.nth all (Hashtbl.hash p mod List.length all))
   in
-  let run cases seed deadline_ms retries qdir pass j =
+  let run cases seed deadline_ms retries qdir pass j trace =
+    with_obs trace @@ fun () ->
     match registry_of pass with
     | Error msg ->
         Printf.eprintf "psopt: %s\n" msg;
@@ -515,18 +600,22 @@ let stress_cmd =
             ~deadline_ms ~check ()
         in
         Format.printf "%a@." Explore.Stress.pp_summary s;
-        if s.Explore.Stress.quarantined > 0 then (
-          Printf.eprintf
-            "psopt: %d case(s) quarantined under %s — each .sexp is a \
-             reproducible bug report\n"
-            s.Explore.Stress.quarantined qdir;
-          exit_fail)
+        if s.Explore.Stress.quarantined > 0 then begin
+          Obs.Log.err ~src:"stress"
+            "cases quarantined — each .sexp is a reproducible bug report"
+            ~fields:
+              [
+                ("quarantined", string_of_int s.Explore.Stress.quarantined);
+                ("dir", qdir);
+              ];
+          exit_fail
+        end
         else exit_ok
   in
   let term =
     Term.(
       const run $ cases $ seed $ deadline $ retries $ qdir $ pass_arg
-      $ jobs_term)
+      $ jobs_term $ obs_term)
   in
   Cmd.v
     (Cmd.info "stress"
@@ -586,7 +675,8 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No log lines on stderr.")
   in
-  let run socket store no_store queue quiet =
+  let run socket store no_store queue quiet trace =
+    with_obs trace @@ fun () ->
     match
       Service.Server.run
         {
@@ -608,7 +698,8 @@ let serve_cmd =
           socket, serve explore/verify/races/litmus requests out of a \
           content-addressed result store, answer Busy beyond the admission \
           queue, and shut down gracefully on SIGINT/SIGTERM.")
-    Term.(const run $ socket_term $ store $ no_store $ queue $ quiet)
+    Term.(
+      const run $ socket_term $ store $ no_store $ queue $ quiet $ obs_term)
 
 let ping_cmd =
   let run socket =
@@ -616,10 +707,13 @@ let ping_cmd =
     | Ok server_version ->
         Printf.printf "pong: psopt %s at %s\n" server_version socket;
         if server_version <> Service.Version.version then begin
-          Printf.eprintf
-            "psopt ping: warning: client %s != server %s (rebuild or \
-             redeploy)\n"
-            Service.Version.version server_version;
+          Obs.Log.warn ~src:"ping"
+            "client and server versions differ (rebuild or redeploy)"
+            ~fields:
+              [
+                ("client", Service.Version.version);
+                ("server", server_version);
+              ];
           exit_fail
         end
         else exit_ok
@@ -660,6 +754,70 @@ let print_reply (r : Service.Proto.reply) =
     prerr_string r.Service.Proto.output
   else print_string r.Service.Proto.output;
   r.Service.Proto.exit_code
+
+let metrics_cmd =
+  let run socket =
+    match Service.Client.metrics ~socket with
+    | Ok text ->
+        print_string text;
+        exit_ok
+    | Error msg ->
+        Printf.eprintf "psopt metrics: %s\n" msg;
+        exit_error
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape a running daemon's metrics registry — counters, gauges \
+          and latency histograms — in the Prometheus text exposition \
+          format (docs/OBSERVABILITY.md).")
+    Term.(const run $ socket_term)
+
+let trace_check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace JSON file written by --trace.")
+  in
+  let min_events =
+    Arg.(
+      value & opt int 1
+      & info [ "min-events" ] ~doc:"Require at least this many span events.")
+  in
+  let min_names =
+    Arg.(
+      value & opt int 1
+      & info [ "min-names" ]
+          ~doc:"Require at least this many distinct span names.")
+  in
+  let run file min_events min_names =
+    match Obs.Trace.validate_file file with
+    | Error msg ->
+        Printf.eprintf "psopt trace-check: %s: %s\n" file msg;
+        exit_fail
+    | Ok shape ->
+        let names = shape.Obs.Trace.names in
+        Printf.printf "trace ok: %d events, %d distinct spans: %s\n"
+          shape.Obs.Trace.n_events (List.length names)
+          (String.concat " " names);
+        if shape.Obs.Trace.n_events < min_events
+           || List.length names < min_names
+        then begin
+          Printf.eprintf
+            "psopt trace-check: expected at least %d events and %d distinct \
+             span names\n"
+            min_events min_names;
+          exit_fail
+        end
+        else exit_ok
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a --trace output file against the Chrome trace_event \
+          shape (the CI smoke check; no external tooling needed).")
+    Term.(const run $ file $ min_events $ min_names)
 
 let submit_cmd =
   let files =
@@ -840,13 +998,28 @@ let batch_cmd =
                   if total = 0 then 0.0
                   else 100.0 *. float_of_int !hits /. float_of_int total
                 in
+                (* The daemon-side counters close the report: Busy
+                   rejections are retried transparently by [rpc_wait]
+                   and corruption misses are silently clean, so
+                   neither is visible in the per-request loop above —
+                   only the server's own accounting has them. *)
+                let server_side =
+                  match Service.Client.rpc client Service.Proto.Stats with
+                  | Ok (Service.Proto.Stats_reply s) ->
+                      Printf.sprintf
+                        "; server: busy=%d corrupt-miss=%d errors=%d"
+                        s.Service.Proto.busy_rejections
+                        s.Service.Proto.store_corrupt s.Service.Proto.errors
+                  | Ok _ | Error _ -> ""
+                in
                 (* the summary goes to stderr so stdout stays
                    byte-identical to the direct subcommands *)
                 Printf.eprintf
                   "psopt batch: %d requests — %d hits, %d misses (%.0f%% \
                    hit rate); verdicts: %d ok, %d refuted, %d inconclusive, \
-                   %d errors\n"
-                  total !hits !misses rate !ok !refuted !inconclusive !errors;
+                   %d errors%s\n"
+                  total !hits !misses rate !ok !refuted !inconclusive !errors
+                  server_side;
                 if rate < min_hit_rate then begin
                   Printf.eprintf
                     "psopt batch: hit rate %.0f%% below required %.0f%%\n"
@@ -892,6 +1065,8 @@ let () =
            version_cmd;
            serve_cmd;
            ping_cmd;
+           metrics_cmd;
+           trace_check_cmd;
            submit_cmd;
            batch_cmd;
          ])

@@ -192,9 +192,18 @@ let node_fault_fires s n =
   if fire then Atomic.incr s.stats.Stats.faults_injected;
   fire
 
+(* Certification is the engine's dominant cost, so its run time is
+   always histogrammed; the observe is two clock reads against a full
+   consistency search. *)
+let cert_hist =
+  Obs.Metrics.histogram ~help:"Certification consistency-check run time"
+    "psopt_explore_cert_run_duration_ns"
+
 let run_cert s ts mem =
-  Ps.Cert.consistent ~fuel:s.cfg.Config.cert_fuel
-    ~cap:s.cfg.Config.cap_certification ~code:s.code ts mem
+  Obs.Trace.span ~cat:"explore" "certify" (fun () ->
+      Obs.Metrics.time cert_hist (fun () ->
+          Ps.Cert.consistent ~fuel:s.cfg.Config.cert_fuel
+            ~cap:s.cfg.Config.cap_certification ~code:s.code ts mem))
 
 (* Exact certification accounting: every call bumps [cert_checks] and
    then exactly one of [cert_faults] / [cert_trivial] /
@@ -251,8 +260,9 @@ let promise_candidates s ts mem =
          cache discipline (hits are counted separately in
          [cand_cache_hits]). *)
       let compute () =
-        Ps.Cert.certifiable_writes ~fuel:s.cfg.Config.cert_fuel ~code:s.code
-          ts mem
+        Obs.Trace.span ~cat:"explore" "candidates" (fun () ->
+            Ps.Cert.certifiable_writes ~fuel:s.cfg.Config.cert_fuel
+              ~code:s.code ts mem)
       in
       if not s.cfg.Config.cert_cache then compute ()
       else
@@ -472,10 +482,11 @@ let rec dfs w (n : Node.t) depth : Traceset.t * int * int =
             else (traces, taint, peak))
 
 let merge_memo w =
-  let s = w.s in
-  Mutex.lock s.memo_lock;
-  NodeTbl.iter (fun n e -> NodeTbl.replace s.memo_merged n e) w.memo;
-  Mutex.unlock s.memo_lock
+  Obs.Trace.span ~cat:"explore" "memo" (fun () ->
+      let s = w.s in
+      Mutex.lock s.memo_lock;
+      NodeTbl.iter (fun n e -> NodeTbl.replace s.memo_merged n e) w.memo;
+      Mutex.unlock s.memo_lock)
 
 (* ------------------------------------------------------------------ *)
 (* The parallel engine: plan / execute / fold.
@@ -645,7 +656,8 @@ let effective_domains cfg = max 1 (min cfg.Config.domains Pool.domain_cap)
 let finish_stats s =
   Atomic.set s.stats.Stats.memo_size (NodeTbl.length s.memo_merged);
   Atomic.set s.stats.Stats.cert_cache_size
-    (CertShards.length s.cert_cache + CertShards.length s.cand_cache)
+    (CertShards.length s.cert_cache + CertShards.length s.cand_cache);
+  Stats.finish s.stats
 
 let record_domains s used =
   Atomic.set s.stats.Stats.domains_used used;
@@ -661,13 +673,14 @@ let behaviors ?(config = Config.default) disc (p : Lang.Ast.program) =
       let j = effective_domains config in
       record_domains s j;
       let traces =
-        if j <= 1 then begin
-          let w = make_worker s in
-          let traces, _, _ = dfs w root 0 in
-          merge_memo w;
-          traces
-        end
-        else parallel_traces s root j
+        Obs.Trace.span ~cat:"explore" "enumerate" (fun () ->
+            if j <= 1 then begin
+              let w = make_worker s in
+              let traces, _, _ = dfs w root 0 in
+              merge_memo w;
+              traces
+            end
+            else parallel_traces s root j)
       in
       finish_stats s;
       let completeness =
@@ -736,8 +749,10 @@ let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
                      (List.length succs));
               List.iter (fun { next; _ } -> visit next (depth + 1)) succs
       in
-      visit { Node.world; bit = true; promised = TidMap.empty } 0;
+      Obs.Trace.span ~cat:"explore" "enumerate" (fun () ->
+          visit { Node.world; bit = true; promised = TidMap.empty } 0);
       Atomic.set s.stats.Stats.memo_size (NodeTbl.length best);
       Atomic.set s.stats.Stats.cert_cache_size
         (CertShards.length s.cert_cache + CertShards.length s.cand_cache);
+      Stats.finish s.stats;
       Ok s.stats

@@ -68,12 +68,22 @@ let queue_pop qu =
 
 (* ------------------------------------------------------------------ *)
 
+(* Task runtimes feed the load-balance histogram at every [j]
+   (including the sequential fast path, so j=1 and j=4 runs are
+   comparable in `psopt metrics`). *)
+let task_hist =
+  Obs.Metrics.histogram ~help:"Pool task run time" "psopt_pool_task_duration_ns"
+
+let run_task f w x =
+  Obs.Trace.span ~cat:"pool" "pool.task" (fun () ->
+      Obs.Metrics.time task_hist (fun () -> f w x))
+
 let map_with ~j ~init ~finish f xs =
   let n = List.length xs in
   let j = max 1 (min j n) in
   if j <= 1 then begin
     let w = init () in
-    let r = List.map (f w) xs in
+    let r = List.map (run_task f w) xs in
     finish w;
     r
   end
@@ -91,7 +101,7 @@ let map_with ~j ~init ~finish f xs =
         | Some i ->
             (results.(i) <-
                Some
-                 (try Ok (f w input.(i))
+                 (try Ok (run_task f w input.(i))
                   with e -> Error (e, Printexc.get_raw_backtrace ())));
             loop ()
       in

@@ -15,20 +15,22 @@ type report = {
    for its own inner engine.  [Enum.behaviors] is deterministic in
    [domains], so the verdict is identical either way. *)
 let both_behaviors ~config disc pa pb =
+  let stage d p cfg =
+    Obs.Trace.span ~cat:"refine" "refine.stage" (fun () ->
+        Enum.behaviors_exn ~config:cfg d p)
+  in
   if config.Config.domains > 1 then
     let inner =
       { config with Config.domains = max 1 (config.Config.domains / 2) }
     in
     match
       Pool.map ~j:2
-        (fun (d, p) -> Enum.behaviors_exn ~config:inner d p)
+        (fun (d, p) -> stage d p inner)
         [ (fst disc, pa); (snd disc, pb) ]
     with
     | [ a; b ] -> (a, b)
     | _ -> assert false
-  else
-    ( Enum.behaviors_exn ~config (fst disc) pa,
-      Enum.behaviors_exn ~config (snd disc) pb )
+  else (stage (fst disc) pa config, stage (snd disc) pb config)
 
 let check ?(config = Config.default) ?(discipline = Enum.Interleaving)
     ~target ~source () =

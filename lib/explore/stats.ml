@@ -21,6 +21,8 @@ type t = {
   faults_injected : int Atomic.t;
   domains_used : int Atomic.t;
   domains_recommended : int Atomic.t;
+  started_ns : int Atomic.t;
+  elapsed_ns : int Atomic.t;
 }
 
 let create () =
@@ -47,7 +49,49 @@ let create () =
     faults_injected = Atomic.make 0;
     domains_used = Atomic.make 1;
     domains_recommended = Atomic.make 1;
+    started_ns = Atomic.make (Obs.Clock.now_ns ());
+    elapsed_ns = Atomic.make 0;
   }
+
+let elapsed_ms s = Obs.Clock.ms_of_ns (Atomic.get s.elapsed_ns)
+
+(* ---- metrics-registry mirror ----
+   Cumulative process-wide counters absorbing the per-search [t]
+   values; the exact cert partition survives as label values of one
+   family, so sum-over-outcomes still equals the checks counter. *)
+
+let m_nodes =
+  Obs.Metrics.counter ~help:"Machine states visited by exploration"
+    "psopt_explore_nodes_total"
+
+let m_transitions =
+  Obs.Metrics.counter ~help:"Micro-steps enumerated" "psopt_explore_transitions_total"
+
+let m_memo_hits =
+  Obs.Metrics.counter ~help:"Suffix-set memo hits" "psopt_explore_memo_hits_total"
+
+let m_cert_checks =
+  Obs.Metrics.counter ~help:"Consistency checks requested"
+    "psopt_explore_cert_checks_total"
+
+let cert_outcome outcome =
+  Obs.Metrics.counter
+    ~help:"Consistency checks by outcome (exact partition of cert checks)"
+    ~labels:[ ("outcome", outcome) ]
+    "psopt_explore_cert_outcomes_total"
+
+let m_cert_cache_hits = cert_outcome "cache_hit"
+let m_cert_runs = cert_outcome "run"
+let m_cert_trivial = cert_outcome "trivial"
+let m_cert_faults = cert_outcome "fault"
+
+let m_searches =
+  Obs.Metrics.counter ~help:"Explorations finished" "psopt_explore_searches_total"
+
+let m_truncated =
+  Obs.Metrics.counter ~help:"Explorations finished incomplete"
+    "psopt_explore_truncated_total"
+
 
 let record_max c v =
   let rec go () =
@@ -66,6 +110,24 @@ let truncation_reasons s =
   |> add (!(s.deadline_hits) > 0) Errors.Deadline
   |> add (!(s.promise_budget_hits) > 0) Errors.Promise_budget
   |> add (!(s.cuts) > 0) Errors.Step_budget
+
+let publish s =
+  let ( ! ) = Atomic.get in
+  let add m v = if v > 0 then Obs.Metrics.add m v in
+  add m_nodes !(s.nodes);
+  add m_transitions !(s.transitions);
+  add m_memo_hits !(s.memo_hits);
+  add m_cert_checks !(s.cert_checks);
+  add m_cert_cache_hits !(s.cert_cache_hits);
+  add m_cert_runs !(s.cert_runs);
+  add m_cert_trivial !(s.cert_trivial);
+  add m_cert_faults !(s.cert_faults);
+  Obs.Metrics.incr m_searches
+
+let finish s =
+  Atomic.set s.elapsed_ns (Obs.Clock.now_ns () - Atomic.get s.started_ns);
+  publish s;
+  if truncation_reasons s <> [] then Obs.Metrics.incr m_truncated
 
 module Service = struct
   type t = {
@@ -97,11 +159,12 @@ let pp ppf s =
     "nodes=%d transitions=%d memo_hits=%d memo_size=%d cert_checks=%d \
      cert_cache_hits=%d cert_runs=%d cert_trivial=%d cand_cache_hits=%d \
      cert_cache_size=%d cycles=%d cuts=%d promises=%d peak_depth=%d \
-     domains=%d/%d"
+     domains=%d/%d elapsed_ms=%d"
     !(s.nodes) !(s.transitions) !(s.memo_hits) !(s.memo_size)
     !(s.cert_checks) !(s.cert_cache_hits) !(s.cert_runs) !(s.cert_trivial)
     !(s.cand_cache_hits) !(s.cert_cache_size) !(s.cycles) !(s.cuts)
-    !(s.promises) !(s.peak_depth) !(s.domains_used) !(s.domains_recommended);
+    !(s.promises) !(s.peak_depth) !(s.domains_used) !(s.domains_recommended)
+    (elapsed_ms s);
   if
     !(s.deadline_hits) > 0 || !(s.node_budget_hits) > 0 || !(s.oom_hits) > 0
     || !(s.promise_budget_hits) > 0 || !(s.faults_injected) > 0

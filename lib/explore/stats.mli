@@ -62,6 +62,12 @@ type t = {
   domains_recommended : int Atomic.t;
       (** [Domain.recommended_domain_count ()] on this machine —
           recorded so bench JSON carries the hardware context *)
+  started_ns : int Atomic.t;
+      (** {!Obs.Clock.now_ns} stamp taken at {!create} — the same
+          clock the span tracer uses, so the stats line and a [--trace]
+          of the same run measure the same interval *)
+  elapsed_ns : int Atomic.t;
+      (** wall-clock duration of the search, set by {!finish} *)
 }
 
 (** Counters of the verification service ({!module:Service} in
@@ -94,5 +100,15 @@ val truncation_reasons : t -> Errors.reason list
     exploration was exhaustive.  Derived from the counters, so callers
     of {!Enum.iter_reachable} (which streams states instead of
     returning an {!Enum.outcome}) can judge completeness too. *)
+
+val finish : t -> unit
+(** Stamp [elapsed_ns] from the shared clock and publish this search's
+    counters into the process-global {!Obs.Metrics} registry
+    (cumulative [psopt_explore_*] families; the exact cert partition
+    becomes the [outcome] label of
+    [psopt_explore_cert_outcomes_total]).  Called once per search by
+    [Enum]. *)
+
+val elapsed_ms : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -148,10 +148,19 @@ let run ?(config = Config.default) ?(retries = 2)
       (Printf.sprintf ";; %s\n%s" (case_base ~id ~case_seed)
          (Lang.Sexp.program_to_string p));
     let verdict, attempts =
-      run_case ~config ~deadline_ms ~retries ~check p
+      Obs.Trace.span ~cat:"stress" "stress.case" (fun () ->
+          run_case ~config ~deadline_ms ~retries ~check p)
     in
     (match verdict with
-    | Quarantined reason -> quarantine ~dir:quarantine_dir ~id ~case_seed p reason
+    | Quarantined reason ->
+        Obs.Log.warn ~src:"stress" "case quarantined"
+          ~fields:
+            [
+              ("case", case_base ~id ~case_seed);
+              ("reason", reason);
+              ("dir", quarantine_dir);
+            ];
+        quarantine ~dir:quarantine_dir ~id ~case_seed p reason
     | Verified | Refuted _ | Inconclusive _ -> ());
     (try Sys.remove inflight with Sys_error _ -> ());
     { id; case_seed; attempts; verdict }

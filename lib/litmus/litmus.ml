@@ -865,6 +865,7 @@ type verdict =
 type result = { verdict : verdict; observed : Lang.Ast.value list list }
 
 let check ?(config = Explore.Config.default) t =
+  Obs.Trace.span ~cat:"litmus" "litmus.check" @@ fun () ->
   let o = Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving t.prog in
   let sorted l = List.sort compare l in
   let observed =

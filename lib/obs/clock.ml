@@ -1,0 +1,3 @@
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+let ms_of_ns ns = ns / 1_000_000
+let us_of_ns ns = float_of_int ns /. 1e3

@@ -1,0 +1,21 @@
+(** The process-wide time source for all telemetry.
+
+    OCaml's stdlib exposes no monotonic counter without C stubs, so
+    this is [Unix.gettimeofday] scaled to integer nanoseconds.  Every
+    consumer of wall-clock time in the tree — span begin/end stamps,
+    [Explore.Stats.elapsed_ms], exploration deadlines, bench timings —
+    reads this one source, so durations computed across subsystems are
+    mutually comparable.  Resolution is sub-microsecond (the float64
+    mantissa quantizes current epochs to ~0.25 µs), which is finer
+    than the microsecond grid of the Chrome trace_event format the
+    spans are exported in. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since the Unix epoch.  Fits a 63-bit [int] until the
+    year 2262. *)
+
+val ms_of_ns : int -> int
+(** Truncating conversion helper. *)
+
+val us_of_ns : int -> float
+(** Exact conversion to the microsecond floats of trace_event. *)

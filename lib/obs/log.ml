@@ -1,0 +1,105 @@
+type level = Debug | Info | Warn | Error | Quiet
+
+let severity = function
+  | Debug -> 0
+  | Info -> 1
+  | Warn -> 2
+  | Error -> 3
+  | Quiet -> 4
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+  | Quiet -> "quiet"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" | "err" -> Some Error
+  | "quiet" | "none" | "off" -> Some Quiet
+  | _ -> None
+
+let initial =
+  match Sys.getenv_opt "PSOPT_LOG" with
+  | None -> Info
+  | Some s -> ( match level_of_string s with Some l -> l | None -> Info)
+
+let current = Atomic.make initial
+let set_level l = Atomic.set current l
+let level () = Atomic.get current
+
+let enabled l =
+  l <> Quiet && severity l >= severity (Atomic.get current)
+
+(* An atom that survives whitespace tokenization unquoted: the same
+   class [Service.Proto] treats as bare. *)
+let is_bare s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+         | '-' | '_' | '.' | '/' | ':' | '+' | ',' | '%' | '@' -> true
+         | _ -> false)
+       s
+
+let escape_value s =
+  if is_bare s then s
+  else begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 32 ->
+            Buffer.add_string b (Printf.sprintf "\\%03d" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
+let line l ~src text fields =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "psopt[";
+  Buffer.add_string b (level_name l);
+  Buffer.add_string b "] ";
+  Buffer.add_string b src;
+  Buffer.add_string b ": ";
+  Buffer.add_string b text;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b (escape_value v))
+    fields;
+  Buffer.contents b
+
+let mutex = Mutex.create ()
+let sink : (string -> unit) option ref = ref None
+let set_sink s = sink := s
+
+let emit s =
+  Mutex.lock mutex;
+  (match !sink with
+  | Some f -> f s
+  | None ->
+      prerr_string s;
+      prerr_newline ());
+  Mutex.unlock mutex
+
+let msg l ~src ?(fields = []) text = if enabled l then emit (line l ~src text fields)
+let debug ~src ?fields text = msg Debug ~src ?fields text
+let info ~src ?fields text = msg Info ~src ?fields text
+let warn ~src ?fields text = msg Warn ~src ?fields text
+let err ~src ?fields text = msg Error ~src ?fields text

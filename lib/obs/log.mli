@@ -1,0 +1,41 @@
+(** Structured, levelled stderr logging.
+
+    One line per event: a level tag, a source component, a free-text
+    message, then sexp-escaped [key=value] fields, e.g.
+
+    {v psopt[warn] stress: case quarantined seed=41 file="q/case 41.sexp" v}
+
+    Values are emitted bare when they are plain atoms and quoted with
+    s-expression escapes otherwise, so a line always splits back into
+    tokens on whitespace.  The level defaults to [Info] and is
+    initialised from the [PSOPT_LOG] environment variable
+    ([debug]/[info]/[warn]/[error]/[quiet]); [--log-level] on the CLI
+    overrides it.  Writes are serialized under a mutex so concurrent
+    domains and server threads never interleave half-lines. *)
+
+type level = Debug | Info | Warn | Error | Quiet
+
+val level_of_string : string -> level option
+val level_name : level -> string
+
+val set_level : level -> unit
+val level : unit -> level
+
+val enabled : level -> bool
+(** [enabled l] is true when a message at severity [l] would be
+    emitted.  [enabled Quiet] is always false: [Quiet] is a threshold,
+    not a message severity. *)
+
+val line : level -> src:string -> string -> (string * string) list -> string
+(** The formatted line, without the trailing newline.  Pure; exposed
+    for tests. *)
+
+val msg : level -> src:string -> ?fields:(string * string) list -> string -> unit
+
+val debug : src:string -> ?fields:(string * string) list -> string -> unit
+val info : src:string -> ?fields:(string * string) list -> string -> unit
+val warn : src:string -> ?fields:(string * string) list -> string -> unit
+val err : src:string -> ?fields:(string * string) list -> string -> unit
+
+val set_sink : (string -> unit) option -> unit
+(** Redirect emitted lines (tests).  [None] restores stderr. *)

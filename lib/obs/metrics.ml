@@ -1,0 +1,226 @@
+type kind = Counter | Gauge
+
+type counter = {
+  c_name : string;
+  c_labels : (string * string) list;
+  c_help : string;
+  c_kind : kind;
+  cell : int Atomic.t;
+}
+
+(* Power-of-two bucket bounds: 2^10 ns (~1 us) .. 2^34 ns (~17 s).
+   [buckets.(i)] counts observations v with bound(i-1) < v <= bound(i);
+   the final slot is the +Inf overflow bucket. *)
+let min_shift = 10
+let max_shift = 34
+let nbounds = max_shift - min_shift + 1
+let bound i = 1 lsl (min_shift + i)
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_buckets : int Atomic.t array; (* nbounds + 1, last = +Inf *)
+  h_sum : int Atomic.t;
+}
+
+type metric = M_counter of counter | M_histogram of histogram
+
+let registry : metric list ref = ref []
+let lock = Mutex.create ()
+
+let metric_name = function
+  | M_counter c -> c.c_name
+  | M_histogram h -> h.h_name
+
+let make_counter kind ?(help = "") ?(labels = []) name =
+  Mutex.lock lock;
+  let existing =
+    List.find_opt
+      (function
+        | M_counter c -> c.c_name = name && c.c_labels = labels
+        | M_histogram _ -> false)
+      !registry
+  in
+  let c =
+    match existing with
+    | Some (M_counter c) -> c
+    | _ ->
+        let c =
+          { c_name = name; c_labels = labels; c_help = help; c_kind = kind;
+            cell = Atomic.make 0 }
+        in
+        registry := M_counter c :: !registry;
+        c
+  in
+  Mutex.unlock lock;
+  c
+
+let counter ?help ?labels name = make_counter Counter ?help ?labels name
+let gauge ?help ?labels name = make_counter Gauge ?help ?labels name
+let incr c = ignore (Atomic.fetch_and_add c.cell 1)
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let set c n = Atomic.set c.cell n
+let value c = Atomic.get c.cell
+
+let histogram ?(help = "") name =
+  Mutex.lock lock;
+  let existing =
+    List.find_opt
+      (function
+        | M_histogram h -> h.h_name = name
+        | M_counter _ -> false)
+      !registry
+  in
+  let h =
+    match existing with
+    | Some (M_histogram h) -> h
+    | _ ->
+        let h =
+          { h_name = name; h_help = help;
+            h_buckets = Array.init (nbounds + 1) (fun _ -> Atomic.make 0);
+            h_sum = Atomic.make 0 }
+        in
+        registry := M_histogram h :: !registry;
+        h
+  in
+  Mutex.unlock lock;
+  h
+
+let find_histogram name =
+  Mutex.lock lock;
+  let r =
+    List.find_map
+      (function
+        | M_histogram h when h.h_name = name -> Some h
+        | _ -> None)
+      !registry
+  in
+  Mutex.unlock lock;
+  r
+
+let bucket_index v =
+  let rec go i = if i >= nbounds then nbounds else if v <= bound i then i else go (i + 1) in
+  go 0
+
+let observe_ns h v =
+  let v = if v < 0 then 0 else v in
+  ignore (Atomic.fetch_and_add h.h_buckets.(bucket_index v) 1);
+  ignore (Atomic.fetch_and_add h.h_sum v)
+
+let time h f =
+  let t0 = Clock.now_ns () in
+  match f () with
+  | v ->
+      observe_ns h (Clock.now_ns () - t0);
+      v
+  | exception e ->
+      observe_ns h (Clock.now_ns () - t0);
+      raise e
+
+type summary = {
+  count : int;
+  sum_ns : int;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+}
+
+let histogram_count h =
+  Array.fold_left (fun acc b -> acc + Atomic.get b) 0 h.h_buckets
+
+let quantile counts total q =
+  if total = 0 then 0.
+  else begin
+    let target = Float.max 1. (Float.round (q *. float_of_int total)) in
+    let cum = ref 0 and i = ref 0 and result = ref 0. and found = ref false in
+    while (not !found) && !i <= nbounds do
+      let n = counts.(!i) in
+      if n > 0 && float_of_int (!cum + n) >= target then begin
+        let lo = if !i = 0 then 0. else float_of_int (bound (!i - 1)) in
+        let hi =
+          if !i >= nbounds then 2. *. float_of_int (bound (nbounds - 1))
+          else float_of_int (bound !i)
+        in
+        let frac = (target -. float_of_int !cum) /. float_of_int n in
+        result := lo +. ((hi -. lo) *. frac);
+        found := true
+      end;
+      cum := !cum + n;
+      i := !i + 1
+    done;
+    !result
+  end
+
+let summary h =
+  let counts = Array.map Atomic.get h.h_buckets in
+  let total = Array.fold_left ( + ) 0 counts in
+  {
+    count = total;
+    sum_ns = Atomic.get h.h_sum;
+    p50_ns = quantile counts total 0.5;
+    p90_ns = quantile counts total 0.9;
+    p99_ns = quantile counts total 0.99;
+  }
+
+(* ---- Prometheus text rendering ---- *)
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label v)) labels)
+      ^ "}"
+
+let render () =
+  let metrics =
+    Mutex.lock lock;
+    let m = !registry in
+    Mutex.unlock lock;
+    List.stable_sort (fun a b -> compare (metric_name a) (metric_name b)) (List.rev m)
+  in
+  let b = Buffer.create 1024 in
+  let last_family = ref "" in
+  let header name help ty =
+    if name <> !last_family then begin
+      if help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name ty);
+      last_family := name
+    end
+  in
+  List.iter
+    (function
+      | M_counter c ->
+          header c.c_name c.c_help
+            (match c.c_kind with Counter -> "counter" | Gauge -> "gauge");
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" c.c_name (render_labels c.c_labels)
+               (Atomic.get c.cell))
+      | M_histogram h ->
+          header h.h_name h.h_help "histogram";
+          let cum = ref 0 in
+          for i = 0 to nbounds - 1 do
+            cum := !cum + Atomic.get h.h_buckets.(i);
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" h.h_name (bound i) !cum)
+          done;
+          cum := !cum + Atomic.get h.h_buckets.(nbounds);
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" h.h_name !cum);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %d\n" h.h_name (Atomic.get h.h_sum));
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" h.h_name !cum))
+    metrics;
+  Buffer.contents b

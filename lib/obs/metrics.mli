@@ -1,0 +1,61 @@
+(** A process-global metrics registry: named counters, gauges and
+    log-bucketed latency histograms, rendered in the Prometheus text
+    exposition format.
+
+    Registration is idempotent: asking twice for the same
+    [(name, labels)] pair returns the same instrument, so modules can
+    declare their metrics at toplevel without coordinating.  All
+    updates are single [Atomic.t] operations — safe from any domain or
+    thread, cheap enough for hot paths.
+
+    Naming scheme (documented in docs/OBSERVABILITY.md):
+    [psopt_<subsystem>_<what>_<unit>], with [_total] for counters and
+    [_ns] for nanosecond-valued histograms; label values distinguish
+    members of one logical family (e.g. the exact cert partition
+    [psopt_explore_cert_checks_total{outcome=...}]). *)
+
+type counter
+(** A monotonically increasing integer (or a settable gauge; the
+    distinction is only in the rendered TYPE line). *)
+
+type histogram
+(** A histogram over nanosecond durations with power-of-two buckets
+    from 2^10 ns (~1 µs) to 2^34 ns (~17 s) plus overflow. *)
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : counter -> int -> unit
+val value : counter -> int
+
+val histogram : ?help:string -> string -> histogram
+
+val observe_ns : histogram -> int -> unit
+(** Record one duration.  Negative observations are clamped to 0. *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk, observe its duration (also on exceptions). *)
+
+type summary = {
+  count : int;
+  sum_ns : int;
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+}
+(** Quantiles are interpolated within the matching bucket, so they are
+    estimates with at most one-bucket (2x) error — adequate for the
+    bench report. [count = 0] yields zero quantiles. *)
+
+val summary : histogram -> summary
+val histogram_count : histogram -> int
+
+val find_histogram : string -> histogram option
+(** Look an existing histogram up by family name (bench, tests). *)
+
+val render : unit -> string
+(** The whole registry in Prometheus text format: one [# HELP]/[# TYPE]
+    header per family, cumulative [_bucket{le=...}] / [_sum] / [_count]
+    series for histograms. *)

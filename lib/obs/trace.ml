@@ -1,0 +1,314 @@
+type event = { name : string; cat : string; ts_ns : int; dur_ns : int; tid : int }
+
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+
+(* Per-domain buffers.  Each domain's first recorded span allocates a
+   buffer through Domain.DLS and registers it in [all] under [lock];
+   afterwards the recording path touches only domain-local state.  A
+   cap bounds memory on runaway traces; overflow is counted, not
+   silently dropped. *)
+let max_events_per_domain = 1 lsl 18
+
+type buf = {
+  mutable evs : event list;
+  mutable n : int;
+  mutable dropped : int;
+  (* Cleared buffers must not resurrect spans recorded before the
+     clear; the generation stamp invalidates stale buffers instead of
+     racing domains that are mid-record. *)
+  mutable gen : int;
+  dom : int;
+}
+
+let all : buf list ref = ref []
+let lock = Mutex.create ()
+let generation = Atomic.make 0
+
+let key =
+  Domain.DLS.new_key (fun () ->
+    let b =
+      { evs = []; n = 0; dropped = 0; gen = Atomic.get generation;
+        dom = (Domain.self () :> int) }
+    in
+    Mutex.lock lock;
+    all := b :: !all;
+    Mutex.unlock lock;
+    b)
+
+let record name cat t0 t1 =
+  let b = Domain.DLS.get key in
+  let gen = Atomic.get generation in
+  if b.gen <> gen then begin
+    b.gen <- gen;
+    b.evs <- [];
+    b.n <- 0;
+    b.dropped <- 0
+  end;
+  if b.n >= max_events_per_domain then b.dropped <- b.dropped + 1
+  else begin
+    b.evs <- { name; cat; ts_ns = t0; dur_ns = t1 - t0; tid = b.dom } :: b.evs;
+    b.n <- b.n + 1
+  end
+
+let span ?(cat = "psopt") name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    match f () with
+    | v ->
+        record name cat t0 (Clock.now_ns ());
+        v
+    | exception e ->
+        record name cat t0 (Clock.now_ns ());
+        raise e
+  end
+
+let start () =
+  ignore (Atomic.fetch_and_add generation 1);
+  Atomic.set enabled true
+
+let stop () = Atomic.set enabled false
+
+let live_bufs () =
+  let gen = Atomic.get generation in
+  Mutex.lock lock;
+  let bufs = List.filter (fun b -> b.gen = gen) !all in
+  Mutex.unlock lock;
+  bufs
+
+let events () =
+  let evs = List.concat_map (fun b -> b.evs) (live_bufs ()) in
+  List.stable_sort (fun a b -> compare (a.ts_ns, a.tid) (b.ts_ns, b.tid)) evs
+
+let dropped () = List.fold_left (fun acc b -> acc + b.dropped) 0 (live_bufs ())
+
+(* ---- Chrome trace_event JSON export ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_channel oc =
+  let evs = events () in
+  let t0 = match evs with [] -> 0 | e :: _ -> e.ts_ns in
+  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_char oc ',';
+      Printf.fprintf oc
+        "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+        (json_escape e.name) (json_escape e.cat)
+        (Clock.us_of_ns (e.ts_ns - t0))
+        (Clock.us_of_ns e.dur_ns) e.tid)
+    evs;
+  output_string oc "\n]}\n";
+  List.length evs
+
+let write_file path =
+  match open_out path with
+  | exception Sys_error m -> Error m
+  | oc ->
+      let n = write_channel oc in
+      close_out oc;
+      Ok n
+
+(* ---- Minimal JSON reader, for trace shape validation ---- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail m = raise (Bad (Printf.sprintf "%s at byte %d" m !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    if !pos >= n then fail "unexpected end of input";
+    let c = s.[!pos] in
+    pos := !pos + 1;
+    c
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        pos := !pos + 1;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if next () <> c then fail (Printf.sprintf "expected %C" c) in
+  let literal lit v =
+    String.iter (fun c -> expect c) lit;
+    v
+  in
+  let parse_string () =
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              let hex = String.init 4 (fun _ -> next ()) in
+              let code =
+                try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+              in
+              (* non-BMP fidelity is irrelevant for shape checking *)
+              if code < 128 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_char b '?'
+          | _ -> fail "bad escape");
+          go ())
+      | c -> Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      pos := !pos + 1
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        pos := !pos + 1;
+        skip_ws ();
+        if peek () = Some '}' then (pos := !pos + 1; J_obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            expect '"';
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> J_obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        pos := !pos + 1;
+        skip_ws ();
+        if peek () = Some ']' then (pos := !pos + 1; J_arr [])
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elements (v :: acc)
+            | ']' -> J_arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' ->
+        pos := !pos + 1;
+        J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some _ -> J_num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+type shape = { n_events : int; names : string list }
+
+let validate_string doc =
+  match parse_json doc with
+  | exception Bad m -> Error ("not valid JSON: " ^ m)
+  | J_obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | None -> Error "missing traceEvents key"
+      | Some (J_arr evs) -> (
+          let check i = function
+            | J_obj e ->
+                let str k =
+                  match List.assoc_opt k e with
+                  | Some (J_str s) -> Ok s
+                  | _ -> Error (Printf.sprintf "event %d: missing string %S" i k)
+                in
+                let num k =
+                  match List.assoc_opt k e with
+                  | Some (J_num _) -> Ok ()
+                  | _ -> Error (Printf.sprintf "event %d: missing number %S" i k)
+                in
+                let ( let* ) = Result.bind in
+                let* name = str "name" in
+                let* ph = str "ph" in
+                let* () =
+                  if ph = "X" then Ok ()
+                  else Error (Printf.sprintf "event %d: ph=%S, expected \"X\"" i ph)
+                in
+                let* () = num "ts" in
+                let* () = num "dur" in
+                let* () = num "pid" in
+                let* () = num "tid" in
+                Ok name
+            | _ -> Error (Printf.sprintf "event %d: not an object" i)
+          in
+          let rec go i names = function
+            | [] -> Ok (List.rev names)
+            | e :: rest -> (
+                match check i e with
+                | Ok name -> go (i + 1) (name :: names) rest
+                | Error _ as e -> e)
+          in
+          match go 0 [] evs with
+          | Error m -> Error m
+          | Ok names ->
+              Ok
+                {
+                  n_events = List.length names;
+                  names = List.sort_uniq compare names;
+                })
+      | Some _ -> Error "traceEvents is not an array")
+  | _ -> Error "top level is not an object"
+
+let validate_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | doc -> validate_string doc

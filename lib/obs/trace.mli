@@ -1,0 +1,60 @@
+(** Low-overhead span tracing.
+
+    Spans are recorded into per-domain buffers (no cross-domain
+    contention on the hot path) and merged at export.  Tracing is off
+    by default; when disabled, {!span} costs a single branch on an
+    [Atomic.get] before running its thunk, so instrumented code can
+    stay instrumented in production builds.
+
+    Export is Chrome [trace_event] JSON (complete events, [ph:"X"],
+    microsecond timestamps), the format Perfetto and chrome://tracing
+    open directly: each domain appears as one track ([tid] = domain
+    id), spans nest by time inclusion. *)
+
+val on : unit -> bool
+(** Whether tracing is currently enabled (one [Atomic.get]). *)
+
+val start : unit -> unit
+(** Clear all recorded spans and enable recording. *)
+
+val stop : unit -> unit
+(** Disable recording; recorded spans remain available for export. *)
+
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; when tracing is on, the call is
+    recorded as a complete event (also when [f] raises).  [cat] is the
+    trace_event category (defaults to ["psopt"]). *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;  (** absolute begin stamp from {!Clock.now_ns} *)
+  dur_ns : int;
+  tid : int;  (** recording domain id *)
+}
+
+val events : unit -> event list
+(** All recorded spans, merged across domains, in begin-stamp order. *)
+
+val dropped : unit -> int
+(** Spans discarded because a per-domain buffer hit its cap. *)
+
+val write_channel : out_channel -> int
+(** Emit the trace_event JSON document; returns the event count. *)
+
+val write_file : string -> (int, string) result
+
+(** {2 Shape checking}
+
+    A minimal self-contained JSON reader used by [psopt trace-check]
+    and the CI smoke job to validate emitted traces without external
+    tooling. *)
+
+type shape = { n_events : int; names : string list (** distinct, sorted *) }
+
+val validate_string : string -> (shape, string) result
+(** Checks the document parses as JSON, has a [traceEvents] array, and
+    that every event is an object with string [name]/[ph] ([ph] =
+    ["X"]) and numeric [ts]/[dur]/[pid]/[tid]. *)
+
+val validate_file : string -> (shape, string) result

@@ -57,6 +57,18 @@ let ping ~socket =
           | Ok _ -> Error "unexpected response to ping"
           | Error _ as e -> e)
 
+let metrics ~socket =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () ->
+          match rpc t Proto.Metrics with
+          | Ok (Proto.Metrics_reply text) -> Ok text
+          | Ok _ -> Error "unexpected response to metrics"
+          | Error _ as e -> e)
+
 let shutdown ~socket =
   match connect ~socket with
   | Error _ as e -> e

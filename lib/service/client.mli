@@ -26,5 +26,9 @@ val with_client : socket:string -> (t -> 'a) -> ('a, string) result
 val ping : socket:string -> (string, string) result
 (** Round-trip a {!Proto.Ping}; returns the server's version. *)
 
+val metrics : socket:string -> (string, string) result
+(** Fetch the daemon's metrics registry rendered as Prometheus text
+    (behind [psopt metrics]). *)
+
 val shutdown : socket:string -> (unit, string) result
 (** Ask the daemon to drain and exit. *)

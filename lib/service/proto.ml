@@ -218,6 +218,7 @@ type work =
 type request =
   | Ping
   | Stats
+  | Metrics
   | Shutdown
   | Work of work * Explore.Config.t
 
@@ -269,12 +270,14 @@ let work_of_sexp = function
 let sexp_of_request = function
   | Ping -> List [ Atom "ping" ]
   | Stats -> List [ Atom "stats" ]
+  | Metrics -> List [ Atom "metrics" ]
   | Shutdown -> List [ Atom "shutdown" ]
   | Work (w, c) -> List [ Atom "work"; sexp_of_work w; sexp_of_config c ]
 
 let request_of_sexp = function
   | List [ Atom "ping" ] -> Ok Ping
   | List [ Atom "stats" ] -> Ok Stats
+  | List [ Atom "metrics" ] -> Ok Metrics
   | List [ Atom "shutdown" ] -> Ok Shutdown
   | List [ Atom "work"; w; c ] ->
       let* w = work_of_sexp w in
@@ -303,6 +306,7 @@ type stats_payload = {
   busy_rejections : int;
   errors : int;
   store_entries : int;
+  store_corrupt : int;
   inflight : int;
   capacity : int;
 }
@@ -311,6 +315,7 @@ type response =
   | Pong of string  (** server version *)
   | Busy of { inflight : int; capacity : int }
   | Stats_reply of stats_payload
+  | Metrics_reply of string  (** Prometheus text exposition *)
   | Reply of reply
   | Shutting_down
   | Refused of string  (** protocol error, unknown pass/litmus, … *)
@@ -329,9 +334,11 @@ let sexp_of_response = function
           sexp_of_int s.busy_rejections;
           sexp_of_int s.errors;
           sexp_of_int s.store_entries;
+          sexp_of_int s.store_corrupt;
           sexp_of_int s.inflight;
           sexp_of_int s.capacity;
         ]
+  | Metrics_reply text -> List [ Atom "metrics"; atom_of_string text ]
   | Reply r ->
       List
         [
@@ -352,13 +359,14 @@ let response_of_sexp = function
       let* inflight = int_of_sexp i in
       let* capacity = int_of_sexp c in
       Ok (Busy { inflight; capacity })
-  | List [ Atom "stats"; a; b; c; d; e; f; g; h ] ->
+  | List [ Atom "stats"; a; b; c; d; e; f; fc; g; h ] ->
       let* served = int_of_sexp a in
       let* store_hits = int_of_sexp b in
       let* store_misses = int_of_sexp c in
       let* busy_rejections = int_of_sexp d in
       let* errors = int_of_sexp e in
       let* store_entries = int_of_sexp f in
+      let* store_corrupt = int_of_sexp fc in
       let* inflight = int_of_sexp g in
       let* capacity = int_of_sexp h in
       Ok
@@ -370,9 +378,13 @@ let response_of_sexp = function
              busy_rejections;
              errors;
              store_entries;
+             store_corrupt;
              inflight;
              capacity;
            })
+  | List [ Atom "metrics"; text ] ->
+      let* text = string_of_atom text in
+      Ok (Metrics_reply text)
   | List [ Atom "reply"; code; cached; conclusive; output ] ->
       let* exit_code = int_of_sexp code in
       let* cached = bool_of_sexp cached in

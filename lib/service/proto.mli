@@ -22,6 +22,7 @@ type work =
 type request =
   | Ping  (** liveness + version handshake *)
   | Stats  (** service counters snapshot *)
+  | Metrics  (** full registry in Prometheus text format *)
   | Shutdown  (** graceful drain, then exit *)
   | Work of work * Explore.Config.t
       (** a request is a complete description of the computation: the
@@ -53,6 +54,9 @@ type stats_payload = {
   busy_rejections : int;
   errors : int;
   store_entries : int;
+  store_corrupt : int;
+      (** store lookups that found a damaged record (served as a clean
+          miss; the computation re-ran) *)
   inflight : int;  (** admitted work requests (running + queued) *)
   capacity : int;  (** admission-queue bound *)
 }
@@ -62,6 +66,8 @@ type response =
   | Busy of { inflight : int; capacity : int }
       (** backpressure: the admission queue is full; retry later *)
   | Stats_reply of stats_payload
+  | Metrics_reply of string
+      (** the daemon's {!Obs.Metrics.render} output, verbatim *)
   | Reply of reply
   | Shutting_down
   | Refused of string  (** protocol error, unknown pass/litmus name, … *)

@@ -100,22 +100,29 @@ end
 
 let run_work (w : Proto.work) (config : Explore.Config.t) :
     (string * int, string) result =
+  Obs.Trace.span ~cat:"service" "work.run" @@ fun () ->
   let wf p = Lang.Wf.check_exn p in
+  let render f = Obs.Trace.span ~cat:"service" "render" f in
   match
     match w with
     | Proto.Explore (d, p) ->
         let o = Explore.Enum.behaviors_exn ~config d (wf p) in
-        Ok (Render.explore d o)
+        Ok (render (fun () -> Render.explore d o))
     | Proto.Verify (pass, p) -> (
         match Sim.Verif.find pass with
         | None -> Error ("unknown optimizer: " ^ pass)
         | Some r ->
-            Ok (Render.verify ~pass (Sim.Verif.check ~explore_config:config r (wf p))))
-    | Proto.Races p -> Ok (Render.races (Race.check_all ~config (wf p)))
+            let report = Sim.Verif.check ~explore_config:config r (wf p) in
+            Ok (render (fun () -> Render.verify ~pass report)))
+    | Proto.Races p ->
+        let report = Race.check_all ~config (wf p) in
+        Ok (render (fun () -> Render.races report))
     | Proto.Litmus name -> (
         match List.find_opt (fun t -> t.Litmus.name = name) Litmus.all with
         | None -> Error ("unknown litmus test: " ^ name)
-        | Some t -> Ok (Render.litmus t (Litmus.check ~config t)))
+        | Some t ->
+            let r = Litmus.check ~config t in
+            Ok (render (fun () -> Render.litmus t r)))
   with
   | result -> result
   | exception Lang.Wf.Ill_formed errs ->
@@ -149,7 +156,10 @@ let serve_work ?store ~(stats : Explore.Stats.Service.t) (w : Proto.work)
           ~fingerprint:(Explore.Config.fingerprint config)
       in
       let budget = Store.budget_of_config config in
-      match Option.bind store (fun st -> Store.find st ~key ~budget) with
+      match
+        Obs.Trace.span ~cat:"service" "store.lookup" (fun () ->
+            Option.bind store (fun st -> Store.find st ~key ~budget))
+      with
       | Some e ->
           Atomic.incr stats.store_hits;
           Atomic.incr stats.served;
@@ -189,9 +199,27 @@ type state = {
   conns : (Unix.file_descr list ref * Mutex.t);
 }
 
-let log st fmt =
-  if st.cfg.quiet then Format.ifprintf Format.err_formatter fmt
-  else Format.eprintf fmt
+(* Daemon diagnostics go through the structured logger; [--quiet]
+   keeps the historical contract (nothing on stderr) regardless of the
+   ambient level. *)
+let log ?(level = Obs.Log.Info) st ?fields text =
+  if not st.cfg.quiet then Obs.Log.msg level ~src:"serve" ?fields text
+
+(* Service-level gauges, refreshed on each [Metrics] request from the
+   live counters so the exposition and the [Stats] payload agree. *)
+let g_served = Obs.Metrics.gauge ~help:"Work requests answered" "psopt_service_served_total"
+let g_hits = Obs.Metrics.gauge ~help:"Requests answered from the store" "psopt_service_store_hits_total"
+let g_misses = Obs.Metrics.gauge ~help:"Requests computed fresh" "psopt_service_store_misses_total"
+let g_busy = Obs.Metrics.gauge ~help:"Requests rejected Busy by admission" "psopt_service_busy_total"
+let g_errors = Obs.Metrics.gauge ~help:"Protocol or internal failures" "psopt_service_errors_total"
+let g_entries = Obs.Metrics.gauge ~help:"Records in the result store" "psopt_service_store_entries"
+let g_corrupt = Obs.Metrics.gauge ~help:"Damaged store records served as misses" "psopt_service_store_corrupt_total"
+let g_inflight = Obs.Metrics.gauge ~help:"Admitted work requests (running + queued)" "psopt_service_inflight"
+let g_capacity = Obs.Metrics.gauge ~help:"Admission queue bound" "psopt_service_queue_capacity"
+
+let request_hist =
+  Obs.Metrics.histogram ~help:"Work request service time (store hit or full run)"
+    "psopt_service_request_duration_ns"
 
 let track_conn st fd =
   let l, m = st.conns in
@@ -214,19 +242,36 @@ let stats_payload st =
     busy_rejections = !(st.stats.busy);
     errors = !(st.stats.errors);
     store_entries = (match st.store with Some s -> Store.entries s | None -> 0);
+    store_corrupt =
+      (match st.store with Some s -> Store.corrupt_misses s | None -> 0);
     inflight = Admission.inflight st.gate;
     capacity = st.gate.Admission.capacity;
   }
 
+let metrics_payload st =
+  let p = stats_payload st in
+  Obs.Metrics.set g_served p.Proto.served;
+  Obs.Metrics.set g_hits p.Proto.store_hits;
+  Obs.Metrics.set g_misses p.Proto.store_misses;
+  Obs.Metrics.set g_busy p.Proto.busy_rejections;
+  Obs.Metrics.set g_errors p.Proto.errors;
+  Obs.Metrics.set g_entries p.Proto.store_entries;
+  Obs.Metrics.set g_corrupt p.Proto.store_corrupt;
+  Obs.Metrics.set g_inflight p.Proto.inflight;
+  Obs.Metrics.set g_capacity p.Proto.capacity;
+  Obs.Metrics.render ()
+
 let handle_request st = function
   | Proto.Ping -> Proto.Pong Version.version
   | Proto.Stats -> Proto.Stats_reply (stats_payload st)
+  | Proto.Metrics -> Proto.Metrics_reply (metrics_payload st)
   | Proto.Shutdown ->
       Atomic.set st.stop true;
       Proto.Shutting_down
   | Proto.Work (w, config) ->
       if Atomic.get st.stop then Proto.Refused "server is shutting down"
       else begin
+        Obs.Metrics.time request_hist @@ fun () ->
         (* Cached answers bypass the gate entirely: a hit is a disk
            read, not a search. *)
         let cached_only =
@@ -238,7 +283,8 @@ let handle_request st = function
                   ~kind:(Proto.kind_tag w)
                   ~fingerprint:(Explore.Config.fingerprint config)
               in
-              Store.find store ~key ~budget:(Store.budget_of_config config)
+              Obs.Trace.span ~cat:"service" "store.lookup" (fun () ->
+                  Store.find store ~key ~budget:(Store.budget_of_config config))
           | _ -> None
         in
         match cached_only with
@@ -336,21 +382,34 @@ let run ?(on_ready = fun () -> ()) cfg =
     try
       Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
       Unix.listen listen_fd 64;
-      log st "psopt serve %s: listening on %s (store: %s, queue: %d)@."
-        Version.version cfg.socket
-        (match cfg.store_dir with Some d -> d | None -> "off")
-        cfg.capacity;
+      log st "listening"
+        ~fields:
+          [
+            ("version", Version.version);
+            ("socket", cfg.socket);
+            ( "store",
+              match cfg.store_dir with Some d -> d | None -> "off" );
+            ("queue", string_of_int cfg.capacity);
+          ];
       on_ready ();
       let threads = ref [] in
       while not (Atomic.get st.stop) do
-        match Unix.select [ listen_fd ] [] [] 0.2 with
+        (* a signal interrupting the poll is just an early wakeup: the
+           loop condition re-reads the stop flag the handler set *)
+        match
+          try Unix.select [ listen_fd ] [] [] 0.2
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        with
         | [], _, _ -> ()
         | _ :: _, _, _ ->
-            let fd, _ = Unix.accept listen_fd in
+            let fd, _ =
+              Obs.Trace.span ~cat:"service" "accept" (fun () ->
+                  Unix.accept listen_fd)
+            in
             track_conn st fd;
             threads := Thread.create (handle_connection st) fd :: !threads
       done;
-      log st "psopt serve: draining…@.";
+      log st "draining";
       (* stop accepting, let admitted work finish *)
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       Admission.drain st.gate;
@@ -365,7 +424,9 @@ let run ?(on_ready = fun () -> ()) cfg =
         open_fds;
       List.iter Thread.join !threads;
       (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
-      log st "psopt serve: bye (%a)@." Explore.Stats.Service.pp st.stats;
+      log st "bye"
+        ~fields:
+          [ ("stats", Format.asprintf "%a" Explore.Stats.Service.pp st.stats) ];
       Ok ()
     with exn ->
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());

@@ -49,7 +49,13 @@ type entry = {
   budget : budget;
 }
 
-type t = { root : string }
+type t = {
+  root : string;
+  (* damaged-record misses: the file was there and readable but failed
+     to parse or decode.  A missing file is an ordinary miss and does
+     not count. *)
+  corrupt : int Atomic.t;
+}
 
 let record_version = 1
 
@@ -65,7 +71,17 @@ let ensure_dir dir =
 
 let open_ root =
   ensure_dir root;
-  { root }
+  { root; corrupt = Atomic.make 0 }
+
+let corrupt_misses t = Atomic.get t.corrupt
+
+let m_corrupt =
+  Obs.Metrics.counter ~help:"Store lookups that found a damaged record"
+    "psopt_store_corrupt_total"
+
+let lookup_hist =
+  Obs.Metrics.histogram ~help:"Store lookup (read + decode) time"
+    "psopt_store_lookup_duration_ns"
 
 let program_digest p = Digest.to_hex (Digest.string (Lang.Sexp.program_to_string p))
 
@@ -145,12 +161,16 @@ let read_file p =
 
 (* Corruption-tolerant: every failure mode is [None] (a miss). *)
 let peek t k =
+  Obs.Metrics.time lookup_hist @@ fun () ->
   match read_file (path t k) with
   | exception _ -> None
   | contents -> (
       match Result.bind (parse contents) (entry_of_sexp k) with
       | Ok e -> Some e
-      | Error _ -> None)
+      | Error _ ->
+          Atomic.incr t.corrupt;
+          Obs.Metrics.incr m_corrupt;
+          None)
 
 (* Completeness-aware reuse: a conclusive verdict (verified/refuted)
    holds under every budget, so it is always served.  An inconclusive

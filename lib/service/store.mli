@@ -63,6 +63,12 @@ val put : t -> key:string -> entry -> unit
 val entries : t -> int
 (** Number of records on disk (walks the shard directories). *)
 
+val corrupt_misses : t -> int
+(** Lookups (since [open_]) that found a record on disk but could not
+    parse or decode it — each one was served as a clean miss.  A
+    missing file does not count.  Surfaced in the daemon's [Stats]
+    payload and the [psopt batch] report. *)
+
 val flush : t -> unit
 (** Push the root directory entry to stable storage.  Record writes
     are already synchronous and atomic; this is the graceful-shutdown

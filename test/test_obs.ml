@@ -1,0 +1,322 @@
+(* The telemetry subsystem: registry semantics, histogram math, trace
+   recording/export/validation, and the logger's formatting contract.
+
+   Everything here runs against the process-global registry, so tests
+   use distinct metric names and assert on deltas, never on absolute
+   registry state. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* --------------------------------------------------------------- *)
+(* Metrics registry *)
+
+let test_counter_idempotent () =
+  let a = Obs.Metrics.counter "test_obs_idem_total" in
+  let b = Obs.Metrics.counter "test_obs_idem_total" in
+  Obs.Metrics.incr a;
+  Obs.Metrics.add b 2;
+  (* same (name, labels) pair: both handles reach one cell *)
+  Alcotest.(check int) "one cell behind two handles" 3 (Obs.Metrics.value a);
+  (* distinct labels are distinct cells *)
+  let l1 = Obs.Metrics.counter ~labels:[ ("k", "v1") ] "test_obs_lbl_total" in
+  let l2 = Obs.Metrics.counter ~labels:[ ("k", "v2") ] "test_obs_lbl_total" in
+  Obs.Metrics.incr l1;
+  Alcotest.(check int) "labelled siblings are independent" 0
+    (Obs.Metrics.value l2)
+
+let test_gauge_set () =
+  let g = Obs.Metrics.gauge "test_obs_gauge" in
+  Obs.Metrics.set g 41;
+  Obs.Metrics.set g 7;
+  Alcotest.(check int) "set overwrites" 7 (Obs.Metrics.value g)
+
+let test_histogram_summary () =
+  let h = Obs.Metrics.histogram "test_obs_hist_ns" in
+  Alcotest.(check int) "fresh histogram is empty" 0
+    (Obs.Metrics.histogram_count h);
+  let s0 = Obs.Metrics.summary h in
+  Alcotest.(check int) "empty summary: count" 0 s0.Obs.Metrics.count;
+  Alcotest.(check (float 0.0)) "empty summary: p99" 0.0 s0.Obs.Metrics.p99_ns;
+  (* 90 small observations and 10 large ones: p50 must land in the
+     small bucket's range, p99 in the large one's.  Buckets are
+     power-of-two, so quantile estimates carry at most 2x error —
+     assert bucket membership, not exact values. *)
+  for _ = 1 to 90 do
+    Obs.Metrics.observe_ns h 2_000
+  done;
+  for _ = 1 to 10 do
+    Obs.Metrics.observe_ns h 1_000_000
+  done;
+  let s = Obs.Metrics.summary h in
+  Alcotest.(check int) "count" 100 s.Obs.Metrics.count;
+  Alcotest.(check int) "sum" (90 * 2_000 + 10 * 1_000_000)
+    s.Obs.Metrics.sum_ns;
+  Alcotest.(check bool) "p50 in the small bucket" true
+    (s.Obs.Metrics.p50_ns >= 1024. && s.Obs.Metrics.p50_ns <= 4096.);
+  Alcotest.(check bool) "p99 in the large bucket" true
+    (s.Obs.Metrics.p99_ns > 500_000. && s.Obs.Metrics.p99_ns <= 2_097_152.);
+  Alcotest.(check bool) "quantiles are monotone" true
+    (s.Obs.Metrics.p50_ns <= s.Obs.Metrics.p90_ns
+    && s.Obs.Metrics.p90_ns <= s.Obs.Metrics.p99_ns);
+  (* negative observations clamp instead of raising *)
+  Obs.Metrics.observe_ns h (-5);
+  Alcotest.(check int) "negative observation counted" 101
+    (Obs.Metrics.histogram_count h)
+
+let test_histogram_time () =
+  let h = Obs.Metrics.histogram "test_obs_time_ns" in
+  let r = Obs.Metrics.time h (fun () -> 42) in
+  Alcotest.(check int) "time returns the thunk's value" 42 r;
+  Alcotest.(check int) "one observation" 1 (Obs.Metrics.histogram_count h);
+  (* the duration is observed even when the thunk raises *)
+  (try Obs.Metrics.time h (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "exception still observed" 2
+    (Obs.Metrics.histogram_count h)
+
+let test_render_shape () =
+  let c = Obs.Metrics.counter ~help:"a test counter" "test_obs_render_total" in
+  Obs.Metrics.add c 5;
+  let h = Obs.Metrics.histogram "test_obs_render_ns" in
+  Obs.Metrics.observe_ns h 2_000;
+  Obs.Metrics.observe_ns h 3_000_000;
+  let text = Obs.Metrics.render () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("render contains " ^ needle) true
+        (contains text needle))
+    [ "# HELP test_obs_render_total a test counter";
+      "# TYPE test_obs_render_total counter";
+      "test_obs_render_total 5";
+      "# TYPE test_obs_render_ns histogram";
+      "test_obs_render_ns_count 2";
+      "test_obs_render_ns_sum 3002000";
+      "test_obs_render_ns_bucket{le=\"+Inf\"} 2" ];
+  (* buckets are cumulative: the 2048-bucket holds the small
+     observation, every bucket past 2^22 ns holds both *)
+  Alcotest.(check bool) "small bucket cumulative" true
+    (contains text "test_obs_render_ns_bucket{le=\"2048\"} 1");
+  Alcotest.(check bool) "large bucket cumulative" true
+    (contains text "test_obs_render_ns_bucket{le=\"4194304\"} 2");
+  (* find_histogram sees through the registry *)
+  Alcotest.(check bool) "find_histogram hits" true
+    (Obs.Metrics.find_histogram "test_obs_render_ns" <> None);
+  Alcotest.(check bool) "find_histogram misses unknown names" true
+    (Obs.Metrics.find_histogram "test_obs_not_registered" = None)
+
+(* --------------------------------------------------------------- *)
+(* Span tracing *)
+
+let test_trace_disabled_is_silent () =
+  Obs.Trace.stop ();
+  let before = List.length (Obs.Trace.events ()) in
+  let r = Obs.Trace.span "quiet" (fun () -> 7) in
+  Alcotest.(check int) "span is transparent" 7 r;
+  Alcotest.(check int) "nothing recorded while off" before
+    (List.length (Obs.Trace.events ()))
+
+let test_trace_records_and_clears () =
+  Obs.Trace.start ();
+  Alcotest.(check bool) "start enables" true (Obs.Trace.on ());
+  ignore (Obs.Trace.span ~cat:"t" "outer" (fun () ->
+      Obs.Trace.span ~cat:"t" "inner" (fun () -> ignore (Sys.opaque_identity 1))));
+  (try Obs.Trace.span "raises" (fun () -> failwith "x")
+   with Failure _ -> ());
+  Obs.Trace.stop ();
+  let evs = Obs.Trace.events () in
+  let names = List.map (fun e -> e.Obs.Trace.name) evs in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("recorded " ^ n) true (List.mem n names))
+    [ "outer"; "inner"; "raises" ];
+  (* nesting: inner's interval lies within outer's *)
+  let find n = List.find (fun e -> e.Obs.Trace.name = n) evs in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check bool) "inner nests in outer" true
+    (inner.Obs.Trace.ts_ns >= outer.Obs.Trace.ts_ns
+    && inner.Obs.Trace.ts_ns + inner.Obs.Trace.dur_ns
+       <= outer.Obs.Trace.ts_ns + outer.Obs.Trace.dur_ns);
+  (* events come back sorted by begin stamp *)
+  let sorted =
+    List.sort (fun a b -> compare a.Obs.Trace.ts_ns b.Obs.Trace.ts_ns) evs
+  in
+  Alcotest.(check bool) "merge order is begin-stamp order" true
+    (List.map (fun e -> e.Obs.Trace.ts_ns) evs
+    = List.map (fun e -> e.Obs.Trace.ts_ns) sorted);
+  (* restarting clears the previous recording *)
+  Obs.Trace.start ();
+  ignore (Obs.Trace.span "fresh" (fun () -> ()));
+  Obs.Trace.stop ();
+  let names' = List.map (fun e -> e.Obs.Trace.name) (Obs.Trace.events ()) in
+  Alcotest.(check bool) "start clears old spans" false
+    (List.mem "outer" names');
+  Alcotest.(check bool) "new span recorded" true (List.mem "fresh" names')
+
+let test_trace_multi_domain () =
+  Obs.Trace.start ();
+  let ds =
+    List.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            Obs.Trace.span (Printf.sprintf "d%d" i) (fun () ->
+                ignore (Sys.opaque_identity (i * i)))))
+  in
+  List.iter Domain.join ds;
+  Obs.Trace.stop ();
+  let evs = Obs.Trace.events () in
+  List.iter
+    (fun i ->
+      let n = Printf.sprintf "d%d" i in
+      Alcotest.(check bool) ("domain span " ^ n ^ " merged") true
+        (List.exists (fun e -> e.Obs.Trace.name = n) evs))
+    [ 0; 1; 2 ]
+
+let test_trace_write_validate () =
+  Obs.Trace.start ();
+  ignore (Obs.Trace.span ~cat:"a" "s1" (fun () -> ()));
+  ignore (Obs.Trace.span ~cat:"b" "s2" (fun () -> ()));
+  Obs.Trace.stop ();
+  let file = Filename.temp_file "psopt-test-trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      (match Obs.Trace.write_file file with
+      | Ok n -> Alcotest.(check bool) "write reports >= 2 events" true (n >= 2)
+      | Error e -> Alcotest.fail ("write_file: " ^ e));
+      match Obs.Trace.validate_file file with
+      | Ok shape ->
+          Alcotest.(check bool) "validator counts the events" true
+            (shape.Obs.Trace.n_events >= 2);
+          List.iter
+            (fun n ->
+              Alcotest.(check bool) ("validator lists " ^ n) true
+                (List.mem n shape.Obs.Trace.names))
+            [ "s1"; "s2" ]
+      | Error e -> Alcotest.fail ("validate_file: " ^ e))
+
+let test_trace_validator_rejects () =
+  List.iter
+    (fun (label, doc) ->
+      Alcotest.(check bool) ("rejects " ^ label) true
+        (Result.is_error (Obs.Trace.validate_string doc)))
+    [ ("garbage", "not json at all");
+      ("no traceEvents", "{\"foo\": []}");
+      ("traceEvents not an array", "{\"traceEvents\": 3}");
+      ("event without name", "{\"traceEvents\": [{\"ph\": \"X\"}]}");
+      ( "wrong phase",
+        "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"B\", \"ts\": 0, \
+         \"dur\": 1, \"pid\": 1, \"tid\": 0}]}" );
+      ("truncated", "{\"traceEvents\": [{\"name\": \"x\"") ]
+
+(* --------------------------------------------------------------- *)
+(* Logger *)
+
+let test_log_line_format () =
+  Alcotest.(check string) "bare fields stay bare"
+    "psopt[warn] stress: case quarantined seed=41 rate=0.05"
+    (Obs.Log.line Obs.Log.Warn ~src:"stress" "case quarantined"
+       [ ("seed", "41"); ("rate", "0.05") ]);
+  Alcotest.(check string) "no fields, no trailing space"
+    "psopt[info] serve: listening"
+    (Obs.Log.line Obs.Log.Info ~src:"serve" "listening" []);
+  (* values with spaces or sexp metacharacters get quoted+escaped *)
+  let l =
+    Obs.Log.line Obs.Log.Error ~src:"x" "m"
+      [ ("file", "q/case 41.sexp"); ("odd", "a\"b\\c") ]
+  in
+  Alcotest.(check bool) "spaced value is quoted" true
+    (contains l "file=\"q/case 41.sexp\"");
+  Alcotest.(check bool) "quotes and backslashes escaped" true
+    (contains l "odd=\"a\\\"b\\\\c\"")
+
+let test_log_levels () =
+  let seen = ref [] in
+  let old = Obs.Log.level () in
+  Obs.Log.set_sink (Some (fun l -> seen := l :: !seen));
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_sink None;
+      Obs.Log.set_level old)
+    (fun () ->
+      Obs.Log.set_level Obs.Log.Warn;
+      Alcotest.(check bool) "warn enabled at warn" true
+        (Obs.Log.enabled Obs.Log.Warn);
+      Alcotest.(check bool) "info disabled at warn" false
+        (Obs.Log.enabled Obs.Log.Info);
+      Obs.Log.info ~src:"t" "dropped";
+      Obs.Log.warn ~src:"t" "kept" ~fields:[ ("k", "v") ];
+      Obs.Log.err ~src:"t" "kept too";
+      Alcotest.(check int) "only warn+error got through" 2
+        (List.length !seen);
+      Alcotest.(check bool) "fields rendered" true
+        (List.exists (fun l -> contains l "k=v") !seen);
+      Obs.Log.set_level Obs.Log.Quiet;
+      Obs.Log.err ~src:"t" "silenced";
+      Alcotest.(check int) "quiet silences errors" 2 (List.length !seen))
+
+let test_log_level_names () =
+  List.iter
+    (fun (s, l) ->
+      Alcotest.(check bool) ("parses " ^ s) true
+        (Obs.Log.level_of_string s = Some l))
+    [ ("debug", Obs.Log.Debug); ("info", Obs.Log.Info);
+      ("warn", Obs.Log.Warn); ("warning", Obs.Log.Warn);
+      ("error", Obs.Log.Error); ("err", Obs.Log.Error);
+      ("quiet", Obs.Log.Quiet); ("none", Obs.Log.Quiet);
+      ("WARN", Obs.Log.Warn) ];
+  Alcotest.(check bool) "rejects junk" true
+    (Obs.Log.level_of_string "loud" = None)
+
+(* --------------------------------------------------------------- *)
+(* Clock *)
+
+let test_clock () =
+  let t0 = Obs.Clock.now_ns () in
+  let t1 = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "clock does not go backwards across two reads" true
+    (t1 >= t0);
+  Alcotest.(check bool) "epoch nanoseconds are plausible" true
+    (t0 > 1_000_000_000 * 1_000_000_000);
+  Alcotest.(check int) "ms_of_ns truncates" 1 (Obs.Clock.ms_of_ns 1_999_999);
+  Alcotest.(check (float 1e-9)) "us_of_ns is exact" 1.5
+    (Obs.Clock.us_of_ns 1_500)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "registration is idempotent" `Quick
+            test_counter_idempotent;
+          Alcotest.test_case "gauge set" `Quick test_gauge_set;
+          Alcotest.test_case "histogram summary quantiles" `Quick
+            test_histogram_summary;
+          Alcotest.test_case "time observes normal + raising thunks" `Quick
+            test_histogram_time;
+          Alcotest.test_case "prometheus render shape" `Quick
+            test_render_shape;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled recording is silent" `Quick
+            test_trace_disabled_is_silent;
+          Alcotest.test_case "record, nest, clear on restart" `Quick
+            test_trace_records_and_clears;
+          Alcotest.test_case "spans merge across domains" `Quick
+            test_trace_multi_domain;
+          Alcotest.test_case "write_file round-trips the validator" `Quick
+            test_trace_write_validate;
+          Alcotest.test_case "validator rejects malformed documents" `Quick
+            test_trace_validator_rejects;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "line format + escaping" `Quick
+            test_log_line_format;
+          Alcotest.test_case "level thresholds" `Quick test_log_levels;
+          Alcotest.test_case "level names" `Quick test_log_level_names;
+        ] );
+      ("clock", [ Alcotest.test_case "time source" `Quick test_clock ]);
+    ]

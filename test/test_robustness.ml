@@ -94,6 +94,73 @@ let test_deadline_budget () =
         (List.mem Explore.Errors.Deadline reasons)
   | Explore.Enum.Exhaustive -> Alcotest.fail "expected Truncated"
 
+(* The reason/counter correspondence (docs/OBSERVABILITY.md): a reason
+   appears in [truncation_reasons] iff its counter is nonzero — in
+   BOTH directions, across config variants that trip each budget and
+   configs that trip none.  This pins the derivation [Stats.
+   truncation_reasons] against counter renames or forgotten reasons. *)
+
+let counter_for stats = function
+  | Explore.Errors.Step_budget -> Atomic.get stats.Explore.Stats.cuts
+  | Explore.Errors.Promise_budget ->
+      Atomic.get stats.Explore.Stats.promise_budget_hits
+  | Explore.Errors.Deadline -> Atomic.get stats.Explore.Stats.deadline_hits
+  | Explore.Errors.Node_budget ->
+      Atomic.get stats.Explore.Stats.node_budget_hits
+  | Explore.Errors.Oom -> Atomic.get stats.Explore.Stats.oom_hits
+  | Explore.Errors.Fault -> Atomic.get stats.Explore.Stats.faults_injected
+
+let all_reasons =
+  [ Explore.Errors.Step_budget; Explore.Errors.Promise_budget;
+    Explore.Errors.Deadline; Explore.Errors.Node_budget;
+    Explore.Errors.Oom; Explore.Errors.Fault ]
+
+let test_reasons_match_counters () =
+  let variants =
+    [
+      ("default", config, Litmus.sb.Litmus.prog);
+      ( "max_steps=6",
+        { config with Explore.Config.max_steps = 6 },
+        Litmus.sb.Litmus.prog );
+      ( "max_nodes=3",
+        { config with Explore.Config.max_nodes = Some 3 },
+        Litmus.sb.Litmus.prog );
+      ( "deadline_ms=0",
+        { config with Explore.Config.deadline_ms = Some 0;
+          max_steps = 100_000; max_promises = 2 },
+        Litmus.spinlock.Litmus.prog );
+      ( "fault rate=20%",
+        { config with
+          Explore.Config.fault =
+            Some { Explore.Config.fault_seed = 3; fault_rate = 0.2 } },
+        Litmus.lb.Litmus.prog );
+      ( "strict max_promises=0",
+        { config with Explore.Config.max_promises = 0;
+          strict_promises = true },
+        Litmus.lb.Litmus.prog );
+    ]
+  in
+  List.iter
+    (fun (name, cfg, prog) ->
+      let o = Explore.Enum.behaviors_exn ~config:cfg Explore.Enum.Interleaving prog in
+      let stats = o.Explore.Enum.stats in
+      let reasons = Explore.Stats.truncation_reasons stats in
+      List.iter
+        (fun r ->
+          let listed = List.mem r reasons in
+          let counted = counter_for stats r > 0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s listed iff counted" name
+               (Explore.Errors.reason_to_string r))
+            counted listed)
+        all_reasons;
+      (* and the reason list agrees with the outcome's completeness *)
+      Alcotest.(check bool)
+        (name ^ ": reasons empty iff exhaustive")
+        (reasons = [])
+        (o.Explore.Enum.completeness = Explore.Enum.Exhaustive))
+    variants
+
 let test_race_inconclusive_on_truncation () =
   let cfg = { config with Explore.Config.max_steps = 3 } in
   (* ww_sync is race-free with a full exploration; under truncation
@@ -382,6 +449,8 @@ let () =
             `Quick test_truncation_soundness;
           Alcotest.test_case "node budget" `Quick test_node_budget;
           Alcotest.test_case "wall-clock deadline" `Quick test_deadline_budget;
+          Alcotest.test_case "reasons listed iff counters nonzero" `Quick
+            test_reasons_match_counters;
           Alcotest.test_case "race freedom not claimable under truncation"
             `Quick test_race_inconclusive_on_truncation;
           Alcotest.test_case "Verif.check inconclusive under truncation"

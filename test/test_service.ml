@@ -103,7 +103,7 @@ let test_proto_units () =
       Alcotest.(check bool)
         "request round-trips" true
         (Proto.request_of_sexp (Proto.sexp_of_request req) = Ok req))
-    [ Proto.Ping; Proto.Stats; Proto.Shutdown;
+    [ Proto.Ping; Proto.Stats; Proto.Metrics; Proto.Shutdown;
       Proto.Work (Proto.Litmus "sb", Config.default);
       Proto.Work (Proto.Verify ("dce", Litmus.sb.Litmus.prog), Config.quick);
       Proto.Work (Proto.Races Litmus.lb.Litmus.prog, Config.default) ];
@@ -115,10 +115,12 @@ let test_proto_units () =
     [ Proto.Pong "1.2.3"; Proto.Shutting_down;
       Proto.Busy { inflight = 17; capacity = 16 };
       Proto.Refused "unknown pass: foo";
+      Proto.Metrics_reply "# TYPE psopt_service_served_total counter\n";
+      Proto.Metrics_reply "";
       Proto.Stats_reply
         { Proto.served = 1; store_hits = 2; store_misses = 3;
-          busy_rejections = 4; errors = 5; store_entries = 6; inflight = 7;
-          capacity = 8 } ];
+          busy_rejections = 4; errors = 5; store_entries = 6;
+          store_corrupt = 9; inflight = 7; capacity = 8 } ];
   (* garbage never parses into a request or response *)
   List.iter
     (fun s ->
@@ -252,13 +254,24 @@ let test_store_corruption () =
   let store = Store.open_ root in
   let key = Store.key ~program_digest:"p" ~kind:"litmus:sb" ~fingerprint:"f" in
   let e = entry (budget 100) in
-  let damage name f =
+  (* every damaged-but-present record must also tick [corrupt_misses];
+     a deleted record is a plain miss and must not *)
+  let damage ?(counts = true) name f =
     Store.put store ~key e;
     f (record_path root key);
+    let before = Store.corrupt_misses store in
     Alcotest.(check bool) (name ^ ": peek is a clean miss") true
       (Store.peek store key = None);
     Alcotest.(check bool) (name ^ ": find is a clean miss") true
-      (Store.find store ~key ~budget:(budget 10) = None)
+      (Store.find store ~key ~budget:(budget 10) = None);
+    let delta = Store.corrupt_misses store - before in
+    Alcotest.(check bool)
+      (name
+      ^
+      if counts then ": corrupt-miss counter ticks"
+      else ": corrupt-miss counter untouched")
+      true
+      (if counts then delta > 0 else delta = 0)
   in
   damage "truncated record" (fun p ->
       let fd = Unix.openfile p [ Unix.O_WRONLY ] 0o644 in
@@ -288,7 +301,7 @@ let test_store_corruption () =
                (String.length s - i - String.length needle))));
   damage "empty file" (fun p ->
       Out_channel.with_open_bin p (fun oc -> ignore oc));
-  damage "record deleted" Sys.remove;
+  damage ~counts:false "record deleted" Sys.remove;
   (* a key echo mismatch (record copied to the wrong address) misses *)
   Store.put store ~key e;
   let other = Store.key ~program_digest:"p2" ~kind:"litmus:sb" ~fingerprint:"f" in
@@ -527,8 +540,31 @@ let test_server_e2e () =
       Alcotest.(check int) "stats: one store hit" 1 s.Proto.store_hits;
       Alcotest.(check int) "stats: one store miss" 1 s.Proto.store_misses;
       Alcotest.(check int) "stats: one record" 1 s.Proto.store_entries;
-      Alcotest.(check int) "stats: nothing inflight" 0 s.Proto.inflight
+      Alcotest.(check int) "stats: nothing inflight" 0 s.Proto.inflight;
+      Alcotest.(check int) "stats: no corrupt records" 0 s.Proto.store_corrupt
   | Ok (Ok _) | Ok (Error _) | Error _ -> Alcotest.fail "stats request failed");
+  (* the metrics exposition carries the service families, with the
+     counters agreeing with the exchange above *)
+  (match Service.Client.metrics ~socket with
+  | Ok text ->
+      let contains needle =
+        let nh = String.length text and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub text i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun family ->
+          Alcotest.(check bool) ("metrics exposes " ^ family) true
+            (contains family))
+        [ "psopt_service_store_hits_total 1";
+          "psopt_service_store_misses_total 1";
+          "psopt_service_store_corrupt_total 0";
+          "psopt_service_request_duration_ns_count";
+          "psopt_store_lookup_duration_ns_bucket";
+          "# TYPE psopt_service_request_duration_ns histogram" ]
+  | Error e -> Alcotest.fail ("metrics: " ^ e));
   (* graceful shutdown: drains, unlinks the socket, run returns Ok *)
   (match Service.Client.shutdown ~socket with
   | Ok () -> ()
