@@ -17,6 +17,8 @@ type t = {
   strict_promises : bool;
   fault : fault option;
   domains : int;
+  oversubscribe : bool;
+  publish_period : int;
 }
 
 (* PSOPT_J lets the CI matrix (and users) run the entire test suite
@@ -30,6 +32,11 @@ let env_domains =
   | None -> None
 
 let default_domains = match env_domains with Some n -> n | None -> 1
+
+(* PSOPT_J is an explicit request to exercise the parallel engine, so
+   it also lifts the cores clamp — otherwise a single-core CI runner
+   would silently run the whole matrix sequentially. *)
+let default_oversubscribe = env_domains <> None
 
 let default =
   {
@@ -47,6 +54,8 @@ let default =
     strict_promises = false;
     fault = None;
     domains = default_domains;
+    oversubscribe = default_oversubscribe;
+    publish_period = 16;
   }
 
 let quick =
@@ -74,9 +83,9 @@ let with_domains j t = { t with domains = max 1 j }
 
    - in:  max_promises, promise_mode, reservations, cert_fuel,
           cap_certification, strict_promises, fault
-   - out: memoize, cert_cache, domains (the determinism contract of
-          docs/PARALLEL.md: identical results at every width and with
-          every cache setting)
+   - out: memoize, cert_cache, domains, oversubscribe, publish_period (the
+          determinism contract of docs/PARALLEL.md: identical results
+          at every width and with every cache setting)
    - out: max_steps, deadline_ms, max_nodes, max_live_words — the
           budgets.  An [Exhaustive] outcome is the same for every
           budget large enough to reach it, so the result store keys on

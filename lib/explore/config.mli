@@ -73,18 +73,41 @@ type t = {
           semantics for the paper's experiments, not a truncation. *)
   fault : fault option;  (** fault-injection mode (testing only) *)
   domains : int;
-      (** width of the domain pool for the parallel engine (clamped to
-          [Pool.recommended ()] at search start); [1] — the default
-          unless the [PSOPT_J] environment variable is set — runs the
-          original sequential DFS.  The returned traceset and
-          completeness are identical for every value
+      (** requested width of the domain pool for the parallel engine;
+          [1] — the default unless the [PSOPT_J] environment variable
+          is set — runs on the calling domain alone.  The effective
+          width is [min domains (Pool.recommended ())] unless
+          [oversubscribe] is set: running more domains than cores
+          cannot help (the OS time-slices them over the same
+          hardware) and actively hurts (every minor GC is a
+          stop-the-world sync across all domains, and cross-domain
+          cache publication lags by whole scheduler quanta), so a
+          width the hardware cannot deliver is treated as a request
+          for "as parallel as profitable".  The returned traceset and
+          completeness are identical for every width
           (docs/PARALLEL.md). *)
+  oversubscribe : bool;
+      (** run all [domains] workers even beyond the hardware core
+          count.  Off by default; the test suite switches it on so the
+          multi-domain engine is genuinely exercised (stealing,
+          publication, merging) even on single-core CI runners. *)
+  publish_period : int;
+      (** parallel engine only: how many fresh domain-local cache
+          entries (cert verdicts, promise-candidate sets, memoized
+          suffix sets) a worker accumulates before publishing them as
+          one lock-free batch for the other domains to absorb.
+          Smaller values shrink the window in which two domains
+          duplicate the same certification; larger values cut
+          publication traffic.  A pure performance knob — excluded
+          from {!fingerprint} like [domains]. *)
 }
 
 val default : t
 (** [domains] defaults to [$PSOPT_J] when that environment variable
     holds a positive integer (the CI matrix runs the whole test suite
-    parallel this way), [1] otherwise. *)
+    parallel this way), [1] otherwise.  Setting [PSOPT_J] also sets
+    [oversubscribe]: it is an explicit request to run the parallel
+    engine, even on a runner with fewer cores than that. *)
 
 val quick : t
 (** Promise-free, shallower: for smoke tests and benches. *)
@@ -94,7 +117,7 @@ val fingerprint : t -> string
     change a search's result rather than its speed: [max_promises],
     [promise_mode], [reservations], [cert_fuel], [cap_certification],
     [strict_promises] and [fault].  Excluded are [memoize],
-    [cert_cache] and [domains] (pure performance switches, identical
+    [cert_cache], [domains] and [oversubscribe] (pure performance switches, identical
     results by the determinism contract of docs/PARALLEL.md) and the
     four budgets [max_steps]/[deadline_ms]/[max_nodes]/[max_live_words]
     (an [Exhaustive] outcome is the same under every sufficient

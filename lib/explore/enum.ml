@@ -1,4 +1,5 @@
 module TidMap = Ps.Machine.TidMap
+module L = Stats.Local
 
 type discipline = Interleaving | Non_preemptive
 
@@ -26,7 +27,16 @@ module Node = struct
     world : Ps.Machine.world;
     bit : bool;
     promised : int TidMap.t;
+    (* Memoized structural hash, 0 = not yet computed.  Hashing a node
+       walks the entire world (every thread's views plus the whole
+       memory), so it is far too expensive to redo on every table
+       probe — and published cache entries carry their hash to the
+       absorbing domain for free.  The unsynchronized write is benign:
+       every racing writer stores the same value. *)
+    mutable hv : int;
   }
+
+  let make ~world ~bit ~promised = { world; bit; promised; hv = 0 }
 
   let compare a b =
     let c = Ps.Machine.compare a.world b.world in
@@ -35,17 +45,25 @@ module Node = struct
       let c = Bool.compare a.bit b.bit in
       if c <> 0 then c else TidMap.compare Int.compare a.promised b.promised
 
-  let equal a b = compare a b = 0
+  let equal a b = a == b || compare a b = 0
 
   let hash n =
-    let promised =
-      TidMap.fold
-        (fun tid k h -> Rat.hash_combine (Rat.hash_combine h tid) k)
-        n.promised 0x6e6f
-    in
-    Rat.hash_combine
-      (Rat.hash_combine (Ps.Machine.hash n.world) (Bool.to_int n.bit))
-      promised
+    if n.hv <> 0 then n.hv
+    else begin
+      let promised =
+        TidMap.fold
+          (fun tid k h -> Rat.hash_combine (Rat.hash_combine h tid) k)
+          n.promised 0x6e6f
+      in
+      let h =
+        Rat.hash_combine
+          (Rat.hash_combine (Ps.Machine.hash n.world) (Bool.to_int n.bit))
+          promised
+      in
+      let h = if h = 0 then 0x6e6f else h in
+      n.hv <- h;
+      h
+    end
 end
 
 module NodeTbl = Hashtbl.Make (Node)
@@ -57,27 +75,46 @@ module NodeTbl = Hashtbl.Make (Node)
    configuration — which the interleavings of the other threads do
    constantly. *)
 module CertKey = struct
-  type t = Ps.Thread.ts * Ps.Memory.t
+  type t = { ts : Ps.Thread.ts; mem : Ps.Memory.t; mutable khv : int }
 
-  let equal (ts1, m1) (ts2, m2) =
-    Ps.Thread.equal ts1 ts2 && Ps.Memory.equal m1 m2
+  let make ts mem = { ts; mem; khv = 0 }
 
-  let hash (ts, m) = Rat.hash_combine (Ps.Thread.hash ts) (Ps.Memory.hash m)
+  let equal a b =
+    a == b || (Ps.Thread.equal a.ts b.ts && Ps.Memory.equal a.mem b.mem)
+
+  (* Same memoization scheme as {!Node.hash}: the key hash walks the
+     thread state and the whole memory, and each key is probed several
+     times (fault site, cache lookup, cache insert, absorption). *)
+  let hash k =
+    if k.khv <> 0 then k.khv
+    else begin
+      let h = Rat.hash_combine (Ps.Thread.hash k.ts) (Ps.Memory.hash k.mem) in
+      let h = if h = 0 then 0x4b45 else h in
+      k.khv <- h;
+      h
+    end
 end
 
-(* The certification and candidate caches are hash-sharded so workers
-   of the parallel engine contend per shard, not per lookup; at j=1
-   the per-shard mutex is uncontended and costs nothing measurable
-   next to hashing a whole memory. *)
-module CertShards = Pool.Sharded (CertKey)
+module CertTbl = Hashtbl.Make (CertKey)
 
 (* One successor: the output emitted (if any) and the next node. *)
 type succ = { emit : Lang.Ast.value option; next : Node.t }
 
-(* State shared by every worker domain of one search.  All counters
-   are atomics ({!Stats}); the caches are sharded; the sticky resource
-   flags are atomics so one worker tripping the wall-clock or heap
-   budget abandons every other worker's remaining subtrees too. *)
+(* State shared by every worker domain of one search.
+
+   The hot-path caches (cert verdicts, promise candidates, memoized
+   suffix sets) are domain-local; fresh entries flow between domains
+   through the lock-free {!Pool.Chan} channels in batches, so the hot
+   path never takes a lock and never touches a contended cache line.
+   The [*_merged] tables exist only for the end-of-search size stats
+   and are filled under [merge_lock] when workers finish.
+
+   The sticky resource flags are atomics so one worker tripping the
+   wall-clock or heap budget abandons every other worker's remaining
+   subtrees too; [node_count] is a shared exact counter allocated only
+   when [max_nodes] is configured (the budget must trip at the
+   configured total across domains, which batched per-domain counters
+   cannot guarantee). *)
 type search = {
   code : Lang.Ast.code;
   atomics : Lang.Ast.VarSet.t;
@@ -85,25 +122,41 @@ type search = {
   cfg : Config.t;
   stats : Stats.t;
   memo_merged : (Traceset.t * int) NodeTbl.t;
-      (* domain-local memo tables merged here on worker join (under
-         [memo_lock]); entries are [(suffixes, rel_peak)] — see [dfs] *)
-  memo_lock : Mutex.t;
-  cert_cache : bool CertShards.t;
-  cand_cache : (Lang.Ast.var * Lang.Ast.value) list CertShards.t;
+  cert_merged : bool CertTbl.t;
+  cand_merged : (Lang.Ast.var * Lang.Ast.value) list CertTbl.t;
+  merge_lock : Mutex.t;
+  cert_chan : (CertKey.t * bool) Pool.Chan.t;
+  cand_chan : (CertKey.t * (Lang.Ast.var * Lang.Ast.value) list) Pool.Chan.t;
+  memo_chan : (Node.t * (Traceset.t * int)) Pool.Chan.t;
   deadline : float option;  (* absolute, [Unix.gettimeofday] scale *)
   fault : (int * int) option;  (* seed, threshold in [0, 2^30] *)
   out_of_time : bool Atomic.t;
   out_of_mem : bool Atomic.t;
+  node_count : int Atomic.t option;  (* Some iff max_nodes is set *)
 }
 
-(* Per-domain state: the memo and stack tables are domain-local (no
-   locking on the DFS hot path); [tick] amortizes the clock/heap
-   probes per worker. *)
+(* Per-domain state.  Everything the DFS hot path touches is
+   unsynchronized: the caches, the on-stack table, the stats batch
+   ([ls], flushed into the shared atomics by [finish_worker]) and the
+   publication buffers.  [tick] amortizes the clock/heap probes and
+   channel absorption. *)
 type worker = {
   s : search;
+  id : int;
+  parallel : bool;
+  ls : L.t;
   memo : (Traceset.t * int) NodeTbl.t;
+  cert_cache : bool CertTbl.t;
+  cand_cache : (Lang.Ast.var * Lang.Ast.value) list CertTbl.t;
   on_stack : int NodeTbl.t;  (* node -> entry depth (= stack index) *)
   mutable tick : int;
+  mutable pub_pending : int;
+  mutable pub_cert : (CertKey.t * bool) list;
+  mutable pub_cand : (CertKey.t * (Lang.Ast.var * Lang.Ast.value) list) list;
+  mutable pub_memo : (Node.t * (Traceset.t * int)) list;
+  mutable cert_mark : (CertKey.t * bool) Pool.Chan.mark;
+  mutable cand_mark : (CertKey.t * (Lang.Ast.var * Lang.Ast.value) list) Pool.Chan.mark;
+  mutable memo_mark : (Node.t * (Traceset.t * int)) Pool.Chan.mark;
 }
 
 let fault_threshold rate =
@@ -119,9 +172,12 @@ let make_search code atomics disc cfg =
     cfg;
     stats = Stats.create ();
     memo_merged = NodeTbl.create 1024;
-    memo_lock = Mutex.create ();
-    cert_cache = CertShards.create 1024;
-    cand_cache = CertShards.create 1024;
+    cert_merged = CertTbl.create 1024;
+    cand_merged = CertTbl.create 1024;
+    merge_lock = Mutex.create ();
+    cert_chan = Pool.Chan.create ();
+    cand_chan = Pool.Chan.create ();
+    memo_chan = Pool.Chan.create ();
     deadline =
       Option.map
         (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
@@ -132,18 +188,86 @@ let make_search code atomics disc cfg =
         cfg.Config.fault;
     out_of_time = Atomic.make false;
     out_of_mem = Atomic.make false;
+    node_count =
+      (match cfg.Config.max_nodes with
+      | Some _ -> Some (Atomic.make 0)
+      | None -> None);
   }
 
-let make_worker s =
-  { s; memo = NodeTbl.create 1024; on_stack = NodeTbl.create 256; tick = 0 }
+let make_worker ~id ~parallel s =
+  {
+    s;
+    id;
+    parallel;
+    ls = L.create ();
+    memo = NodeTbl.create 1024;
+    cert_cache = CertTbl.create 1024;
+    cand_cache = CertTbl.create 256;
+    on_stack = NodeTbl.create 256;
+    tick = 0;
+    pub_pending = 0;
+    pub_cert = [];
+    pub_cand = [];
+    pub_memo = [];
+    cert_mark = Pool.Chan.genesis;
+    cand_mark = Pool.Chan.genesis;
+    memo_mark = Pool.Chan.genesis;
+  }
+
+(* ---- domain-local cache publication ----
+   Fresh entries are buffered and pushed as one immutable batch every
+   [publish_period] entries; other workers absorb at their probe tick
+   and when idle.  Every published value is a pure function of its key
+   (the cache-soundness invariant), so at-least-once unordered
+   delivery is benign and absorbing keeps determinism: a hit is
+   recomputation-equivalent no matter which domain computed it. *)
+
+let publish_now w =
+  let s = w.s in
+  if w.pub_cert <> [] then begin
+    Pool.Chan.publish s.cert_chan (Array.of_list w.pub_cert);
+    w.pub_cert <- []
+  end;
+  if w.pub_cand <> [] then begin
+    Pool.Chan.publish s.cand_chan (Array.of_list w.pub_cand);
+    w.pub_cand <- []
+  end;
+  if w.pub_memo <> [] then begin
+    Pool.Chan.publish s.memo_chan (Array.of_list w.pub_memo);
+    w.pub_memo <- []
+  end;
+  w.pub_pending <- 0
+
+let queued w =
+  w.pub_pending <- w.pub_pending + 1;
+  if w.pub_pending >= w.s.cfg.Config.publish_period then publish_now w
+
+let absorb w =
+  let s = w.s in
+  w.cert_mark <-
+    Pool.Chan.drain s.cert_chan ~since:w.cert_mark ~f:(fun (k, v) ->
+        if not (CertTbl.mem w.cert_cache k) then CertTbl.add w.cert_cache k v);
+  w.cand_mark <-
+    Pool.Chan.drain s.cand_chan ~since:w.cand_mark ~f:(fun (k, v) ->
+        if not (CertTbl.mem w.cand_cache k) then CertTbl.add w.cand_cache k v);
+  w.memo_mark <-
+    Pool.Chan.drain s.memo_chan ~since:w.memo_mark ~f:(fun (n, e) ->
+        if not (NodeTbl.mem w.memo n) then NodeTbl.add w.memo n e)
 
 (* Wall-clock and heap probes are amortized over this many calls; the
-   node budget and the sticky flags are checked every time. *)
+   node budget and the sticky flags are checked every time.  Channel
+   absorption runs on a much shorter cycle: a drain with nothing new
+   costs three atomic loads, while every tick of absorption latency is
+   a tick in which another domain may re-expand a subtree this one
+   already memoized. *)
 let probe_mask = 0x3F
+let absorb_mask = 0x07
 
 let budget_stop w : Errors.reason option =
   let s = w.s in
+  let ls = w.ls in
   w.tick <- w.tick + 1;
+  if w.parallel && w.tick land absorb_mask = 0 then absorb w;
   if w.tick land probe_mask = 0 then begin
     (match s.deadline with
     | Some d when Unix.gettimeofday () > d -> Atomic.set s.out_of_time true
@@ -154,17 +278,17 @@ let budget_stop w : Errors.reason option =
     | _ -> ()
   end;
   if Atomic.get s.out_of_time then begin
-    Atomic.incr s.stats.Stats.deadline_hits;
+    ls.L.deadline_hits <- ls.L.deadline_hits + 1;
     Some Errors.Deadline
   end
   else if Atomic.get s.out_of_mem then begin
-    Atomic.incr s.stats.Stats.oom_hits;
+    ls.L.oom_hits <- ls.L.oom_hits + 1;
     Some Errors.Oom
   end
   else
-    match s.cfg.Config.max_nodes with
-    | Some n when Atomic.get s.stats.Stats.nodes >= n ->
-        Atomic.incr s.stats.Stats.node_budget_hits;
+    match (s.cfg.Config.max_nodes, s.node_count) with
+    | Some n, Some c when Atomic.get c >= n ->
+        ls.L.node_budget_hits <- ls.L.node_budget_hits + 1;
         Some Errors.Node_budget
     | _ -> None
 
@@ -187,9 +311,9 @@ let fault_fires s site salt =
   | None -> false
   | Some (seed, threshold) -> Hashtbl.hash (seed, site, salt) < threshold
 
-let node_fault_fires s n =
-  let fire = fault_fires s (Node.hash n) salt_cut in
-  if fire then Atomic.incr s.stats.Stats.faults_injected;
+let node_fault_fires w n =
+  let fire = fault_fires w.s (Node.hash n) salt_cut in
+  if fire then w.ls.L.faults_injected <- w.ls.L.faults_injected + 1;
   fire
 
 (* Certification is the engine's dominant cost, so its run time is
@@ -208,15 +332,19 @@ let run_cert s ts mem =
 (* Exact certification accounting: every call bumps [cert_checks] and
    then exactly one of [cert_faults] / [cert_trivial] /
    [cert_cache_hits] / [cert_runs]. *)
-let consistent s ts mem =
-  Atomic.incr s.stats.Stats.cert_checks;
+let consistent w ts mem =
+  let s = w.s in
+  let ls = w.ls in
+  ls.L.cert_checks <- ls.L.cert_checks + 1;
   (* An injected fault answers "inconsistent" without consulting the
      cache, so the cache stays pure; the decision is a pure function
      of the configuration, so it is the same on every path and every
-     domain that reaches it. *)
-  if fault_fires s (CertKey.hash (ts, mem)) salt_cert then begin
-    Atomic.incr s.stats.Stats.cert_faults;
-    Atomic.incr s.stats.Stats.faults_injected;
+     domain that reaches it.  The configuration hash (the fault site)
+     is only computed when fault injection is armed. *)
+  let key = CertKey.make ts mem in
+  if s.fault <> None && fault_fires s (CertKey.hash key) salt_cert then begin
+    ls.L.cert_faults <- ls.L.cert_faults + 1;
+    ls.L.faults_injected <- ls.L.faults_injected + 1;
     false
   end
   else if
@@ -224,70 +352,83 @@ let consistent s ts mem =
        spend a hash of the whole configuration on them. *)
     Ps.Thread.concrete_promises ts = []
   then begin
-    Atomic.incr s.stats.Stats.cert_trivial;
+    ls.L.cert_trivial <- ls.L.cert_trivial + 1;
     true
   end
   else if not s.cfg.Config.cert_cache then begin
-    Atomic.incr s.stats.Stats.cert_runs;
+    ls.L.cert_runs <- ls.L.cert_runs + 1;
     run_cert s ts mem
   end
   else
-    let key = (ts, mem) in
-    match CertShards.find_opt s.cert_cache key with
+    match CertTbl.find_opt w.cert_cache key with
     | Some verdict ->
-        Atomic.incr s.stats.Stats.cert_cache_hits;
+        ls.L.cert_cache_hits <- ls.L.cert_cache_hits + 1;
         verdict
     | None ->
-        Atomic.incr s.stats.Stats.cert_runs;
+        ls.L.cert_runs <- ls.L.cert_runs + 1;
         let verdict = run_cert s ts mem in
-        CertShards.replace s.cert_cache key verdict;
+        CertTbl.replace w.cert_cache key verdict;
+        if w.parallel then begin
+          w.pub_cert <- (key, verdict) :: w.pub_cert;
+          queued w
+        end;
         verdict
 
-let promise_candidates s ts mem =
+let promise_candidates w ts mem =
+  let s = w.s in
   match s.cfg.Config.promise_mode with
   | Config.No_promises -> []
-  | Config.Syntactic | Config.Semantic
-    when fault_fires s (CertKey.hash (ts, mem)) salt_cand ->
-      (* Candidate discovery killed by an injected fault: no promise
-         successors from here — behaviours shrink, never grow. *)
-      Atomic.incr s.stats.Stats.faults_injected;
-      []
-  | Config.Syntactic -> Ps.Thread.writes_in_code ~code:s.code ts
-  | Config.Semantic -> (
-      (* Candidate discovery is the other certification search, run
-         for every node with promise budget left; like the verdicts it
-         is a pure function of the configuration, so it shares the
-         cache discipline (hits are counted separately in
-         [cand_cache_hits]). *)
-      let compute () =
-        Obs.Trace.span ~cat:"explore" "candidates" (fun () ->
-            Ps.Cert.certifiable_writes ~fuel:s.cfg.Config.cert_fuel
-              ~code:s.code ts mem)
-      in
-      if not s.cfg.Config.cert_cache then compute ()
+  | mode -> (
+      let key = CertKey.make ts mem in
+      if s.fault <> None && fault_fires s (CertKey.hash key) salt_cand then begin
+        (* Candidate discovery killed by an injected fault: no promise
+           successors from here — behaviours shrink, never grow. *)
+        w.ls.L.faults_injected <- w.ls.L.faults_injected + 1;
+        []
+      end
       else
-        let key = (ts, mem) in
-        match CertShards.find_opt s.cand_cache key with
-        | Some cands ->
-            Atomic.incr s.stats.Stats.cand_cache_hits;
-            cands
-        | None ->
-            let cands = compute () in
-            CertShards.replace s.cand_cache key cands;
-            cands)
+        match mode with
+        | Config.No_promises -> assert false
+        | Config.Syntactic -> Ps.Thread.writes_in_code ~code:s.code ts
+        | Config.Semantic -> (
+            (* Candidate discovery is the other certification search,
+               run for every node with promise budget left; like the
+               verdicts it is a pure function of the configuration, so
+               it shares the cache discipline (hits are counted
+               separately in [cand_cache_hits]). *)
+            let compute () =
+              Obs.Trace.span ~cat:"explore" "candidates" (fun () ->
+                  Ps.Cert.certifiable_writes ~fuel:s.cfg.Config.cert_fuel
+                    ~code:s.code ts mem)
+            in
+            if not s.cfg.Config.cert_cache then compute ()
+            else
+              match CertTbl.find_opt w.cand_cache key with
+              | Some cands ->
+                  w.ls.L.cand_cache_hits <- w.ls.L.cand_cache_hits + 1;
+                  cands
+              | None ->
+                  let cands = compute () in
+                  CertTbl.replace w.cand_cache key cands;
+                  if w.parallel then begin
+                    w.pub_cand <- (key, cands) :: w.pub_cand;
+                    queued w
+                  end;
+                  cands))
 
-let successors s (n : Node.t) : succ list =
-  let w = n.world in
-  let ts = Ps.Machine.cur_ts w in
-  let mem = w.Ps.Machine.mem in
+let successors w (n : Node.t) : succ list =
+  let s = w.s in
+  let wd = n.world in
+  let ts = Ps.Machine.cur_ts wd in
+  let mem = wd.Ps.Machine.mem in
   let promised_cur =
-    match TidMap.find_opt w.Ps.Machine.cur n.promised with
+    match TidMap.find_opt wd.Ps.Machine.cur n.promised with
     | Some k -> k
     | None -> 0
   in
   (* The current thread's consistency gates outputs and switches; it
      is cheap when the thread has no promises. *)
-  let committed = lazy (consistent s ts mem) in
+  let committed = lazy (consistent w ts mem) in
   let bit_after te =
     match s.disc with
     | Interleaving -> Some true
@@ -297,8 +438,8 @@ let successors s (n : Node.t) : succ list =
     match bit_after step.Ps.Thread.event with
     | None -> None
     | Some bit -> (
-        let world = Ps.Machine.set_cur_ts w step.Ps.Thread.ts step.Ps.Thread.mem in
-        let next = { n with Node.world; bit } in
+        let world = Ps.Machine.set_cur_ts wd step.Ps.Thread.ts step.Ps.Thread.mem in
+        let next = Node.make ~world ~bit ~promised:n.Node.promised in
         match step.Ps.Thread.event with
         | Ps.Event.Out v ->
             if Lazy.force committed then Some { emit = Some v; next } else None
@@ -318,27 +459,27 @@ let successors s (n : Node.t) : succ list =
          re-certified here, so this can only push verdicts toward
          inconclusive, never toward a claim). *)
       if s.cfg.Config.strict_promises && sched_ok && not budget_left then
-        if promise_candidates s ts mem <> [] then
-          Atomic.incr s.stats.Stats.promise_budget_hits;
+        if promise_candidates w ts mem <> [] then
+          w.ls.L.promise_budget_hits <- w.ls.L.promise_budget_hits + 1;
       []
     end
     else
-      let candidates = promise_candidates s ts mem in
+      let candidates = promise_candidates w ts mem in
       Ps.Thread.promise_steps ~candidates ~atomics:s.atomics ts mem
       |> List.filter_map (fun (step : Ps.Thread.step) ->
              (* A promise must remain certifiable with the chosen
                 slot; pruning inconsistent promise placements is sound
                 because a τ machine step must end consistent. *)
-             if consistent s step.Ps.Thread.ts step.Ps.Thread.mem then (
-               Atomic.incr s.stats.Stats.promises;
+             if consistent w step.Ps.Thread.ts step.Ps.Thread.mem then (
+               w.ls.L.promises <- w.ls.L.promises + 1;
                let world =
-                 Ps.Machine.set_cur_ts w step.Ps.Thread.ts step.Ps.Thread.mem
+                 Ps.Machine.set_cur_ts wd step.Ps.Thread.ts step.Ps.Thread.mem
                in
                let promised =
-                 TidMap.add w.Ps.Machine.cur (promised_cur + 1) n.promised
+                 TidMap.add wd.Ps.Machine.cur (promised_cur + 1) n.promised
                in
                Some
-                 { emit = None; next = { Node.world; bit = n.bit; promised } })
+                 { emit = None; next = Node.make ~world ~bit:n.Node.bit ~promised })
              else None)
   in
   let reservations =
@@ -374,289 +515,494 @@ let successors s (n : Node.t) : succ list =
     else
       TidMap.fold
         (fun tid ts' acc ->
-          if tid <> w.Ps.Machine.cur
+          if tid <> wd.Ps.Machine.cur
              && not (Ps.Local.is_finished ts'.Ps.Thread.local)
           then
             {
               emit = None;
-              next = { n with Node.world = Ps.Machine.switch w tid; bit = true };
+              next =
+                Node.make
+                  ~world:(Ps.Machine.switch wd tid)
+                  ~bit:true ~promised:n.Node.promised;
             }
             :: acc
           else acc)
-        w.Ps.Machine.tp []
+        wd.Ps.Machine.tp []
   in
   regular @ promises @ reservations @ switches
 
-(* Depth-first computation of the suffix trace set of a node.
+(* ------------------------------------------------------------------ *)
+(* The engine: an explicit-stack depth-first walk with work stealing
+   by stack conversion.
 
-   Taint discipline: [dfs] returns the suffixes together with the
-   lowest stack index this result depends on ([max_int] if none).  A
-   result is memoized only when it closes over its own subtree —
-   cycle heads included, inner cycle members excluded — and never when
-   the depth budget truncated it.
+   Taint discipline: a subtree's result carries the lowest stack index
+   it depends on ([max_int] if none).  A result is memoized only when
+   it closes over its own subtree — cycle heads included, inner cycle
+   members excluded — and never when the depth budget truncated it.
 
-   Depth honesty: [dfs] additionally returns the deepest entry depth
-   reached in its subtree (virtual for memo hits), and the memo stores
+   Depth honesty: the result also carries the deepest entry depth
+   reached in the subtree (virtual for memo hits), and the memo stores
    it relative to the memoizing depth.  An entry is reused at depth
    [d] only when [d + rel_peak < max_steps] — i.e. exactly when a
    fresh recomputation would also complete without hitting the step
    budget.  Reuse is therefore recomputation-equivalent, which is what
-   makes the traceset a pure function of the node and the remaining
-   depth budget — independent of visit order, memo state, and hence of
-   how the parallel engine splits the search (docs/PARALLEL.md). *)
+   makes the traceset a pure function of the node, the remaining depth
+   budget and the ancestor chain — independent of visit order, memo
+   state, and hence of how the engine splits the search across domains
+   (docs/PARALLEL.md).
+
+   Scheduling: every worker runs the same walk.  A busy worker checks,
+   before starting each child, whether some other worker is hungry
+   while its own deque is empty; if so it {e converts}: every stack
+   frame becomes a heap join frame, every unstarted child becomes a
+   stealable task, and the worker continues with the deepest subtree.
+   Each task carries a delivery target — a (frame, slot) pair — and a
+   frame folds (the same union / prepend / min-taint / max-peak
+   accumulation the stack walk does) when its last slot is delivered,
+   then delivers its own result upward.  Traceset union is commutative
+   and associative, so slot fold order is immaterial. *)
+
 let max_taint = max_int
 
 let cut_traces = Traceset.singleton (Ps.Event.trace_cut [])
 let open_traces = Traceset.singleton { Ps.Event.outs = []; ending = Ps.Event.Open }
 
-(* [dfs w n depth] -> [(suffixes, taint, peak)].  [depth] doubles as
-   the stack index: both start at 0 at the search root and increment
-   together on every recursive call. *)
-let rec dfs w (n : Node.t) depth : Traceset.t * int * int =
+(* Where a completed subtree result lands. *)
+type target =
+  | Root
+  | Slot of jframe * int
+
+(* A converted (heap) frame: immutable snapshot of a stack frame's
+   partial accumulation plus one slot per outstanding child.  Distinct
+   slots are written by distinct tasks; the [fetch_and_add] on
+   [jpending] publishes the writes to whichever worker folds. *)
+and jframe = {
+  jn : Node.t;
+  jdepth : int;
+  jparent : target;
+  jbase : Traceset.t;
+  jtaint : int;
+  jpeak : int;
+  jemits : Lang.Ast.value option array;
+  jslots : (Traceset.t * int * int) option array;
+  jpending : int Atomic.t;
+}
+
+and task = { tn : Node.t; tdepth : int; ttarget : target }
+
+(* An in-progress (worker-local) stack frame. *)
+type sframe = {
+  fn : Node.t;
+  fdepth : int;
+  femit : Lang.Ast.value option;  (* edge label from the parent frame *)
+  fsuccs : succ array;
+  mutable fnext : int;
+  mutable facc : Traceset.t;
+  mutable ftaint : int;
+  mutable fpeak : int;
+}
+
+type sched = {
+  deques : task Pool.Deque.t array;
+  hungry : int Atomic.t;
+  finished : bool Atomic.t;
+  result : (Traceset.t * int * int) option Atomic.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+let count_node w =
+  w.ls.L.nodes <- w.ls.L.nodes + 1;
+  match w.s.node_count with Some c -> Atomic.incr c | None -> ()
+
+let memo_store w n entry =
+  NodeTbl.replace w.memo n entry;
+  if w.parallel then begin
+    w.pub_memo <- (n, entry) :: w.pub_memo;
+    queued w
+  end
+
+(* Everything the walk decides about a node before (possibly) pushing
+   a frame for it: depth cut, global budgets, injected fault, memo
+   (depth-honest), ancestor cycle — in exactly this order, which is
+   the order the decisions must replicate at every [j]. *)
+type entered =
+  | Done of (Traceset.t * int * int)
+  | Expand of succ array * Traceset.t
+
+let enter w (n : Node.t) depth : entered =
   let s = w.s in
-  Stats.record_max s.stats.Stats.peak_depth depth;
+  let ls = w.ls in
+  if depth > ls.L.peak_depth then ls.L.peak_depth <- depth;
   if depth >= s.cfg.Config.max_steps then begin
-    Atomic.incr s.stats.Stats.cuts;
-    (cut_traces, -1, depth)
+    ls.L.cuts <- ls.L.cuts + 1;
+    Done (cut_traces, -1, depth)
   end
   else if budget_stop w <> None then
     (* Deadline / node budget / heap budget: the subtree is abandoned
        with the same honest [Cut] marker (and the same negative taint,
        so nothing truncated is ever memoized) as a depth cut; the
        per-reason stats counter was incremented by [budget_stop]. *)
-    (cut_traces, -1, depth)
-  else if node_fault_fires s n then (cut_traces, -1, depth)
+    Done (cut_traces, -1, depth)
+  else if node_fault_fires w n then Done (cut_traces, -1, depth)
   else
     match NodeTbl.find_opt w.memo n with
     | Some (traces, rel_peak) when depth + rel_peak < s.cfg.Config.max_steps ->
-        Atomic.incr s.stats.Stats.memo_hits;
-        (traces, max_taint, depth + rel_peak)
+        ls.L.memo_hits <- ls.L.memo_hits + 1;
+        Done (traces, max_taint, depth + rel_peak)
     | _ -> (
         match NodeTbl.find_opt w.on_stack n with
         | Some ix ->
             (* Back-edge: divergence.  The honest behaviour is the
                prefix observed so far, i.e. the empty suffix with an
                [Open] ending. *)
-            Atomic.incr s.stats.Stats.cycles;
-            (open_traces, ix, depth)
+            ls.L.cycles <- ls.L.cycles + 1;
+            Done (open_traces, ix, depth)
         | None ->
-            Atomic.incr s.stats.Stats.nodes;
+            count_node w;
             NodeTbl.add w.on_stack n depth;
             let base =
               if Ps.Machine.terminal n.world then
                 Traceset.singleton (Ps.Event.trace_done [])
               else Traceset.empty
             in
-            let succs = successors s n in
-            ignore
-              (Atomic.fetch_and_add s.stats.Stats.transitions
-                 (List.length succs));
+            let succs = Array.of_list (successors w n) in
+            ls.L.transitions <- ls.L.transitions + Array.length succs;
             let base =
-              if Traceset.is_empty base && succs = [] then
+              if Traceset.is_empty base && Array.length succs = 0 then
                 (* Stuck without terminating: an execution that cannot
                    commit further; its observable behaviour is the
                    open prefix. *)
                 open_traces
               else base
             in
-            let traces, taint, peak =
-              List.fold_left
-                (fun (acc, taint, peak) { emit; next } ->
-                  let sub, t, pk = dfs w next (depth + 1) in
-                  let sub =
-                    match emit with
-                    | Some v -> Traceset.prepend v sub
-                    | None -> sub
-                  in
-                  (Traceset.union acc sub, min taint t, max peak pk))
-                (base, max_taint, depth) succs
-            in
-            NodeTbl.remove w.on_stack n;
-            if s.cfg.Config.memoize && taint >= depth && taint >= 0 then begin
-              (* No dependency below this node on the stack (cycle
-                 heads close here) and no cut anywhere in the subtree:
-                 safe to memoize, with the peak made depth-relative. *)
-              NodeTbl.replace w.memo n (traces, peak - depth);
-              (traces, max_taint, peak)
-            end
-            else (traces, taint, peak))
+            Expand (succs, base))
 
-let merge_memo w =
-  Obs.Trace.span ~cat:"explore" "memo" (fun () ->
-      let s = w.s in
-      Mutex.lock s.memo_lock;
-      NodeTbl.iter (fun n e -> NodeTbl.replace s.memo_merged n e) w.memo;
-      Mutex.unlock s.memo_lock)
-
-(* ------------------------------------------------------------------ *)
-(* The parallel engine: plan / execute / fold.
-
-   Plan: the coordinator runs a breadth-first expansion of the search
-   tree — replicating [dfs]'s per-node decisions exactly (depth cut,
-   global budgets, fault, ancestor cycle) — until the frontier holds
-   enough unexpanded leaves to feed the pool.
-
-   Execute: each leaf subtree is a task; a worker seeds its on-stack
-   table with the leaf's ancestor chain (the exact stack the
-   sequential DFS would carry there) and runs [dfs] from the leaf.
-   Memo tables are domain-local and merged on join.
-
-   Fold: the coordinator folds the plan tree bottom-up with the same
-   union/prepend/min-taint accumulation as [dfs], so the root traceset
-   is byte-identical to the sequential one — see the purity argument
-   at [dfs]. *)
-
-type pnode = {
-  pn : Node.t;
-  pdepth : int;
-  pparent : pnode option;
-  pemit : Lang.Ast.value option;  (* edge label from the parent *)
-  mutable pbase : Traceset.t;
-  mutable pchildren : pnode list option;  (* Some: expanded in planning *)
-  mutable presolved : (Traceset.t * int * int) option;
-}
-
-let plan wc root j =
-  let s = wc.s in
-  let target = 8 * j in
-  let expansion_cap = 64 * j in
-  let proot =
-    {
-      pn = root;
-      pdepth = 0;
-      pparent = None;
-      pemit = None;
-      pbase = Traceset.empty;
-      pchildren = None;
-      presolved = None;
-    }
-  in
-  let q = Queue.create () in
-  Queue.push proot q;
-  let frontier = ref 1 in
-  let expansions = ref 0 in
-  let leaves = ref [] in
-  while (not (Queue.is_empty q)) && !frontier < target && !expansions < expansion_cap do
-    let p = Queue.pop q in
-    decr frontier;
-    let n = p.pn and depth = p.pdepth in
-    Stats.record_max s.stats.Stats.peak_depth depth;
-    if depth >= s.cfg.Config.max_steps then begin
-      Atomic.incr s.stats.Stats.cuts;
-      p.presolved <- Some (cut_traces, -1, depth)
-    end
-    else if budget_stop wc <> None then p.presolved <- Some (cut_traces, -1, depth)
-    else if node_fault_fires s n then p.presolved <- Some (cut_traces, -1, depth)
-    else begin
-      (* Ancestor-chain cycle check: the plan-tree ancestors of [p]
-         are exactly the DFS stack under which [p] would be visited. *)
-      let rec back = function
-        | None -> None
-        | Some a -> if Node.equal a.pn n then Some a.pdepth else back a.pparent
-      in
-      match back p.pparent with
-      | Some ix ->
-          Atomic.incr s.stats.Stats.cycles;
-          p.presolved <- Some (open_traces, ix, depth)
-      | None ->
-          Atomic.incr s.stats.Stats.nodes;
-          incr expansions;
-          let base =
-            if Ps.Machine.terminal n.world then
-              Traceset.singleton (Ps.Event.trace_done [])
-            else Traceset.empty
-          in
-          let succs = successors s n in
-          ignore
-            (Atomic.fetch_and_add s.stats.Stats.transitions (List.length succs));
-          if Traceset.is_empty base && succs = [] then
-            p.presolved <- Some (open_traces, max_taint, depth)
-          else begin
-            p.pbase <- base;
-            let children =
-              List.map
-                (fun { emit; next } ->
-                  {
-                    pn = next;
-                    pdepth = depth + 1;
-                    pparent = Some p;
-                    pemit = emit;
-                    pbase = Traceset.empty;
-                    pchildren = None;
-                    presolved = None;
-                  })
-                succs
-            in
-            p.pchildren <- Some children;
-            List.iter
-              (fun c ->
-                Queue.push c q;
-                incr frontier)
-              children
+(* Deliver a subtree result to its target; fold and propagate when a
+   frame completes.  Tail-recursive: converted chains can be as deep
+   as the step budget. *)
+let rec deliver w sd (t : target) (r : Traceset.t * int * int) =
+  match t with
+  | Root ->
+      Atomic.set sd.result (Some r);
+      Atomic.set sd.finished true
+  | Slot (f, i) ->
+      f.jslots.(i) <- Some r;
+      if Atomic.fetch_and_add f.jpending (-1) = 1 then begin
+        (* last slot: this worker folds the frame *)
+        let acc = ref f.jbase in
+        let taint = ref f.jtaint in
+        let peak = ref f.jpeak in
+        Array.iteri
+          (fun i slot ->
+            match slot with
+            | None -> assert false
+            | Some (tr, t, pk) ->
+                let tr =
+                  match f.jemits.(i) with
+                  | Some v -> Traceset.prepend v tr
+                  | None -> tr
+                in
+                acc := Traceset.union !acc tr;
+                taint := min !taint t;
+                peak := max !peak pk)
+          f.jslots;
+        let r =
+          if w.s.cfg.Config.memoize && !taint >= f.jdepth && !taint >= 0 then begin
+            memo_store w f.jn (!acc, !peak - f.jdepth);
+            (!acc, max_taint, !peak)
           end
-    end
-  done;
-  Queue.iter (fun p -> leaves := p :: !leaves) q;
-  (proot, List.rev !leaves)
+          else (!acc, !taint, !peak)
+        in
+        deliver w sd f.jparent r
+      end
 
-let run_task w leaf =
+(* Run one task to completion — or until conversion hands its
+   remainder to the deque.  The on-stack table is rebuilt from the
+   task's frame chain: those frames are exactly the ancestor stack the
+   sequential walk would carry here. *)
+let exec w sd (task : task) =
   NodeTbl.reset w.on_stack;
   let rec seed = function
-    | None -> ()
-    | Some a ->
-        NodeTbl.replace w.on_stack a.pn a.pdepth;
-        seed a.pparent
+    | Root -> ()
+    | Slot (f, _) ->
+        NodeTbl.replace w.on_stack f.jn f.jdepth;
+        seed f.jparent
   in
-  seed leaf.pparent;
-  dfs w leaf.pn leaf.pdepth
-
-let rec fold_plan cfg p =
-  match p.presolved with
-  | Some r -> r
-  | None -> (
-      match p.pchildren with
-      | None ->
-          (* unreachable: every unexpanded leaf was resolved by a task *)
-          assert false
-      | Some children ->
-          let traces, taint, peak =
-            List.fold_left
-              (fun (acc, taint, peak) c ->
-                let sub, t, pk = fold_plan cfg c in
-                let sub =
-                  match c.pemit with
-                  | Some v -> Traceset.prepend v sub
-                  | None -> sub
-                in
-                (Traceset.union acc sub, min taint t, max peak pk))
-              (p.pbase, max_taint, p.pdepth) children
-          in
-          if cfg.Config.memoize && taint >= p.pdepth && taint >= 0 then
-            (traces, max_taint, peak)
-          else (traces, taint, peak))
-
-let parallel_traces s root j =
-  let wc = make_worker s in
-  let proot, leaves = plan wc root j in
-  (match leaves with
-  | [] -> ()
-  | _ ->
-      let results =
-        Pool.map_with ~j
-          ~init:(fun () -> make_worker s)
-          ~finish:merge_memo
-          run_task leaves
+  seed task.ttarget;
+  let stack : sframe Stack.t = Stack.create () in
+  let start n depth emit =
+    match enter w n depth with
+    | Done r -> Some r
+    | Expand (succs, base) ->
+        Stack.push
+          {
+            fn = n;
+            fdepth = depth;
+            femit = emit;
+            fsuccs = succs;
+            fnext = 0;
+            facc = base;
+            ftaint = max_taint;
+            fpeak = depth;
+          }
+          stack;
+        None
+  in
+  let merge (f : sframe) ((tr, t, pk) : Traceset.t * int * int) emit =
+    let tr = match emit with Some v -> Traceset.prepend v tr | None -> tr in
+    f.facc <- Traceset.union f.facc tr;
+    f.ftaint <- min f.ftaint t;
+    f.fpeak <- max f.fpeak pk
+  in
+  (* Convert the whole stack into join frames, bottom (task root)
+     first so each frame's parent target exists before the frame.
+     Every frame except the deepest has one in-progress child — the
+     next frame — wired into its slot 0; unstarted children become
+     tasks, pushed shallowest-first so thieves (who take the top of
+     the deque) get the biggest remaining subtrees while this worker
+     continues with the deepest. *)
+  let convert () =
+    let frames = Array.of_list (Stack.fold (fun acc f -> f :: acc) [] stack) in
+    Stack.clear stack;
+    let nf = Array.length frames in
+    let tasks = ref [] in
+    let parent = ref task.ttarget in
+    Array.iteri
+      (fun i (f : sframe) ->
+        let rem = Array.length f.fsuccs - f.fnext in
+        let child = if i < nf - 1 then 1 else 0 in
+        let k = rem + child in
+        let jemits = Array.make k None in
+        let jslots = Array.make k None in
+        if child = 1 then jemits.(0) <- frames.(i + 1).femit;
+        for r = 0 to rem - 1 do
+          jemits.(child + r) <- f.fsuccs.(f.fnext + r).emit
+        done;
+        let jf =
+          {
+            jn = f.fn;
+            jdepth = f.fdepth;
+            jparent = !parent;
+            jbase = f.facc;
+            jtaint = f.ftaint;
+            jpeak = f.fpeak;
+            jemits;
+            jslots;
+            jpending = Atomic.make k;
+          }
+        in
+        for r = 0 to rem - 1 do
+          tasks :=
+            {
+              tn = f.fsuccs.(f.fnext + r).next;
+              tdepth = f.fdepth + 1;
+              ttarget = Slot (jf, child + r);
+            }
+            :: !tasks
+        done;
+        parent := Slot (jf, 0))
+      frames;
+    (* Share the freshly computed cache entries along with the work:
+       the thief will need exactly them. *)
+    publish_now w;
+    List.iter (Pool.Deque.push sd.deques.(w.id)) (List.rev !tasks)
+  in
+  (* Convert only when there is something to share beyond this
+     worker's own continuation; otherwise a chain of unary nodes would
+     pay a join frame per node while thieves starve anyway. *)
+  let shareable () =
+    Stack.fold (fun acc f -> acc + Array.length f.fsuccs - f.fnext) 0 stack
+  in
+  let want_split () =
+    w.parallel
+    && Atomic.get sd.hungry > 0
+    && Pool.Deque.is_empty sd.deques.(w.id)
+    && shareable () >= 2
+  in
+  match start task.tn task.tdepth None with
+  | Some r -> deliver w sd task.ttarget r
+  | None ->
+      let rec loop () =
+        if not (Stack.is_empty stack) then begin
+          let f = Stack.top stack in
+          if f.fnext < Array.length f.fsuccs then
+            if want_split () then convert ()
+            else begin
+              let { emit; next } = f.fsuccs.(f.fnext) in
+              f.fnext <- f.fnext + 1;
+              (match start next (f.fdepth + 1) emit with
+              | Some r -> merge f r emit
+              | None -> ());
+              loop ()
+            end
+          else begin
+            (* close the top frame *)
+            NodeTbl.remove w.on_stack f.fn;
+            let r =
+              if w.s.cfg.Config.memoize && f.ftaint >= f.fdepth && f.ftaint >= 0
+              then begin
+                (* No dependency below this node on the stack (cycle
+                   heads close here) and no cut anywhere in the
+                   subtree: safe to memoize, with the peak made
+                   depth-relative. *)
+                memo_store w f.fn (f.facc, f.fpeak - f.fdepth);
+                (f.facc, max_taint, f.fpeak)
+              end
+              else (f.facc, f.ftaint, f.fpeak)
+            in
+            ignore (Stack.pop stack);
+            if Stack.is_empty stack then deliver w sd task.ttarget r
+            else begin
+              merge (Stack.top stack) r f.femit;
+              loop ()
+            end
+          end
+        end
       in
-      List.iter2 (fun leaf r -> leaf.presolved <- Some r) leaves results);
-  let traces, _, _ = fold_plan s.cfg proot in
-  traces
+      loop ()
 
-let effective_domains cfg = max 1 (min cfg.Config.domains Pool.domain_cap)
+(* ------------------------------------------------------------------ *)
+(* The per-worker scheduler loop: pop own deque (LIFO — depth first),
+   steal from the others (FIFO — biggest subtrees), back off when the
+   whole system is out of work but not yet finished. *)
+
+let idle_backoff n =
+  if n < 16 then Domain.cpu_relax ()
+  else Unix.sleepf (Float.min 0.0005 (2e-5 *. float_of_int (n - 15)))
+
+let run_one w sd t =
+  try Pool.timed (fun () -> exec w sd t)
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    ignore (Atomic.compare_and_set sd.failure None (Some (e, bt)))
+
+let sched_loop w sd =
+  let j = Array.length sd.deques in
+  let hungry = ref false in
+  let go_hungry () =
+    if not !hungry then begin
+      hungry := true;
+      Atomic.incr sd.hungry
+    end
+  in
+  let fed () =
+    if !hungry then begin
+      hungry := false;
+      Atomic.decr sd.hungry
+    end
+  in
+  let try_steal () =
+    let found = ref None in
+    let k = ref 1 in
+    while !found = None && !k < j do
+      (match Pool.Deque.steal sd.deques.((w.id + !k) mod j) with
+      | Some t -> found := Some t
+      | None -> ());
+      incr k
+    done;
+    !found
+  in
+  let rec loop idle =
+    if Atomic.get sd.finished || Atomic.get sd.failure <> None then ()
+    else
+      match Pool.Deque.pop sd.deques.(w.id) with
+      | Some t ->
+          run_one w sd t;
+          loop 0
+      | None -> (
+          go_hungry ();
+          match try_steal () with
+          | Some t ->
+              fed ();
+              run_one w sd t;
+              loop 0
+          | None ->
+              if Atomic.get sd.finished || Atomic.get sd.failure <> None then ()
+              else begin
+                if w.parallel then absorb w;
+                idle_backoff idle;
+                loop (idle + 1)
+              end)
+  in
+  loop 0;
+  fed ()
+
+(* Merge this worker's local tables into the end-of-search aggregates
+   and flush its stats batch.  Runs on every worker, success or not
+   ([Fun.protect] in [traces_of]). *)
+let finish_worker w =
+  Obs.Trace.span ~cat:"explore" "memo" (fun () ->
+      let s = w.s in
+      Mutex.lock s.merge_lock;
+      NodeTbl.iter (fun n e -> NodeTbl.replace s.memo_merged n e) w.memo;
+      CertTbl.iter (fun k v -> CertTbl.replace s.cert_merged k v) w.cert_cache;
+      CertTbl.iter (fun k v -> CertTbl.replace s.cand_merged k v) w.cand_cache;
+      Mutex.unlock s.merge_lock;
+      Stats.Local.flush w.ls s.stats)
+
+(* Run the search at width [j] (the calling domain is worker 0; [j=1]
+   spawns nothing and the whole scheduler degenerates to the plain
+   depth-first walk: no thief ever registers hunger, so [want_split]
+   is never even probed past its [parallel] flag). *)
+let traces_of s root j =
+  let sd =
+    {
+      deques = Array.init j (fun _ -> Pool.Deque.create ());
+      hungry = Atomic.make 0;
+      finished = Atomic.make false;
+      result = Atomic.make None;
+      failure = Atomic.make None;
+    }
+  in
+  Pool.Deque.push sd.deques.(0) { tn = root; tdepth = 0; ttarget = Root };
+  let worker id =
+    let w = make_worker ~id ~parallel:(j > 1) s in
+    Fun.protect ~finally:(fun () -> finish_worker w) (fun () -> sched_loop w sd)
+  in
+  let spawned =
+    List.init (j - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+  in
+  (* Every spawned domain is joined no matter how worker 0 exits; a
+     failing join must not abandon the remaining joins, so errors are
+     collected and the first one re-raised after the sweep. *)
+  let spawn_err = ref None in
+  let join_all () =
+    List.iter
+      (fun d ->
+        try Domain.join d
+        with e ->
+          if !spawn_err = None then
+            spawn_err := Some (e, Printexc.get_raw_backtrace ()))
+      spawned
+  in
+  Fun.protect ~finally:join_all (fun () -> worker 0);
+  (match Atomic.get sd.failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  (match !spawn_err with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  match Atomic.get sd.result with
+  | Some (traces, _, _) -> traces
+  | None -> assert false
+
+(* The requested width, clamped.  [Pool.domain_cap] always applies;
+   the hardware core count applies unless the caller explicitly asked
+   to oversubscribe — on a machine with fewer cores than requested
+   domains, extra domains cannot run anything in parallel, but they do
+   multiply GC stop-the-world synchronizations and stretch the
+   cache-publication latency to whole scheduler quanta, which is
+   exactly the anti-scaling the width request was trying to avoid. *)
+let effective_domains cfg =
+  let cap =
+    if cfg.Config.oversubscribe then Pool.domain_cap else Pool.recommended ()
+  in
+  max 1 (min cfg.Config.domains cap)
 
 let finish_stats s =
   Atomic.set s.stats.Stats.memo_size (NodeTbl.length s.memo_merged);
   Atomic.set s.stats.Stats.cert_cache_size
-    (CertShards.length s.cert_cache + CertShards.length s.cand_cache);
+    (CertTbl.length s.cert_merged + CertTbl.length s.cand_merged);
   Stats.finish s.stats
 
 let record_domains s used =
@@ -669,18 +1015,11 @@ let behaviors ?(config = Config.default) disc (p : Lang.Ast.program) =
   | Error e -> Error e
   | Ok world ->
       let s = make_search p.Lang.Ast.code p.Lang.Ast.atomics disc config in
-      let root = { Node.world; bit = true; promised = TidMap.empty } in
+      let root = Node.make ~world ~bit:true ~promised:TidMap.empty in
       let j = effective_domains config in
       record_domains s j;
       let traces =
-        Obs.Trace.span ~cat:"explore" "enumerate" (fun () ->
-            if j <= 1 then begin
-              let w = make_worker s in
-              let traces, _, _ = dfs w root 0 in
-              merge_memo w;
-              traces
-            end
-            else parallel_traces s root j)
+        Obs.Trace.span ~cat:"explore" "enumerate" (fun () -> traces_of s root j)
       in
       finish_stats s;
       let completeness =
@@ -710,7 +1049,7 @@ let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
          so it stays single-domain; [Race.check_all] parallelizes at
          the granularity of whole scans instead. *)
       record_domains s 1;
-      let w = make_worker s in
+      let w = make_worker ~id:0 ~parallel:false s in
       (* Best (lowest) depth each node was expanded at.  Marking a node
          visited at the depth it is *first* seen is wrong under a step
          budget: a node first reached near [max_steps] would never be
@@ -722,8 +1061,8 @@ let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
       let best = NodeTbl.create 1024 in
       let rec visit (n : Node.t) depth =
         if depth >= s.cfg.Config.max_steps then
-          Atomic.incr s.stats.Stats.cuts
-        else if budget_stop w <> None || node_fault_fires s n then
+          w.ls.L.cuts <- w.ls.L.cuts + 1
+        else if budget_stop w <> None || node_fault_fires w n then
           (* Budget or fault: skip the subtree.  The stats counters
              record the reason, so callers recover completeness via
              [Stats.truncation_reasons]. *)
@@ -733,26 +1072,25 @@ let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
           match prev with
           | Some d when d <= depth -> ()
           | _ ->
-              Stats.record_max s.stats.Stats.peak_depth depth;
+              if depth > w.ls.L.peak_depth then w.ls.L.peak_depth <- depth;
               NodeTbl.replace best n depth;
               let first = prev = None in
               if first then begin
-                Atomic.incr s.stats.Stats.nodes;
+                count_node w;
                 let ts = Ps.Machine.cur_ts n.world in
-                let committed = consistent s ts n.world.Ps.Machine.mem in
+                let committed = consistent w ts n.world.Ps.Machine.mem in
                 f ~committed n.Node.world
               end;
-              let succs = successors s n in
+              let succs = successors w n in
               if first then
-                ignore
-                  (Atomic.fetch_and_add s.stats.Stats.transitions
-                     (List.length succs));
+                w.ls.L.transitions <- w.ls.L.transitions + List.length succs;
               List.iter (fun { next; _ } -> visit next (depth + 1)) succs
       in
       Obs.Trace.span ~cat:"explore" "enumerate" (fun () ->
-          visit { Node.world; bit = true; promised = TidMap.empty } 0);
+          visit (Node.make ~world ~bit:true ~promised:TidMap.empty) 0);
+      Stats.Local.flush w.ls s.stats;
       Atomic.set s.stats.Stats.memo_size (NodeTbl.length best);
       Atomic.set s.stats.Stats.cert_cache_size
-        (CertShards.length s.cert_cache + CertShards.length s.cand_cache);
+        (CertTbl.length w.cert_cache + CertTbl.length w.cand_cache);
       Stats.finish s.stats;
       Ok s.stats

@@ -1,15 +1,15 @@
-(* A hand-rolled work-sharing pool over OCaml 5 domains.
+(* A hand-rolled work-stealing pool over OCaml 5 domains.
 
-   No external dependencies: a [Mutex]/[Condition]-protected queue of
-   indexed tasks, a fixed set of worker domains (the calling domain
-   participates as one of them), and results gathered positionally so
-   the merge order is deterministic regardless of which domain ran
-   which task.
+   No external dependencies.  Each worker owns a Chase–Lev deque: the
+   owner pushes and pops one end without locks, idle workers steal
+   single tasks from the other end with a CAS.  The calling domain
+   participates as worker 0, so [~j:1] spawns nothing.
 
-   The pool is batch-oriented: [map]/[map_with] enqueue the whole
-   input, close the queue, and join.  Worker exceptions are captured
-   per task and re-raised in task order after the join, so a failure
-   is reported identically at every [j]. *)
+   Results are gathered positionally and worker exceptions are
+   captured per task and re-raised in task order after the join, so a
+   failure is reported identically at every [j].  Spawned domains are
+   always joined — even when [init]/[finish] raises on the
+   coordinating domain — via a [Fun.protect] finalizer. *)
 
 let domain_cap = 8
 
@@ -17,54 +17,125 @@ let recommended () =
   max 1 (min domain_cap (Domain.recommended_domain_count ()))
 
 (* ------------------------------------------------------------------ *)
-(* The shared queue.  Tasks are indices into the input array; [closed]
-   lets workers distinguish "momentarily empty" from "drained". *)
+(* Chase–Lev work-stealing deque.
 
-type queue = {
-  m : Mutex.t;
-  nonempty : Condition.t;
-  q : int Queue.t;
-  mutable closed : bool;
-}
+   [top] and [bottom] are SC atomics; the buffer is a growable
+   circular array published through an [Atomic] so thieves holding a
+   stale pointer still read a coherent (frozen) copy.  [top] is
+   monotonically increasing, which rules out ABA on the steal CAS.
+   Only the owner calls [push]/[pop]; any domain may [steal].  Slots
+   are ['a option] so an empty slot needs no dummy value; stale slots
+   are not cleared — the retained references are bounded by the buffer
+   size and die with the deque. *)
 
-let queue_create () =
-  {
-    m = Mutex.create ();
-    nonempty = Condition.create ();
-    q = Queue.create ();
-    closed = false;
+module Deque = struct
+  type 'a t = {
+    top : int Atomic.t;
+    bottom : int Atomic.t;
+    buf : 'a option array Atomic.t;
   }
 
-let queue_push qu i =
-  Mutex.lock qu.m;
-  Queue.push i qu.q;
-  Condition.signal qu.nonempty;
-  Mutex.unlock qu.m
+  let create () =
+    { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (Array.make 16 None) }
 
-let queue_close qu =
-  Mutex.lock qu.m;
-  qu.closed <- true;
-  Condition.broadcast qu.nonempty;
-  Mutex.unlock qu.m
+  let grow d b t a =
+    let n = Array.length a in
+    let a' = Array.make (2 * n) None in
+    for i = t to b - 1 do
+      a'.(i land ((2 * n) - 1)) <- a.(i land (n - 1))
+    done;
+    Atomic.set d.buf a';
+    a'
 
-let queue_pop qu =
-  Mutex.lock qu.m;
-  let rec wait () =
-    match Queue.take_opt qu.q with
-    | Some i ->
-        Mutex.unlock qu.m;
-        Some i
-    | None ->
-        if qu.closed then begin
-          Mutex.unlock qu.m;
-          None
-        end
-        else begin
-          Condition.wait qu.nonempty qu.m;
-          wait ()
-        end
-  in
-  wait ()
+  (* owner only *)
+  let push d v =
+    let b = Atomic.get d.bottom in
+    let t = Atomic.get d.top in
+    let a = Atomic.get d.buf in
+    let a = if b - t >= Array.length a then grow d b t a else a in
+    a.(b land (Array.length a - 1)) <- Some v;
+    Atomic.set d.bottom (b + 1)
+
+  (* owner only *)
+  let pop d =
+    let b = Atomic.get d.bottom - 1 in
+    Atomic.set d.bottom b;
+    let t = Atomic.get d.top in
+    if b < t then begin
+      (* empty: restore the canonical empty state *)
+      Atomic.set d.bottom t;
+      None
+    end
+    else begin
+      let a = Atomic.get d.buf in
+      let v = a.(b land (Array.length a - 1)) in
+      if b > t then v
+      else begin
+        (* last element: race the thieves for it *)
+        let won = Atomic.compare_and_set d.top t (t + 1) in
+        Atomic.set d.bottom (t + 1);
+        if won then v else None
+      end
+    end
+
+  (* any domain.  [None] means empty or lost the race — callers retry
+     elsewhere. *)
+  let steal d =
+    let t = Atomic.get d.top in
+    let b = Atomic.get d.bottom in
+    if t >= b then None
+    else begin
+      let a = Atomic.get d.buf in
+      let v = a.(t land (Array.length a - 1)) in
+      if Atomic.compare_and_set d.top t (t + 1) then v else None
+    end
+
+  let is_empty d = Atomic.get d.top >= Atomic.get d.bottom
+end
+
+(* ------------------------------------------------------------------ *)
+(* A lock-free single-direction publication channel: producers CAS
+   immutable batches onto a cons-list head, consumers remember the
+   last head they saw ([mark]) and absorb only the batches published
+   since.  When nothing new was published, [drain] is a single atomic
+   load and a physical-equality test.
+
+   Intended for publishing domain-local cache entries whose values are
+   pure functions of their key: batches are never removed, every
+   consumer eventually sees every batch, and seeing an entry twice is
+   benign. *)
+
+module Chan = struct
+  type 'a node = Nil | Cons of { batch : 'a array; next : 'a node }
+  type 'a t = 'a node Atomic.t
+  type 'a mark = 'a node
+
+  let create () : 'a t = Atomic.make Nil
+  let genesis : 'a mark = Nil
+  let mark (t : 'a t) : 'a mark = Atomic.get t
+
+  let publish t batch =
+    if Array.length batch > 0 then begin
+      let rec go () =
+        let head = Atomic.get t in
+        if not (Atomic.compare_and_set t head (Cons { batch; next = head })) then go ()
+      in
+      go ()
+    end
+
+  let drain t ~(since : 'a mark) ~f : 'a mark =
+    let head = Atomic.get t in
+    let rec go n =
+      if n != since then
+        match n with
+        | Nil -> ()
+        | Cons { batch; next } ->
+            Array.iter f batch;
+            go next
+    in
+    go head;
+    head
+end
 
 (* ------------------------------------------------------------------ *)
 
@@ -74,43 +145,125 @@ let queue_pop qu =
 let task_hist =
   Obs.Metrics.histogram ~help:"Pool task run time" "psopt_pool_task_duration_ns"
 
-let run_task f w x =
-  Obs.Trace.span ~cat:"pool" "pool.task" (fun () ->
-      Obs.Metrics.time task_hist (fun () -> f w x))
+let timed f =
+  Obs.Trace.span ~cat:"pool" "pool.task" (fun () -> Obs.Metrics.time task_hist f)
+
+let run_task f w x = timed (fun () -> f w x)
+
+(* Exponential idle backoff.  On an undersubscribed machine a spinning
+   thief steals time slices from the domain actually doing the work,
+   so after a few [cpu_relax] rounds we yield to the scheduler. *)
+let backoff n =
+  if n < 16 then Domain.cpu_relax ()
+  else Unix.sleepf (Float.min 0.0005 (2e-5 *. float_of_int (n - 15)))
 
 let map_with ~j ~init ~finish f xs =
   let n = List.length xs in
   let j = max 1 (min j n) in
   if j <= 1 then begin
     let w = init () in
-    let r = List.map (run_task f w) xs in
-    finish w;
-    r
+    match List.map (run_task f w) xs with
+    | r ->
+        finish w;
+        r
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        (try finish w with _ -> ());
+        Printexc.raise_with_backtrace e bt
   end
   else begin
     let input = Array.of_list xs in
     let results = Array.make n None in
-    let qu = queue_create () in
-    Array.iteri (fun i _ -> queue_push qu i) input;
-    queue_close qu;
-    let worker () =
+    let deques = Array.init j (fun _ -> Deque.create ()) in
+    (* Pre-deal tasks round-robin; pushing high indices first makes
+       each owner pop its low indices first (LIFO deque). *)
+    for i = n - 1 downto 0 do
+      Deque.push deques.(i mod j) i
+    done;
+    let remaining = Atomic.make n in
+    let worker me =
       let w = init () in
-      let rec loop () =
-        match queue_pop qu with
-        | None -> ()
-        | Some i ->
-            (results.(i) <-
-               Some
-                 (try Ok (run_task f w input.(i))
-                  with e -> Error (e, Printexc.get_raw_backtrace ())));
-            loop ()
+      (* Hand-rolled finally: [finish] must run exactly once on every
+         exit path, but its own exception must propagate as itself
+         (Fun.protect would wrap it in [Finally_raised], breaking the
+         deterministic-error contract), and a task-loop exception
+         takes precedence over a secondary [finish] failure. *)
+      let finished = ref false in
+      let finish_once () =
+        if not !finished then begin
+          finished := true;
+          finish w
+        end
       in
-      loop ();
-      finish w
+      (fun body ->
+        (match body () with
+        | () -> ()
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            (try finish_once () with _ -> ());
+            Printexc.raise_with_backtrace e bt);
+        finish_once ())
+        (fun () ->
+          let run i =
+            results.(i) <-
+              Some
+                (try Ok (run_task f w input.(i))
+                 with e -> Error (e, Printexc.get_raw_backtrace ()));
+            Atomic.decr remaining
+          in
+          let try_steal () =
+            let found = ref None in
+            let k = ref 1 in
+            while !found = None && !k < j do
+              (match Deque.steal deques.((me + !k) mod j) with
+              | Some i -> found := Some i
+              | None -> ());
+              incr k
+            done;
+            !found
+          in
+          let rec loop idle =
+            match Deque.pop deques.(me) with
+            | Some i ->
+                run i;
+                loop 0
+            | None ->
+                if Atomic.get remaining = 0 then ()
+                else begin
+                  match try_steal () with
+                  | Some i ->
+                      run i;
+                      loop 0
+                  | None ->
+                      if Atomic.get remaining = 0 then ()
+                      else begin
+                        backoff idle;
+                        loop (idle + 1)
+                      end
+                end
+          in
+          loop 0)
     in
-    let spawned = List.init (j - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
+    let spawned = List.init (j - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+    (* Join every spawned domain no matter how the coordinating worker
+       exits; a worker failure during join must not abandon the rest,
+       so joins never raise directly — the first failure is re-raised
+       after the sweep (coordinator failures take precedence via
+       Fun.protect). *)
+    let spawn_err = ref None in
+    let join_all () =
+      List.iter
+        (fun d ->
+          try Domain.join d
+          with e ->
+            if !spawn_err = None then
+              spawn_err := Some (e, Printexc.get_raw_backtrace ()))
+        spawned
+    in
+    Fun.protect ~finally:join_all (fun () -> worker 0);
+    (match !spawn_err with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
     Array.to_list results
     |> List.map (function
          | Some (Ok v) -> v
@@ -118,7 +271,8 @@ let map_with ~j ~init ~finish f xs =
          | None -> assert false)
   end
 
-let map ~j f xs = map_with ~j ~init:(fun () -> ()) ~finish:(fun () -> ()) (fun () x -> f x) xs
+let map ~j f xs =
+  map_with ~j ~init:(fun () -> ()) ~finish:(fun () -> ()) (fun () x -> f x) xs
 
 (* ------------------------------------------------------------------ *)
 (* Hash-sharded mutex-protected hash tables: one lock per shard so
@@ -160,5 +314,13 @@ module Sharded (H : Hashtbl.HashedType) = struct
     Mutex.unlock s.lock
 
   let length t =
-    Array.fold_left (fun acc s -> acc + T.length s.tbl) 0 t.shards
+    (* Hashtbl reads are not atomic: lock each shard so a concurrent
+       [replace] (resize in flight) cannot be observed mid-update. *)
+    Array.fold_left
+      (fun acc s ->
+        Mutex.lock s.lock;
+        let n = T.length s.tbl in
+        Mutex.unlock s.lock;
+        acc + n)
+      0 t.shards
 end

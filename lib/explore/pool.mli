@@ -1,16 +1,20 @@
-(** A fixed-width domain pool with a hand-rolled work-sharing queue.
+(** A fixed-width domain pool built on per-worker work-stealing
+    deques.
 
-    Workers are OCaml 5 [Domain]s coordinated by a [Mutex]/[Condition]
-    index queue; the calling domain always participates as one of the
-    [j] workers, so [~j:1] spawns nothing and degenerates to
-    [List.map].  Results are returned in input order and worker
-    exceptions are re-raised deterministically (lowest task index
-    first), so observable behaviour is independent of [j]. *)
+    Workers are OCaml 5 [Domain]s, each owning a Chase–Lev deque: the
+    owner pushes and pops one end without locks, idle workers steal
+    the other end with a single CAS.  The calling domain always
+    participates as one of the [j] workers, so [~j:1] spawns nothing
+    and degenerates to [List.map].  Results are returned in input
+    order and worker exceptions are re-raised deterministically
+    (lowest task index first), so observable behaviour is independent
+    of [j].  Spawned domains are joined even when the coordinating
+    worker's [init]/[finish] raises. *)
 
 val domain_cap : int
 (** Hard upper bound on pool width (8): oversubscribing a small core
     count still works (the OS time-slices the domains), but unbounded
-    widths only add queue and counter contention. *)
+    widths only add counter contention. *)
 
 val recommended : unit -> int
 (** [Domain.recommended_domain_count ()] clamped to [1, domain_cap]. *)
@@ -30,7 +34,64 @@ val map_with :
 (** Like {!map} but each worker domain first builds private state with
     [init] (e.g. a domain-local memo table), threads it through every
     task it executes, and hands it to [finish] before joining (e.g. to
-    merge the local table into a global one). *)
+    merge the local table into a global one).  [finish] runs on every
+    worker that ran [init], even when a task or another worker's
+    [init] raised. *)
+
+val timed : (unit -> 'a) -> 'a
+(** Run a thunk under the pool's task instrumentation: an
+    [Obs.Trace] "pool.task" span plus the
+    [psopt_pool_task_duration_ns] histogram.  Exposed so schedulers
+    that bypass {!map} (e.g. {!Enum}'s subtree tasks) feed the same
+    load-balance histogram. *)
+
+(** Chase–Lev work-stealing deque.  Single owner: only the creating
+    worker may call {!Deque.push}/{!Deque.pop}; any domain may
+    {!Deque.steal}.  The owner end is lock-free (plain loads/stores on
+    SC atomics), thieves contend on one CAS.  ABA-free because the
+    steal index only grows. *)
+module Deque : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val steal : 'a t -> 'a option
+  (** [None] = empty, or lost a race with the owner or another thief;
+      callers just move on to the next victim. *)
+
+  val is_empty : 'a t -> bool
+  (** A racy snapshot — exact only for the owner. *)
+end
+
+(** A lock-free publication channel: producers CAS immutable batches
+    onto a shared cons-list, consumers keep a {!Chan.mark} (the last
+    head they saw) and {!Chan.drain} only the batches published since.
+    When nothing new was published, [drain] costs one atomic load.
+    For domain-local cache entries whose values are pure functions of
+    their key: delivery is at-least-once per consumer and unordered,
+    both benign for such entries. *)
+module Chan : sig
+  type 'a t
+  type 'a mark
+
+  val create : unit -> 'a t
+
+  val genesis : 'a mark
+  (** The before-anything mark: [drain ~since:genesis] sees every
+      batch ever published.  Valid for any channel. *)
+
+  val mark : 'a t -> 'a mark
+  (** The current head: a [drain ~since:(mark t)] would do nothing. *)
+
+  val publish : 'a t -> 'a array -> unit
+  (** Publish a batch.  The array must not be mutated afterwards.
+      Empty batches are skipped. *)
+
+  val drain : 'a t -> since:'a mark -> f:('a -> unit) -> 'a mark
+  (** Apply [f] to every entry published since [since] (newest batch
+      first) and return the new mark. *)
+end
 
 (** Hash-sharded hash tables: a power-of-two array of
     mutex-protected [Hashtbl.Make(H)] shards indexed by key hash, so
@@ -46,5 +107,8 @@ module Sharded (H : Hashtbl.HashedType) : sig
 
   val find_opt : 'a t -> H.t -> 'a option
   val replace : 'a t -> H.t -> 'a -> unit
+
   val length : 'a t -> int
+  (** Total entry count; takes each shard lock in turn (consistent
+      per shard, not across shards). *)
 end

@@ -55,6 +55,106 @@ let create () =
 
 let elapsed_ms s = Obs.Clock.ms_of_ns (Atomic.get s.elapsed_ns)
 
+let record_max c v =
+  let rec go () =
+    let cur = Atomic.get c in
+    if v > cur && not (Atomic.compare_and_set c cur v) then go ()
+  in
+  go ()
+
+(* ---- domain-local batch ----
+   The parallel engine bumps these plain mutable fields on its hot
+   path (one store each, no cache-line ping-pong between domains) and
+   [flush]es them into the shared atomics when a worker finishes or at
+   its periodic probe tick.  Readers of [t] mid-search therefore see a
+   slightly stale but always-consistent-per-flush view; the final
+   numbers are exact because every worker flushes before the join. *)
+
+module Local = struct
+  type shared = t
+
+  type t = {
+    mutable nodes : int;
+    mutable transitions : int;
+    mutable memo_hits : int;
+    mutable cert_checks : int;
+    mutable cert_cache_hits : int;
+    mutable cert_runs : int;
+    mutable cert_trivial : int;
+    mutable cert_faults : int;
+    mutable cand_cache_hits : int;
+    mutable cycles : int;
+    mutable cuts : int;
+    mutable promises : int;
+    mutable peak_depth : int;
+    mutable deadline_hits : int;
+    mutable node_budget_hits : int;
+    mutable oom_hits : int;
+    mutable promise_budget_hits : int;
+    mutable faults_injected : int;
+  }
+
+  let create () =
+    {
+      nodes = 0;
+      transitions = 0;
+      memo_hits = 0;
+      cert_checks = 0;
+      cert_cache_hits = 0;
+      cert_runs = 0;
+      cert_trivial = 0;
+      cert_faults = 0;
+      cand_cache_hits = 0;
+      cycles = 0;
+      cuts = 0;
+      promises = 0;
+      peak_depth = 0;
+      deadline_hits = 0;
+      node_budget_hits = 0;
+      oom_hits = 0;
+      promise_budget_hits = 0;
+      faults_injected = 0;
+    }
+
+  let flush (l : t) (s : shared) =
+    let add c v = if v > 0 then ignore (Atomic.fetch_and_add c v) in
+    add s.nodes l.nodes;
+    l.nodes <- 0;
+    add s.transitions l.transitions;
+    l.transitions <- 0;
+    add s.memo_hits l.memo_hits;
+    l.memo_hits <- 0;
+    add s.cert_checks l.cert_checks;
+    l.cert_checks <- 0;
+    add s.cert_cache_hits l.cert_cache_hits;
+    l.cert_cache_hits <- 0;
+    add s.cert_runs l.cert_runs;
+    l.cert_runs <- 0;
+    add s.cert_trivial l.cert_trivial;
+    l.cert_trivial <- 0;
+    add s.cert_faults l.cert_faults;
+    l.cert_faults <- 0;
+    add s.cand_cache_hits l.cand_cache_hits;
+    l.cand_cache_hits <- 0;
+    add s.cycles l.cycles;
+    l.cycles <- 0;
+    add s.cuts l.cuts;
+    l.cuts <- 0;
+    add s.promises l.promises;
+    l.promises <- 0;
+    add s.deadline_hits l.deadline_hits;
+    l.deadline_hits <- 0;
+    add s.node_budget_hits l.node_budget_hits;
+    l.node_budget_hits <- 0;
+    add s.oom_hits l.oom_hits;
+    l.oom_hits <- 0;
+    add s.promise_budget_hits l.promise_budget_hits;
+    l.promise_budget_hits <- 0;
+    add s.faults_injected l.faults_injected;
+    l.faults_injected <- 0;
+    record_max s.peak_depth l.peak_depth
+end
+
 (* ---- metrics-registry mirror ----
    Cumulative process-wide counters absorbing the per-search [t]
    values; the exact cert partition survives as label values of one
@@ -92,13 +192,6 @@ let m_truncated =
   Obs.Metrics.counter ~help:"Explorations finished incomplete"
     "psopt_explore_truncated_total"
 
-
-let record_max c v =
-  let rec go () =
-    let cur = Atomic.get c in
-    if v > cur && not (Atomic.compare_and_set c cur v) then go ()
-  in
-  go ()
 
 let truncation_reasons s =
   let add cond r acc = if cond then r :: acc else acc in

@@ -89,6 +89,45 @@ module Service : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** A domain-local unsynchronized mirror of the hot counters.  The
+    parallel engine bumps these plain mutable fields per node/check
+    (one store, no shared-cache-line traffic) and {!Local.flush}es
+    them into the shared atomics at worker exit and at the periodic
+    probe tick, so the final shared numbers are exact while the hot
+    path never touches contended memory.  [peak_depth] flushes via
+    {!record_max}. *)
+module Local : sig
+  type shared := t
+
+  type t = {
+    mutable nodes : int;
+    mutable transitions : int;
+    mutable memo_hits : int;
+    mutable cert_checks : int;
+    mutable cert_cache_hits : int;
+    mutable cert_runs : int;
+    mutable cert_trivial : int;
+    mutable cert_faults : int;
+    mutable cand_cache_hits : int;
+    mutable cycles : int;
+    mutable cuts : int;
+    mutable promises : int;
+    mutable peak_depth : int;
+    mutable deadline_hits : int;
+    mutable node_budget_hits : int;
+    mutable oom_hits : int;
+    mutable promise_budget_hits : int;
+    mutable faults_injected : int;
+  }
+
+  val create : unit -> t
+
+  val flush : t -> shared -> unit
+  (** Add every nonzero field into the shared record and zero it, so
+      flushing is idempotent-by-construction and may run any number of
+      times per worker. *)
+end
+
 val create : unit -> t
 
 val record_max : int Atomic.t -> int -> unit

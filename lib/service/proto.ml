@@ -203,6 +203,11 @@ let config_of_sexp s =
           strict_promises;
           fault;
           domains;
+          (* pure performance knobs (like [domains] they cannot change
+             results), deliberately not on the wire: the server's
+             defaults apply *)
+          oversubscribe = default.oversubscribe;
+          publish_period = default.publish_period;
         }
   | s -> Error ("bad config " ^ to_string s)
 

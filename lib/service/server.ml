@@ -142,8 +142,19 @@ let run_work (w : Proto.work) (config : Explore.Config.t) :
    inconclusive ones (exit 2) are cached with their budget so only a
    no-larger-budget request can reuse them; errors (exit 3) are never
    cached. *)
+(* Work request service time.  Recorded here in [serve_work] — the one
+   path every work request funnels through, whether it arrives via the
+   daemon, the batch client or a direct embedding like the bench — so
+   the histogram is never empty when work was actually served.  The
+   daemon's cached-only fast path (which answers without entering
+   [serve_work]) records into the same histogram separately. *)
+let request_hist =
+  Obs.Metrics.histogram ~help:"Work request service time (store hit or full run)"
+    "psopt_service_request_duration_ns"
+
 let serve_work ?store ~(stats : Explore.Stats.Service.t) (w : Proto.work)
     (config : Explore.Config.t) : Proto.response =
+  Obs.Metrics.time request_hist @@ fun () ->
   match Proto.program_of_work w with
   | Error msg ->
       Atomic.incr stats.errors;
@@ -217,10 +228,6 @@ let g_corrupt = Obs.Metrics.gauge ~help:"Damaged store records served as misses"
 let g_inflight = Obs.Metrics.gauge ~help:"Admitted work requests (running + queued)" "psopt_service_inflight"
 let g_capacity = Obs.Metrics.gauge ~help:"Admission queue bound" "psopt_service_queue_capacity"
 
-let request_hist =
-  Obs.Metrics.histogram ~help:"Work request service time (store hit or full run)"
-    "psopt_service_request_duration_ns"
-
 let track_conn st fd =
   let l, m = st.conns in
   Mutex.lock m;
@@ -271,9 +278,12 @@ let handle_request st = function
   | Proto.Work (w, config) ->
       if Atomic.get st.stop then Proto.Refused "server is shutting down"
       else begin
-        Obs.Metrics.time request_hist @@ fun () ->
         (* Cached answers bypass the gate entirely: a hit is a disk
-           read, not a search. *)
+           read, not a search.  The fast path records its service time
+           here only when it actually answers; the slow path
+           self-times inside [serve_work] — exactly one histogram
+           sample per work request either way. *)
+        let t0 = Obs.Clock.now_ns () in
         let cached_only =
           match (st.store, Proto.program_of_work w) with
           | Some store, Ok prog ->
@@ -291,6 +301,7 @@ let handle_request st = function
         | Some e ->
             Atomic.incr st.stats.store_hits;
             Atomic.incr st.stats.served;
+            Obs.Metrics.observe_ns request_hist (Obs.Clock.now_ns () - t0);
             Proto.Reply
               {
                 exit_code = e.Store.exit_code;

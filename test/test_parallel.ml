@@ -15,7 +15,12 @@ let outs_of (o : Explore.Enum.outcome) =
   Explore.Traceset.done_outs o.Explore.Enum.traces
   |> List.map sorted |> List.sort_uniq compare
 
-let at_j j config = { config with Explore.Config.domains = j }
+(* Force oversubscription: the point of this suite is to exercise the
+   multi-domain engine (stealing, publication, merging) even when the
+   host has a single core and the production policy would clamp the
+   width to 1. *)
+let at_j j config =
+  { config with Explore.Config.domains = j; oversubscribe = j > 1 }
 
 let run ~j ?(config = Explore.Config.default) disc prog =
   Explore.Enum.behaviors_exn ~config:(at_j j config) disc prog
@@ -179,6 +184,71 @@ let test_domain_reporting () =
     "recommended >= 1" true
     (Atomic.get o.Explore.Enum.stats.Explore.Stats.domains_recommended >= 1)
 
+(* 5b. Skew-heavy workloads: one huge subtree (a long straight-line
+   thread whose padding makes its state chain deep) next to several
+   tiny single-store writers.  This is the adversarial shape for
+   work-stealing — the pre-planned frontier of the old engine parked
+   every domain behind the one big task — and the determinism contract
+   must hold at every width anyway. *)
+let skew ~pad ~writers =
+  let h1 = pad / 2 in
+  let h2 = pad - h1 in
+  let open Lang.Build in
+  let padding n = List.init n (fun _ -> assign "a" (r "a" + i 1)) in
+  let wname k = Printf.sprintf "w%d" k in
+  program ~atomics:[ "x" ]
+    (proc "big"
+       [
+         blk "L0"
+           ([ assign "a" (i 0) ]
+           @ padding h1
+           @ [ load "r1" "x" ~mode:Lang.Modes.Rlx ]
+           @ padding h2
+           @ [
+               load "r2" "x" ~mode:Lang.Modes.Rlx;
+               print (r "r1");
+               print (r "r2");
+             ])
+           ret;
+       ]
+    :: List.init writers (fun k ->
+           proc (wname k)
+             [
+               blk "L0"
+                 [ store "x" ~mode:Lang.Modes.WRlx (i (Stdlib.( + ) k 1)) ]
+                 ret;
+             ]))
+    ~threads:("big" :: List.init writers wname)
+
+let test_skew_equivalence () =
+  List.iter
+    (fun (name, prog) ->
+      List.iter
+        (fun disc ->
+          let o1 = run ~j:1 disc prog in
+          List.iter
+            (fun j ->
+              let oj = run ~j disc prog in
+              let label =
+                Format.asprintf "%s %a j=%d" name Explore.Enum.pp_discipline
+                  disc j
+              in
+              Alcotest.(check bool)
+                (label ^ ": traceset equal")
+                true
+                (Explore.Traceset.equal o1.Explore.Enum.traces
+                   oj.Explore.Enum.traces);
+              Alcotest.(check string)
+                (label ^ ": completeness equal")
+                (Format.asprintf "%a" pp_comp o1.Explore.Enum.completeness)
+                (Format.asprintf "%a" pp_comp oj.Explore.Enum.completeness))
+            [ 2; 4 ])
+        [ Explore.Enum.Interleaving; Explore.Enum.Non_preemptive ])
+    [
+      ("skew 12/2", skew ~pad:12 ~writers:2);
+      ("skew 24/2", skew ~pad:24 ~writers:2);
+    ]
+
 (* 6. The pool itself: order preservation, error propagation, shards. *)
 let test_pool () =
   let xs = List.init 100 Fun.id in
@@ -239,6 +309,56 @@ let test_pool_edges () =
   Alcotest.(check (list int)) "concurrent run 1" (List.map succ xs) r1;
   Alcotest.(check (list int)) "concurrent run 2" (List.map succ xs) r2
 
+(* 8. Worker lifecycle (the domain-leak regression): every worker that
+   ran [init] must run [finish] and be joined, no matter what raises.
+   Before the fix, a coordinator-side exception propagated before the
+   join loop, abandoning the spawned domains (a leak that eventually
+   exhausts the runtime's domain slots).  Observable contract: after
+   the call returns (exceptionally), all [init]ed workers have
+   [finish]ed, the error is the deterministic one, and the pool is
+   immediately reusable. *)
+let test_worker_lifecycle () =
+  let tasks = List.init 16 Fun.id in
+  (* finish raises on every worker, including the coordinator *)
+  let started = Atomic.make 0 and finished = Atomic.make 0 in
+  (match
+     Explore.Pool.map_with ~j:4
+       ~init:(fun () -> Atomic.incr started)
+       ~finish:(fun () ->
+         Atomic.incr finished;
+         failwith "finish-boom")
+       (fun () x -> x)
+       tasks
+   with
+  | exception Failure msg ->
+      Alcotest.(check string) "finish failure propagates" "finish-boom" msg
+  | _ -> Alcotest.fail "expected the finish exception to propagate");
+  Alcotest.(check int)
+    "every init'd worker ran finish (finish raising)"
+    (Atomic.get started) (Atomic.get finished);
+  (* a raising task: lowest index wins, and finish still runs everywhere *)
+  let started = Atomic.make 0 and finished = Atomic.make 0 in
+  (match
+     Explore.Pool.map_with ~j:4
+       ~init:(fun () -> Atomic.incr started)
+       ~finish:(fun () -> Atomic.incr finished)
+       (fun () x ->
+         if x >= 5 then failwith (Printf.sprintf "task-%d" x) else x)
+       tasks
+   with
+  | exception Failure msg ->
+      Alcotest.(check string) "lowest task index wins" "task-5" msg
+  | _ -> Alcotest.fail "expected the task exception to propagate");
+  Alcotest.(check int)
+    "every init'd worker ran finish (task raising)"
+    (Atomic.get started) (Atomic.get finished);
+  (* the pool still works after both exceptional exits (nothing is
+     left wedged: deques drained, domains joined) *)
+  Alcotest.(check (list int))
+    "pool reusable after exceptional runs"
+    (List.map succ tasks)
+    (Explore.Pool.map ~j:4 succ tasks)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -248,6 +368,8 @@ let () =
             `Slow test_equivalence_seeds;
           Alcotest.test_case "litmus corpus exact at j=4" `Quick
             test_equivalence_corpus;
+          Alcotest.test_case "skew-heavy workloads, both disciplines" `Quick
+            test_skew_equivalence;
         ] );
       ( "soundness",
         [
@@ -266,5 +388,7 @@ let () =
           Alcotest.test_case "order, errors, clamp" `Quick test_pool;
           Alcotest.test_case "edges: empty, all-raise, nested, concurrent"
             `Quick test_pool_edges;
+          Alcotest.test_case "worker lifecycle: finish + join on every exit"
+            `Quick test_worker_lifecycle;
         ] );
     ]

@@ -33,6 +33,8 @@ let gen_config =
           strict_promises;
           fault;
           domains;
+          oversubscribe = Config.default.Config.oversubscribe;
+          publish_period = Config.default.Config.publish_period;
         })
       (quad
          (quad (int_range 1 100_000) (int_range 0 8)
