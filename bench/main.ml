@@ -70,8 +70,10 @@ let failed = ref 0
 (* Collected for [--json]. *)
 let json_rows : (string * string * bool) list ref = ref []
 
+(* workload, t1, t2, t4, deterministic, gate floor applied to this
+   row, whether the row cleared it *)
 let json_scaling :
-    (string * float * float * float * bool) list ref =
+    (string * float * float * float * bool * float * bool) list ref =
   ref []
 
 let row id claim ok =
@@ -633,19 +635,26 @@ let scaling_table ~timings () =
         | Full when is_cert_heavy -> cert_floor
         | Full | Clamped -> all_floor
       in
-      if s4 < floor then begin
+      let row_gate_ok = s4 >= floor in
+      if not row_gate_ok then begin
         gate_ok := false;
         Format.printf
           "%-22s scaling gate FAIL: speedup_j4 %.2f < %.2f (%s mode)@." name
           s4 floor
           (match mode with Full -> "full" | Clamped -> "clamped")
       end;
-      json_scaling := (name, t1, t2, t4, ok) :: !json_scaling;
+      json_scaling :=
+        (name, t1, t2, t4, ok, floor, row_gate_ok) :: !json_scaling;
       if timings then
-        Format.printf "%-22s %9.3fs %9.3fs %9.3fs %7.2fx@." name t1 t2 t4 s4
+        Format.printf "%-22s %9.3fs %9.3fs %9.3fs %7.2fx (floor %.2f %s)@."
+          name t1 t2 t4 s4 floor
+          (if row_gate_ok then "ok" else "FAIL")
       else if ok then
-        Format.printf "%-22s identical traces+completeness at j=1/2/4  ok@."
-          name)
+        Format.printf
+          "%-22s identical traces+completeness at j=1/2/4  ok (gate floor \
+           %.2f %s)@."
+          name floor
+          (if row_gate_ok then "ok" else "FAIL"))
     workloads;
   let mode_s = match mode with Full -> "full" | Clamped -> "clamped" in
   json_gate :=
@@ -801,13 +810,14 @@ let write_json file =
   pf "  \"scaling\": [\n";
   let sc = List.rev !json_scaling in
   List.iteri
-    (fun i (name, t1, t2, t4, ok) ->
+    (fun i (name, t1, t2, t4, ok, floor, row_gate_ok) ->
       pf
         "    {\"workload\": \"%s\", \"t1_s\": %.6f, \"t2_s\": %.6f, \"t4_s\": \
-         %.6f, \"speedup_j4\": %.3f, \"equivalent\": %b}%s\n"
+         %.6f, \"speedup_j4\": %.3f, \"equivalent\": %b, \"gate_floor\": \
+         %.2f, \"gate_ok\": %b}%s\n"
         (json_escape name) t1 t2 t4
         (t1 /. Float.max 1e-9 t4)
-        ok
+        ok floor row_gate_ok
         (if i = List.length sc - 1 then "" else ","))
     sc;
   pf "  ],\n";

@@ -641,6 +641,19 @@ let socket_term =
   let doc = "Unix-domain socket the daemon serves on." in
   Arg.(value & opt string default_socket & info [ "socket" ] ~doc ~docv:"PATH")
 
+(* Client-side mid-frame stall bound.  Only bounds bytes *within* a
+   frame — waiting for a slow reply's first byte stays unbounded, so
+   long explorations are unaffected; a torn or corrupted frame cannot
+   park the client for the daemon's whole idle timeout. *)
+let client_io_timeout_term =
+  let doc =
+    "Client I/O timeout in seconds: give up on a frame whose next byte \
+     takes longer than this to arrive (<= 0 disables)."
+  in
+  Arg.(value & opt float 30.0 & info [ "io-timeout" ] ~doc ~docv:"SECONDS")
+
+let io_timeout_opt s = if s <= 0.0 then None else Some s
+
 let version_cmd =
   let run () =
     print_endline Service.Version.version;
@@ -675,7 +688,43 @@ let serve_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No log lines on stderr.")
   in
-  let run socket store no_store queue quiet trace =
+  let io_timeout =
+    let doc =
+      "Mid-frame I/O deadline per connection in seconds: a peer that \
+       stalls inside a frame (slowloris) or stops draining its reply is \
+       evicted."
+    in
+    Arg.(value & opt float 10.0 & info [ "io-timeout" ] ~doc ~docv:"SECONDS")
+  in
+  let idle_timeout =
+    let doc =
+      "Between-frames deadline in seconds: how long a keep-alive \
+       connection may sit idle before eviction."
+    in
+    Arg.(
+      value & opt float 600.0 & info [ "idle-timeout" ] ~doc ~docv:"SECONDS")
+  in
+  let request_deadline =
+    let doc =
+      "Server-side cap on each work request's wall clock in milliseconds; \
+       the effective deadline is the minimum of this and the client's \
+       --deadline-ms.  Overruns surface as the honest inconclusive \
+       verdict."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "request-deadline-ms" ] ~doc ~docv:"MS")
+  in
+  let queue_ttl =
+    let doc =
+      "How long a work request may wait in the admission queue in \
+       milliseconds before it is answered Shed (0 disables the TTL)."
+    in
+    Arg.(value & opt int 60_000 & info [ "queue-ttl-ms" ] ~doc ~docv:"MS")
+  in
+  let run socket store no_store queue quiet io_timeout idle_timeout
+      request_deadline queue_ttl trace =
     with_obs trace @@ fun () ->
     match
       Service.Server.run
@@ -684,6 +733,10 @@ let serve_cmd =
           store_dir = (if no_store then None else Some store);
           capacity = queue;
           quiet;
+          io_timeout_s = io_timeout;
+          idle_timeout_s = idle_timeout;
+          request_deadline_ms = request_deadline;
+          queue_ttl_ms = (if queue_ttl <= 0 then None else Some queue_ttl);
         }
     with
     | Ok () -> exit_ok
@@ -697,9 +750,11 @@ let serve_cmd =
          "Run the verification daemon: accept clients on a Unix-domain \
           socket, serve explore/verify/races/litmus requests out of a \
           content-addressed result store, answer Busy beyond the admission \
-          queue, and shut down gracefully on SIGINT/SIGTERM.")
+          queue, shed expired or preempted queue entries, evict wedged \
+          connections, and shut down gracefully on SIGINT/SIGTERM.")
     Term.(
-      const run $ socket_term $ store $ no_store $ queue $ quiet $ obs_term)
+      const run $ socket_term $ store $ no_store $ queue $ quiet $ io_timeout
+      $ idle_timeout $ request_deadline $ queue_ttl $ obs_term)
 
 let ping_cmd =
   let run socket =
@@ -824,8 +879,11 @@ let submit_cmd =
     let doc = "CSimpRTL program files." in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
-  let run socket files cmd pass disc cfg =
-    match Service.Client.connect ~socket with
+  let run socket io_timeout files cmd pass disc cfg =
+    match
+      Service.Client.connect ?io_timeout_s:(io_timeout_opt io_timeout) ~socket
+        ()
+    with
     | Error msg ->
         Printf.eprintf "psopt submit: %s\n" msg;
         exit_error
@@ -852,6 +910,10 @@ let submit_cmd =
                       | Ok (Service.Proto.Busy _) ->
                           Printf.eprintf "psopt submit: %s: server busy\n" file;
                           exit_error
+                      | Ok (Service.Proto.Shed { reason; _ }) ->
+                          Printf.eprintf "psopt submit: %s: shed (%s)\n" file
+                            (Service.Proto.shed_reason_to_string reason);
+                          exit_error
                       | Ok (Service.Proto.Refused msg) ->
                           Printf.eprintf "psopt submit: %s: %s\n" file msg;
                           exit_error
@@ -872,7 +934,8 @@ let submit_cmd =
          "Send programs to a running daemon (one --cmd query each) and \
           print the replies; results come from the store when cached.")
     Term.(
-      const run $ socket_term $ files $ service_cmd_term $ service_pass_term
+      const run $ socket_term $ client_io_timeout_term $ files
+      $ service_cmd_term $ service_pass_term
       $ discipline_term $ config_term)
 
 let batch_cmd =
@@ -893,7 +956,7 @@ let batch_cmd =
     in
     Arg.(value & opt float 0.0 & info [ "min-hit-rate" ] ~doc ~docv:"PCT")
   in
-  let run socket litmus dir min_hit_rate cmd pass disc cfg =
+  let run socket io_timeout litmus dir min_hit_rate cmd pass disc cfg =
     let targets =
       if litmus then
         Ok
@@ -938,7 +1001,11 @@ let batch_cmd =
         Printf.eprintf "%s\n" msg;
         exit_error
     | Ok targets -> (
-        match Service.Client.connect ~socket with
+        match
+          Service.Client.connect
+            ?io_timeout_s:(io_timeout_opt io_timeout)
+            ~socket ()
+        with
         | Error msg ->
             Printf.eprintf "psopt batch: %s\n" msg;
             exit_error
@@ -976,6 +1043,11 @@ let batch_cmd =
                                 Printf.eprintf
                                   "psopt batch: %s: server busy\n" name;
                                 exit_error
+                            | Ok (Service.Proto.Shed { reason; _ }) ->
+                                Printf.eprintf "psopt batch: %s: shed (%s)\n"
+                                  name
+                                  (Service.Proto.shed_reason_to_string reason);
+                                exit_error
                             | Ok (Service.Proto.Refused msg) ->
                                 Printf.eprintf "psopt batch: %s: %s\n" name
                                   msg;
@@ -1007,19 +1079,34 @@ let batch_cmd =
                   match Service.Client.rpc client Service.Proto.Stats with
                   | Ok (Service.Proto.Stats_reply s) ->
                       Printf.sprintf
-                        "; server: busy=%d corrupt-miss=%d errors=%d"
-                        s.Service.Proto.busy_rejections
+                        "; server: busy=%d shed=%d expired=%d evictions=%d \
+                         corrupt-miss=%d errors=%d"
+                        s.Service.Proto.busy_rejections s.Service.Proto.sheds
+                        s.Service.Proto.expired s.Service.Proto.evictions
                         s.Service.Proto.store_corrupt s.Service.Proto.errors
                   | Ok _ | Error _ -> ""
+                in
+                (* client-side fault handling: how hard rpc_wait had
+                   to work to get the answers above *)
+                let client_side =
+                  let cs = Service.Client.stats client in
+                  if cs.Service.Client.retries = 0 then ""
+                  else
+                    Printf.sprintf
+                      "; client: retries=%d reconnects=%d backoff=%.2fs \
+                       breaker-trips=%d"
+                      cs.Service.Client.retries cs.Service.Client.reconnects
+                      cs.Service.Client.backoff_total_s
+                      cs.Service.Client.breaker_trips
                 in
                 (* the summary goes to stderr so stdout stays
                    byte-identical to the direct subcommands *)
                 Printf.eprintf
                   "psopt batch: %d requests — %d hits, %d misses (%.0f%% \
                    hit rate); verdicts: %d ok, %d refuted, %d inconclusive, \
-                   %d errors%s\n"
+                   %d errors%s%s\n"
                   total !hits !misses rate !ok !refuted !inconclusive !errors
-                  server_side;
+                  server_side client_side;
                 if rate < min_hit_rate then begin
                   Printf.eprintf
                     "psopt batch: hit rate %.0f%% below required %.0f%%\n"
@@ -1036,8 +1123,101 @@ let batch_cmd =
           counts on stderr, with stdout byte-identical to the direct \
           subcommands.")
     Term.(
-      const run $ socket_term $ litmus_flag $ dir $ min_hit_rate
+      const run $ socket_term $ client_io_timeout_term $ litmus_flag $ dir
+      $ min_hit_rate
       $ service_cmd_term $ service_pass_term $ discipline_term $ config_term)
+
+let chaos_proxy_cmd =
+  let listen =
+    let doc = "Socket the proxy listens on (clients connect here)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~doc ~docv:"PATH")
+  in
+  let upstream =
+    let doc = "The real daemon's socket the proxy forwards to." in
+    Arg.(value & opt string default_socket & info [ "upstream" ] ~doc ~docv:"PATH")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ]
+          ~doc:
+            "Fault-schedule seed: the same seed replays the same faults \
+             per connection and direction.")
+  in
+  let prob name what default =
+    Arg.(
+      value & opt float default
+      & info [ name ] ~docv:"P" ~doc:("Per-chunk probability of " ^ what ^ "."))
+  in
+  let delay_p = prob "delay-p" "an injected delay" 0.25 in
+  let tear_p = prob "tear-p" "a torn write (chunk split with a pause)" 0.3 in
+  let corrupt_p = prob "corrupt-p" "flipping one byte" 0.05 in
+  let disconnect_p = prob "disconnect-p" "dropping the connection" 0.04 in
+  let max_delay =
+    Arg.(
+      value & opt float 0.02
+      & info [ "max-delay" ] ~docv:"SECONDS"
+          ~doc:"Injected delays are uniform in [0, max-delay].")
+  in
+  let duration =
+    Arg.(
+      value & opt float 0.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Stop after this many seconds (0 = run until SIGINT/SIGTERM).")
+  in
+  let run listen upstream seed delay_p max_delay_s tear_p corrupt_p
+      disconnect_p duration =
+    let plan =
+      {
+        Service.Chaos.seed;
+        delay_p;
+        max_delay_s;
+        tear_p;
+        corrupt_p;
+        disconnect_p;
+      }
+    in
+    match Service.Chaos.start ~plan ~listen ~upstream with
+    | Error msg ->
+        Printf.eprintf "psopt chaos-proxy: %s\n" msg;
+        exit_error
+    | Ok proxy ->
+        let stop = ref false in
+        List.iter
+          (fun s ->
+            try Sys.set_signal s (Sys.Signal_handle (fun _ -> stop := true))
+            with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigint; Sys.sigterm ];
+        let t0 = Unix.gettimeofday () in
+        while
+          (not !stop)
+          && (duration <= 0.0 || Unix.gettimeofday () -. t0 < duration)
+        do
+          Thread.delay 0.1
+        done;
+        Service.Chaos.stop proxy;
+        let c = Service.Chaos.counts proxy in
+        Printf.eprintf
+          "psopt chaos-proxy: %d connections; injected %d delays, %d tears, \
+           %d corruptions, %d disconnects\n"
+          c.Service.Chaos.connections c.Service.Chaos.delays
+          c.Service.Chaos.tears c.Service.Chaos.corruptions
+          c.Service.Chaos.disconnects;
+        exit_ok
+  in
+  Cmd.v
+    (Cmd.info "chaos-proxy"
+       ~doc:
+         "Run the deterministic fault proxy in front of a daemon: forward \
+          a listen socket to the daemon's socket while injecting seeded \
+          delays, torn writes, byte corruption and disconnects — the \
+          chaos-smoke harness (docs/ROBUSTNESS.md).")
+    Term.(
+      const run $ listen $ upstream $ seed $ delay_p $ max_delay $ tear_p
+      $ corrupt_p $ disconnect_p $ duration)
 
 let () =
   let info =
@@ -1069,6 +1249,7 @@ let () =
            trace_check_cmd;
            submit_cmd;
            batch_cmd;
+           chaos_proxy_cmd;
          ])
   in
   (* cmdliner reports CLI/usage problems as 124/125; fold them into

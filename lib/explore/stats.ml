@@ -229,6 +229,9 @@ module Service = struct
     store_misses : int Atomic.t;
     busy : int Atomic.t;
     errors : int Atomic.t;
+    sheds : int Atomic.t;
+    expired : int Atomic.t;
+    evictions : int Atomic.t;
   }
 
   let create () =
@@ -238,12 +241,18 @@ module Service = struct
       store_misses = Atomic.make 0;
       busy = Atomic.make 0;
       errors = Atomic.make 0;
+      sheds = Atomic.make 0;
+      expired = Atomic.make 0;
+      evictions = Atomic.make 0;
     }
 
   let pp ppf s =
     let ( ! ) = Atomic.get in
-    Format.fprintf ppf "served=%d hits=%d misses=%d busy=%d errors=%d"
+    Format.fprintf ppf
+      "served=%d hits=%d misses=%d busy=%d errors=%d sheds=%d expired=%d \
+       evictions=%d"
       !(s.served) !(s.store_hits) !(s.store_misses) !(s.busy) !(s.errors)
+      !(s.sheds) !(s.expired) !(s.evictions)
 end
 
 let pp ppf s =

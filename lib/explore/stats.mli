@@ -83,6 +83,15 @@ module Service : sig
     store_misses : int Atomic.t;  (** computed (and recorded) fresh *)
     busy : int Atomic.t;  (** rejected with [Busy] by admission control *)
     errors : int Atomic.t;  (** protocol or internal failures *)
+    sheds : int Atomic.t;
+        (** queued requests preempted out of a full queue by a
+            higher-priority arrival ([Shed Overload]) *)
+    expired : int Atomic.t;
+        (** queued requests dropped because their wall-clock deadline
+            or the queue TTL passed while waiting ([Shed Expired]) *)
+    evictions : int Atomic.t;
+        (** connections closed by the server's I/O deadlines —
+            slowloris or idle peers *)
   }
 
   val create : unit -> t

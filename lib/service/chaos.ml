@@ -1,0 +1,250 @@
+(* The deterministic fault proxy.  Pure byte-level mischief: it knows
+   nothing about the frame format, which is exactly the point — tears
+   land mid-length-prefix, corruption lands inside checksummed
+   payloads, disconnects land between a request and its reply, and the
+   protocol layer must cope. *)
+
+type plan = {
+  seed : int;
+  delay_p : float;
+  max_delay_s : float;
+  tear_p : float;
+  corrupt_p : float;
+  disconnect_p : float;
+}
+
+let calm =
+  {
+    seed = 0;
+    delay_p = 0.0;
+    max_delay_s = 0.0;
+    tear_p = 0.0;
+    corrupt_p = 0.0;
+    disconnect_p = 0.0;
+  }
+
+let rough =
+  {
+    seed = 1;
+    delay_p = 0.25;
+    max_delay_s = 0.02;
+    tear_p = 0.3;
+    corrupt_p = 0.05;
+    disconnect_p = 0.04;
+  }
+
+type counts = {
+  connections : int;
+  delays : int;
+  tears : int;
+  corruptions : int;
+  disconnects : int;
+}
+
+type t = {
+  plan : plan;
+  listen_path : string;
+  listen_fd : Unix.file_descr;
+  stop : bool Atomic.t;
+  mutable acceptor : Thread.t option;
+  pumps : Thread.t list ref;
+  pumps_m : Mutex.t;
+  live : Unix.file_descr list ref;
+  live_m : Mutex.t;
+  c_conns : int Atomic.t;
+  c_delays : int Atomic.t;
+  c_tears : int Atomic.t;
+  c_corruptions : int Atomic.t;
+  c_disconnects : int Atomic.t;
+}
+
+let counts t =
+  {
+    connections = Atomic.get t.c_conns;
+    delays = Atomic.get t.c_delays;
+    tears = Atomic.get t.c_tears;
+    corruptions = Atomic.get t.c_corruptions;
+    disconnects = Atomic.get t.c_disconnects;
+  }
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let shutdown_quiet fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let track t fd =
+  Mutex.lock t.live_m;
+  t.live := fd :: !(t.live);
+  Mutex.unlock t.live_m
+
+let untrack t fd =
+  Mutex.lock t.live_m;
+  t.live := List.filter (fun f -> f != fd) !(t.live);
+  Mutex.unlock t.live_m
+
+let register_thread t th =
+  Mutex.lock t.pumps_m;
+  t.pumps := th :: !(t.pumps);
+  Mutex.unlock t.pumps_m
+
+let write_all fd buf pos len =
+  let p = ref pos and n = ref len in
+  while !n > 0 do
+    let k = Unix.write fd buf !p !n in
+    p := !p + k;
+    n := !n - k
+  done
+
+(* One direction of one connection: read a chunk from [src], maybe
+   maul it, forward to [dst].  A disconnect fault (or EOF, or either
+   side going away) severs *both* directions, so the peer observes a
+   connection death like a real network partition. *)
+let pump t rng src dst =
+  let buf = Bytes.create 4096 in
+  let sever () =
+    shutdown_quiet src;
+    shutdown_quiet dst
+  in
+  let roll p = p > 0.0 && Random.State.float rng 1.0 < p in
+  let rec loop () =
+    match Unix.read src buf 0 (Bytes.length buf) with
+    | 0 -> sever ()
+    | exception Unix.Unix_error _ -> sever ()
+    | n ->
+        if roll t.plan.disconnect_p then begin
+          Atomic.incr t.c_disconnects;
+          sever ()
+        end
+        else begin
+          if roll t.plan.delay_p then begin
+            Atomic.incr t.c_delays;
+            Thread.delay (Random.State.float rng t.plan.max_delay_s)
+          end;
+          if roll t.plan.corrupt_p then begin
+            Atomic.incr t.c_corruptions;
+            let i = Random.State.int rng n in
+            Bytes.set buf i
+              (Char.chr
+                 (Char.code (Bytes.get buf i) lxor (1 + Random.State.int rng 255)))
+          end;
+          match
+            if n > 1 && roll t.plan.tear_p then begin
+              Atomic.incr t.c_tears;
+              let cut = 1 + Random.State.int rng (n - 1) in
+              write_all dst buf 0 cut;
+              Thread.delay (Random.State.float rng t.plan.max_delay_s);
+              write_all dst buf cut (n - cut)
+            end
+            else write_all dst buf 0 n
+          with
+          | () -> loop ()
+          | exception Unix.Unix_error _ -> sever ()
+        end
+  in
+  loop ()
+
+let serve_conn t ~upstream conn_id client =
+  let up = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect up (Unix.ADDR_UNIX upstream) with
+  | exception Unix.Unix_error _ ->
+      (* upstream down (e.g. mid kill-and-restart): the client sees an
+         immediate close — a failure it must retry *)
+      close_quiet up;
+      shutdown_quiet client;
+      close_quiet client
+  | () ->
+      track t client;
+      track t up;
+      (* independent fault schedules per direction, replayable by
+         (seed, connection, direction) *)
+      let rng dir = Random.State.make [| t.plan.seed; conn_id; dir |] in
+      let th_up = Thread.create (fun () -> pump t (rng 0) client up) () in
+      let th_down = Thread.create (fun () -> pump t (rng 1) up client) () in
+      (* close both fds only once both directions are finished *)
+      let closer =
+        Thread.create
+          (fun () ->
+            Thread.join th_up;
+            Thread.join th_down;
+            untrack t client;
+            untrack t up;
+            close_quiet client;
+            close_quiet up)
+          ()
+      in
+      register_thread t th_up;
+      register_thread t th_down;
+      register_thread t closer
+
+let start ~plan ~listen ~upstream =
+  (* pumps write to peers that the fault schedule itself kills; that
+     must be an EPIPE the pump handles, not a fatal SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    if Sys.file_exists listen then Unix.unlink listen;
+    Unix.bind listen_fd (Unix.ADDR_UNIX listen);
+    Unix.listen listen_fd 16
+  with
+  | exception e ->
+      close_quiet listen_fd;
+      Error ("chaos proxy cannot bind " ^ listen ^ ": " ^ Printexc.to_string e)
+  | () ->
+      let t =
+        {
+          plan;
+          listen_path = listen;
+          listen_fd;
+          stop = Atomic.make false;
+          acceptor = None;
+          pumps = ref [];
+          pumps_m = Mutex.create ();
+          live = ref [];
+          live_m = Mutex.create ();
+          c_conns = Atomic.make 0;
+          c_delays = Atomic.make 0;
+          c_tears = Atomic.make 0;
+          c_corruptions = Atomic.make 0;
+          c_disconnects = Atomic.make 0;
+        }
+      in
+      let acceptor =
+        Thread.create
+          (fun () ->
+            let conn_id = ref 0 in
+            while not (Atomic.get t.stop) do
+              match
+                try Unix.select [ listen_fd ] [] [] 0.1
+                with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+              with
+              | [], _, _ -> ()
+              | _ :: _, _, _ -> (
+                  match Unix.accept listen_fd with
+                  | exception Unix.Unix_error _ -> ()
+                  | client, _ ->
+                      Atomic.incr t.c_conns;
+                      incr conn_id;
+                      serve_conn t ~upstream !conn_id client)
+            done)
+          ()
+      in
+      t.acceptor <- Some acceptor;
+      Ok t
+
+let stop t =
+  if not (Atomic.get t.stop) then begin
+    Atomic.set t.stop true;
+    Option.iter (fun th -> try Thread.join th with _ -> ()) t.acceptor;
+    close_quiet t.listen_fd;
+    Mutex.lock t.live_m;
+    let live = !(t.live) in
+    Mutex.unlock t.live_m;
+    List.iter shutdown_quiet live;
+    Mutex.lock t.pumps_m;
+    let pumps = !(t.pumps) in
+    t.pumps := [];
+    Mutex.unlock t.pumps_m;
+    List.iter (fun th -> try Thread.join th with _ -> ()) pumps;
+    try Unix.unlink t.listen_path with Unix.Unix_error _ | Sys_error _ -> ()
+  end

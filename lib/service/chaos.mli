@@ -1,0 +1,59 @@
+(** A deterministic in-process fault proxy for the chaos suite
+    (test/test_chaos.ml) and [psopt chaos-proxy].
+
+    The proxy listens on one Unix-domain socket and forwards byte
+    streams to an upstream daemon socket, injecting faults drawn from
+    a seeded RNG: artificial delays, torn writes (a chunk split in two
+    with a pause between — the slowloris shape), single-byte
+    corruption, and mid-stream disconnects.  Each connection direction
+    gets its own RNG stream derived from [(seed, connection, direction)],
+    so a given plan replays the same fault schedule run after run —
+    chaos findings are reproducible by seed (docs/ROBUSTNESS.md).
+
+    The properties the suite asserts through this proxy: every client
+    call converges to a correct reply or a typed error (never a hang,
+    never a silently wrong verdict — corruption is caught by the frame
+    checksum), and warm-store replies after the storm are
+    byte-identical to fault-free runs. *)
+
+type plan = {
+  seed : int;
+  delay_p : float;  (** per-chunk probability of an injected delay *)
+  max_delay_s : float;  (** injected delays are uniform in [0, max] *)
+  tear_p : float;
+      (** per-chunk probability of a torn write: the chunk is split at
+          a random point and the halves separated by a pause *)
+  corrupt_p : float;  (** per-chunk probability of flipping one byte *)
+  disconnect_p : float;
+      (** per-chunk probability of dropping the connection entirely *)
+}
+
+val calm : plan
+(** No faults at all — the proxy as a transparent relay (baseline). *)
+
+val rough : plan
+(** Frequent delays and tears, occasional corruption and
+    disconnects — the default storm. *)
+
+type counts = {
+  connections : int;
+  delays : int;
+  tears : int;
+  corruptions : int;
+  disconnects : int;
+}
+
+type t
+
+val start : plan:plan -> listen:string -> upstream:string -> (t, string) result
+(** Start the proxy: bind [listen], forward every connection to
+    [upstream].  Fails if [listen] cannot be bound.  The upstream is
+    connected per client connection, so the proxy may be started
+    before (or survive restarts of) the daemon. *)
+
+val counts : t -> counts
+(** Faults injected so far (all connections summed). *)
+
+val stop : t -> unit
+(** Shut the proxy down: stop accepting, sever active connections,
+    join all pump threads, unlink the listen socket.  Idempotent. *)

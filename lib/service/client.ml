@@ -1,52 +1,183 @@
 (* The blocking client: one Unix-domain connection, requests answered
-   in lock step.  Every failure is a [result] — callers (the CLI, the
-   batch driver) decide whether to retry, never this layer, except for
-   the explicit [Busy] backoff helper. *)
+   in lock step.
 
-type t = { fd : Unix.file_descr; socket : string }
+   Fault tolerance lives here, not in callers: [rpc_wait] retries
+   [Busy]/[Shed] backpressure and transport failures (EOF, reset,
+   timeout, corrupt frame) with decorrelated-jitter exponential
+   backoff, reconnecting as needed, behind a small circuit breaker.
+   Retrying a work request is safe because the server's
+   content-addressed store makes work idempotent: a request that was
+   actually served before the connection died is answered from the
+   store on the retry, byte-identical (docs/ROBUSTNESS.md).
 
-let connect ~socket =
+   [rpc] stays single-shot for callers that want their own policy. *)
+
+type t = {
+  mutable fd : Unix.file_descr option;
+  socket : string;
+  io_timeout_s : float option;
+  backoff : Resilience.Backoff.t;
+  breaker : Resilience.Breaker.t;
+  mutable retries : int;
+  mutable reconnects : int;
+}
+
+type stats = {
+  retries : int;  (** extra attempts beyond the first, all causes *)
+  reconnects : int;  (** connections re-established after a failure *)
+  backoff_total_s : float;  (** total time spent sleeping *)
+  breaker_trips : int;  (** times the circuit breaker opened *)
+}
+
+let connect_fd socket =
+  (* a peer that died mid-request must surface as a typed [Closed],
+     not kill the whole client process with SIGPIPE *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   try
     Unix.connect fd (Unix.ADDR_UNIX socket);
-    Ok { fd; socket }
+    Ok fd
   with Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Error
       (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let connect ?seed ?io_timeout_s ~socket () =
+  match connect_fd socket with
+  | Error _ as e -> e
+  | Ok fd ->
+      Ok
+        {
+          fd = Some fd;
+          socket;
+          io_timeout_s;
+          backoff = Resilience.Backoff.create ?seed ();
+          breaker = Resilience.Breaker.create ();
+          retries = 0;
+          reconnects = 0;
+        }
+
+let close t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None
+
+let stats (t : t) =
+  {
+    retries = t.retries;
+    reconnects = t.reconnects;
+    backoff_total_s = Resilience.Backoff.total_s t.backoff;
+    breaker_trips = Resilience.Breaker.trips t.breaker;
+  }
+
+(* Drop a connection we no longer trust: after any transport error the
+   stream state is unknown, so the only safe continuation is a fresh
+   connection. *)
+let invalidate t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None
+
+let ensure_connected t =
+  match t.fd with
+  | Some fd -> Ok fd
+  | None -> (
+      match connect_fd t.socket with
+      | Ok fd ->
+          t.fd <- Some fd;
+          t.reconnects <- t.reconnects + 1;
+          Ok fd
+      | Error _ as e -> e)
+
+(* One round trip on the current connection: typed transport errors,
+   no retries.  Any transport error invalidates the connection. *)
+let rpc_once t req : (Proto.response, Proto.error) result =
+  match ensure_connected t with
+  | Error msg ->
+      t.fd <- None;
+      Error (Proto.Io msg)
+  | Ok fd -> (
+      match Proto.send_request ?timeout_s:t.io_timeout_s fd req with
+      | Error e ->
+          invalidate t;
+          Error e
+      | Ok () -> (
+          match Proto.recv_response ?io_timeout_s:t.io_timeout_s fd with
+          | Error e ->
+              invalidate t;
+              Error e
+          | Ok _ as ok -> ok))
 
 let rpc t req =
-  match Proto.send_request t.fd req with
-  | () -> Proto.recv_response t.fd
-  | exception Unix.Unix_error (e, _, _) ->
-      Error (Printf.sprintf "send to %s failed: %s" t.socket (Unix.error_message e))
+  Result.map_error Proto.error_to_string (rpc_once t req)
 
-(* Retry [Busy] with linear backoff: the daemon's admission queue is
-   the real scheduler; the client just needs to come back.  Any other
-   response passes through. *)
-let rpc_wait ?(retries = 100) ?(delay_s = 0.1) t req =
+(* The resilient call.  Every retryable outcome — transport failure,
+   [Busy], [Shed] — sleeps a decorrelated-jitter backoff and tries
+   again, up to [retries] attempts and [deadline_s] of wall clock,
+   whichever comes first; the circuit breaker turns a dead daemon into
+   fast failures instead of a retry storm.  The last response or error
+   passes through when the budget is exhausted. *)
+let rpc_wait ?(retries = 100) ?deadline_s t req =
+  let t0 = Unix.gettimeofday () in
+  let out_of_time () =
+    match deadline_s with
+    | None -> false
+    | Some d -> Unix.gettimeofday () -. t0 >= d
+  in
+  let sleep () =
+    let d = Resilience.Backoff.next t.backoff in
+    Thread.delay d
+  in
   let rec go k =
-    match rpc t req with
-    | Ok (Proto.Busy _ as b) when k >= retries -> Ok b
-    | Ok (Proto.Busy _) ->
-        Thread.delay delay_s;
+    if not (Resilience.Breaker.allow t.breaker) then
+      if k >= retries || out_of_time () then
+        Error
+          (Printf.sprintf "circuit breaker open for %s (after %d trips)"
+             t.socket
+             (Resilience.Breaker.trips t.breaker))
+      else begin
+        t.retries <- t.retries + 1;
+        sleep ();
         go (k + 1)
-    | r -> r
+      end
+    else
+      match rpc_once t req with
+      | Ok (Proto.Busy _ as r) | Ok (Proto.Shed _ as r) ->
+          (* the daemon is alive and answering: backpressure, not
+             failure *)
+          Resilience.Breaker.success t.breaker;
+          if k >= retries || out_of_time () then Ok r
+          else begin
+            t.retries <- t.retries + 1;
+            sleep ();
+            go (k + 1)
+          end
+      | Ok r ->
+          Resilience.Breaker.success t.breaker;
+          Resilience.Backoff.reset t.backoff;
+          Ok r
+      | Error e ->
+          Resilience.Breaker.failure t.breaker;
+          if k >= retries || out_of_time () then
+            Error (Proto.error_to_string e)
+          else begin
+            t.retries <- t.retries + 1;
+            sleep ();
+            go (k + 1)
+          end
   in
   go 0
 
-let with_client ~socket f =
-  match connect ~socket with
+let with_client ?seed ?io_timeout_s ~socket f =
+  match connect ?seed ?io_timeout_s ~socket () with
   | Error _ as e -> e
-  | Ok t ->
-      Fun.protect
-        ~finally:(fun () -> close t)
-        (fun () -> Ok (f t))
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> Ok (f t))
 
 let ping ~socket =
-  match connect ~socket with
+  match connect ~socket () with
   | Error _ as e -> e
   | Ok t ->
       Fun.protect
@@ -58,7 +189,7 @@ let ping ~socket =
           | Error _ as e -> e)
 
 let metrics ~socket =
-  match connect ~socket with
+  match connect ~socket () with
   | Error _ as e -> e
   | Ok t ->
       Fun.protect
@@ -70,7 +201,7 @@ let metrics ~socket =
           | Error _ as e -> e)
 
 let shutdown ~socket =
-  match connect ~socket with
+  match connect ~socket () with
   | Error _ as e -> e
   | Ok t ->
       Fun.protect

@@ -1,27 +1,61 @@
 (** The blocking client library behind [psopt ping], [psopt submit]
     and [psopt batch]: one Unix-domain connection, request/response in
-    lock step, every failure a [result]. *)
+    lock step, every failure a [result].
+
+    The resilient entry point is {!rpc_wait}: it retries backpressure
+    ({!Proto.Busy}, {!Proto.Shed}) and transport failures (EOF, reset,
+    I/O deadline, corrupt frame) with decorrelated-jitter exponential
+    backoff, transparently reconnecting, behind a small circuit
+    breaker.  Retrying work is safe because the server's
+    content-addressed store makes it idempotent — a request served
+    just before the connection died is answered from the store on
+    retry, byte-identical (docs/ROBUSTNESS.md). *)
 
 type t
 
-val connect : socket:string -> (t, string) result
+type stats = {
+  retries : int;  (** extra attempts beyond the first, all causes *)
+  reconnects : int;  (** connections re-established after a failure *)
+  backoff_total_s : float;  (** total time spent sleeping in backoff *)
+  breaker_trips : int;  (** times the circuit breaker opened *)
+}
+
+val connect :
+  ?seed:int -> ?io_timeout_s:float -> socket:string -> unit -> (t, string) result
+(** [io_timeout_s] bounds every frame read/write on this client (so a
+    wedged daemon surfaces as [Timed_out], not a hang); [seed] makes
+    the backoff jitter deterministic for tests. *)
+
 val close : t -> unit
 
+val stats : t -> stats
+(** Cumulative fault-handling counters for this client — the batch
+    driver reports them in its summary line. *)
+
 val rpc : t -> Proto.request -> (Proto.response, string) result
-(** One request/response round trip. *)
+(** One single-shot round trip, no retries; transport errors are
+    rendered with {!Proto.error_to_string} and invalidate the
+    connection (the next call reconnects). *)
 
 val rpc_wait :
   ?retries:int ->
-  ?delay_s:float ->
+  ?deadline_s:float ->
   t ->
   Proto.request ->
   (Proto.response, string) result
-(** Like {!rpc} but sleeps and retries on {!Proto.Busy} (default: up
-    to 100 times, 0.1 s apart) — the batch driver's answer to
-    backpressure.  The final [Busy] passes through once retries are
-    exhausted. *)
+(** The resilient round trip: retries {!Proto.Busy}/{!Proto.Shed}
+    backpressure and every transport failure with
+    decorrelated-jitter backoff (reconnecting first), up to [retries]
+    extra attempts (default 100) and [deadline_s] of wall clock.  When
+    the budget runs out the last response or error passes through
+    verbatim. *)
 
-val with_client : socket:string -> (t -> 'a) -> ('a, string) result
+val with_client :
+  ?seed:int ->
+  ?io_timeout_s:float ->
+  socket:string ->
+  (t -> 'a) ->
+  ('a, string) result
 
 val ping : socket:string -> (string, string) result
 (** Round-trip a {!Proto.Ping}; returns the server's version. *)

@@ -1,0 +1,100 @@
+(* Client-side fault-tolerance primitives: jittered exponential
+   backoff and a small circuit breaker.  Pure state machines — no
+   sleeping, no I/O — so tests can drive them with fake clocks and
+   fixed seeds. *)
+
+module Backoff = struct
+  type t = {
+    base_s : float;
+    cap_s : float;
+    rng : Random.State.t;
+    mutable prev_s : float;
+    mutable count : int;
+    mutable total_s : float;
+  }
+
+  let create ?seed ?(base_s = 0.02) ?(cap_s = 2.0) () =
+    let rng =
+      match seed with
+      | Some s -> Random.State.make [| s |]
+      | None -> Random.State.make_self_init ()
+    in
+    { base_s; cap_s; rng; prev_s = base_s; count = 0; total_s = 0.0 }
+
+  (* Decorrelated jitter: uniform in [base, 3 * previous], capped.
+     Exponential growth in expectation, but two clients that failed at
+     the same instant immediately desynchronize. *)
+  let next t =
+    let hi = Float.min t.cap_s (3.0 *. t.prev_s) in
+    let lo = Float.min t.base_s hi in
+    let d = lo +. Random.State.float t.rng (Float.max 0.0 (hi -. lo)) in
+    t.prev_s <- Float.max d t.base_s;
+    t.count <- t.count + 1;
+    t.total_s <- t.total_s +. d;
+    d
+
+  let reset t = t.prev_s <- t.base_s
+  let count t = t.count
+  let total_s t = t.total_s
+end
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  type t = {
+    failure_threshold : int;
+    cooldown_s : float;
+    now : unit -> float;
+    mutable state : state;
+    mutable failures : int;  (* consecutive, while Closed *)
+    mutable opened_at : float;
+    mutable trips : int;
+  }
+
+  let create ?(failure_threshold = 5) ?(cooldown_s = 1.0)
+      ?(now = Unix.gettimeofday) () =
+    {
+      failure_threshold = max 1 failure_threshold;
+      cooldown_s;
+      now;
+      state = Closed;
+      failures = 0;
+      opened_at = 0.0;
+      trips = 0;
+    }
+
+  let state t = t.state
+
+  let trip t =
+    t.state <- Open;
+    t.opened_at <- t.now ();
+    t.trips <- t.trips + 1
+
+  let allow t =
+    match t.state with
+    | Closed | Half_open -> true
+    | Open ->
+        if t.now () -. t.opened_at >= t.cooldown_s then begin
+          (* one probe is admitted; its outcome decides *)
+          t.state <- Half_open;
+          true
+        end
+        else false
+
+  let success t =
+    t.failures <- 0;
+    t.state <- Closed
+
+  let failure t =
+    match t.state with
+    | Half_open -> trip t  (* the probe failed: back to Open, new cooldown *)
+    | Open -> ()
+    | Closed ->
+        t.failures <- t.failures + 1;
+        if t.failures >= t.failure_threshold then begin
+          t.failures <- 0;
+          trip t
+        end
+
+  let trips t = t.trips
+end

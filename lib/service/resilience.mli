@@ -1,0 +1,71 @@
+(** Client-side fault-tolerance primitives (docs/SERVICE.md's fault
+    model): a jittered exponential backoff schedule and a small
+    circuit breaker.  Both are deterministic under an injected seed or
+    clock, so the chaos suite and the unit tests can replay exact
+    schedules; neither sleeps on its own — callers decide what to do
+    with the returned delay. *)
+
+(** Exponential backoff with decorrelated jitter: each delay is drawn
+    uniformly from [[base, 3 * previous]], capped at [cap] — the
+    schedule grows exponentially in expectation but never
+    synchronizes a fleet of retrying clients into lockstep bursts. *)
+module Backoff : sig
+  type t
+
+  val create : ?seed:int -> ?base_s:float -> ?cap_s:float -> unit -> t
+  (** Defaults: [base_s = 0.02], [cap_s = 2.0].  [seed] fixes the
+      jitter stream (tests); omitted, it is drawn from
+      [Random.self_init]-style entropy. *)
+
+  val next : t -> float
+  (** The next delay to sleep, in seconds.  Monotone state: calling
+      advances the schedule. *)
+
+  val reset : t -> unit
+  (** Back to the base delay (call after a success). *)
+
+  val count : t -> int
+  (** Delays handed out since creation (not reset by {!reset}). *)
+
+  val total_s : t -> float
+  (** Sum of all delays handed out since creation. *)
+end
+
+(** A three-state circuit breaker.  [Closed] admits calls and counts
+    consecutive failures; [failure_threshold] consecutive failures
+    trip it [Open], which fails fast until [cooldown_s] has elapsed;
+    the first probe after cooldown runs [Half_open] — one success
+    closes the breaker, one failure re-opens it (and restarts the
+    cooldown). *)
+module Breaker : sig
+  type t
+
+  type state = Closed | Open | Half_open
+
+  val create :
+    ?failure_threshold:int ->
+    ?cooldown_s:float ->
+    ?now:(unit -> float) ->
+    unit ->
+    t
+  (** Defaults: [failure_threshold = 5], [cooldown_s = 1.0].  [now] is
+      the clock (seconds; injectable for tests — defaults to
+      [Unix.gettimeofday]). *)
+
+  val state : t -> state
+
+  val allow : t -> bool
+  (** Whether a call may proceed.  [Open] past its cooldown moves to
+      [Half_open] and admits exactly one probe; [Open] within the
+      cooldown returns [false]. *)
+
+  val success : t -> unit
+  (** Report a call outcome.  Resets the failure count and closes a
+      half-open breaker. *)
+
+  val failure : t -> unit
+  (** Counts toward the threshold; trips or re-opens the breaker. *)
+
+  val trips : t -> int
+  (** Times the breaker has transitioned to [Open] since creation. *)
+end

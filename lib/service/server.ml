@@ -2,12 +2,33 @@
 
    One accept loop; one handler thread per connection (requests on a
    connection are answered in order); work requests funnel through an
-   admission gate — a single execution slot plus a bounded wait queue,
-   the explicit [Busy] response as backpressure beyond it.  One slot
-   is deliberate: each exploration already parallelizes across the
-   domain pool ([Config.domains]), and two heavy searches racing for
-   the same cores just thrash — queueing preserves throughput and
-   keeps memory bounded (docs/SERVICE.md).
+   admission gate — a single execution slot plus a bounded,
+   priority-aware wait queue, the explicit [Busy] response as
+   backpressure beyond it.  One slot is deliberate: each exploration
+   already parallelizes across the domain pool ([Config.domains]), and
+   two heavy searches racing for the same cores just thrash — queueing
+   preserves throughput and keeps memory bounded (docs/SERVICE.md).
+
+   Fault tolerance (docs/ROBUSTNESS.md's service fault model):
+
+   - every read and write on a connection carries a deadline: a peer
+     that dribbles a frame (slowloris) or stops reading its reply is
+     evicted, counted in [psopt_service_conn_evictions_total];
+   - each queued work request carries a wall-clock deadline derived
+     from the wire config (capped by [request_deadline_ms]) and a
+     queue TTL; requests that expire while waiting are answered with
+     a typed [Shed Expired] instead of occupying the slot;
+   - when the queue is full, a high-priority arrival (cheap litmus
+     work) preempts the youngest normal-priority waiter, which is
+     answered [Shed Overload] — load degrades by shedding the most
+     expensive work first, never by silent starvation;
+   - a request that is admitted close to its deadline runs with its
+     exploration budget shrunk to the remaining wall clock, so an
+     overrun surfaces as the honest [Inconclusive] taxonomy rather
+     than a dropped connection;
+   - finished handler threads are reaped continuously (not just at
+     shutdown) and a watchdog thread ticks the admission gate so
+     queued deadlines fire even while the slot is busy.
 
    Store lookups happen *before* admission: a warm hit is a disk read
    plus a frame write, so cached traffic never queues behind a heavy
@@ -22,75 +43,228 @@ type config = {
   store_dir : string option;
   capacity : int;
   quiet : bool;
+  io_timeout_s : float;
+  idle_timeout_s : float;
+  request_deadline_ms : int option;
+  queue_ttl_ms : int option;
 }
 
 let default_capacity = 16
 
+let default ~socket =
+  {
+    socket;
+    store_dir = None;
+    capacity = default_capacity;
+    quiet = false;
+    io_timeout_s = 10.0;
+    idle_timeout_s = 600.0;
+    request_deadline_ms = None;
+    queue_ttl_ms = Some 60_000;
+  }
+
 (* ------------------------------------------------------------------ *)
-(* The admission gate: one execution slot, a bounded wait queue. *)
+(* The admission gate: one execution slot, a bounded priority-aware
+   wait queue with per-waiter deadlines. *)
 
 module Admission = struct
+  type priority = High | Normal
+
+  type waiter_state = Waiting | Admitted | Preempted | Expired
+
+  type waiter = {
+    prio : priority;
+    seq : int;
+    deadline_ns : int option;  (* absolute, Obs.Clock.now_ns scale *)
+    mutable state : waiter_state;
+  }
+
   type t = {
     m : Mutex.t;
     turn : Condition.t;
     capacity : int;  (* waiters allowed beyond the one running *)
     mutable running : bool;
-    mutable waiting : int;
+    mutable next_seq : int;
+    mutable waiters : waiter list;
   }
 
-  let create ~capacity = {
-    m = Mutex.create ();
-    turn = Condition.create ();
-    capacity = max 0 capacity;
-    running = false;
-    waiting = 0;
-  }
+  let create ~capacity =
+    {
+      m = Mutex.create ();
+      turn = Condition.create ();
+      capacity = max 0 capacity;
+      running = false;
+      next_seq = 0;
+      waiters = [];
+    }
+
+  let waiting_locked t =
+    List.length (List.filter (fun w -> w.state = Waiting) t.waiters)
 
   let inflight t =
     Mutex.lock t.m;
-    let n = (if t.running then 1 else 0) + t.waiting in
+    let n = (if t.running then 1 else 0) + waiting_locked t in
     Mutex.unlock t.m;
     n
 
-  (* Run [f] in the execution slot, waiting for a turn if the slot is
-     taken and the queue has room; [`Busy] otherwise.  The queue is
-     bounded so a traffic burst degrades into fast explicit rejections
-     instead of an unbounded convoy. *)
-  let try_run t f =
+  let expire_locked t now =
+    List.iter
+      (fun w ->
+        if w.state = Waiting then
+          match w.deadline_ns with
+          | Some d when now >= d -> w.state <- Expired
+          | _ -> ())
+      t.waiters
+
+  (* The next waiter to admit: [High] before [Normal], FIFO within a
+     priority. *)
+  let pick_locked t =
+    List.fold_left
+      (fun best w ->
+        if w.state <> Waiting then best
+        else
+          match best with
+          | None -> Some w
+          | Some b ->
+              let better =
+                match (w.prio, b.prio) with
+                | High, Normal -> true
+                | Normal, High -> false
+                | High, High | Normal, Normal -> w.seq < b.seq
+              in
+              if better then Some w else best)
+      None t.waiters
+
+  (* The waiter to preempt for a high-priority arrival: the *youngest*
+     normal-priority one — it has waited least, so shedding it wastes
+     the least accumulated queue time. *)
+  let pick_preemptable_locked t =
+    List.fold_left
+      (fun best w ->
+        if w.state <> Waiting || w.prio <> Normal then best
+        else
+          match best with
+          | None -> Some w
+          | Some b -> if w.seq > b.seq then Some w else best)
+      None t.waiters
+
+  let remove_locked t w = t.waiters <- List.filter (fun x -> x != w) t.waiters
+
+  (* Give the slot away: to the best waiter if there is one (handoff —
+     [running] stays true), otherwise free it. *)
+  let release t =
     Mutex.lock t.m;
-    if t.running && t.waiting >= t.capacity then begin
-      let n = 1 + t.waiting in
-      Mutex.unlock t.m;
-      `Busy n
-    end
+    expire_locked t (Obs.Clock.now_ns ());
+    (match pick_locked t with
+    | Some w -> w.state <- Admitted
+    | None -> t.running <- false);
+    Condition.broadcast t.turn;
+    Mutex.unlock t.m
+
+  (* Wake waiters so they can notice their deadlines; called
+     periodically by the server's watchdog thread (OCaml's [Condition]
+     has no timed wait). *)
+  let tick t =
+    Mutex.lock t.m;
+    expire_locked t (Obs.Clock.now_ns ());
+    Condition.broadcast t.turn;
+    Mutex.unlock t.m
+
+  (* Park until admitted, preempted or expired.  Called with [t.m]
+     held; returns with it released. *)
+  let wait_turn t w =
+    let rec loop () =
+      match w.state with
+      | Admitted -> `Run
+      | Preempted -> `Shed
+      | Expired -> `Expired
+      | Waiting -> (
+          match w.deadline_ns with
+          | Some d when Obs.Clock.now_ns () >= d ->
+              w.state <- Expired;
+              loop ()
+          | _ ->
+              Condition.wait t.turn t.m;
+              loop ())
+    in
+    let r = loop () in
+    remove_locked t w;
+    Mutex.unlock t.m;
+    r
+
+  (* Run [f] in the execution slot, waiting for a turn if the slot is
+     taken and the queue has room.  The queue is bounded so a traffic
+     burst degrades into fast explicit rejections instead of an
+     unbounded convoy; a [High] arrival at a full queue preempts the
+     youngest [Normal] waiter. *)
+  let try_run ?(prio = Normal) ?deadline_ns t f =
+    let expired_already () =
+      match deadline_ns with
+      | Some d -> Obs.Clock.now_ns () >= d
+      | None -> false
+    in
+    if expired_already () then `Expired
     else begin
-      while t.running do
-        t.waiting <- t.waiting + 1;
-        Condition.wait t.turn t.m;
-        t.waiting <- t.waiting - 1
-      done;
-      t.running <- true;
-      Mutex.unlock t.m;
-      let release () =
-        Mutex.lock t.m;
-        t.running <- false;
-        Condition.broadcast t.turn;
-        Mutex.unlock t.m
-      in
-      let r = try f () with exn -> release (); raise exn in
-      release ();
-      `Done r
+      Mutex.lock t.m;
+      if not t.running then begin
+        t.running <- true;
+        Mutex.unlock t.m;
+        let r = try f () with exn -> release t; raise exn in
+        release t;
+        `Done r
+      end
+      else begin
+        let q = waiting_locked t in
+        let room =
+          if q < t.capacity then `Yes
+          else
+            match if prio = High then pick_preemptable_locked t else None with
+            | Some victim ->
+                victim.state <- Preempted;
+                remove_locked t victim;
+                Condition.broadcast t.turn;
+                `Preempted
+            | None -> `No
+        in
+        match room with
+        | `No ->
+            let n = 1 + q in
+            Mutex.unlock t.m;
+            `Busy n
+        | `Yes | `Preempted -> (
+            let w =
+              { prio; seq = t.next_seq; deadline_ns; state = Waiting }
+            in
+            t.next_seq <- t.next_seq + 1;
+            t.waiters <- w :: t.waiters;
+            match wait_turn t w with
+            | `Run ->
+                let r = try f () with exn -> release t; raise exn in
+                release t;
+                `Done r
+            | `Shed -> `Shed
+            | `Expired -> `Expired)
+      end
     end
 
-  (* Block until the slot is free and nobody is queued — the shutdown
-     drain. *)
+  (* Block until the slot is free and nobody is waiting — the shutdown
+     drain.  Requires the watchdog to keep ticking so expired waiters
+     clear themselves out. *)
   let drain t =
     Mutex.lock t.m;
-    while t.running || t.waiting > 0 do
+    while t.running || waiting_locked t > 0 do
       Condition.wait t.turn t.m
     done;
     Mutex.unlock t.m
 end
+
+(* Cheap corpus checks jump the queue ahead of open-ended
+   explorations: a litmus program is small and bounded, an
+   [Explore]/[Verify]/[Races] request ships an arbitrary program and
+   may run for hours. *)
+let priority_of_work = function
+  | Proto.Litmus _ -> Admission.High
+  | Proto.Explore _ | Proto.Verify _ | Proto.Races _ -> Admission.Normal
 
 (* ------------------------------------------------------------------ *)
 (* Executing one work item (no store, no queue): compute and render.
@@ -227,6 +401,32 @@ let g_entries = Obs.Metrics.gauge ~help:"Records in the result store" "psopt_ser
 let g_corrupt = Obs.Metrics.gauge ~help:"Damaged store records served as misses" "psopt_service_store_corrupt_total"
 let g_inflight = Obs.Metrics.gauge ~help:"Admitted work requests (running + queued)" "psopt_service_inflight"
 let g_capacity = Obs.Metrics.gauge ~help:"Admission queue bound" "psopt_service_queue_capacity"
+let g_handlers = Obs.Metrics.gauge ~help:"Live connection handler threads" "psopt_service_handler_threads"
+
+(* Fault-path counters (docs/ROBUSTNESS.md): sheds by reason,
+   connection evictions by reason, deadline shrinks, queue wait. *)
+let m_shed_overload =
+  Obs.Metrics.counter ~help:"Queued requests preempted by higher priority"
+    ~labels:[ ("reason", "overload") ] "psopt_service_shed_total"
+let m_shed_expired =
+  Obs.Metrics.counter ~help:"Queued requests dropped past their deadline"
+    ~labels:[ ("reason", "expired") ] "psopt_service_shed_total"
+let m_evict_slowloris =
+  Obs.Metrics.counter ~help:"Connections evicted mid-frame by the I/O deadline"
+    ~labels:[ ("reason", "slowloris") ] "psopt_service_conn_evictions_total"
+let m_evict_idle =
+  Obs.Metrics.counter ~help:"Connections evicted by the idle deadline"
+    ~labels:[ ("reason", "idle") ] "psopt_service_conn_evictions_total"
+let m_corrupt_frames =
+  Obs.Metrics.counter ~help:"Connections dropped on an undecodable or checksum-failed frame"
+    "psopt_service_corrupt_frames_total"
+let m_deadline_shrunk =
+  Obs.Metrics.counter
+    ~help:"Admitted requests whose explore budget was shrunk by queue wait"
+    "psopt_service_deadline_shrunk_total"
+let queue_wait_hist =
+  Obs.Metrics.histogram ~help:"Admission-queue wait before the slot"
+    "psopt_service_queue_wait_ns"
 
 let track_conn st fd =
   let l, m = st.conns in
@@ -253,6 +453,9 @@ let stats_payload st =
       (match st.store with Some s -> Store.corrupt_misses s | None -> 0);
     inflight = Admission.inflight st.gate;
     capacity = st.gate.Admission.capacity;
+    sheds = !(st.stats.sheds);
+    expired = !(st.stats.expired);
+    evictions = !(st.stats.evictions);
   }
 
 let metrics_payload st =
@@ -267,6 +470,16 @@ let metrics_payload st =
   Obs.Metrics.set g_inflight p.Proto.inflight;
   Obs.Metrics.set g_capacity p.Proto.capacity;
   Obs.Metrics.render ()
+
+let shed_reply st reason =
+  Proto.Shed
+    {
+      reason;
+      inflight = Admission.inflight st.gate;
+      capacity = st.gate.Admission.capacity;
+    }
+
+let ms_to_ns ms = ms * 1_000_000
 
 let handle_request st = function
   | Proto.Ping -> Proto.Pong Version.version
@@ -310,21 +523,96 @@ let handle_request st = function
                 conclusive = e.Store.conclusive;
               }
         | None -> (
+            (* The effective request deadline: the client's wall-clock
+               budget, capped by the server's own limit.  The queue
+               deadline additionally folds in the queue TTL, so even
+               deadline-less requests cannot wait forever. *)
+            let request_deadline_ns =
+              match
+                (config.Explore.Config.deadline_ms, st.cfg.request_deadline_ms)
+              with
+              | None, None -> None
+              | Some a, None -> Some (t0 + ms_to_ns a)
+              | None, Some b -> Some (t0 + ms_to_ns b)
+              | Some a, Some b -> Some (t0 + ms_to_ns (min a b))
+            in
+            let queue_deadline_ns =
+              let ttl =
+                Option.map (fun ms -> t0 + ms_to_ns ms) st.cfg.queue_ttl_ms
+              in
+              match (request_deadline_ns, ttl) with
+              | Some a, Some b -> Some (min a b)
+              | Some a, None -> Some a
+              | None, other -> other
+            in
             match
-              Admission.try_run st.gate (fun () ->
-                  serve_work ?store:st.store ~stats:st.stats w config)
+              Admission.try_run st.gate ~prio:(priority_of_work w)
+                ?deadline_ns:queue_deadline_ns (fun () ->
+                  let now = Obs.Clock.now_ns () in
+                  let waited = now - t0 in
+                  Obs.Metrics.observe_ns queue_wait_hist waited;
+                  match request_deadline_ns with
+                  | Some d when d - now < ms_to_ns 1 ->
+                      (* admitted with (essentially) no wall clock
+                         left: answer Shed rather than spinning up a
+                         search that must immediately truncate *)
+                      `Expired
+                  | Some d ->
+                      let remaining_ms = (d - now) / 1_000_000 in
+                      if waited > ms_to_ns 1 then
+                        Obs.Metrics.incr m_deadline_shrunk;
+                      `Reply
+                        (serve_work ?store:st.store ~stats:st.stats w
+                           {
+                             config with
+                             Explore.Config.deadline_ms = Some remaining_ms;
+                           })
+                  | None ->
+                      `Reply (serve_work ?store:st.store ~stats:st.stats w config))
             with
+            | `Done (`Reply r) -> r
+            | `Done `Expired | `Expired ->
+                Atomic.incr st.stats.expired;
+                Obs.Metrics.incr m_shed_expired;
+                shed_reply st Proto.Expired
+            | `Shed ->
+                Atomic.incr st.stats.sheds;
+                Obs.Metrics.incr m_shed_overload;
+                shed_reply st Proto.Overload
             | `Busy inflight ->
                 Atomic.incr st.stats.busy;
-                Proto.Busy { inflight; capacity = st.gate.Admission.capacity }
-            | `Done r -> r)
+                Proto.Busy { inflight; capacity = st.gate.Admission.capacity })
       end
 
 let handle_connection st fd =
+  let evict reason counter phase =
+    Atomic.incr st.stats.evictions;
+    Obs.Metrics.incr counter;
+    log ~level:Obs.Log.Warn st "connection evicted"
+      ~fields:[ ("reason", reason); ("phase", Proto.phase_to_string phase) ]
+  in
   let rec loop () =
-    match Proto.recv_request fd with
-    | Error _ -> ()  (* disconnect or garbage: drop the connection *)
-    | Ok req ->
+    match
+      Proto.recv_request ~idle_timeout_s:st.cfg.idle_timeout_s
+        ~io_timeout_s:st.cfg.io_timeout_s fd
+    with
+    | Error Proto.Closed -> ()  (* orderly disconnect *)
+    | Error (Proto.Timed_out (Proto.Idle as phase)) ->
+        evict "idle" m_evict_idle phase
+    | Error (Proto.Timed_out phase) ->
+        (* the peer started a frame and stalled: slowloris *)
+        evict "slowloris" m_evict_slowloris phase
+    | Error (Proto.Corrupt msg) ->
+        (* after a bad frame the stream cannot be resynchronized *)
+        Atomic.incr st.stats.errors;
+        Obs.Metrics.incr m_corrupt_frames;
+        log ~level:Obs.Log.Warn st "corrupt frame; dropping connection"
+          ~fields:[ ("error", msg) ]
+    | Error (Proto.Io msg) ->
+        Atomic.incr st.stats.errors;
+        log ~level:Obs.Log.Warn st "i/o error on connection"
+          ~fields:[ ("error", msg) ]
+    | Ok req -> (
         let resp =
           try handle_request st req
           with exn ->
@@ -332,8 +620,11 @@ let handle_connection st fd =
             Proto.Refused
               (Explore.Errors.to_string (Explore.Errors.of_exn exn))
         in
-        (match (try Ok (Proto.send_response fd resp) with exn -> Error exn) with
+        match Proto.send_response ~timeout_s:st.cfg.io_timeout_s fd resp with
         | Ok () -> if not (Atomic.get st.stop) then loop ()
+        | Error (Proto.Timed_out phase) ->
+            (* the peer stopped draining its reply *)
+            evict "slowloris" m_evict_slowloris phase
         | Error _ -> ())
   in
   Fun.protect
@@ -388,6 +679,52 @@ let run ?(on_ready = fun () -> ()) cfg =
         with Invalid_argument _ | Sys_error _ -> None)
       [ Sys.sigint; Sys.sigterm ]
   in
+  (* Handler threads carry a finished flag so the accept loop can reap
+     them continuously — a long-running daemon must not accumulate one
+     dead [Thread.t] per connection it ever served. *)
+  let threads : (Thread.t * bool Atomic.t) list ref = ref [] in
+  let threads_m = Mutex.create () in
+  let reap () =
+    Mutex.lock threads_m;
+    let live, finished =
+      List.partition (fun (_, fin) -> not (Atomic.get fin)) !threads
+    in
+    threads := live;
+    Mutex.unlock threads_m;
+    (* joining a finished thread is immediate *)
+    List.iter (fun (t, _) -> Thread.join t) finished;
+    Obs.Metrics.set g_handlers (List.length live)
+  in
+  let spawn_handler fd =
+    let fin = Atomic.make false in
+    let t =
+      Thread.create
+        (fun fd ->
+          Fun.protect
+            ~finally:(fun () -> Atomic.set fin true)
+            (fun () -> handle_connection st fd))
+        fd
+    in
+    Mutex.lock threads_m;
+    threads := (t, fin) :: !threads;
+    Mutex.unlock threads_m
+  in
+  (* The watchdog: wakes queued waiters so their deadlines fire even
+     while the slot is busy (OCaml's [Condition] has no timed wait),
+     and reaps finished handler threads between accepts.  It keeps
+     running through the shutdown drain — expired waiters must still
+     clear out — and stops only once the gate is empty. *)
+  let watchdog_stop = Atomic.make false in
+  let watchdog =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get watchdog_stop) do
+          Thread.delay 0.05;
+          Admission.tick st.gate;
+          reap ()
+        done)
+      ()
+  in
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let result =
     try
@@ -401,9 +738,10 @@ let run ?(on_ready = fun () -> ()) cfg =
             ( "store",
               match cfg.store_dir with Some d -> d | None -> "off" );
             ("queue", string_of_int cfg.capacity);
+            ("io_timeout_s", string_of_float cfg.io_timeout_s);
+            ("idle_timeout_s", string_of_float cfg.idle_timeout_s);
           ];
       on_ready ();
-      let threads = ref [] in
       while not (Atomic.get st.stop) do
         (* a signal interrupting the poll is just an early wakeup: the
            loop condition re-reads the stop flag the handler set *)
@@ -418,12 +756,14 @@ let run ?(on_ready = fun () -> ()) cfg =
                   Unix.accept listen_fd)
             in
             track_conn st fd;
-            threads := Thread.create (handle_connection st) fd :: !threads
+            spawn_handler fd
       done;
       log st "draining";
       (* stop accepting, let admitted work finish *)
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       Admission.drain st.gate;
+      Atomic.set watchdog_stop true;
+      Thread.join watchdog;
       Option.iter Store.flush store;
       (* unblock handler threads still parked on reads *)
       let l, m = st.conns in
@@ -433,13 +773,19 @@ let run ?(on_ready = fun () -> ()) cfg =
       List.iter
         (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
         open_fds;
-      List.iter Thread.join !threads;
+      Mutex.lock threads_m;
+      let remaining = !threads in
+      threads := [];
+      Mutex.unlock threads_m;
+      List.iter (fun (t, _) -> Thread.join t) remaining;
       (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
       log st "bye"
         ~fields:
           [ ("stats", Format.asprintf "%a" Explore.Stats.Service.pp st.stats) ];
       Ok ()
     with exn ->
+      Atomic.set watchdog_stop true;
+      (try Thread.join watchdog with _ -> ());
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       (try Unix.unlink cfg.socket with Unix.Unix_error _ -> ());
       Error (Printexc.to_string exn)

@@ -2,9 +2,17 @@
     Unix-domain socket, answers {!Proto} requests, serves results out
     of the content-addressed {!Store}, and schedules fresh work
     through an admission gate — one execution slot (each search
-    already parallelizes across the domain pool) plus a bounded wait
-    queue with an explicit {!Proto.Busy} backpressure response beyond
-    it.
+    already parallelizes across the domain pool) plus a bounded,
+    priority-aware wait queue with per-waiter deadlines.
+
+    Fault tolerance (docs/ROBUSTNESS.md's service fault model): every
+    connection read/write carries a deadline (slowloris and idle peers
+    are evicted); queued work carries a wall-clock deadline and a
+    queue TTL and is answered with a typed {!Proto.Shed} when either
+    passes; a request admitted close to its deadline runs with its
+    exploration budget shrunk to the remaining wall clock, so an
+    overrun surfaces as the honest inconclusive taxonomy; finished
+    handler threads are reaped continuously.
 
     Store lookups happen {e before} admission, so cached traffic never
     queues behind a heavy miss.  Shutdown — SIGINT, SIGTERM or a
@@ -17,31 +25,85 @@ type config = {
   store_dir : string option;  (** result store root; [None] disables *)
   capacity : int;  (** wait-queue bound beyond the execution slot *)
   quiet : bool;
+  io_timeout_s : float;
+      (** mid-frame read/write deadline per connection: a peer that
+          stalls inside a frame (slowloris) or stops draining its
+          reply is evicted after this many seconds *)
+  idle_timeout_s : float;
+      (** between-frames deadline: how long a keep-alive connection
+          may sit idle before it is evicted *)
+  request_deadline_ms : int option;
+      (** server-side cap on each work request's wall clock; the
+          effective deadline is the minimum of this and the client's
+          [Config.deadline_ms] *)
+  queue_ttl_ms : int option;
+      (** how long a request may wait in the admission queue before it
+          is answered [Shed Expired]; bounds waiting only — it never
+          shrinks the execution budget *)
 }
 
 val default_capacity : int
 
+val default : socket:string -> config
+(** A production-shaped config: 10 s I/O deadline, 10 min idle
+    deadline, 60 s queue TTL, no server-side deadline cap, store
+    off. *)
+
 (** The admission gate, exposed for direct testing: one execution
-    slot, a bounded wait queue, [`Busy] beyond it. *)
+    slot, a bounded priority-aware wait queue with per-waiter
+    deadlines, [`Busy] beyond it. *)
 module Admission : sig
+  (** [High] is admitted ahead of every [Normal] waiter and may
+      preempt the youngest one out of a full queue; FIFO within a
+      priority. *)
+  type priority = High | Normal
+
+  type waiter
+
   type t = {
     m : Mutex.t;
     turn : Condition.t;
     capacity : int;
     mutable running : bool;
-    mutable waiting : int;
+    mutable next_seq : int;
+    mutable waiters : waiter list;
   }
 
   val create : capacity:int -> t
-  val inflight : t -> int
 
-  val try_run : t -> (unit -> 'a) -> [ `Busy of int | `Done of 'a ]
-  (** Run in the slot (waiting for a turn if the queue has room);
-      [`Busy inflight] when the queue is full. *)
+  val inflight : t -> int
+  (** Running (0 or 1) + waiting. *)
+
+  val try_run :
+    ?prio:priority ->
+    ?deadline_ns:int ->
+    t ->
+    (unit -> 'a) ->
+    [ `Done of 'a | `Busy of int | `Shed | `Expired ]
+  (** Run in the slot, waiting for a turn if the queue has room.
+      [`Busy n] — the queue was full (and, for a [High] arrival, held
+      no preemptable [Normal] waiter).  [`Shed] — this waiter was
+      preempted out of the full queue by a [High] arrival.
+      [`Expired] — [deadline_ns] (absolute, {!Obs.Clock.now_ns} scale)
+      passed before the slot was granted.  The deadline bounds
+      {e waiting} only; once running, the thunk owns the slot until it
+      returns. *)
+
+  val tick : t -> unit
+  (** Wake all waiters so expired deadlines fire; the daemon's
+      watchdog thread calls this periodically (OCaml's [Condition] has
+      no timed wait). *)
 
   val drain : t -> unit
-  (** Block until the slot is free and the queue empty. *)
+  (** Block until the slot is free and the queue empty.  Requires
+      {!tick}s to keep arriving so deadline-expired waiters clear
+      themselves out. *)
 end
+
+val priority_of_work : Proto.work -> Admission.priority
+(** [Litmus] (small, corpus-bounded) is [High]; [Explore], [Verify]
+    and [Races] (arbitrary programs, possibly hour-long) are
+    [Normal]. *)
 
 val run_work :
   Proto.work -> Explore.Config.t -> (string * int, string) result

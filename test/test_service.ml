@@ -116,13 +116,16 @@ let test_proto_units () =
         (Proto.response_of_sexp (Proto.sexp_of_response resp) = Ok resp))
     [ Proto.Pong "1.2.3"; Proto.Shutting_down;
       Proto.Busy { inflight = 17; capacity = 16 };
+      Proto.Shed { reason = Proto.Expired; inflight = 3; capacity = 4 };
+      Proto.Shed { reason = Proto.Overload; inflight = 5; capacity = 4 };
       Proto.Refused "unknown pass: foo";
       Proto.Metrics_reply "# TYPE psopt_service_served_total counter\n";
       Proto.Metrics_reply "";
       Proto.Stats_reply
         { Proto.served = 1; store_hits = 2; store_misses = 3;
           busy_rejections = 4; errors = 5; store_entries = 6;
-          store_corrupt = 9; inflight = 7; capacity = 8 } ];
+          store_corrupt = 9; inflight = 7; capacity = 8;
+          sheds = 10; expired = 11; evictions = 12 } ];
   (* garbage never parses into a request or response *)
   List.iter
     (fun s ->
@@ -149,19 +152,122 @@ let test_framing () =
     (fun () ->
       List.iter
         (fun payload ->
-          Proto.write_frame a payload;
+          (match Proto.write_frame a payload with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail (Proto.error_to_string e));
           Alcotest.(check bool)
             (Printf.sprintf "frame of %d bytes round-trips"
                (String.length payload))
             true
             (Proto.read_frame b = Ok payload))
         [ ""; "x"; String.make 70_000 'q'; "(a (b c))" ];
-      (* a frame claiming an absurd length is rejected, not allocated *)
-      let lie = Bytes.create 4 in
+      (* a full header claiming an absurd length is rejected as
+         Corrupt, not allocated *)
+      let lie = Bytes.make Proto.header_len '\000' in
       Bytes.set_int32_be lie 0 (Int32.of_int (Proto.max_frame + 1));
-      let _ = Unix.write a lie 0 4 in
-      Alcotest.(check bool) "oversized length word rejected" true
-        (Result.is_error (Proto.read_frame b)))
+      let _ = Unix.write a lie 0 Proto.header_len in
+      (match Proto.read_frame b with
+      | Error (Proto.Corrupt _) -> ()
+      | other ->
+          Alcotest.failf "oversized length word: expected Corrupt, got %s"
+            (match other with
+            | Ok _ -> "Ok"
+            | Error e -> Proto.error_to_string e)))
+
+(* Satellite: the framing fault matrix — peers that close mid-header,
+   close mid-payload, stall silently, or corrupt bytes in flight all
+   surface as the right typed transport error, never an exception or a
+   hang (docs/ROBUSTNESS.md). *)
+let test_framing_faults () =
+  let with_pair f =
+    let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close a with Unix.Unix_error _ -> ());
+        try Unix.close b with Unix.Unix_error _ -> ())
+      (fun () -> f a b)
+  in
+  (* a valid frame for surgery *)
+  let frame_bytes payload =
+    let c, d = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close c; Unix.close d)
+      (fun () ->
+        (match Proto.write_frame c payload with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail (Proto.error_to_string e));
+        let n = Proto.header_len + String.length payload in
+        let buf = Bytes.create n in
+        let rec fill off =
+          if off < n then fill (off + Unix.read d buf off (n - off))
+        in
+        fill 0;
+        buf)
+  in
+  let whole = frame_bytes "(ping)" in
+  (* peer closes mid-length-prefix *)
+  with_pair (fun a b ->
+      let _ = Unix.write a whole 0 2 in
+      Unix.close a;
+      match Proto.read_frame b with
+      | Error Proto.Closed -> ()
+      | _ -> Alcotest.fail "mid-header close must be Closed");
+  (* peer closes mid-payload *)
+  with_pair (fun a b ->
+      let _ = Unix.write a whole 0 (Proto.header_len + 2) in
+      Unix.close a;
+      match Proto.read_frame b with
+      | Error Proto.Closed -> ()
+      | _ -> Alcotest.fail "mid-payload close must be Closed");
+  (* peer goes silent mid-header: the slowloris shape, caught by the
+     io deadline with the phase that names it *)
+  with_pair (fun a b ->
+      let _ = Unix.write a whole 0 2 in
+      match Proto.read_frame ~idle_timeout_s:5.0 ~io_timeout_s:0.05 b with
+      | Error (Proto.Timed_out Proto.Header) -> ()
+      | _ -> Alcotest.fail "mid-header stall must be Timed_out Header");
+  (* peer goes silent mid-payload *)
+  with_pair (fun a b ->
+      let _ = Unix.write a whole 0 (Proto.header_len + 2) in
+      match Proto.read_frame ~idle_timeout_s:5.0 ~io_timeout_s:0.05 b with
+      | Error (Proto.Timed_out Proto.Payload) -> ()
+      | _ -> Alcotest.fail "mid-payload stall must be Timed_out Payload");
+  (* peer never starts a frame: the idle deadline, distinguishable
+     from slowloris *)
+  with_pair (fun _ b ->
+      match Proto.read_frame ~idle_timeout_s:0.05 ~io_timeout_s:5.0 b with
+      | Error (Proto.Timed_out Proto.Idle) -> ()
+      | _ -> Alcotest.fail "idle peer must be Timed_out Idle");
+  (* one payload byte flipped in flight: the checksum catches it *)
+  with_pair (fun a b ->
+      let mauled = Bytes.copy whole in
+      let i = Proto.header_len + 1 in
+      Bytes.set mauled i (Char.chr (Char.code (Bytes.get mauled i) lxor 0x40));
+      let _ = Unix.write a mauled 0 (Bytes.length mauled) in
+      match Proto.read_frame b with
+      | Error (Proto.Corrupt _) -> ()
+      | _ -> Alcotest.fail "flipped payload byte must be Corrupt");
+  (* send path: peer already gone — a typed error, not SIGPIPE/exn.
+     The payload exceeds the socket buffer so the write must block on
+     a reader that will never come. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  with_pair (fun a b ->
+      Unix.close b;
+      match Proto.write_frame a (String.make 1_000_000 'x') with
+      | Error (Proto.Closed | Proto.Io _) -> ()
+      | Ok () -> Alcotest.fail "write to closed peer must fail"
+      | Error e ->
+          Alcotest.failf "write to closed peer: unexpected %s"
+            (Proto.error_to_string e));
+  (* send path: peer stops reading — the write deadline fires *)
+  with_pair (fun a _ ->
+      match Proto.write_frame ~timeout_s:0.05 a (String.make 4_000_000 'x') with
+      | Error (Proto.Timed_out Proto.Write) -> ()
+      | Ok () -> Alcotest.fail "unread 4MB write unexpectedly completed"
+      | Error e ->
+          Alcotest.failf "stalled write: unexpected %s"
+            (Proto.error_to_string e))
 
 (* --------------------------------------------------------------- *)
 (* Store *)
@@ -375,7 +481,7 @@ let test_admission () =
   let a = A.create ~capacity:0 in
   (match A.try_run a (fun () -> 41 + 1) with
   | `Done n -> Alcotest.(check int) "idle gate runs in the slot" 42 n
-  | `Busy _ -> Alcotest.fail "idle gate answered Busy");
+  | `Busy _ | `Shed | `Expired -> Alcotest.fail "idle gate refused work");
   Alcotest.(check int) "idle gate has no inflight work" 0 (A.inflight a);
   (* occupy the slot from another thread, then overflow *)
   let m = Mutex.create () in
@@ -398,7 +504,8 @@ let test_admission () =
   (match A.try_run a (fun () -> ()) with
   | `Busy inflight ->
       Alcotest.(check int) "Busy reports the occupant" 1 inflight
-  | `Done _ -> Alcotest.fail "capacity-0 gate admitted past the slot");
+  | `Done _ | `Shed | `Expired ->
+      Alcotest.fail "capacity-0 gate admitted past the slot");
   Mutex.lock m;
   release := true;
   Condition.broadcast c;
@@ -406,6 +513,120 @@ let test_admission () =
   (match Thread.join occupant with () -> ());
   A.drain a;
   Alcotest.(check int) "drained gate is empty" 0 (A.inflight a)
+
+(* A slot occupant the test controls: holds the gate until [free] is
+   called, signalling once it is actually running. *)
+let occupy gate =
+  let module A = Service.Server.Admission in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let running = ref false and release = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        A.try_run gate (fun () ->
+            Mutex.lock m;
+            running := true;
+            Condition.broadcast c;
+            while not !release do
+              Condition.wait c m
+            done;
+            Mutex.unlock m))
+      ()
+  in
+  Mutex.lock m;
+  while not !running do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  fun () ->
+    Mutex.lock m;
+    release := true;
+    Condition.broadcast c;
+    Mutex.unlock m;
+    Thread.join th
+
+let test_admission_deadline () =
+  let module A = Service.Server.Admission in
+  let a = A.create ~capacity:4 in
+  (* a deadline already in the past is refused before queueing *)
+  let free = occupy a in
+  (match
+     A.try_run a ~deadline_ns:(Obs.Clock.now_ns () - 1) (fun () -> ())
+   with
+  | `Expired -> ()
+  | _ -> Alcotest.fail "past deadline must be Expired");
+  (* a waiter whose deadline passes while queued expires on a tick,
+     without ever holding the slot *)
+  let result :
+      [ `Pending | `Busy of int | `Done of unit | `Expired | `Shed ] ref =
+    ref `Pending
+  in
+  let waiter =
+    Thread.create
+      (fun () ->
+        result :=
+          (A.try_run a
+             ~deadline_ns:(Obs.Clock.now_ns () + 20_000_000)
+             (fun () -> ())
+            :> [ `Pending | `Busy of int | `Done of unit | `Expired | `Shed ]))
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  while !result = `Pending && Unix.gettimeofday () -. t0 < 5.0 do
+    Thread.delay 0.005;
+    A.tick a
+  done;
+  Thread.join waiter;
+  (match !result with
+  | `Expired -> ()
+  | `Pending -> Alcotest.fail "queued waiter never expired (hang)"
+  | _ -> Alcotest.fail "queued waiter past its deadline must be Expired");
+  free ();
+  A.drain a
+
+type gate_outcome =
+  [ `Pending | `Busy of int | `Done of [ `Ran ] | `Expired | `Shed ]
+
+let test_admission_priority () =
+  let module A = Service.Server.Admission in
+  let a = A.create ~capacity:1 in
+  let free = occupy a in
+  (* a Normal waiter fills the queue *)
+  let normal : gate_outcome ref = ref `Pending in
+  let normal_th =
+    Thread.create
+      (fun () ->
+        normal := (A.try_run a ~prio:A.Normal (fun () -> `Ran) :> gate_outcome))
+      ()
+  in
+  while A.inflight a < 2 do
+    Thread.yield ()
+  done;
+  (* a Normal arrival at the full queue bounces Busy *)
+  (match A.try_run a ~prio:A.Normal (fun () -> ()) with
+  | `Busy _ -> ()
+  | _ -> Alcotest.fail "full queue must answer Busy to Normal");
+  (* a High arrival preempts the queued Normal waiter instead *)
+  let high : gate_outcome ref = ref `Pending in
+  let high_th =
+    Thread.create
+      (fun () ->
+        high := (A.try_run a ~prio:A.High (fun () -> `Ran) :> gate_outcome))
+      ()
+  in
+  (* the preempted Normal waiter observes Shed *)
+  Thread.join normal_th;
+  (match !normal with
+  | `Shed -> ()
+  | _ -> Alcotest.fail "preempted Normal waiter must observe Shed");
+  (* once the occupant leaves, the High waiter runs *)
+  free ();
+  Thread.join high_th;
+  (match !high with
+  | `Done `Ran -> ()
+  | _ -> Alcotest.fail "High waiter must run after the slot frees");
+  A.drain a
 
 (* --------------------------------------------------------------- *)
 (* serve_work: the store-aware path shared by daemon and bench *)
@@ -478,6 +699,58 @@ let test_serve_work () =
 (* --------------------------------------------------------------- *)
 (* End to end: a real daemon on a real socket *)
 
+(* Start a daemon on a fresh socket, hand it to [f], shut it down and
+   check it exits cleanly.  [configure] tweaks the default config. *)
+let socket_counter = ref 0
+
+let with_daemon ?(configure = fun c -> c) f =
+  incr socket_counter;
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psopt-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+  in
+  let cfg =
+    configure { (Service.Server.default ~socket) with quiet = true }
+  in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let ready = ref false in
+  let server_result = ref (Ok ()) in
+  let server =
+    Thread.create
+      (fun () ->
+        server_result :=
+          Service.Server.run
+            ~on_ready:(fun () ->
+              Mutex.lock m;
+              ready := true;
+              Condition.signal c;
+              Mutex.unlock m)
+            cfg)
+      ()
+  in
+  Mutex.lock m;
+  while not !ready do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Fun.protect
+    ~finally:(fun () ->
+      (match Service.Client.shutdown ~socket with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("shutdown: " ^ e));
+      Thread.join server;
+      match !server_result with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("server exit: " ^ e))
+    (fun () -> f socket)
+
+let contains text needle =
+  let nh = String.length text and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+  go 0
+
 let test_server_e2e () =
   let socket =
     Filename.concat
@@ -499,7 +772,9 @@ let test_server_e2e () =
               ready := true;
               Condition.signal c;
               Mutex.unlock m)
-            { Service.Server.socket; store_dir = Some store_dir; capacity = 4;
+            { (Service.Server.default ~socket) with
+              store_dir = Some store_dir;
+              capacity = 4;
               quiet = true })
       ()
   in
@@ -578,6 +853,99 @@ let test_server_e2e () =
   Alcotest.(check bool) "socket unlinked after shutdown" false
     (Sys.file_exists socket)
 
+(* A wedged client dribbles two header bytes and stalls: the server
+   must evict the connection on its mid-frame I/O deadline (observable
+   as EOF from the client side), count it, and expose it in both the
+   Stats payload and the metrics exposition. *)
+let test_server_slowloris () =
+  with_daemon
+    ~configure:(fun c -> { c with io_timeout_s = 0.1; idle_timeout_s = 10.0 })
+    (fun socket ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          let _ = Unix.write fd (Bytes.make 2 '\001') 0 2 in
+          (* the server must hang up on us, not wait forever *)
+          match Unix.select [ fd ] [] [] 5.0 with
+          | [], _, _ -> Alcotest.fail "server kept the wedged connection"
+          | _ ->
+              Alcotest.(check int) "evicted connection reads EOF" 0
+                (Unix.read fd (Bytes.create 1) 0 1));
+      (* the eviction is visible in the service counters... *)
+      (match
+         Service.Client.with_client ~socket (fun cl ->
+             Service.Client.rpc cl Proto.Stats)
+       with
+      | Ok (Ok (Proto.Stats_reply s)) ->
+          Alcotest.(check int) "stats count the eviction" 1 s.Proto.evictions
+      | _ -> Alcotest.fail "stats request failed");
+      (* ...and in the scraped metrics, labeled with the reason *)
+      match Service.Client.metrics ~socket with
+      | Ok text ->
+          Alcotest.(check bool) "metrics expose the slowloris eviction" true
+            (contains text
+               "psopt_service_conn_evictions_total{reason=\"slowloris\"}")
+      | Error e -> Alcotest.fail ("metrics: " ^ e))
+
+(* Deadlines propagate: a server-side request-deadline cap shrinks the
+   exploration budget, so an overrun comes back as the honest
+   inconclusive verdict (exit 2) — never a dropped connection.  A
+   request whose deadline has already passed is answered with the
+   typed Shed reply, and the shed shows up in the scraped metrics. *)
+let test_server_deadline_cap () =
+  with_daemon
+    ~configure:(fun c ->
+      { c with store_dir = None; request_deadline_ms = Some 5 })
+    (fun socket ->
+      let config =
+        { Config.default with Config.max_steps = 1_000_000; domains = 1 }
+      in
+      let overran = ref false in
+      let seed = ref 0 in
+      while (not !overran) && !seed < 10 do
+        incr seed;
+        let p = Explore.Stress.generate ~seed:!seed in
+        match
+          Service.Client.with_client ~socket (fun cl ->
+              Service.Client.rpc cl
+                (Proto.Work (Proto.Explore (Explore.Enum.Interleaving, p), config)))
+        with
+        | Ok (Ok (Proto.Reply r)) ->
+            if r.Proto.exit_code = 2 then begin
+              Alcotest.(check bool) "overrun reply is not conclusive" false
+                r.Proto.conclusive;
+              overran := true
+            end
+        | Ok (Ok (Proto.Shed _)) -> ()  (* admitted too late: also legal *)
+        | Ok (Ok other) ->
+            Alcotest.failf "unexpected response: %s"
+              (match other with
+              | Proto.Refused m -> "Refused " ^ m
+              | _ -> "non-Reply")
+        | Ok (Error e) | Error e -> Alcotest.fail e
+      done;
+      Alcotest.(check bool)
+        "some exploration overran the 5ms server cap into inconclusive" true
+        !overran;
+      (* a request that arrives already expired is shed, typed *)
+      (match
+         Service.Client.with_client ~socket (fun cl ->
+             Service.Client.rpc cl
+               (Proto.Work
+                  ( Proto.Litmus Litmus.sb.Litmus.name,
+                    { Config.default with Config.deadline_ms = Some 0 } )))
+       with
+      | Ok (Ok (Proto.Shed { reason = Proto.Expired; _ })) -> ()
+      | Ok (Ok _) -> Alcotest.fail "already-expired work must be Shed Expired"
+      | Ok (Error e) | Error e -> Alcotest.fail e);
+      match Service.Client.metrics ~socket with
+      | Ok text ->
+          Alcotest.(check bool) "metrics expose the expiry shed" true
+            (contains text "psopt_service_shed_total{reason=\"expired\"}")
+      | Error e -> Alcotest.fail ("metrics: " ^ e))
+
 (* --------------------------------------------------------------- *)
 
 let () =
@@ -587,6 +955,8 @@ let () =
         Alcotest.test_case "fixed requests/responses + garbage" `Quick
           test_proto_units
         :: Alcotest.test_case "framing over a socketpair" `Quick test_framing
+        :: Alcotest.test_case "framing fault matrix (truncation, stall, flip)"
+             `Quick test_framing_faults
         :: List.map QCheck_alcotest.to_alcotest proto_props );
       ( "store",
         Alcotest.test_case "covers is componentwise" `Quick test_covers
@@ -603,9 +973,17 @@ let () =
       ( "server",
         [
           Alcotest.test_case "admission gate" `Quick test_admission;
+          Alcotest.test_case "admission deadlines expire waiters" `Quick
+            test_admission_deadline;
+          Alcotest.test_case "admission priority preempts the youngest"
+            `Quick test_admission_priority;
           Alcotest.test_case "serve_work: miss, hit, refuse, budget re-run"
             `Quick test_serve_work;
           Alcotest.test_case "end-to-end daemon exchange" `Quick
             test_server_e2e;
+          Alcotest.test_case "slowloris connection evicted + counted" `Quick
+            test_server_slowloris;
+          Alcotest.test_case "deadline cap: overrun is inconclusive, typed shed"
+            `Quick test_server_deadline_cap;
         ] );
     ]
