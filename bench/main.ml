@@ -432,6 +432,192 @@ let cert_cache_table ~timings =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* State-space reduction ablation (docs/REDUCTION.md): node counts of
+   the same single-domain exploration with [Config.full_reduction] on
+   vs off.  The row family covers the regimes each technique exists
+   for: the cert_heavy rows are certification-bound with a
+   thread-private noise location (the ample rule collapses the local
+   chains), iriw_sym is an IRIW-shaped workload with two identical
+   readers (symmetry folds the reader orbit, the ample rule eats the
+   padding), and sym_writers is a pure orbit workload (N identical
+   writers, promise-free so the baseline stays tractable).
+
+   Three invariants count toward [--check]:
+   - behaviour equality: reduced and unreduced explorations must agree
+     on [Traceset.equal_behaviour] and completeness, over these rows
+     AND the whole litmus corpus;
+   - the reduction gate: the headline rows (cert_heavy 100/24,
+     iriw_sym) must shrink the node count by >= 10x, the supporting
+     rows by their listed floors — this is the PR-facing perf claim;
+   - counter consistency: nodes saved >= sleep_prunes +
+     symmetry_folds (each symmetric-sibling prune and each orbit fold
+     must account for at least one avoided node; the ample rule's
+     [persistent_prunes] counts pruned switch *edges*, which is why it
+     is not part of the inequality). *)
+
+let iriw_sym =
+  let open Lang.Build in
+  let pad k tag =
+    List.init k (fun j -> assign (Printf.sprintf "%s%d" tag j) (i j))
+  in
+  program ~atomics:[ "x"; "y" ]
+    [
+      proc "wx"
+        [ blk "L0" (pad 4 "pw" @ [ store "x" ~mode:Lang.Modes.WRlx (i 1) ]) ret ];
+      proc "wy"
+        [ blk "L0" (pad 4 "pw" @ [ store "y" ~mode:Lang.Modes.WRlx (i 1) ]) ret ];
+      proc "rd"
+        [
+          blk "L0"
+            (pad 6 "pr"
+            @ [
+                load "r1" "x" ~mode:Lang.Modes.Rlx;
+                load "r2" "y" ~mode:Lang.Modes.Rlx;
+                print ((r "r1" * i 10) + r "r2");
+              ])
+            ret;
+        ];
+    ]
+    ~threads:[ "wx"; "wy"; "rd"; "rd" ]
+
+let sym_writers n =
+  let open Lang.Build in
+  program ~atomics:[ "x" ]
+    [
+      proc "reader"
+        [
+          blk "L0"
+            [
+              load "r1" "x" ~mode:Lang.Modes.Rlx;
+              load "r2" "x" ~mode:Lang.Modes.Rlx;
+              print (r "r1");
+              print (r "r2");
+            ]
+            ret;
+        ];
+      proc "w" [ blk "L0" [ store "x" ~mode:Lang.Modes.WRlx (i 1) ] ret ];
+    ]
+    ~threads:("reader" :: List.init n (fun _ -> "w"))
+
+let json_reduction :
+    (string * int * int * float * int * int * int * bool * bool * float * bool)
+    list
+    ref =
+  ref []
+
+let json_reduction_gate : (bool * bool) option ref = ref None
+
+let reduction_table ~timings () =
+  Format.printf
+    "== ablation: state-space reduction (por + symmetry) on vs off ==@.";
+  if timings then
+    Format.printf "%-22s %10s %10s %8s %7s %7s %7s@." "workload" "unreduced"
+      "reduced" "factor" "sleep" "pers" "symfold";
+  let rows =
+    [
+      ("cert_heavy 60/16", cert_heavy ~pad:60 ~noise:16, seq_config (), 5.0);
+      ("cert_heavy 100/24", cert_heavy ~pad:100 ~noise:24, seq_config (), 10.0);
+      ("iriw_sym 2r", iriw_sym, seq_config (), 10.0);
+      ( "sym_writers 3",
+        sym_writers 3,
+        { (seq_config ()) with Explore.Config.max_promises = 0 },
+        3.0 );
+    ]
+  in
+  let gate_ok = ref true in
+  List.iter
+    (fun (name, prog, config, floor) ->
+      let base =
+        Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving prog
+      in
+      let red =
+        Explore.Enum.behaviors_exn
+          ~config:
+            { config with Explore.Config.reduction = Explore.Config.full_reduction }
+          Explore.Enum.Interleaving prog
+      in
+      let g f = Atomic.get (f red.Explore.Enum.stats) in
+      let nb = Atomic.get base.Explore.Enum.stats.Explore.Stats.nodes in
+      let nr = g (fun (s : Explore.Stats.t) -> s.Explore.Stats.nodes) in
+      let sleep = g (fun s -> s.Explore.Stats.sleep_prunes) in
+      let pers = g (fun s -> s.Explore.Stats.persistent_prunes) in
+      let folds = g (fun s -> s.Explore.Stats.symmetry_folds) in
+      let equal =
+        Explore.Traceset.equal_behaviour base.Explore.Enum.traces
+          red.Explore.Enum.traces
+        && base.Explore.Enum.completeness = red.Explore.Enum.completeness
+      in
+      let counters_ok = nb - nr >= sleep + folds in
+      let factor = float_of_int nb /. float_of_int (max 1 nr) in
+      let row_ok = factor >= floor in
+      if equal && counters_ok then incr passed
+      else begin
+        incr failed;
+        Format.printf "%-22s reduction MISMATCH (equal %b, counters %b)@."
+          name equal counters_ok
+      end;
+      if not row_ok then begin
+        gate_ok := false;
+        Format.printf "%-22s reduction gate FAIL: %.2fx < %.2fx@." name factor
+          floor
+      end;
+      json_reduction :=
+        (name, nb, nr, factor, sleep, pers, folds, equal, counters_ok, floor,
+         row_ok)
+        :: !json_reduction;
+      if timings then
+        Format.printf "%-22s %10d %10d %7.2fx %7d %7d %7d (floor %.1f %s)@."
+          name nb nr factor sleep pers folds floor
+          (if row_ok then "ok" else "FAIL")
+      else
+        Format.printf
+          "%-22s %.2fx fewer nodes, behaviours identical  %s@." name factor
+          (if equal && counters_ok && row_ok then "ok" else "FAIL"))
+    rows;
+  (* the whole litmus corpus must be behaviour-invariant under full
+     reduction (completeness included) *)
+  let corpus_ok =
+    List.for_all
+      (fun (t : Litmus.t) ->
+        let config = bench_config () in
+        let base =
+          Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving
+            t.Litmus.prog
+        in
+        let red =
+          Explore.Enum.behaviors_exn
+            ~config:
+              {
+                config with
+                Explore.Config.reduction = Explore.Config.full_reduction;
+              }
+            Explore.Enum.Interleaving t.Litmus.prog
+        in
+        Explore.Traceset.equal_behaviour base.Explore.Enum.traces
+          red.Explore.Enum.traces
+        && base.Explore.Enum.completeness = red.Explore.Enum.completeness)
+      Litmus.all
+  in
+  if corpus_ok then begin
+    incr passed;
+    Format.printf "litmus corpus: reduced ≡ unreduced behaviours  ok@."
+  end
+  else begin
+    incr failed;
+    Format.printf "litmus corpus: reduced behaviours MISMATCH@."
+  end;
+  if !gate_ok then begin
+    incr passed;
+    Format.printf "reduction gate: node-count floors met on every row  ok@."
+  end
+  else begin
+    incr failed;
+    Format.printf "reduction gate: FAIL@."
+  end;
+  json_reduction_gate := Some (!gate_ok, corpus_ok);
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Trace ablation: node throughput of the same certification-bound
    exploration with span tracing off (the default) vs on.  The checked
    invariant is twofold: tracesets must be identical (tracing is pure
@@ -601,6 +787,11 @@ let scaling_table ~timings () =
             oversubscribe = false;
           }
         in
+        (* the ablation tables before this one leave a large, fragmented
+           major heap behind (million-node memo tables); without a
+           compaction the later reps of a row pay unrelated GC debt and
+           the clamped-mode floor flakes on identical work *)
+        Gc.compact ();
         let t0 = Unix.gettimeofday () in
         let o =
           Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving prog
@@ -789,8 +980,8 @@ let write_json file =
   let oc = open_out file in
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
-  pf "  \"schema\": \"psopt-bench/4\",\n";
-  pf "  \"schema_version\": 4,\n";
+  pf "  \"schema\": \"psopt-bench/5\",\n";
+  pf "  \"schema_version\": 5,\n";
   pf "  \"config_fingerprint\": \"%s\",\n"
     (json_escape (Explore.Config.fingerprint (bench_config ())));
   pf "  \"jobs\": %d,\n" !bench_j;
@@ -828,6 +1019,28 @@ let write_json file =
          \"cert_heavy_floor\": %.2f, \"all_floor\": %.2f, \"ok\": %b},\n"
         (json_escape mode) cores cert_floor all_floor ok
   | None -> pf "  \"scaling_gate\": null,\n");
+  pf "  \"reduction\": [\n";
+  let red = List.rev !json_reduction in
+  List.iteri
+    (fun i
+         (name, nb, nr, factor, sleep, pers, folds, equal, counters_ok, floor,
+          row_ok) ->
+      pf
+        "    {\"workload\": \"%s\", \"nodes_unreduced\": %d, \
+         \"nodes_reduced\": %d, \"factor\": %.3f, \"sleep_prunes\": %d, \
+         \"persistent_prunes\": %d, \"symmetry_folds\": %d, \"equivalent\": \
+         %b, \"counters_ok\": %b, \"gate_floor\": %.2f, \"gate_ok\": %b}%s\n"
+        (json_escape name) nb nr factor sleep pers folds equal counters_ok
+        floor row_ok
+        (if i = List.length red - 1 then "" else ","))
+    red;
+  pf "  ],\n";
+  (match !json_reduction_gate with
+  | Some (gate_ok, corpus_ok) ->
+      pf
+        "  \"reduction_gate\": {\"ok\": %b, \"corpus_equivalent\": %b},\n"
+        gate_ok corpus_ok
+  | None -> pf "  \"reduction_gate\": null,\n");
   (match !json_service with
   | Some (cold_s, warm_s, hits, programs) ->
       pf
@@ -1043,6 +1256,7 @@ let () =
     Explore.Pool.domain_cap;
   reproduce ();
   cert_cache_table ~timings:(not check_only);
+  reduction_table ~timings:(not check_only) ();
   trace_ablation_table ~timings:(not check_only) ();
   truncation_pressure_table ();
   scaling_table ~timings:(not check_only) ();

@@ -85,8 +85,47 @@ let config_term =
     let doc = "Budget on distinct explored states (0 = none)." in
     Arg.(value & opt int 0 & info [ "max-nodes" ] ~doc)
   in
+  let por =
+    let doc =
+      "Certification-aware partial-order reduction: prune redundant \
+       interleavings of thread-local steps and symmetric switch siblings \
+       (behaviour-preserving; see docs/REDUCTION.md)."
+    in
+    Arg.(value & flag & info [ "por" ] ~doc)
+  in
+  let symmetry =
+    let doc =
+      "Symmetry reduction: canonicalize states under permutation of \
+       identical-program threads, so N replicated threads cost one orbit \
+       (traceset-preserving; see docs/REDUCTION.md)."
+    in
+    Arg.(value & flag & info [ "symmetry" ] ~doc)
+  in
+  let reduce =
+    let doc = "Enable every sound reduction (same as --por --symmetry)." in
+    Arg.(value & flag & info [ "reduce" ] ~doc)
+  in
+  let max_promises =
+    let doc =
+      "Bounded-promise mode: explore exhaustively within a budget of \
+       $(docv) promise steps per thread and report honest truncation \
+       above it (overrides --promises; implies strict accounting)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-promises" ] ~doc ~docv:"K")
+  in
   Term.(
-    const (fun promises max_steps no_cap deadline nodes j ->
+    const (fun promises max_steps no_cap deadline nodes por symmetry reduce
+               bound j ->
+        let reduction =
+          {
+            Explore.Config.por = por || reduce;
+            symmetry = symmetry || reduce;
+            bound_promises = bound;
+          }
+        in
         Explore.Config.with_promises promises
           {
             Explore.Config.default with
@@ -95,8 +134,10 @@ let config_term =
             deadline_ms = (if deadline > 0 then Some deadline else None);
             max_nodes = (if nodes > 0 then Some nodes else None);
             domains = max 1 j;
+            reduction;
           })
-    $ promises $ steps $ no_cap $ deadline $ nodes $ jobs_term)
+    $ promises $ steps $ no_cap $ deadline $ nodes $ por $ symmetry $ reduce
+    $ max_promises $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* Observability switches shared by the instrumented subcommands

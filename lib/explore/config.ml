@@ -2,6 +2,14 @@ type promise_mode = No_promises | Semantic | Syntactic
 
 type fault = { fault_seed : int; fault_rate : float }
 
+type reduction = {
+  por : bool;
+  symmetry : bool;
+  bound_promises : int option;
+}
+
+let no_reduction = { por = false; symmetry = false; bound_promises = None }
+
 type t = {
   max_steps : int;
   max_promises : int;
@@ -19,6 +27,7 @@ type t = {
   domains : int;
   oversubscribe : bool;
   publish_period : int;
+  reduction : reduction;
 }
 
 (* PSOPT_J lets the CI matrix (and users) run the entire test suite
@@ -56,6 +65,7 @@ let default =
     domains = default_domains;
     oversubscribe = default_oversubscribe;
     publish_period = 16;
+    reduction = no_reduction;
   }
 
 let quick =
@@ -77,12 +87,21 @@ let with_deadline_ms ms t = { t with deadline_ms = Some ms }
 
 let with_domains j t = { t with domains = max 1 j }
 
+let with_reduction r t = { t with reduction = r }
+
+let full_reduction = { por = true; symmetry = true; bound_promises = None }
+
 (* The fingerprint covers exactly the fields that can change the
    *result* of a search (traceset / verdict), and none of the fields
    that only change how fast it is computed or when it gets truncated:
 
    - in:  max_promises, promise_mode, reservations, cert_fuel,
-          cap_certification, strict_promises, fault
+          cap_certification, strict_promises, fault, reduction.
+          The reduction knobs are semantic even though the techniques
+          preserve behaviour: [bound_promises] changes completeness
+          (Truncated above the bound), por changes which Open chatter
+          prefixes appear, and a store keyed without the knobs could
+          hand a bounded result to an unbounded query.
    - out: memoize, cert_cache, domains, oversubscribe, publish_period (the
           determinism contract of docs/PARALLEL.md: identical results
           at every width and with every cache setting)
@@ -94,7 +113,7 @@ let with_domains j t = { t with domains = max 1 j }
 let fingerprint t =
   let b = Buffer.create 96 in
   let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b ';') fmt in
-  add "psopt-config-fp/1";
+  add "psopt-config-fp/2";
   add "promises=%d" t.max_promises;
   add "mode=%s"
     (match t.promise_mode with
@@ -108,6 +127,11 @@ let fingerprint t =
   (match t.fault with
   | None -> add "fault=none"
   | Some f -> add "fault=%d:%h" f.fault_seed f.fault_rate);
+  add "por=%b" t.reduction.por;
+  add "sym=%b" t.reduction.symmetry;
+  (match t.reduction.bound_promises with
+  | None -> add "bound=none"
+  | Some k -> add "bound=%d" k);
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let pp_opt ppf = function
@@ -136,4 +160,8 @@ let pp ppf t =
   | Some f ->
       Format.fprintf ppf "; fault={seed=%d; rate=%g}" f.fault_seed
         f.fault_rate);
+  (if t.reduction <> no_reduction then
+     let r = t.reduction in
+     Format.fprintf ppf "; reduction={por=%b; sym=%b; bound=%a}" r.por
+       r.symmetry pp_opt r.bound_promises);
   Format.fprintf ppf "}"

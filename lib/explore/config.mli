@@ -34,6 +34,40 @@ type fault = {
     subset of the fault-free run and verdicts can only degrade toward
     inconclusive — the property test in test/test_robustness.ml. *)
 
+type reduction = {
+  por : bool;
+      (** certification-aware partial-order reduction: ample-set
+          pruning of switch successors under a deterministic local τ
+          step, plus sleep-set style pruning of switch targets whose
+          thread records are literally equal (docs/REDUCTION.md).
+          Preserves completed traces exactly; [Open] divergence
+          prefixes may differ, so compare reduced vs. unreduced runs
+          with {!Traceset.equal_behaviour}. *)
+  symmetry : bool;
+      (** canonicalize memo-table keys under permutations of
+          syntactically identical threads, so N identical threads cost
+          one orbit of subtree explorations instead of N!
+          (docs/REDUCTION.md).  Raw-traceset preserving: traces carry
+          no thread identifiers. *)
+  bound_promises : int option;
+      (** [Some k] caps outstanding promise steps per thread at [k]
+          (overriding [max_promises]) and forces strict reporting:
+          exhaustive for the bound, honest [Truncated
+          [Promise_budget]] whenever the cap suppressed a nonempty
+          candidate set — the bounded-promise exploration mode of "The
+          Decidability of Verification under Promising 2.0". *)
+}
+(** The state-space reduction layer (docs/REDUCTION.md).  All three
+    techniques compose with each other, with memoization and with the
+    parallel engine ([-j]); the traceset at a {e fixed} reduction
+    setting is deterministic across widths as usual. *)
+
+val no_reduction : reduction
+(** All techniques off — the default, and the reference semantics. *)
+
+val full_reduction : reduction
+(** [por] and [symmetry] on, no promise bound. *)
+
 type t = {
   max_steps : int;
       (** depth bound on micro-steps along one path; exceeding it
@@ -100,6 +134,11 @@ type t = {
           duplicate the same certification; larger values cut
           publication traffic.  A pure performance knob — excluded
           from {!fingerprint} like [domains]. *)
+  reduction : reduction;
+      (** state-space reduction (off by default); {e included} in
+          {!fingerprint} — [bound_promises] changes completeness and
+          [por] changes the reported [Open] prefixes, so cached
+          results must not cross reduction modes. *)
 }
 
 val default : t
@@ -116,7 +155,7 @@ val fingerprint : t -> string
 (** A hex digest of the {e semantic} fields only — the ones that can
     change a search's result rather than its speed: [max_promises],
     [promise_mode], [reservations], [cert_fuel], [cap_certification],
-    [strict_promises] and [fault].  Excluded are [memoize],
+    [strict_promises], [fault] and the [reduction] knobs.  Excluded are [memoize],
     [cert_cache], [domains] and [oversubscribe] (pure performance switches, identical
     results by the determinism contract of docs/PARALLEL.md) and the
     four budgets [max_steps]/[deadline_ms]/[max_nodes]/[max_live_words]
@@ -127,4 +166,5 @@ val fingerprint : t -> string
 val with_promises : int -> t -> t
 val with_deadline_ms : int -> t -> t
 val with_domains : int -> t -> t
+val with_reduction : reduction -> t -> t
 val pp : Format.formatter -> t -> unit

@@ -115,11 +115,36 @@ type succ = { emit : Lang.Ast.value option; next : Node.t }
    when [max_nodes] is configured (the budget must trip at the
    configured total across domains, which batched per-domain counters
    cannot guarantee). *)
+(* Reduction context, computed once per search from the program
+   (docs/REDUCTION.md).  [classes] lists the groups of >= 2 threads
+   running syntactically identical code (tids ascending, the
+   contiguous ids [Ps.Machine.init] assigns); [class_of.(tid)] is the
+   index of the class containing [tid], or -1; [thread_fns.(tid)] is
+   the thread's root function name (the only fname that can differ
+   between same-class threads — [equal_codeheap] equality forces
+   equal [Call] targets, so callee names are shared); [acyclic.(tid)]
+   says the thread's whole program is Call-free with a DAG block
+   graph — the gate for the symmetric-sibling switch prune;
+   [private_vars.(tid)] holds the locations accessed (syntactically,
+   calls included) by thread [tid] and by no other thread — accesses
+   to them commute with every other thread's step, extending the
+   ample τ rule. *)
+type red = {
+  por : bool;
+  sym : bool;
+  classes : int array list;
+  class_of : int array;
+  thread_fns : string array;
+  acyclic : bool array;
+  private_vars : Lang.Ast.VarSet.t array;
+}
+
 type search = {
   code : Lang.Ast.code;
   atomics : Lang.Ast.VarSet.t;
   disc : discipline;
   cfg : Config.t;
+  red : red;
   stats : Stats.t;
   memo_merged : (Traceset.t * int) NodeTbl.t;
   cert_merged : bool CertTbl.t;
@@ -164,12 +189,195 @@ let fault_threshold rate =
      every site. *)
   int_of_float (rate *. 1073741824.0)
 
-let make_search code atomics disc cfg =
+let no_red =
+  {
+    por = false;
+    sym = false;
+    classes = [];
+    class_of = [||];
+    thread_fns = [||];
+    acyclic = [||];
+    private_vars = [||];
+  }
+
+(* The locations a thread rooted at [fname] can touch: every
+   [Load]/[Store]/[Cas] var in code reachable through [Call]s.  Used
+   to find thread-private locations — promise candidates are
+   syntactic too, so a location outside every other thread's access
+   set can never gain a message or a reader from them. *)
+let accessed_vars code fname =
+  let seen = Hashtbl.create 8 in
+  let acc = ref Lang.Ast.VarSet.empty in
+  let rec go fn =
+    if not (Hashtbl.mem seen fn) then begin
+      Hashtbl.add seen fn ();
+      match Lang.Ast.FnameMap.find_opt fn code with
+      | None -> ()
+      | Some ch ->
+          Lang.Ast.LabelMap.iter
+            (fun _ (b : Lang.Ast.block) ->
+              List.iter
+                (fun (ins : Lang.Ast.instr) ->
+                  match ins with
+                  | Lang.Ast.Load (_, v, _)
+                  | Lang.Ast.Store (v, _, _)
+                  | Lang.Ast.Cas (_, v, _, _, _, _) ->
+                      acc := Lang.Ast.VarSet.add v !acc
+                  | Lang.Ast.Skip | Lang.Ast.Assign _ | Lang.Ast.Print _
+                  | Lang.Ast.Fence _ ->
+                      ())
+                b.Lang.Ast.instrs;
+              match b.Lang.Ast.term with
+              | Lang.Ast.Call (f, _) -> go f
+              | Lang.Ast.Jmp _ | Lang.Ast.Be _ | Lang.Ast.Return -> ())
+            ch.Lang.Ast.blocks
+    end
+  in
+  go fname;
+  !acc
+
+(* Substitute a thread's root function name.  A same-class thread's
+   state mentions its own root fname in at most two places: the
+   running position (while executing the root) and stack frames (the
+   bottom frame returns into the root).  Callee names are shared
+   across the class (see [red]), so this substitution maps a thread
+   state onto the syntactically identical program of another class
+   member, exactly. *)
+let rename_root ~from_ ~to_ (ts : Ps.Thread.ts) =
+  if String.equal from_ to_ then ts
+  else
+    let l = ts.Ps.Thread.local in
+    let pos =
+      match l.Ps.Local.pos with
+      | Ps.Local.Running ({ fn; _ } as r) when String.equal fn from_ ->
+          Ps.Local.Running { r with fn = to_ }
+      | p -> p
+    in
+    let stack =
+      List.map
+        (fun (f : Ps.Local.frame) ->
+          if String.equal f.Ps.Local.fn from_ then
+            { f with Ps.Local.fn = to_ }
+          else f)
+        l.Ps.Local.stack
+    in
+    { ts with Ps.Thread.local = { l with Ps.Local.pos; stack } }
+
+let block_succs (b : Lang.Ast.block) =
+  match b.Lang.Ast.term with
+  | Lang.Ast.Jmp l -> [ l ]
+  | Lang.Ast.Be (_, l1, l2) -> [ l1; l2 ]
+  | Lang.Ast.Call _ | Lang.Ast.Return -> []
+
+(* Call-free with a DAG block graph: such a thread's control position
+   strictly advances on every instruction and terminator step, which
+   is what makes the symmetric-sibling prune exact (a pruned subtree's
+   isomorphic image cannot collide with an on-stack ancestor that its
+   kept sibling missed — docs/REDUCTION.md). *)
+let fn_acyclic code fname =
+  match Lang.Ast.FnameMap.find_opt fname code with
+  | None -> false
+  | Some ch ->
+      let blocks = ch.Lang.Ast.blocks in
+      Lang.Ast.LabelMap.for_all
+        (fun _ (b : Lang.Ast.block) ->
+          match b.Lang.Ast.term with Lang.Ast.Call _ -> false | _ -> true)
+        blocks
+      &&
+      let color = Hashtbl.create 16 in
+      (* tri-color DFS: 1 = on stack, 2 = done *)
+      let rec dag l =
+        match Hashtbl.find_opt color l with
+        | Some 2 -> true
+        | Some _ -> false
+        | None -> (
+            match Lang.Ast.LabelMap.find_opt l blocks with
+            | None -> true (* dangling target: Lang.Wf rules it out *)
+            | Some b ->
+                Hashtbl.add color l 1;
+                let ok = List.for_all dag (block_succs b) in
+                Hashtbl.replace color l 2;
+                ok)
+      in
+      Lang.Ast.LabelMap.for_all (fun l _ -> dag l) blocks
+
+let compute_red code threads (cfg : Config.t) =
+  let r = cfg.Config.reduction in
+  if not (r.Config.por || r.Config.symmetry) then no_red
+  else
+    let acyclic =
+      if r.Config.por then Array.of_list (List.map (fn_acyclic code) threads)
+      else [||]
+    in
+    let private_vars =
+      if not r.Config.por then [||]
+      else
+        let per_tid =
+          Array.of_list (List.map (accessed_vars code) threads)
+        in
+        Array.mapi
+          (fun i vs ->
+            Lang.Ast.VarSet.filter
+              (fun v ->
+                let shared = ref false in
+                Array.iteri
+                  (fun j vs' ->
+                    if j <> i && Lang.Ast.VarSet.mem v vs' then shared := true)
+                  per_tid;
+                not !shared)
+              vs)
+          per_tid
+    in
+    (* Group tids by syntactically identical programs.  Threads of
+       the same fname are trivially identical; distinct fnames with
+       [equal_codeheap]-equal bodies also qualify (equal terminators
+       mean equal [Call] targets, so the transitive code is shared
+       too).  Both reductions use the classes: canonicalization folds
+       whole orbits onto one memo entry, and the symmetric-sibling
+       switch prune needs the same-program guarantee to equate
+       siblings up to their root fname. *)
+    let groups : (Lang.Ast.codeheap * int list ref) list ref = ref [] in
+    List.iteri
+      (fun tid fname ->
+        match Lang.Ast.FnameMap.find_opt fname code with
+        | None -> ()
+        | Some ch -> (
+            match
+              List.find_opt
+                (fun (ch', _) -> Lang.Ast.equal_codeheap ch ch')
+                !groups
+            with
+            | Some (_, tids) -> tids := tid :: !tids
+            | None -> groups := (ch, ref [ tid ]) :: !groups))
+      threads;
+    let classes =
+      List.rev !groups
+      |> List.filter_map (fun (_, tids) ->
+             match List.rev !tids with
+             | _ :: _ :: _ as l -> Some (Array.of_list l)
+             | _ -> None)
+    in
+    let class_of = Array.make (List.length threads) (-1) in
+    List.iteri
+      (fun i cls -> Array.iter (fun tid -> class_of.(tid) <- i) cls)
+      classes;
+    {
+      por = r.Config.por;
+      sym = r.Config.symmetry;
+      classes;
+      class_of;
+      thread_fns = Array.of_list threads;
+      acyclic;
+      private_vars;
+    }
+
+let make_search ~threads code atomics disc cfg =
   {
     code;
     atomics;
     disc;
     cfg;
+    red = compute_red code threads cfg;
     stats = Stats.create ();
     memo_merged = NodeTbl.create 1024;
     cert_merged = CertTbl.create 1024;
@@ -213,6 +421,80 @@ let make_worker ~id ~parallel s =
     cand_mark = Pool.Chan.genesis;
     memo_mark = Pool.Chan.genesis;
   }
+
+(* Symmetry canonicalization (docs/REDUCTION.md): permute the thread
+   records of each symmetry class into a canonical slot order.
+   Applied ONLY to memo-table keys — never to cycle detection or fault
+   sites — so orbit-equivalent subtrees fold onto one memo entry.
+   Sound because the taint-qualified memo entries are context-free,
+   traces carry no thread identifiers, and permuting
+   identical-program threads across tid slots is a step-for-step
+   subtree isomorphism (same traceset, same depth profile).  The sort
+   key puts the current thread's record first, then orders by thread
+   state and spent promise budget, so any two orbit members canonize
+   to the same node.  Class members may run under distinct root
+   fnames (identical bodies); each member is renamed to the class
+   representative's fname before sorting — making the order a pure
+   function of thread *state*, not thread identity — and renamed
+   again to its destination slot's fname on assignment, so the result
+   is a well-formed state of the original program.  Returns the
+   argument physically ([==]) when the permutation is the identity,
+   so callers can count genuine folds. *)
+let canon s (n : Node.t) : Node.t =
+  if not (s.red.sym && s.red.classes <> []) then n
+  else begin
+    let wd = n.Node.world in
+    let changed = ref false in
+    let tp = ref wd.Ps.Machine.tp in
+    let promised = ref n.Node.promised in
+    let cur = ref wd.Ps.Machine.cur in
+    List.iter
+      (fun cls ->
+        let rep_fn = s.red.thread_fns.(cls.(0)) in
+        let members =
+          Array.map
+            (fun tid ->
+              let ts = TidMap.find tid wd.Ps.Machine.tp in
+              let ts =
+                rename_root ~from_:s.red.thread_fns.(tid) ~to_:rep_fn ts
+              in
+              let p =
+                match TidMap.find_opt tid n.Node.promised with
+                | Some k -> k
+                | None -> 0
+              in
+              (tid = wd.Ps.Machine.cur, ts, p, tid))
+            cls
+        in
+        Array.sort
+          (fun (c1, t1, p1, _) (c2, t2, p2, _) ->
+            match Bool.compare c2 c1 with
+            | 0 -> (
+                match Ps.Thread.compare t1 t2 with
+                | 0 -> Int.compare p1 p2
+                | c -> c)
+            | c -> c)
+          members;
+        Array.iteri
+          (fun i (is_cur, ts, p, orig_tid) ->
+            let slot = cls.(i) in
+            if slot <> orig_tid then changed := true;
+            let ts =
+              rename_root ~from_:rep_fn ~to_:s.red.thread_fns.(slot) ts
+            in
+            tp := TidMap.add slot ts !tp;
+            promised :=
+              (if p > 0 then TidMap.add slot p !promised
+               else TidMap.remove slot !promised);
+            if is_cur then cur := slot)
+          members)
+      s.red.classes;
+    if not !changed then n
+    else
+      Node.make
+        ~world:{ wd with Ps.Machine.tp = !tp; cur = !cur }
+        ~bit:n.Node.bit ~promised:!promised
+  end
 
 (* ---- domain-local cache publication ----
    Fresh entries are buffered and pushed as one immutable batch every
@@ -447,7 +729,14 @@ let successors w (n : Node.t) : succ list =
   in
   let regular = List.filter_map lift (Ps.Thread.steps ~code:s.code ts mem) in
   let promises =
-    let budget_left = promised_cur < s.cfg.Config.max_promises in
+    (* [reduction.bound_promises] overrides [max_promises] and forces
+       strict reporting: the bounded-promise mode is exhaustive for
+       the bound and honestly [Truncated [Promise_budget]] above it. *)
+    let bound = s.cfg.Config.reduction.Config.bound_promises in
+    let max_promises =
+      match bound with Some k -> k | None -> s.cfg.Config.max_promises
+    in
+    let budget_left = promised_cur < max_promises in
     let sched_ok =
       (match s.disc with Interleaving -> true | Non_preemptive -> n.bit)
       && not (Ps.Local.is_finished ts.Ps.Thread.local)
@@ -458,9 +747,13 @@ let successors w (n : Node.t) : succ list =
          conservative over-approximation: the candidates are not
          re-certified here, so this can only push verdicts toward
          inconclusive, never toward a claim). *)
-      if s.cfg.Config.strict_promises && sched_ok && not budget_left then
-        if promise_candidates w ts mem <> [] then
+      let strict = s.cfg.Config.strict_promises || bound <> None in
+      if strict && sched_ok && not budget_left then
+        if promise_candidates w ts mem <> [] then begin
           w.ls.L.promise_budget_hits <- w.ls.L.promise_budget_hits + 1;
+          if bound <> None then
+            w.ls.L.promise_bound_hits <- w.ls.L.promise_bound_hits + 1
+        end;
       []
     end
     else
@@ -500,34 +793,148 @@ let successors w (n : Node.t) : succ list =
       let ccls = Ps.Thread.cancel_steps ts mem in
       List.filter_map lift (rsvs @ ccls)
   in
+  (* Ample-set rule of the partial-order reduction
+     (docs/REDUCTION.md): when the current thread's only regular move
+     is a deterministic in-block step that every other thread's step
+     commutes past, that step alone is an ample set and the switches
+     are dropped.  Two shapes qualify: a local τ ([Assign]/[Skip] —
+     memory, views and the switch bit untouched), and an access to a
+     thread-private location (no other thread can read it, write it,
+     or — promise candidates being syntactic — ever promise to it, so
+     the access is invisible to them and unaffected by them; the
+     single-successor requirement below keeps multi-placement writes
+     and multi-message reads fully explored).  In-block steps
+     strictly consume the block's remaining instructions, so pruned
+     chains terminate within a basic block — the cycle proviso holds
+     for free.  Promise and reservation successors are kept, and the
+     current thread's own certification only gets {e more} favourable
+     after the step (the isolated run from the pre-step state must
+     begin with it); other threads' certifications never read a
+     private location, so deferring their switch past it changes
+     nothing they can observe. *)
+  let ample =
+    s.red.por
+    && (match Ps.Local.nxt ts.Ps.Thread.local with
+       | Ps.Local.NInstr (Lang.Ast.Assign _ | Lang.Ast.Skip) -> true
+       | Ps.Local.NInstr
+           ( Lang.Ast.Load (_, v, _)
+           | Lang.Ast.Store (v, _, _)
+           | Lang.Ast.Cas (_, v, _, _, _, _) ) ->
+           let tid = wd.Ps.Machine.cur in
+           tid < Array.length s.red.private_vars
+           && Lang.Ast.VarSet.mem v s.red.private_vars.(tid)
+       | _ -> false)
+    &&
+    match regular with
+    | [ { emit = None; next } ] -> next.Node.bit = n.Node.bit
+    | _ -> false
+  in
   let switches =
-    let may =
-      (match s.disc with
-      | Interleaving -> true
-      | Non_preemptive ->
-          (* The switch bit guards blocks of non-atomic accesses; a
-             finished thread has no block in progress, so the machine
-             may always move on from it. *)
-          n.bit || Ps.Local.is_finished ts.Ps.Thread.local)
-      && Lazy.force committed
-    in
-    if not may then []
+    if ample then begin
+      (* Count what the unreduced enumeration would have offered (the
+         other unfinished threads) without paying its certification
+         gate — skipping that check is part of the win on cert-heavy
+         workloads. *)
+      let may =
+        match s.disc with Interleaving -> true | Non_preemptive -> n.bit
+      in
+      if may then begin
+        let k =
+          TidMap.fold
+            (fun tid ts' k ->
+              if
+                tid <> wd.Ps.Machine.cur
+                && not (Ps.Local.is_finished ts'.Ps.Thread.local)
+              then k + 1
+              else k)
+            wd.Ps.Machine.tp 0
+        in
+        w.ls.L.persistent_prunes <- w.ls.L.persistent_prunes + k
+      end;
+      []
+    end
     else
-      TidMap.fold
-        (fun tid ts' acc ->
-          if tid <> wd.Ps.Machine.cur
-             && not (Ps.Local.is_finished ts'.Ps.Thread.local)
-          then
-            {
-              emit = None;
-              next =
-                Node.make
-                  ~world:(Ps.Machine.switch wd tid)
-                  ~bit:true ~promised:n.Node.promised;
-            }
-            :: acc
-          else acc)
-        wd.Ps.Machine.tp []
+      let may =
+        (match s.disc with
+        | Interleaving -> true
+        | Non_preemptive ->
+            (* The switch bit guards blocks of non-atomic accesses; a
+               finished thread has no block in progress, so the machine
+               may always move on from it. *)
+            n.bit || Ps.Local.is_finished ts.Ps.Thread.local)
+        && Lazy.force committed
+      in
+      if not may then []
+      else
+        let all =
+          TidMap.fold
+            (fun tid ts' acc ->
+              if
+                tid <> wd.Ps.Machine.cur
+                && not (Ps.Local.is_finished ts'.Ps.Thread.local)
+              then
+                {
+                  emit = None;
+                  next =
+                    Node.make
+                      ~world:(Ps.Machine.switch wd tid)
+                      ~bit:true ~promised:n.Node.promised;
+                }
+                :: acc
+              else acc)
+            wd.Ps.Machine.tp []
+        in
+        if not s.red.por then all
+        else begin
+          (* Symmetric-sibling rule: switch targets running the same
+             program (same symmetry class) whose thread record
+             (state up to the root fname + spent promise budget) is
+             equal head isomorphic subtrees (the swap permutation
+             fixes everything else in the node); keep the first of
+             each group.  Gated on the involved threads running
+             acyclic (DAG, Call-free) programs — with loops, the
+             pruned subtree's isomorphic image can collide with a raw
+             on-stack ancestor its kept sibling missed
+             (docs/REDUCTION.md). *)
+          let acyclic_ok tid =
+            tid < Array.length s.red.acyclic && s.red.acyclic.(tid)
+          in
+          let cls tid =
+            if tid < Array.length s.red.class_of then s.red.class_of.(tid)
+            else -1
+          in
+          let prom tid =
+            match TidMap.find_opt tid n.Node.promised with
+            | Some k -> k
+            | None -> 0
+          in
+          let kept = ref [] in
+          let out = ref [] in
+          let dropped = ref 0 in
+          List.iter
+            (fun (sw : succ) ->
+              let tid = sw.next.Node.world.Ps.Machine.cur in
+              let ts' = TidMap.find tid wd.Ps.Machine.tp in
+              let dup =
+                acyclic_ok tid && cls tid >= 0
+                && List.exists
+                     (fun (tid0, ts0, p0) ->
+                       acyclic_ok tid0 && cls tid0 = cls tid
+                       && p0 = prom tid
+                       && Ps.Thread.equal ts0
+                            (rename_root ~from_:s.red.thread_fns.(tid)
+                               ~to_:s.red.thread_fns.(tid0) ts'))
+                     !kept
+              in
+              if dup then incr dropped
+              else begin
+                kept := (tid, ts', prom tid) :: !kept;
+                out := sw :: !out
+              end)
+            all;
+          w.ls.L.sleep_prunes <- w.ls.L.sleep_prunes + !dropped;
+          List.rev !out
+        end
   in
   regular @ promises @ reservations @ switches
 
@@ -615,6 +1022,10 @@ let count_node w =
   match w.s.node_count with Some c -> Atomic.incr c | None -> ()
 
 let memo_store w n entry =
+  (* Stored under the canonical key: one entry per symmetry orbit.
+     The entry is exact for every orbit member (isomorphic subtrees
+     have equal tracesets and equal depth profiles). *)
+  let n = canon w.s n in
   NodeTbl.replace w.memo n entry;
   if w.parallel then begin
     w.pub_memo <- (n, entry) :: w.pub_memo;
@@ -645,9 +1056,16 @@ let enter w (n : Node.t) depth : entered =
     Done (cut_traces, -1, depth)
   else if node_fault_fires w n then Done (cut_traces, -1, depth)
   else
-    match NodeTbl.find_opt w.memo n with
+    (* The memo probe uses the symmetry-canonical key ([canon] is the
+       identity, physically, when symmetry is off or the node is its
+       own representative); cycle detection below stays on the raw
+       node — the ancestor chain is not symmetric. *)
+    let key = canon s n in
+    match NodeTbl.find_opt w.memo key with
     | Some (traces, rel_peak) when depth + rel_peak < s.cfg.Config.max_steps ->
         ls.L.memo_hits <- ls.L.memo_hits + 1;
+        if key != n then
+          ls.L.symmetry_folds <- ls.L.symmetry_folds + 1;
         Done (traces, max_taint, depth + rel_peak)
     | _ -> (
         match NodeTbl.find_opt w.on_stack n with
@@ -1014,7 +1432,10 @@ let behaviors ?(config = Config.default) disc (p : Lang.Ast.program) =
   match Ps.Machine.init p with
   | Error e -> Error e
   | Ok world ->
-      let s = make_search p.Lang.Ast.code p.Lang.Ast.atomics disc config in
+      let s =
+        make_search ~threads:p.Lang.Ast.threads p.Lang.Ast.code
+          p.Lang.Ast.atomics disc config
+      in
       let root = Node.make ~world ~bit:true ~promised:TidMap.empty in
       let j = effective_domains config in
       record_domains s j;
@@ -1041,10 +1462,17 @@ let behaviors_exn ?config disc p =
   | Error e -> raise (Errors.Error (Errors.Ill_formed e))
 
 let iter_reachable ?(config = Config.default) disc (p : Lang.Ast.program) ~f =
+  (* Reachability consumers (the race check) must see every reachable
+     state: reduction prunes states that are redundant for tracesets
+     but not for per-state predicates, so it is forced off here. *)
+  let config = { config with Config.reduction = Config.no_reduction } in
   match Ps.Machine.init p with
   | Error e -> Error e
   | Ok world ->
-      let s = make_search p.Lang.Ast.code p.Lang.Ast.atomics disc config in
+      let s =
+        make_search ~threads:p.Lang.Ast.threads p.Lang.Ast.code
+          p.Lang.Ast.atomics disc config
+      in
       (* The reachability walk streams states to [f] in visit order,
          so it stays single-domain; [Race.check_all] parallelizes at
          the granularity of whole scans instead. *)

@@ -20,7 +20,21 @@
     on a cycle (divergence) or on the depth budget are never reused
     unsoundly.  Divergence contributes the honest prefix trace ending
     {!Ps.Event.Open}; budget exhaustion contributes a trace ending
-    {!Ps.Event.Cut} and clears {!outcome.exact}. *)
+    {!Ps.Event.Cut} and clears {!outcome.exact}.
+
+    {!Config.reduction} layers three state-space reductions over the
+    same traversal (docs/REDUCTION.md): certification-aware
+    partial-order reduction (ample thread-local steps defer context
+    switches; symmetric switch siblings collapse), symmetry reduction
+    (memo keys are canonicalized under permutation of
+    identical-program threads, so N replicated threads cost one
+    orbit), and bounded-promise mode (exhaustive within the bound,
+    honest [Truncated] above it).  Symmetry alone preserves the raw
+    traceset; the partial-order rules preserve behaviour
+    ({!Traceset.equal_behaviour}) and completeness.  At a fixed
+    reduction config the result stays deterministic across pool
+    widths.  {!iter_reachable} ignores the reduction request: race
+    checking must see every reachable state. *)
 
 type discipline = Interleaving | Non_preemptive
 

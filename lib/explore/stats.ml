@@ -19,6 +19,10 @@ type t = {
   oom_hits : int Atomic.t;
   promise_budget_hits : int Atomic.t;
   faults_injected : int Atomic.t;
+  sleep_prunes : int Atomic.t;
+  persistent_prunes : int Atomic.t;
+  symmetry_folds : int Atomic.t;
+  promise_bound_hits : int Atomic.t;
   domains_used : int Atomic.t;
   domains_recommended : int Atomic.t;
   started_ns : int Atomic.t;
@@ -47,6 +51,10 @@ let create () =
     oom_hits = Atomic.make 0;
     promise_budget_hits = Atomic.make 0;
     faults_injected = Atomic.make 0;
+    sleep_prunes = Atomic.make 0;
+    persistent_prunes = Atomic.make 0;
+    symmetry_folds = Atomic.make 0;
+    promise_bound_hits = Atomic.make 0;
     domains_used = Atomic.make 1;
     domains_recommended = Atomic.make 1;
     started_ns = Atomic.make (Obs.Clock.now_ns ());
@@ -92,6 +100,10 @@ module Local = struct
     mutable oom_hits : int;
     mutable promise_budget_hits : int;
     mutable faults_injected : int;
+    mutable sleep_prunes : int;
+    mutable persistent_prunes : int;
+    mutable symmetry_folds : int;
+    mutable promise_bound_hits : int;
   }
 
   let create () =
@@ -114,6 +126,10 @@ module Local = struct
       oom_hits = 0;
       promise_budget_hits = 0;
       faults_injected = 0;
+      sleep_prunes = 0;
+      persistent_prunes = 0;
+      symmetry_folds = 0;
+      promise_bound_hits = 0;
     }
 
   let flush (l : t) (s : shared) =
@@ -152,6 +168,14 @@ module Local = struct
     l.promise_budget_hits <- 0;
     add s.faults_injected l.faults_injected;
     l.faults_injected <- 0;
+    add s.sleep_prunes l.sleep_prunes;
+    l.sleep_prunes <- 0;
+    add s.persistent_prunes l.persistent_prunes;
+    l.persistent_prunes <- 0;
+    add s.symmetry_folds l.symmetry_folds;
+    l.symmetry_folds <- 0;
+    add s.promise_bound_hits l.promise_bound_hits;
+    l.promise_bound_hits <- 0;
     record_max s.peak_depth l.peak_depth
 end
 
@@ -275,4 +299,13 @@ let pp ppf s =
       " deadline_hits=%d node_budget_hits=%d oom_hits=%d \
        promise_budget_hits=%d faults_injected=%d cert_faults=%d"
       !(s.deadline_hits) !(s.node_budget_hits) !(s.oom_hits)
-      !(s.promise_budget_hits) !(s.faults_injected) !(s.cert_faults)
+      !(s.promise_budget_hits) !(s.faults_injected) !(s.cert_faults);
+  if
+    !(s.sleep_prunes) > 0 || !(s.persistent_prunes) > 0
+    || !(s.symmetry_folds) > 0 || !(s.promise_bound_hits) > 0
+  then
+    Format.fprintf ppf
+      " sleep_prunes=%d persistent_prunes=%d symmetry_folds=%d \
+       promise_bound_hits=%d"
+      !(s.sleep_prunes) !(s.persistent_prunes) !(s.symmetry_folds)
+      !(s.promise_bound_hits)

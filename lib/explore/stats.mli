@@ -56,6 +56,25 @@ type t = {
           [Config.strict_promises]) *)
   faults_injected : int Atomic.t;
       (** injected faults that fired ([Config.fault] mode) *)
+  sleep_prunes : int Atomic.t;
+      (** switch successors dropped by the symmetric-sibling rule of
+          the partial-order reduction ([Config.reduction.por],
+          docs/REDUCTION.md): switch targets whose thread record is
+          literally equal to an already-kept sibling's *)
+  persistent_prunes : int Atomic.t;
+      (** switch successors dropped by the ample-set rule: the current
+          thread's only regular step is a deterministic in-block local
+          τ, so every switch commutes past it *)
+  symmetry_folds : int Atomic.t;
+      (** memo-table lookups answered only thanks to symmetry
+          canonicalization ([Config.reduction.symmetry]) — the probe
+          hit under the canonical key where the raw key would have
+          missed *)
+  promise_bound_hits : int Atomic.t;
+      (** nonempty certifiable-promise candidate sets suppressed by
+          [Config.reduction.bound_promises]; each also counts in
+          [promise_budget_hits], which drives the [Promise_budget]
+          truncation reason *)
   domains_used : int Atomic.t;
       (** effective pool width this search ran with ([Config.domains]
           after clamping) *)
@@ -127,6 +146,10 @@ module Local : sig
     mutable oom_hits : int;
     mutable promise_budget_hits : int;
     mutable faults_injected : int;
+    mutable sleep_prunes : int;
+    mutable persistent_prunes : int;
+    mutable symmetry_folds : int;
+    mutable promise_bound_hits : int;
   }
 
   val create : unit -> t

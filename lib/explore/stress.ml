@@ -43,6 +43,29 @@ let generate ~seed =
     ~code:[ gen_thread rng "t1"; gen_thread rng "t2" ]
     [ "t1"; "t2" ]
 
+(* The random config matrix: each case also draws a state-space
+   reduction mode, a pure function of the seed like the program
+   itself, so the explorer is continuously stressed with every
+   reduction config (docs/REDUCTION.md) and a quarantined case
+   replays under the exact mode that broke it. *)
+let reduction_of_seed seed =
+  match seed mod 5 with
+  | 0 -> Config.no_reduction
+  | 1 -> { Config.no_reduction with Config.por = true }
+  | 2 -> { Config.no_reduction with Config.symmetry = true }
+  | 3 -> Config.full_reduction
+  | _ ->
+      {
+        Config.full_reduction with
+        Config.bound_promises = Some (1 + (seed / 5 mod 2));
+      }
+
+let reduction_tag (r : Config.reduction) =
+  Printf.sprintf "por=%b sym=%b bound=%s" r.Config.por r.Config.symmetry
+    (match r.Config.bound_promises with
+    | None -> "none"
+    | Some k -> string_of_int k)
+
 (* ------------------------------------------------------------------ *)
 (* The supervised optimize-then-verify cycle. *)
 
@@ -57,6 +80,7 @@ type case_result = {
   case_seed : int;
   attempts : int;
   verdict : case_verdict;
+  reduction : Config.reduction;
 }
 
 type summary = {
@@ -80,13 +104,15 @@ let case_base ~id ~case_seed = Printf.sprintf "case-%04d-seed-%d" id case_seed
 
 let inflight_path dir = Filename.concat dir "inflight.sexp"
 
-let quarantine ~dir ~id ~case_seed p reason =
+let quarantine ~dir ~id ~case_seed ~reduction p reason =
   ensure_dir dir;
   let base = case_base ~id ~case_seed in
   write_file
     (Filename.concat dir (base ^ ".sexp"))
     (Lang.Sexp.program_to_string p);
-  write_file (Filename.concat dir (base ^ ".reason")) (reason ^ "\n")
+  write_file
+    (Filename.concat dir (base ^ ".reason"))
+    (Printf.sprintf "%s\nreduction: %s\n" reason (reduction_tag reduction))
 
 (* One case: run [check] under a per-attempt deadline, escalating the
    step and wall-clock budgets (×2 per retry) while the verdict stays
@@ -132,6 +158,8 @@ let run ?(config = Config.default) ?(retries = 2)
   let run_one id =
     let case_seed = seed + id in
     let p = generate ~seed:case_seed in
+    let reduction = reduction_of_seed case_seed in
+    let config = { config with Config.reduction } in
     (* Crash safety: the program under test is on disk before the
        check runs, so even a hard crash (segfault, OOM kill) leaves a
        reproducible artifact behind.  Removed again on a clean
@@ -145,7 +173,9 @@ let run ?(config = Config.default) ?(retries = 2)
           (Printf.sprintf "inflight-%s.sexp" (case_base ~id ~case_seed))
     in
     write_file inflight
-      (Printf.sprintf ";; %s\n%s" (case_base ~id ~case_seed)
+      (Printf.sprintf ";; %s\n;; reduction: %s\n%s"
+         (case_base ~id ~case_seed)
+         (reduction_tag reduction)
          (Lang.Sexp.program_to_string p));
     let verdict, attempts =
       Obs.Trace.span ~cat:"stress" "stress.case" (fun () ->
@@ -158,12 +188,13 @@ let run ?(config = Config.default) ?(retries = 2)
             [
               ("case", case_base ~id ~case_seed);
               ("reason", reason);
+              ("reduction", reduction_tag reduction);
               ("dir", quarantine_dir);
             ];
-        quarantine ~dir:quarantine_dir ~id ~case_seed p reason
+        quarantine ~dir:quarantine_dir ~id ~case_seed ~reduction p reason
     | Verified | Refuted _ | Inconclusive _ -> ());
     (try Sys.remove inflight with Sys_error _ -> ());
-    { id; case_seed; attempts; verdict }
+    { id; case_seed; attempts; verdict; reduction }
   in
   let results = Pool.map ~j run_one (List.init cases Fun.id) in
   let count f = List.length (List.filter f results) in
@@ -187,9 +218,9 @@ let pp_case_verdict ppf = function
 let pp_summary ppf s =
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-22s (attempts %d) %a@."
+      Format.fprintf ppf "%-22s (attempts %d) [%s] %a@."
         (case_base ~id:r.id ~case_seed:r.case_seed)
-        r.attempts pp_case_verdict r.verdict)
+        r.attempts (reduction_tag r.reduction) pp_case_verdict r.verdict)
     s.results;
   Format.fprintf ppf
     "total %d: verified=%d refuted=%d inconclusive=%d quarantined=%d" s.cases

@@ -13,6 +13,18 @@ val generate : seed:int -> Lang.Ast.program
     [seed]: two non-atomic locations, one atomic flag, every access
     mode, each thread ending in a print. *)
 
+val reduction_of_seed : int -> Config.reduction
+(** The case's state-space reduction mode, a pure function of the
+    seed like the program itself (the random config matrix cycles
+    through off / por / symmetry / full / full+bounded-promises).
+    Replaying a quarantined case means
+    [generate ~seed:case_seed] under [reduction_of_seed case_seed] —
+    both are also recorded in the persisted artifacts. *)
+
+val reduction_tag : Config.reduction -> string
+(** One-line rendering used in artifacts and the summary,
+    e.g. ["por=true sym=false bound=none"]. *)
+
 type case_verdict =
   | Verified
   | Refuted of string  (** includes racy-source rejections *)
@@ -26,6 +38,8 @@ type case_result = {
   case_seed : int;  (** regenerate with {!generate}[ ~seed:case_seed] *)
   attempts : int;  (** 1 + retries used *)
   verdict : case_verdict;
+  reduction : Config.reduction;
+      (** the mode the case ran under ([reduction_of_seed case_seed]) *)
 }
 
 type summary = {
@@ -54,7 +68,9 @@ val run :
 (** Run [cases] seeded cases (seeds [seed..seed+cases-1]).  Each case
     runs [check] with a config whose [max_steps] and [deadline_ms]
     double on every retry (at most [retries] extra attempts, default
-    2, taken only while the verdict is inconclusive).  A case whose
+    2, taken only while the verdict is inconclusive) and whose
+    [reduction] is overridden with {!reduction_of_seed} — the random
+    config matrix covers every reduction mode.  A case whose
     checker raises anything but [Errors.Budget_exhausted] is
     quarantined: the program and the reason are persisted under
     [quarantine_dir] (default [_stress_quarantine]).

@@ -36,4 +36,14 @@ val diff_done : target:t -> source:t -> t
 (** Completed target traces absent from the source: the refinement
     counterexamples. *)
 
+val orbit_expand : int array list -> t -> t
+(** [orbit_expand classes t] expands a symmetry-reduced traceset over
+    the orbits of the given thread-symmetry classes.  It is the
+    identity — traces are output sequences and carry no thread
+    identifiers, so every permuted execution contributes the same
+    trace its orbit representative already did.  The function exists
+    to carry that erasure theorem in the API (asserted in the tests):
+    consumers of a symmetry-reduced run need no compensation step.
+    See docs/REDUCTION.md. *)
+
 val pp : Format.formatter -> t -> unit

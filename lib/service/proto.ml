@@ -135,29 +135,38 @@ let sexp_of_config (c : Explore.Config.t) =
       sexp_of_bool c.strict_promises;
       fault;
       sexp_of_int c.domains;
+      (* reduction knobs are semantic (they key the result store), so
+         they must travel; "-" keeps the common all-off case short *)
+      (if c.reduction = no_reduction then Atom "-"
+       else
+         List
+           [
+             sexp_of_bool c.reduction.por;
+             sexp_of_bool c.reduction.symmetry;
+             sexp_of_int_opt c.reduction.bound_promises;
+           ]);
     ]
 
 let config_of_sexp s =
   let open Explore.Config in
   match s with
   | List
-      [
-        Atom "config";
-        steps;
-        promises;
-        Atom mode;
-        rsv;
-        fuel;
-        cap;
-        memo;
-        ccache;
-        deadline;
-        nodes;
-        live;
-        strict;
-        fault;
-        domains;
-      ] ->
+      (Atom "config"
+      :: steps
+      :: promises
+      :: Atom mode
+      :: rsv
+      :: fuel
+      :: cap
+      :: memo
+      :: ccache
+      :: deadline
+      :: nodes
+      :: live
+      :: strict
+      :: fault
+      :: domains
+      :: rest) ->
       let* max_steps = int_of_sexp steps in
       let* max_promises = int_of_sexp promises in
       let* promise_mode =
@@ -187,6 +196,17 @@ let config_of_sexp s =
         | s -> Error ("bad fault " ^ to_string s)
       in
       let* domains = int_of_sexp domains in
+      let* reduction =
+        match rest with
+        (* an empty tail is a frame from a pre-reduction peer *)
+        | [] | [ Atom "-" ] -> Ok no_reduction
+        | [ List [ por; sym; bound ] ] ->
+            let* por = bool_of_sexp por in
+            let* symmetry = bool_of_sexp sym in
+            let* bound_promises = int_opt_of_sexp bound in
+            Ok { por; symmetry; bound_promises }
+        | _ -> Error ("bad reduction " ^ to_string s)
+      in
       Ok
         {
           max_steps;
@@ -203,6 +223,7 @@ let config_of_sexp s =
           strict_promises;
           fault;
           domains;
+          reduction;
           (* pure performance knobs (like [domains] they cannot change
              results), deliberately not on the wire: the server's
              defaults apply *)

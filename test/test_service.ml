@@ -17,7 +17,7 @@ let gen_config =
       (fun ( (max_steps, max_promises, promise_mode, reservations),
              (cert_fuel, cap_certification, memoize, cert_cache),
              (deadline_ms, max_nodes, max_live_words, strict_promises),
-             (fault, domains) ) ->
+             (fault, domains, por, symmetry, bound_promises) ) ->
         {
           Config.max_steps;
           max_promises;
@@ -35,6 +35,7 @@ let gen_config =
           domains;
           oversubscribe = Config.default.Config.oversubscribe;
           publish_period = Config.default.Config.publish_period;
+          reduction = { Config.por; symmetry; bound_promises };
         })
       (quad
          (quad (int_range 1 100_000) (int_range 0 8)
@@ -46,13 +47,14 @@ let gen_config =
             (opt (int_range 1 1_000_000))
             (opt (int_range 1 1_000_000))
             bool)
-         (pair
+         (tup5
             (opt
                (map
                   (fun (fault_seed, fault_rate) ->
                     { Config.fault_seed; fault_rate })
                   (pair (int_range 0 1_000) (float_bound_inclusive 1.0))))
-            (int_range 1 8))))
+            (int_range 1 8) bool bool
+            (opt (int_range 0 4)))))
 
 let config_arbitrary =
   QCheck.make ~print:(fun c -> Format.asprintf "%a" Config.pp c) gen_config
@@ -471,7 +473,19 @@ let test_fingerprint () =
   differs "strict_promises"
     { d with Config.strict_promises = not d.Config.strict_promises };
   differs "fault"
-    { d with Config.fault = Some { Config.fault_seed = 1; fault_rate = 0.5 } }
+    { d with Config.fault = Some { Config.fault_seed = 1; fault_rate = 0.5 } };
+  (* the reduction knobs are in: bound_promises changes completeness,
+     por changes the reported Open prefixes, and a store keyed without
+     them could hand a reduced result to an unreduced query *)
+  let red r = { d with Config.reduction = r } in
+  differs "reduction.por" (red { Config.no_reduction with Config.por = true });
+  differs "reduction.symmetry"
+    (red { Config.no_reduction with Config.symmetry = true });
+  differs "reduction.bound_promises"
+    (red { Config.no_reduction with Config.bound_promises = Some 2 });
+  differs "reduction.bound_promises value"
+    (red { Config.no_reduction with Config.bound_promises = Some 3 });
+  differs "full_reduction" (red Config.full_reduction)
 
 (* --------------------------------------------------------------- *)
 (* Admission gate *)
