@@ -948,6 +948,115 @@ let service_store_table ~timings () =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* Replay debugger (docs/REPLAY.md): record a switch-heavy execution
+   into a temp store, reload it, and sweep every position.  Checked
+   invariants: the reconstructed state equals the recorder's at every
+   step, no single jump replays >= K steps (the keyframe cost model),
+   and ddmin strictly reduces the switch count while preserving the
+   output sequence.  Timings (record / load / full backward sweep)
+   print outside [--check]. *)
+
+let json_replay : (int * int * int * int * int * bool) option ref = ref None
+
+let replay_table ~timings () =
+  Format.printf "== replay: record, O(K) navigation, shrink ==@.";
+  let config = bench_config () in
+  let prog = lit "lb" in
+  let kf = 4 in
+  let path = Filename.temp_file "psopt-bench-replay" ".trace" in
+  let outs = [ 1; 1 ] in
+  let t0 = Unix.gettimeofday () in
+  let steps =
+    match
+      Replay.Record.record_witness ~config ~eager_switch:true ~outs ~path prog
+    with
+    | Ok n -> n
+    | Error m -> failwith ("bench replay: record: " ^ m)
+  in
+  let t_record = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let session =
+    match Replay.Store.open_ path with
+    | Error e -> failwith (Replay.Store.error_to_string e)
+    | Ok r ->
+        let s = Replay.Session.load ~keyframe_every:kf r in
+        Replay.Store.close_reader r;
+        (match s with
+        | Ok s -> s
+        | Error e -> failwith (Replay.Store.error_to_string e))
+  in
+  let t_load = Unix.gettimeofday () -. t0 in
+  (* reference states straight from the stepper *)
+  let states =
+    match
+      Explore.Witness.find_trail ~config ~eager_switch:true ~outs prog
+    with
+    | Some (st0, trail) ->
+        Array.of_list (Explore.Stepper.trail_states st0 trail)
+    | None -> failwith "bench replay: witness vanished"
+  in
+  let max_jump_cost = ref 0 in
+  let equal_everywhere = ref true in
+  ignore (Replay.Session.jump session steps);
+  let t0 = Unix.gettimeofday () in
+  for n = steps - 1 downto 0 do
+    let before = Replay.Session.replayed_steps session in
+    ignore (Replay.Session.jump session n);
+    max_jump_cost :=
+      max !max_jump_cost (Replay.Session.replayed_steps session - before);
+    if
+      not
+        (Explore.Stepper.equal_state states.(n)
+           (Replay.Session.state session))
+    then equal_everywhere := false
+  done;
+  let t_sweep = Unix.gettimeofday () -. t0 in
+  let w =
+    List.filter_map
+      (fun n ->
+        match Replay.Session.record_at session n with
+        | Some r -> (
+            match r.Replay.Trace.event with
+            | Some e ->
+                Some { Explore.Witness.tid = r.Replay.Trace.tid; event = e }
+            | None -> None)
+        | None -> None)
+      (List.init steps Fun.id)
+  in
+  let sw_before, sw_after =
+    match Replay.Shrink.schedule ~config prog w with
+    | Ok res ->
+        (res.Replay.Shrink.switches_before, res.Replay.Shrink.switches_after)
+    | Error m -> failwith ("bench replay: shrink: " ^ m)
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Sys.remove (path ^ ".idx") with Sys_error _ -> ());
+  let ok = !equal_everywhere && !max_jump_cost < kf && sw_after < sw_before in
+  if ok then begin
+    incr passed;
+    if not timings then
+      Format.printf
+        "lb eager %d steps: states exact, max jump %d < K=%d, switches %d \
+         -> %d  ok@."
+        steps !max_jump_cost kf sw_before sw_after
+  end
+  else begin
+    incr failed;
+    Format.printf
+      "lb eager replay FAILED (equal %b, max jump %d, K %d, switches %d -> \
+       %d)@."
+      !equal_everywhere !max_jump_cost kf sw_before sw_after
+  end;
+  json_replay := Some (steps, kf, !max_jump_cost, sw_before, sw_after, ok);
+  if timings then
+    Format.printf
+      "lb eager: %d steps  record %.1fms  load %.1fms  backward sweep \
+       %.2fms  max jump %d  switches %d -> %d@."
+      steps (t_record *. 1e3) (t_load *. 1e3) (t_sweep *. 1e3) !max_jump_cost
+      sw_before sw_after;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* [--json FILE]: a stable, hand-rolled summary for CI artifacts. *)
 
 let json_escape s =
@@ -1056,6 +1165,14 @@ let write_json file =
          \"spans\": %d, \"equivalent\": %b},\n"
         (json_escape name) off_rate on_rate overhead spans equal
   | None -> pf "  \"trace_ablation\": null,\n");
+  (match !json_replay with
+  | Some (steps, kf, max_jump, sw_before, sw_after, ok) ->
+      pf
+        "  \"replay\": {\"steps\": %d, \"keyframe_every\": %d, \
+         \"max_jump_cost\": %d, \"switches_before\": %d, \
+         \"switches_after\": %d, \"ok\": %b},\n"
+        steps kf max_jump sw_before sw_after ok
+  | None -> pf "  \"replay\": null,\n");
   pf "  \"histograms\": [\n";
   List.iteri
     (fun i name ->
@@ -1261,6 +1378,7 @@ let () =
   truncation_pressure_table ();
   scaling_table ~timings:(not check_only) ();
   service_store_table ~timings:(not check_only) ();
+  replay_table ~timings:(not check_only) ();
   if not check_only then begin
     state_space_table ();
     fig1_sweep ();

@@ -455,7 +455,42 @@ let verify_cmd =
     let doc = "Optimizer to verify (constprop, dce, cse, copyprop, linv, licm, cleanup)." in
     Arg.(value & opt string "dce" & info [ "pass" ] ~doc)
   in
-  let run file pass cfg trace =
+  let record_arg =
+    let doc =
+      "On a refinement failure, record a replayable trace of one \
+       refuting execution of the optimized program to $(docv) (step \
+       through it with `psopt replay`, reduce it with `psopt shrink`; \
+       docs/REPLAY.md)."
+    in
+    Arg.(value & opt (some string) None & info [ "record" ] ~doc ~docv:"FILE")
+  in
+  (* A refutation is a target trace the source cannot produce; find it
+     again and persist a replayable witness of the optimized program
+     running it. *)
+  let record_refutation ~cfg ~pass r p path =
+    let target = r.Sim.Verif.transform p in
+    let rep = Explore.Refine.check ~config:cfg ~target ~source:p () in
+    match rep.Explore.Refine.verdict with
+    | Explore.Refine.Violates (tr :: _) -> (
+        let outs = tr.Ps.Event.outs in
+        let note =
+          Printf.sprintf "refutation of %s: target-only outs [%s]" pass
+            (String.concat ";" (List.map string_of_int outs))
+        in
+        match
+          Replay.Record.record_witness ~config:cfg ~note ~outs ~path target
+        with
+        | Ok n ->
+            Printf.printf "recorded refuting execution: %d steps to %s\n" n
+              path
+        | Error msg ->
+            Printf.eprintf "psopt verify: cannot record refutation: %s\n" msg)
+    | _ ->
+        Printf.eprintf
+          "psopt verify: no refinement counterexample to record (the \
+           failure was in another stage)\n"
+  in
+  let run file pass record cfg trace =
     with_obs trace @@ fun () ->
     with_program file (fun p ->
         match Sim.Verif.find pass with
@@ -467,12 +502,15 @@ let verify_cmd =
             Format.printf "%s on %s: %a@." pass file Sim.Verif.pp_verdict v;
             match v with
             | Sim.Verif.Verified -> exit_ok
-            | Sim.Verif.Fail _ -> exit_fail
+            | Sim.Verif.Fail _ ->
+                Option.iter (record_refutation ~cfg ~pass r p) record;
+                exit_fail
             | Sim.Verif.Inconclusive _ -> exit_inconclusive))
   in
   let term =
     Term.(
-      const run $ program_arg 0 "FILE" $ pass_arg $ config_term $ obs_term)
+      const run $ program_arg 0 "FILE" $ pass_arg $ record_arg $ config_term
+      $ obs_term)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -483,27 +521,58 @@ let verify_cmd =
           verified, 1 failed, 2 inconclusive.")
     term
 
-let witness_cmd =
-  let outs =
-    let doc = "Comma-separated expected outputs, e.g. --outs 1,1." in
-    Arg.(value & opt string "" & info [ "outs" ] ~doc)
+let parse_outs s =
+  if String.trim s = "" then Ok []
+  else
+    try
+      Ok
+        (List.map
+           (fun x -> int_of_string (String.trim x))
+           (String.split_on_char ',' s))
+    with Failure _ -> Error ("invalid --outs: " ^ s)
+
+let outs_term =
+  let doc = "Comma-separated expected outputs, e.g. --outs 1,1." in
+  Arg.(value & opt string "" & info [ "outs" ] ~doc)
+
+(* A witness schedule as a synthetic Chrome trace_event timeline: one
+   900ns span per step at 1us intervals, one track per thread — the
+   schedule shape at a glance in Perfetto. *)
+let write_witness_trace path (w : Explore.Witness.t) =
+  let events =
+    List.mapi
+      (fun i (s : Explore.Witness.step) ->
+        {
+          Obs.Trace.name = Format.asprintf "%a" Ps.Event.pp_te s.event;
+          cat = "witness";
+          ts_ns = i * 1000;
+          dur_ns = 900;
+          tid = s.tid;
+        })
+      w
   in
+  match open_out path with
+  | exception Sys_error m -> Error m
+  | oc ->
+      let n = Obs.Trace.write_events oc events in
+      close_out oc;
+      Ok n
+
+let witness_cmd =
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Show silent steps too.")
   in
-  let run file outs full disc cfg trace =
-    with_obs trace @@ fun () ->
+  let trace_out =
+    let doc =
+      "Also export the witness schedule to $(docv) as a Chrome \
+       trace_event timeline (one track per thread; open in Perfetto, \
+       check with `psopt trace-check`)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let run file outs full trace_out disc cfg level =
+    Option.iter Obs.Log.set_level level;
     with_program file (fun p ->
-        let parse_outs s =
-          if String.trim s = "" then Ok []
-          else
-            try
-              Ok
-                (List.map
-                   (fun x -> int_of_string (String.trim x))
-                   (String.split_on_char ',' s))
-            with Failure _ -> Error ("invalid --outs: " ^ s)
-        in
         match parse_outs outs with
         | Error msg ->
             Printf.eprintf "psopt: %s\n" msg;
@@ -512,11 +581,27 @@ let witness_cmd =
             match
               Explore.Witness.find ~config:cfg ~discipline:disc ~outs p
             with
-            | Some w ->
-                Format.printf "witness:@.%a@."
-                  (if full then Explore.Witness.pp_full else Explore.Witness.pp)
-                  w;
-                exit_ok
+            | Some w -> (
+                (match Explore.Witness.annotate ~config:cfg ~discipline:disc p w with
+                | Some ann when not full ->
+                    Format.printf "witness:@.%a@." Explore.Witness.pp_annotated
+                      ann
+                | _ ->
+                    Format.printf "witness:@.%a@."
+                      (if full then Explore.Witness.pp_full
+                       else Explore.Witness.pp)
+                      w);
+                match trace_out with
+                | None -> exit_ok
+                | Some path -> (
+                    match write_witness_trace path w with
+                    | Ok n ->
+                        Printf.printf "witness trace: %d events to %s\n" n path;
+                        exit_ok
+                    | Error msg ->
+                        Printf.eprintf "psopt witness: cannot write %s: %s\n"
+                          path msg;
+                        exit_error))
             | None ->
                 let o = Explore.Enum.behaviors_exn ~config:cfg disc p in
                 if o.Explore.Enum.exact then (
@@ -533,16 +618,17 @@ let witness_cmd =
   in
   let term =
     Term.(
-      const run $ program_arg 0 "FILE" $ outs $ full $ discipline_term
-      $ config_term $ obs_term)
+      const run $ program_arg 0 "FILE" $ outs_term $ full $ trace_out
+      $ discipline_term $ config_term $ log_level_term)
   in
   Cmd.v
     (Cmd.info "witness"
        ~doc:
          "Find an annotated execution (schedule) producing the given \
-          outputs, in the style of the paper's Sec. 2.1 executions.  Exits \
-          1 when the outcome is provably unobservable, 2 when the search \
-          was truncated.")
+          outputs, in the style of the paper's Sec. 2.1 executions — \
+          steps numbered, promises cross-referenced with the writes that \
+          fulfill them.  Exits 1 when the outcome is provably \
+          unobservable, 2 when the search was truncated.")
     term
 
 let litmus_cmd =
@@ -636,9 +722,31 @@ let stress_cmd =
               `Refuted (Format.asprintf "%a: %s" Sim.Verif.pp_stage st why)
           | Sim.Verif.Inconclusive why -> `Inconclusive why
         in
+        (* Quarantined cases also get a replayable [.trace] next to
+           their [.sexp]: one recorded execution of the program under
+           the exact config (reduction override included) the case ran
+           with, so `psopt replay` can step straight into the crash's
+           state space (docs/REPLAY.md). *)
+        let on_quarantine ~dir ~base ~config p =
+          let config =
+            { config with Explore.Config.deadline_ms = Some 2_000 }
+          in
+          let o =
+            Explore.Enum.behaviors_exn ~config Explore.Enum.Interleaving p
+          in
+          match Explore.Traceset.done_outs o.Explore.Enum.traces with
+          | [] -> ()
+          | outs :: _ ->
+              ignore
+                (Replay.Record.record_witness ~config
+                   ~note:("stress quarantine " ^ base)
+                   ~outs
+                   ~path:(Filename.concat dir (base ^ ".trace"))
+                   p)
+        in
         let s =
-          Explore.Stress.run ~j ~retries ~quarantine_dir:qdir ~cases ~seed
-            ~deadline_ms ~check ()
+          Explore.Stress.run ~j ~retries ~quarantine_dir:qdir ~on_quarantine
+            ~cases ~seed ~deadline_ms ~check ()
         in
         Format.printf "%a@." Explore.Stress.pp_summary s;
         if s.Explore.Stress.quarantined > 0 then begin
@@ -665,6 +773,269 @@ let stress_cmd =
           optimize-then-verify pipeline under per-case deadlines, with \
           budget-escalating retries and an internal-error quarantine.  \
           Exits 1 if any case was quarantined.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* Time-travel replay: record / replay / shrink (docs/REPLAY.md). *)
+
+let store_output_term =
+  let doc = "Replay store to write." in
+  Arg.(
+    required & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"TRACE")
+
+let count_instrs (p : Lang.Ast.program) =
+  Lang.Ast.FnameMap.fold
+    (fun _ (ch : Lang.Ast.codeheap) acc ->
+      Lang.Ast.LabelMap.fold
+        (fun _ (b : Lang.Ast.block) acc -> acc + List.length b.Lang.Ast.instrs)
+        ch.Lang.Ast.blocks acc)
+    p.Lang.Ast.code 0
+
+let record_cmd =
+  let eager =
+    let doc =
+      "Search with context switches first, recording a deliberately \
+       switch-heavy schedule (good shrinker input; the default search \
+       runs each thread as long as possible)."
+    in
+    Arg.(value & flag & info [ "eager-switch" ] ~doc)
+  in
+  let note =
+    Arg.(
+      value
+      & opt string "recorded witness"
+      & info [ "note" ] ~doc:"Free-form provenance note stored in the header.")
+  in
+  let run file outs out eager note disc cfg =
+    with_program file (fun p ->
+        match parse_outs outs with
+        | Error msg ->
+            Printf.eprintf "psopt: %s\n" msg;
+            exit_error
+        | Ok outs -> (
+            match
+              Replay.Record.record_witness ~config:cfg ~discipline:disc
+                ~eager_switch:eager ~note ~outs ~path:out p
+            with
+            | Ok n ->
+                Printf.printf "recorded %d steps to %s\n" n out;
+                exit_ok
+            | Error msg ->
+                Printf.eprintf "psopt record: %s\n" msg;
+                exit_fail))
+  in
+  let term =
+    Term.(
+      const run $ program_arg 0 "FILE" $ outs_term $ store_output_term $ eager
+      $ note $ discipline_term $ config_term)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Find an execution producing the given outputs and record its \
+          full machine-step trace — events, memory and view deltas, \
+          certification effort, promise bookkeeping — into an indexed \
+          replay store for `psopt replay` and `psopt shrink` \
+          (docs/REPLAY.md).  Exits 1 when no witness exists within \
+          bounds.")
+    term
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Replay store written by `psopt record`.")
+  in
+  let keyframe =
+    let doc =
+      "Snapshot the machine state every $(docv) steps; any jump replays \
+       at most $(docv) steps from a snapshot."
+    in
+    Arg.(value & opt int 16 & info [ "keyframe-every" ] ~doc ~docv:"K")
+  in
+  let command =
+    let doc =
+      "Run one command non-interactively and exit (repeatable, in \
+       order); without it, read commands from stdin."
+    in
+    Arg.(value & opt_all string [] & info [ "c"; "command" ] ~doc ~docv:"CMD")
+  in
+  let run file keyframe commands =
+    match Replay.Store.open_ file with
+    | Error e ->
+        Printf.eprintf "psopt replay: %s: %s\n" file
+          (Replay.Store.error_to_string e);
+        exit_error
+    | Ok r -> (
+        if Replay.Store.index_rebuilt r then
+          Obs.Log.warn ~src:"replay" "sidecar index was stale or damaged; rebuilt by scan"
+            ~fields:[ ("file", file) ];
+        let session = Replay.Session.load ~keyframe_every:keyframe r in
+        Replay.Store.close_reader r;
+        match session with
+        | Error e ->
+            Printf.eprintf "psopt replay: %s: %s\n" file
+              (Replay.Store.error_to_string e);
+            exit_error
+        | Ok s ->
+            let interactive = commands = [] in
+            let eval line =
+              match Replay.Proto.parse_command line with
+              | Error msg ->
+                  print_endline msg;
+                  `Continue
+              | Ok req -> (
+                  match Replay.Proto.handle s req with
+                  | Replay.Proto.Bye -> `Quit
+                  | Replay.Proto.Err m ->
+                      Printf.printf "error: %s\n" m;
+                      `Continue
+                  | Replay.Proto.Ok { text; _ } ->
+                      print_endline text;
+                      `Continue)
+            in
+            if interactive then begin
+              (match Replay.Proto.handle s Replay.Proto.Info with
+              | Replay.Proto.Ok { text; _ } -> print_endline text
+              | _ -> ());
+              print_endline "(h for help)";
+              let rec loop () =
+                print_string "(psopt) ";
+                flush stdout;
+                match In_channel.input_line stdin with
+                | None -> exit_ok
+                | Some line ->
+                    if String.trim line = "" then loop ()
+                    else
+                      match eval line with
+                      | `Quit -> exit_ok
+                      | `Continue -> loop ()
+              in
+              loop ()
+            end
+            else begin
+              let rec go = function
+                | [] -> exit_ok
+                | c :: rest -> (
+                    match eval c with `Quit -> exit_ok | `Continue -> go rest)
+              in
+              go commands
+            end)
+  in
+  let term = Term.(const run $ file $ keyframe $ command) in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Step through a recorded trace in either direction: s/b/j move, \
+          mem and views render the machine state at any step, why/next \
+          follow a location, prm jumps to the next promise \
+          (docs/REPLAY.md).  Jumps replay O(K) steps from the nearest \
+          keyframe, never the whole trace.")
+    term
+
+let shrink_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Replay store written by `psopt record`.")
+  in
+  let do_program =
+    let doc =
+      "Also shrink the program itself (drop threads and instructions, \
+       collapse branches, shrink constants) while the recorded output \
+       sequence stays observable, then record a fresh witness of the \
+       reduced program."
+    in
+    Arg.(value & flag & info [ "program" ] ~doc)
+  in
+  let run file out do_program =
+    match Replay.Store.open_ file with
+    | Error e ->
+        Printf.eprintf "psopt shrink: %s: %s\n" file
+          (Replay.Store.error_to_string e);
+        exit_error
+    | Ok r -> (
+        let records = Replay.Store.read_all r in
+        let h = Replay.Store.header r in
+        Replay.Store.close_reader r;
+        match records with
+        | Error e ->
+            Printf.eprintf "psopt shrink: %s: %s\n" file
+              (Replay.Store.error_to_string e);
+            exit_error
+        | Ok records -> (
+            let config = h.Replay.Trace.config in
+            let discipline = h.Replay.Trace.discipline in
+            let outs = h.Replay.Trace.outs in
+            let program = h.Replay.Trace.program in
+            let w =
+              List.filter_map
+                (fun (r : Replay.Trace.record) ->
+                  match r.Replay.Trace.event with
+                  | Some e ->
+                      Some { Explore.Witness.tid = r.Replay.Trace.tid; event = e }
+                  | None -> None)
+                records
+            in
+            match Replay.Shrink.schedule ~config ~discipline program w with
+            | Error msg ->
+                Printf.eprintf "psopt shrink: %s\n" msg;
+                exit_error
+            | Ok res -> (
+                Printf.printf "switch points: %d -> %d (%d candidates tried)\n"
+                  res.Replay.Shrink.switches_before
+                  res.Replay.Shrink.switches_after
+                  res.Replay.Shrink.candidates_tried;
+                let note =
+                  Printf.sprintf "shrunk from %s: %s" (Filename.basename file)
+                    h.Replay.Trace.note
+                in
+                let finish result =
+                  match result with
+                  | Ok n ->
+                      Printf.printf "recorded %d steps to %s\n" n out;
+                      exit_ok
+                  | Error msg ->
+                      Printf.eprintf "psopt shrink: %s\n" msg;
+                      exit_error
+                in
+                if not do_program then
+                  finish
+                    (Replay.Record.record_schedule ~config ~discipline ~note
+                       ~outs ~path:out program res.Replay.Shrink.witness)
+                else begin
+                  let keep p =
+                    Option.is_some
+                      (Explore.Witness.find ~config ~discipline ~outs p)
+                  in
+                  let p', tried = Replay.Shrink.program ~keep program in
+                  Printf.printf
+                    "program: %d -> %d instructions, %d -> %d threads (%d \
+                     candidates tried)\n"
+                    (count_instrs program) (count_instrs p')
+                    (List.length program.Lang.Ast.threads)
+                    (List.length p'.Lang.Ast.threads)
+                    tried;
+                  print_string (Lang.Pp.program_to_string p');
+                  (* the shrunk schedule belongs to the original
+                     program; record a fresh minimal witness of the
+                     reduced one *)
+                  finish
+                    (Replay.Record.record_witness ~config ~discipline ~note
+                       ~outs ~path:out p')
+                end)))
+  in
+  let term = Term.(const run $ file $ store_output_term $ do_program) in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Minimize a recorded counterexample: ddmin over the schedule's \
+          context-switch points (every candidate re-validated by \
+          replaying it; the output sequence is preserved exactly), \
+          optionally also shrinking the program, and write the reduced \
+          trace as a new replay store (docs/REPLAY.md).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1283,6 +1654,9 @@ let () =
            witness_cmd;
            litmus_cmd;
            stress_cmd;
+           record_cmd;
+           replay_cmd;
+           shrink_cmd;
            version_cmd;
            serve_cmd;
            ping_cmd;

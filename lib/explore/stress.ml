@@ -145,8 +145,8 @@ let run_case ~config ~deadline_ms ~retries ~check p =
   attempt 0
 
 let run ?(config = Config.default) ?(retries = 2)
-    ?(quarantine_dir = "_stress_quarantine") ?(j = 1) ~cases ~seed
-    ~deadline_ms ~check () =
+    ?(quarantine_dir = "_stress_quarantine") ?(j = 1) ?on_quarantine ~cases
+    ~seed ~deadline_ms ~check () =
   let j = max 1 (min j Pool.domain_cap) in
   (* Parallel dispatch is across whole cases; each case's own
      explorations then run single-domain so a pool of [j] workers uses
@@ -191,7 +191,17 @@ let run ?(config = Config.default) ?(retries = 2)
               ("reduction", reduction_tag reduction);
               ("dir", quarantine_dir);
             ];
-        quarantine ~dir:quarantine_dir ~id ~case_seed ~reduction p reason
+        quarantine ~dir:quarantine_dir ~id ~case_seed ~reduction p reason;
+        Option.iter
+          (fun f ->
+            try
+              f ~dir:quarantine_dir
+                ~base:(case_base ~id ~case_seed)
+                ~config p
+            with _ ->
+              (* artifact enrichment must never fail the run *)
+              ())
+          on_quarantine
     | Verified | Refuted _ | Inconclusive _ -> ());
     (try Sys.remove inflight with Sys_error _ -> ());
     { id; case_seed; attempts; verdict; reduction }

@@ -56,6 +56,8 @@ val run :
   ?retries:int ->
   ?quarantine_dir:string ->
   ?j:int ->
+  ?on_quarantine:
+    (dir:string -> base:string -> config:Config.t -> Lang.Ast.program -> unit) ->
   cases:int ->
   seed:int ->
   deadline_ms:int ->
@@ -73,7 +75,12 @@ val run :
     config matrix covers every reduction mode.  A case whose
     checker raises anything but [Errors.Budget_exhausted] is
     quarantined: the program and the reason are persisted under
-    [quarantine_dir] (default [_stress_quarantine]).
+    [quarantine_dir] (default [_stress_quarantine]).  [on_quarantine]
+    (if given) then runs once per quarantined case with the directory,
+    the artifact base name, the exact config the case ran under
+    (reduction override included) and the program — [bin/psopt.ml]
+    uses it to drop a replayable [.trace] next to the [.sexp]
+    (docs/REPLAY.md); exceptions it raises are swallowed.
 
     [j] (default 1) dispatches whole cases across a {!Pool} of that
     many domains; each case's own explorations then run single-domain.

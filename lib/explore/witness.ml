@@ -7,130 +7,84 @@ type t = step list
    (out/switch gated on the current thread's consistency; the
    non-preemptive discipline additionally threads the switch bit), but
    tracks how much of the requested output sequence has been emitted
-   and returns the path. *)
+   and returns the path.  The successor enumeration itself lives in
+   {!Stepper}, shared with the replay debugger. *)
 
 module Key = struct
-  type t = Ps.Machine.world * bool * int TidMap.t * int
-  (* world, switch bit, promise budget spent, outputs matched *)
+  type t = Stepper.state * int
+  (* stepper state (world, switch bit, promise budget spent), outputs
+     matched *)
 
-  let compare (w1, b1, p1, k1) (w2, b2, p2, k2) =
-    let ( <?> ) c next = if c <> 0 then c else next () in
-    Ps.Machine.compare w1 w2 <?> fun () ->
-    Bool.compare b1 b2 <?> fun () ->
-    TidMap.compare Int.compare p1 p2 <?> fun () -> Int.compare k1 k2
+  let compare (s1, k1) (s2, k2) =
+    let c = Stepper.compare_state s1 s2 in
+    if c <> 0 then c else Int.compare k1 k2
 end
 
 module KeySet = Set.Make (Key)
 
-let find ?(config = Config.default) ?(discipline = Enum.Interleaving) ~outs
-    (p : Lang.Ast.program) =
-  match Ps.Machine.init p with
+let find_trail ?(config = Config.default) ?(discipline = Enum.Interleaving)
+    ?(eager_switch = false) ~outs (p : Lang.Ast.program) =
+  match Stepper.init p with
   | Error e -> raise (Errors.Error (Errors.Ill_formed e))
-  | Ok world0 ->
-      let code = p.Lang.Ast.code in
+  | Ok st0 ->
       let target = Array.of_list outs in
       let visited = ref KeySet.empty in
-      let consistent ts mem =
-        Ps.Cert.consistent ~fuel:config.Config.cert_fuel
-          ~cap:config.Config.cap_certification ~code ts mem
-      in
-      let bit_after te before =
-        match discipline with
-        | Enum.Interleaving -> Some true
-        | Enum.Non_preemptive -> Npsem.bit_after te ~before
-      in
-      let exception Found of step list in
-      let rec dfs world bit promised matched depth acc =
+      let exception Found of Stepper.succ list in
+      let rec dfs (st : Stepper.state) matched depth acc =
         if depth < config.Config.max_steps then begin
-          let key = (world, bit, promised, matched) in
+          let key = (st, matched) in
           if not (KeySet.mem key !visited) then begin
             visited := KeySet.add key !visited;
-            if matched = Array.length target && Ps.Machine.terminal world
-            then raise (Found (List.rev acc));
-            let ts = Ps.Machine.cur_ts world in
-            let mem = world.Ps.Machine.mem in
-            let cur = world.Ps.Machine.cur in
-            let committed = lazy (consistent ts mem) in
-            (* regular thread steps *)
-            List.iter
-              (fun (s : Ps.Thread.step) ->
-                match bit_after s.Ps.Thread.event bit with
-                | None -> ()
-                | Some bit' -> (
-                    let world' =
-                      Ps.Machine.set_cur_ts world s.Ps.Thread.ts
-                        s.Ps.Thread.mem
-                    in
-                    let step = { tid = cur; event = s.Ps.Thread.event } in
-                    match s.Ps.Thread.event with
-                    | Ps.Event.Out v ->
-                        if
-                          matched < Array.length target
-                          && v = target.(matched)
-                          && Lazy.force committed
-                        then
-                          dfs world' bit' promised (matched + 1) (depth + 1)
-                            (step :: acc)
-                    | _ ->
-                        dfs world' bit' promised matched (depth + 1)
-                          (step :: acc)))
-              (Ps.Thread.steps ~code ts mem);
-            (* promises *)
-            let spent =
-              match TidMap.find_opt cur promised with Some k -> k | None -> 0
-            in
             if
-              spent < config.Config.max_promises
-              && (discipline = Enum.Interleaving || bit)
-              && not (Ps.Local.is_finished ts.Ps.Thread.local)
-            then begin
-              let candidates =
-                match config.Config.promise_mode with
-                | Config.No_promises -> []
-                | Config.Syntactic -> Ps.Thread.writes_in_code ~code ts
-                | Config.Semantic ->
-                    Ps.Cert.certifiable_writes ~fuel:config.Config.cert_fuel
-                      ~code ts mem
-              in
-              List.iter
-                (fun (s : Ps.Thread.step) ->
-                  if consistent s.Ps.Thread.ts s.Ps.Thread.mem then
-                    let world' =
-                      Ps.Machine.set_cur_ts world s.Ps.Thread.ts
-                        s.Ps.Thread.mem
-                    in
-                    dfs world' bit
-                      (TidMap.add cur (spent + 1) promised)
-                      matched (depth + 1)
-                      ({ tid = cur; event = s.Ps.Thread.event } :: acc))
-                (Ps.Thread.promise_steps ~candidates
-                   ~atomics:p.Lang.Ast.atomics ts mem)
-            end;
-            (* switches *)
-            let may_switch =
-              (match discipline with
-              | Enum.Interleaving -> true
-              | Enum.Non_preemptive ->
-                  bit || Ps.Local.is_finished ts.Ps.Thread.local)
-              && Lazy.force committed
+              matched = Array.length target
+              && Ps.Machine.terminal st.Stepper.world
+            then raise (Found (List.rev acc));
+            let succs = Stepper.successors ~config ~discipline ~program:p st in
+            let succs =
+              (* Eager-switch order: try context switches before thread
+                 and promise steps, so the first witness found is
+                 switch-heavy — a realistic "buggy schedule" for the
+                 shrinker to reduce (default DFS order yields schedules
+                 that are already near switch-minimal). *)
+              if eager_switch then
+                let sw, rest =
+                  List.partition
+                    (fun (s : Stepper.succ) ->
+                      s.Stepper.kind = Stepper.Switch_step)
+                    succs
+                in
+                sw @ rest
+              else succs
             in
-            if may_switch then
-              TidMap.iter
-                (fun tid ts' ->
-                  if
-                    tid <> cur
-                    && not (Ps.Local.is_finished ts'.Ps.Thread.local)
-                  then
-                    dfs (Ps.Machine.switch world tid) true promised matched
-                      (depth + 1) acc)
-                world.Ps.Machine.tp
+            List.iter
+              (fun (s : Stepper.succ) ->
+                match s.Stepper.event with
+                | Some (Ps.Event.Out v) ->
+                    if matched < Array.length target && v = target.(matched)
+                    then
+                      dfs s.Stepper.state (matched + 1) (depth + 1) (s :: acc)
+                | _ -> dfs s.Stepper.state matched (depth + 1) (s :: acc))
+              succs
           end
         end
       in
       (try
-         dfs world0 true TidMap.empty 0 0 [];
+         dfs st0 0 0 [];
          None
-       with Found path -> Some path)
+       with Found trail -> Some (st0, trail))
+
+let of_trail trail =
+  List.filter_map
+    (fun (s : Stepper.succ) ->
+      match s.Stepper.event with
+      | Some event -> Some { tid = s.Stepper.tid; event }
+      | None -> None)
+    trail
+
+let find ?config ?discipline ~outs p =
+  Option.map
+    (fun (_, trail) -> of_trail trail)
+    (find_trail ?config ?discipline ~outs p)
 
 let forbidden ?config ~outs p =
   (* No witness, and the behaviour set is exact: bounded-exhaustive
@@ -141,23 +95,151 @@ let forbidden ?config ~outs p =
       let o = Enum.behaviors_exn ?config Enum.Interleaving p in
       o.Enum.exact
 
+(* ------------------------------------------------------------------ *)
+(* Annotation: replay the schedule deterministically and cross-link
+   each promise with the fulfillment that later discharges it. *)
+
+type note =
+  | Plain
+  | Promises of { msg : string; fulfilled_at : int option }
+  | Fulfills of { msg : string; promised_at : int option }
+
+type annotated_step = {
+  num : int;  (** absolute trail position, context switches included *)
+  tid : int;
+  event : Ps.Event.te option;  (** [None] for a context switch *)
+  note : note;
+}
+
+(* Promise identity: a promised message is uniquely determined by its
+   location and "to"-timestamp (intervals of one location are
+   disjoint), which survives the view updates fulfillment may apply. *)
+let msg_id m = (Ps.Message.var m, Ps.Message.to_ m)
+
+let msg_to_string m = Format.asprintf "%a" Ps.Message.pp m
+
+let prm_of_tid (st : Stepper.state) tid =
+  match TidMap.find_opt tid st.Stepper.world.Ps.Machine.tp with
+  | Some ts -> ts.Ps.Thread.prm
+  | None -> []
+
+let annotate ?(config = Config.default) ?(discipline = Enum.Interleaving)
+    (p : Lang.Ast.program) (w : t) =
+  let schedule = List.map (fun (s : step) -> (s.tid, s.event)) w in
+  match Stepper.drive ~config ~discipline ~program:p schedule with
+  | None -> None
+  | Some (st0, trail) ->
+      let states = Array.of_list (Stepper.trail_states st0 trail) in
+      let steps = Array.of_list trail in
+      let n = Array.length steps in
+      (* Per trail position: the message a promise step announced, and
+         the promised messages a fulfillment removed from its thread's
+         promise set. *)
+      let promised_msg i =
+        let s = steps.(i) in
+        if s.Stepper.kind <> Stepper.Promise_step then None
+        else
+          match
+            Ps.Memory.added
+              ~prev:states.(i).Stepper.world.Ps.Machine.mem
+              states.(i + 1).Stepper.world.Ps.Machine.mem
+          with
+          | [ m ] -> Some m
+          | _ -> None
+      in
+      let fulfilled_msgs i =
+        let s = steps.(i) in
+        if s.Stepper.kind <> Stepper.Thread_step then []
+        else
+          let before = prm_of_tid states.(i) s.Stepper.tid in
+          let after = prm_of_tid states.(i + 1) s.Stepper.tid in
+          let after_ids = List.map msg_id after in
+          List.filter (fun m -> not (List.mem (msg_id m) after_ids)) before
+      in
+      let annotated =
+        List.init n (fun i ->
+            let s = steps.(i) in
+            let note =
+              match promised_msg i with
+              | Some m ->
+                  let rec fulfill_at j =
+                    if j >= n then None
+                    else if
+                      List.exists
+                        (fun m' -> msg_id m' = msg_id m)
+                        (fulfilled_msgs j)
+                    then Some j
+                    else fulfill_at (j + 1)
+                  in
+                  Promises
+                    { msg = msg_to_string m; fulfilled_at = fulfill_at (i + 1) }
+              | None -> (
+                  match fulfilled_msgs i with
+                  | [] -> Plain
+                  | m :: _ ->
+                      let rec promise_at j =
+                        if j < 0 then None
+                        else
+                          match promised_msg j with
+                          | Some m' when msg_id m' = msg_id m -> Some j
+                          | _ -> promise_at (j - 1)
+                      in
+                      Fulfills
+                        { msg = msg_to_string m; promised_at = promise_at (i - 1) })
+            in
+            { num = i; tid = s.Stepper.tid; event = s.Stepper.event; note })
+      in
+      Some annotated
+
+(* ------------------------------------------------------------------ *)
+(* Printing. *)
+
 let is_visible = function
   | Ps.Event.Tau | Ps.Event.Ccl | Ps.Event.Rsv -> false
   | _ -> true
 
-let pp_step ppf { tid; event } =
+let pp_step ppf ({ tid; event } : step) =
   Format.fprintf ppf "t%d: %a" tid Ps.Event.pp_te event
+
+let numbered w = List.mapi (fun i s -> (i, s)) w
+
+let pp_numbered ppf (i, s) = Format.fprintf ppf "%d. %a" i pp_step s
 
 let pp ppf w =
   Format.fprintf ppf "[@[<hov>%a@]]"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
-       pp_step)
-    (List.filter (fun s -> is_visible s.event) w)
+       pp_numbered)
+    (List.filter (fun (_, (s : step)) -> is_visible s.event) (numbered w))
 
 let pp_full ppf w =
   Format.fprintf ppf "[@[<hov>%a@]]"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
-       pp_step)
-    w
+       pp_numbered)
+    (numbered w)
+
+let pp_annotated_step ppf (s : annotated_step) =
+  (match s.event with
+  | Some e -> Format.fprintf ppf "%d. t%d: %a" s.num s.tid Ps.Event.pp_te e
+  | None -> Format.fprintf ppf "%d. -> t%d" s.num s.tid);
+  match s.note with
+  | Plain -> ()
+  | Promises { msg; fulfilled_at = Some j } ->
+      Format.fprintf ppf " {promises %s, fulfilled at %d}" msg j
+  | Promises { msg; fulfilled_at = None } ->
+      Format.fprintf ppf " {promises %s, never fulfilled}" msg
+  | Fulfills { msg; promised_at = Some j } ->
+      Format.fprintf ppf " {fulfills %s promised at %d}" msg j
+  | Fulfills { msg; promised_at = None } ->
+      Format.fprintf ppf " {fulfills %s}" msg
+
+let annotated_is_visible (s : annotated_step) =
+  match s.event with None -> true | Some e -> is_visible e
+
+let pp_annotated ppf steps =
+  Format.fprintf ppf "[@[<v>%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_annotated_step)
+    (List.filter annotated_is_visible steps)

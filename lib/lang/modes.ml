@@ -35,3 +35,9 @@ let write_of_string = function
   | "rlx" -> Some WRlx
   | "rel" -> Some WRel
   | _ -> None
+
+let fence_of_string = function
+  | "acq" -> Some FAcq
+  | "rel" -> Some FRel
+  | "sc" -> Some FSc
+  | _ -> None

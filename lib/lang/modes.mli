@@ -30,3 +30,4 @@ val pp_write : Format.formatter -> write -> unit
 val pp_fence : Format.formatter -> fence -> unit
 val read_of_string : string -> read option
 val write_of_string : string -> write option
+val fence_of_string : string -> fence option

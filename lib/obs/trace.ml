@@ -101,8 +101,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_channel oc =
-  let evs = events () in
+let write_events oc evs =
   let t0 = match evs with [] -> 0 | e :: _ -> e.ts_ns in
   output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   List.iteri
@@ -116,6 +115,8 @@ let write_channel oc =
     evs;
   output_string oc "\n]}\n";
   List.length evs
+
+let write_channel oc = write_events oc (events ())
 
 let write_file path =
   match open_out path with

@@ -42,6 +42,11 @@ val dropped : unit -> int
 val write_channel : out_channel -> int
 (** Emit the trace_event JSON document; returns the event count. *)
 
+val write_events : out_channel -> event list -> int
+(** The same emission for an explicit event list — how [psopt witness
+    --trace] exports a synthetic per-thread timeline of a witness
+    schedule (events need not come from {!span}). *)
+
 val write_file : string -> (int, string) result
 
 (** {2 Shape checking}

@@ -14,15 +14,16 @@ module StateMap = Map.Make (State)
 let isolation_steps ~code ts mem =
   Thread.steps ~code ts mem @ Thread.cancel_steps ts mem
 
-let consistent ?(fuel = default_fuel) ?(cap = true) ~code (ts : Thread.ts) mem
-    =
-  if Thread.concrete_promises ts = [] then true
+let consistent_stats ?(fuel = default_fuel) ?(cap = true) ~code
+    (ts : Thread.ts) mem =
+  if Thread.concrete_promises ts = [] then (true, 0)
   else
     let mem = if cap then Memory.cap mem else mem in
     (* Memoize the shallowest depth each state was explored at: a
        revisit with less remaining fuel can be pruned, a revisit with
        more fuel must be re-explored. *)
     let best = ref StateMap.empty in
+    let expanded = ref 0 in
     let rec dfs ts mem depth =
       if Thread.concrete_promises ts = [] then true
       else if depth >= fuel then false
@@ -32,11 +33,16 @@ let consistent ?(fuel = default_fuel) ?(cap = true) ~code (ts : Thread.ts) mem
         | Some d when d <= depth -> false
         | _ ->
             best := StateMap.add key depth !best;
+            incr expanded;
             List.exists
               (fun (s : Thread.step) -> dfs s.ts s.mem (depth + 1))
               (isolation_steps ~code ts mem)
     in
-    dfs ts mem 0
+    let ok = dfs ts mem 0 in
+    (ok, !expanded)
+
+let consistent ?fuel ?cap ~code ts mem =
+  fst (consistent_stats ?fuel ?cap ~code ts mem)
 
 let certifiable_writes ?(fuel = default_fuel) ~code (ts : Thread.ts) mem =
   let mem = Memory.cap mem in

@@ -25,6 +25,18 @@ val consistent :
     [M̂] (used by the ablation experiment of DESIGN.md and by the
     write-write-race-freedom discussion of Sec. 2.4). *)
 
+val consistent_stats :
+  ?fuel:int ->
+  ?cap:bool ->
+  code:Lang.Ast.code ->
+  Thread.ts ->
+  Memory.t ->
+  bool * int
+(** {!consistent} plus the number of isolation states the search
+    expanded (0 when the promise set is empty and the answer is
+    immediate) — the "certification sub-steps" surfaced per step by
+    the replay recorder. *)
+
 val certifiable_writes :
   ?fuel:int ->
   code:Lang.Ast.code ->

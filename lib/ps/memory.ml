@@ -171,3 +171,24 @@ let pp ppf m =
            Message.pp)
         l)
     m
+
+(* Memory deltas, for the replay debugger: which messages one step
+   added (fresh writes, promises, reservations) or removed (cancels).
+   Fulfillment moves a message from a thread's promise set, not out of
+   memory, so it shows up as a thread-state delta instead. *)
+let added ~prev m =
+  List.sort Message.compare
+    (fold (fun mg acc -> if contains mg prev then acc else mg :: acc) m [])
+
+let removed ~prev m = added ~prev:m prev
+
+let pp_delta ~prev ppf m =
+  let a = added ~prev m and r = removed ~prev m in
+  if a = [] && r = [] then Format.pp_print_string ppf "(unchanged)"
+  else
+    let signed sign ppf mg = Format.fprintf ppf "%s%a" sign Message.pp mg in
+    Format.fprintf ppf "@[<h>%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+         (fun ppf (sign, mg) -> signed sign ppf mg))
+      (List.map (fun mg -> ("+", mg)) a @ List.map (fun mg -> ("-", mg)) r)

@@ -85,3 +85,16 @@ val hash : t -> int
 
 val fold : (Message.t -> 'a -> 'a) -> t -> 'a -> 'a
 val pp : Format.formatter -> t -> unit
+
+val added : prev:t -> t -> Message.t list
+(** Messages present in the new memory but not in [prev], sorted —
+    the write/promise/reservation a single step performed.  (Promise
+    fulfillment leaves memory unchanged: the message merely leaves the
+    thread's promise set.) *)
+
+val removed : prev:t -> t -> Message.t list
+(** Messages of [prev] no longer present (reservation cancels). *)
+
+val pp_delta : prev:t -> Format.formatter -> t -> unit
+(** [+⟨msg⟩ -⟨rsv⟩] rendering of {!added}/{!removed}
+    (["(unchanged)"] when both are empty). *)

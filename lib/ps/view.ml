@@ -68,3 +68,39 @@ let observe_write x t v =
 
 let pp ppf v =
   Format.fprintf ppf "(na:%a, rlx:%a)" TimeMap.pp v.na TimeMap.pp v.rlx
+
+(* Delta rendering, for the replay debugger: only the locations whose
+   timestamp moved between two views, component-wise. *)
+let delta ~prev v =
+  let vars tm = List.map fst (TimeMap.bindings tm) in
+  let all =
+    List.sort_uniq Stdlib.compare
+      (vars prev.na @ vars prev.rlx @ vars v.na @ vars v.rlx)
+  in
+  List.filter_map
+    (fun x ->
+      let d get m0 m1 =
+        let a = get x m0 and b = get x m1 in
+        if Rat.equal a b then None else Some b
+      in
+      match (d TimeMap.get prev.na v.na, d TimeMap.get prev.rlx v.rlx) with
+      | None, None -> None
+      | na, rlx -> Some (x, na, rlx))
+    all
+
+let pp_delta ~prev ppf v =
+  match delta ~prev v with
+  | [] -> Format.pp_print_string ppf "(unchanged)"
+  | ds ->
+      let item ppf (x, na, rlx) =
+        let comp tag ppf = function
+          | None -> ()
+          | Some r -> Format.fprintf ppf " %s->%a" tag Rat.pp r
+        in
+        Format.fprintf ppf "%s:%a%a" x (comp "na") na (comp "rlx") rlx
+      in
+      Format.fprintf ppf "@[<h>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           item)
+        ds

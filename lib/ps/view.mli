@@ -62,3 +62,13 @@ val observe_write : Lang.Ast.var -> Rat.t -> t -> t
 (** View update after writing [x] at timestamp [t]: both maps. *)
 
 val pp : Format.formatter -> t -> unit
+
+val delta :
+  prev:t -> t -> (Lang.Ast.var * Rat.t option * Rat.t option) list
+(** The locations whose [na]/[rlx] timestamp changed between [prev]
+    and the new view, with the new value per changed component.  Empty
+    iff the views are equal. *)
+
+val pp_delta : prev:t -> Format.formatter -> t -> unit
+(** Renders {!delta} as [x: na->t rlx->t', ...] (["(unchanged)"] when
+    empty) — the per-step view annotation of the replay debugger. *)

@@ -1,0 +1,68 @@
+(** The stepping protocol: typed requests and replies for driving a
+    {!Session}, with s-expression codecs and {!Service.Proto} framing
+    so a stepper can sit behind a socket exactly like the verification
+    daemon — plus the line-oriented command syntax [psopt replay]
+    reads interactively.
+
+    Commands: [s] step · [b] back · [j N] jump · [i] info · [st]
+    where-am-I · [mem] · [views] · [why x] · [next x] · [prm] next
+    promise · [sched] full schedule · [q] quit · [h] help. *)
+
+type request =
+  | Info
+  | Where  (** current position and the step about to execute *)
+  | Step
+  | Back
+  | Jump of int
+  | Mem  (** render the memory at the current position *)
+  | Views  (** per-thread views and promise sets *)
+  | Why of string
+      (** everything the debugger knows about one location: its
+          messages, what the current thread could read, outstanding
+          promises on it, and the next step touching it *)
+  | Next_at of string  (** advance to the next step touching a location *)
+  | Next_promise  (** advance to the next promise step *)
+  | Schedule  (** the whole recorded schedule, annotated *)
+  | Quit
+
+type reply =
+  | Ok of { pos : int; len : int; text : string }
+  | Err of string
+  | Bye
+
+val parse_command : string -> (request, string) result
+(** One interactive line to a request ([Error] explains the syntax,
+    listing the commands). *)
+
+val help : string
+
+val handle : Session.t -> request -> reply
+(** Execute a request against a session (mutating its position). *)
+
+(** {1 Serialization} — round-trips exactly, like {!Service.Proto}. *)
+
+val sexp_of_request : request -> Lang.Sexp.t
+val request_of_sexp : Lang.Sexp.t -> (request, string) result
+val sexp_of_reply : reply -> Lang.Sexp.t
+val reply_of_sexp : Lang.Sexp.t -> (reply, string) result
+
+(** {1 Framed transport} over any file descriptor, reusing the
+    service's length+digest framing and its timeout discipline. *)
+
+val send_request :
+  ?timeout_s:float -> Unix.file_descr -> request -> (unit, Service.Proto.error) result
+
+val recv_request :
+  ?idle_timeout_s:float ->
+  ?io_timeout_s:float ->
+  Unix.file_descr ->
+  (request, Service.Proto.error) result
+
+val send_reply :
+  ?timeout_s:float -> Unix.file_descr -> reply -> (unit, Service.Proto.error) result
+
+val recv_reply :
+  ?idle_timeout_s:float ->
+  ?io_timeout_s:float ->
+  Unix.file_descr ->
+  (reply, Service.Proto.error) result

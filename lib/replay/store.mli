@@ -1,0 +1,90 @@
+(** The on-disk trace store: a magic line, then the header and each
+    step record as a length-plus-MD5-framed s-expression, with a
+    sidecar index mapping step number, thread id, step kind and
+    location to file offsets (docs/REPLAY.md).
+
+    {v
+    psopt-replay/1
+    <len> <md5-hex>
+    <header sexp>
+    <len> <md5-hex>
+    <step-0 sexp>
+    …
+    v}
+
+    Writers stream into a temp file in the destination directory and
+    publish with an atomic rename on {!close} (the {!Service.Store}
+    idiom) — a crash mid-record never leaves a half-written trace
+    under the final name.  The index ([<path>.idx]) is advisory: it
+    records the data file's byte size, so a stale or damaged index is
+    detected and silently rebuilt by scanning (flagged via
+    {!index_rebuilt}); damage to the {e data} file itself surfaces as
+    a typed {!error}, never as a silently different execution (every
+    record read re-checks its digest). *)
+
+type error =
+  | Missing of string  (** no such file *)
+  | Bad_magic of string  (** not a replay trace (or future version) *)
+  | Bad_header of string  (** header frame damaged or undecodable *)
+  | Truncated of int
+      (** data ran out mid-frame at this byte offset — a partially
+          written or cut-off trace *)
+  | Corrupt_record of int * string
+      (** record [n] failed its digest or did not decode *)
+
+val error_to_string : error -> string
+
+(** {1 Writing} *)
+
+type writer
+
+val create : string -> Trace.header -> (writer, string) result
+(** Start a trace at [path] (written via a temp file; nothing appears
+    at [path] until {!close}). *)
+
+val append : writer -> Trace.record -> (unit, string) result
+val close : writer -> (unit, string) result
+(** Finalize: flush, atomically rename the data file into place, then
+    write the sidecar index. *)
+
+val abort : writer -> unit
+(** Drop the temp files; [path] is untouched. *)
+
+val write_all :
+  string -> Trace.header -> Trace.record list -> (unit, string) result
+
+(** {1 Reading} *)
+
+type ix = {
+  off : int;  (** byte offset of the record's frame *)
+  ix_tid : int;
+  ix_kind : Trace.kind;
+  ix_loc : string option;
+}
+(** One index entry — enough to answer "next promise" / "next event
+    at location" queries without touching the data file. *)
+
+type reader
+
+val open_ : string -> (reader, error) result
+val close_reader : reader -> unit
+val header : reader -> Trace.header
+val length : reader -> int
+
+val index_rebuilt : reader -> bool
+(** The sidecar index was missing, stale or damaged and the reader
+    fell back to a full scan of the data file. *)
+
+val read : reader -> int -> (Trace.record, error) result
+(** Record [n], seek-read via the index, digest re-checked. *)
+
+val read_all : reader -> (Trace.record list, error) result
+
+val find_ix : reader -> from:int -> f:(ix -> bool) -> int option
+(** First record number [>= from] whose index entry satisfies [f] —
+    the O(1)-per-entry query path. *)
+
+val find_scan :
+  reader -> from:int -> f:(Trace.record -> bool) -> (int option, error) result
+(** Same search reading full records — the reference the index is
+    tested against (index-vs-scan agreement). *)

@@ -1,0 +1,674 @@
+(* The time-travel replay subsystem: store round-trips and typed
+   corruption errors (the five-damage-modes discipline of the service
+   store), snapshot-plus-replay state reconstruction at every step,
+   the O(K) keyframe jump bound, the stepping protocol, and
+   counterexample shrinking — ddmin over switch points and greedy
+   program reduction, every candidate re-validated by replaying it. *)
+
+module Stepper = Explore.Stepper
+module Witness = Explore.Witness
+module Trace = Replay.Trace
+module Store = Replay.Store
+module Session = Replay.Session
+module Proto = Replay.Proto
+
+let config = Explore.Config.default
+let il = Explore.Enum.Interleaving
+let lb = Litmus.lb.Litmus.prog
+
+let tmp_dir =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psopt-test-replay-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let fresh =
+  let n = ref 0 in
+  fun name ->
+    incr n;
+    Filename.concat tmp_dir (Printf.sprintf "%03d-%s" !n name)
+
+let slurp path = In_channel.with_open_bin path In_channel.input_all
+
+let spit path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let record_lb ?(eager = false) path =
+  match
+    Replay.Record.record_witness ~config ~eager_switch:eager ~outs:[ 1; 1 ]
+      ~path lb
+  with
+  | Ok n -> n
+  | Error m -> Alcotest.fail ("record lb: " ^ m)
+
+let open_exn path =
+  match Store.open_ path with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
+let read_all_exn r =
+  match Store.read_all r with
+  | Ok rs -> rs
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
+let load_exn path =
+  let r = open_exn path in
+  let s = Session.load r in
+  Store.close_reader r;
+  match s with
+  | Ok s -> s
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+
+let lb_trail () =
+  match Witness.find_trail ~config ~outs:[ 1; 1 ] lb with
+  | Some (st0, trail) -> (st0, trail)
+  | None -> Alcotest.fail "no lb 1,1 witness"
+
+(* --------------------------------------------------------------- *)
+(* Store round-trips *)
+
+let test_store_roundtrip () =
+  let p1 = fresh "lb.trace" in
+  let n = record_lb p1 in
+  Alcotest.(check bool) "some steps recorded" true (n > 0);
+  let r1 = open_exn p1 in
+  Alcotest.(check bool) "index used, not rebuilt" false
+    (Store.index_rebuilt r1);
+  let h = Store.header r1 in
+  Alcotest.(check bool) "program round-trips" true
+    (Lang.Ast.equal_program lb h.Trace.program);
+  Alcotest.(check (list int)) "outs round-trip" [ 1; 1 ] h.Trace.outs;
+  Alcotest.(check bool) "discipline round-trips" true (h.Trace.discipline = il);
+  let records = read_all_exn r1 in
+  Store.close_reader r1;
+  Alcotest.(check int) "length agrees" n (List.length records);
+  (* reopen → rewrite → byte-identical store *)
+  let p2 = fresh "lb-rewrite.trace" in
+  (match Store.write_all p2 h records with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check string) "rewrite is byte-identical" (slurp p1) (slurp p2);
+  Alcotest.(check string) "index rewrite is byte-identical"
+    (slurp (p1 ^ ".idx"))
+    (slurp (p2 ^ ".idx"));
+  let r2 = open_exn p2 in
+  let records2 = read_all_exn r2 in
+  Store.close_reader r2;
+  Alcotest.(check bool) "records round-trip" true
+    (List.for_all2 Trace.equal_record records records2)
+
+let test_index_vs_scan () =
+  let p = fresh "lb-eager.trace" in
+  let n = record_lb ~eager:true p in
+  let r = open_exn p in
+  let preds =
+    [
+      ( "promise",
+        (fun (ix : Store.ix) -> ix.Store.ix_kind = Trace.Promise_step),
+        fun (rec_ : Trace.record) -> rec_.Trace.kind = Trace.Promise_step );
+      ( "tid 1",
+        (fun ix -> ix.Store.ix_tid = 1),
+        fun rec_ -> rec_.Trace.tid = 1 );
+      ( "loc y",
+        (fun ix -> ix.Store.ix_loc = Some "y"),
+        fun rec_ -> rec_.Trace.loc = Some "y" );
+    ]
+  in
+  List.iter
+    (fun (what, f_ix, f_rec) ->
+      for from = 0 to n do
+        let via_scan =
+          match Store.find_scan r ~from ~f:f_rec with
+          | Ok x -> x
+          | Error e -> Alcotest.fail (Store.error_to_string e)
+        in
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s from %d: index agrees with scan" what from)
+          via_scan
+          (Store.find_ix r ~from ~f:f_ix)
+      done)
+    preds;
+  let records = read_all_exn r in
+  Store.close_reader r;
+  (* a missing sidecar is rebuilt by scanning, same answers *)
+  Sys.remove (p ^ ".idx");
+  let r2 = open_exn p in
+  Alcotest.(check bool) "missing index rebuilt" true (Store.index_rebuilt r2);
+  Alcotest.(check bool) "rebuilt index reads the same records" true
+    (List.for_all2 Trace.equal_record records (read_all_exn r2));
+  Store.close_reader r2
+
+(* Five-plus damage modes, each a typed error (or a silent rebuild for
+   the advisory sidecar), mirroring the service store's discipline. *)
+let test_corruption_modes () =
+  let p = fresh "victim.trace" in
+  ignore (record_lb p);
+  let data = slurp p in
+  let expect what pred = function
+    | Error e ->
+        Alcotest.(check bool)
+          (what ^ ": " ^ Store.error_to_string e)
+          true (pred e)
+    | Ok _ -> Alcotest.fail (what ^ ": damage not detected")
+  in
+  (* 1: missing file *)
+  expect "missing"
+    (function Store.Missing _ -> true | _ -> false)
+    (Store.open_ (fresh "nonexistent.trace"));
+  (* 2: not a replay trace *)
+  let bad_magic = fresh "bad-magic.trace" in
+  spit bad_magic "not a trace\nat all\n";
+  expect "bad magic"
+    (function Store.Bad_magic _ -> true | _ -> false)
+    (Store.open_ bad_magic);
+  (* 3: flipped byte inside the header frame *)
+  let flip_at s i =
+    let b = Bytes.of_string s in
+    Bytes.set b i (if Bytes.get b i = 'x' then 'y' else 'x');
+    Bytes.to_string b
+  in
+  let find_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rfind_sub s sub =
+    let rec go best i =
+      match find_sub (String.sub s i (String.length s - i)) sub with
+      | None -> best
+      | Some j -> go (Some (i + j)) (i + j + 1)
+    in
+    go None 0
+  in
+  let bad_header = fresh "bad-header.trace" in
+  (match find_sub data "replay-header" with
+  | None -> Alcotest.fail "no header payload?"
+  | Some i -> spit bad_header (flip_at data (i + 1)));
+  expect "damaged header"
+    (function Store.Bad_header _ -> true | _ -> false)
+    (Store.open_ bad_header);
+  (* 4: truncated mid-record (no sidecar: detected while scanning) *)
+  let truncated = fresh "truncated.trace" in
+  spit truncated (String.sub data 0 (String.length data - 10));
+  expect "truncated"
+    (function Store.Truncated _ -> true | _ -> false)
+    (Store.open_ truncated);
+  (* 5: flipped byte inside a record payload.  With the (still valid)
+     sidecar the damage is caught at read time by the digest; without
+     it, at open time by the rebuild scan. *)
+  let corrupt = fresh "corrupt.trace" in
+  (match rfind_sub data "(step " with
+  | None -> Alcotest.fail "no record payload?"
+  | Some i -> spit corrupt (flip_at data (i + 1)));
+  expect "corrupt record, scan path"
+    (function Store.Corrupt_record _ -> true | _ -> false)
+    (Store.open_ corrupt);
+  let ( let* ) = Result.bind in
+  spit (corrupt ^ ".idx") (slurp (p ^ ".idx"));
+  expect "corrupt record, index path"
+    (function Store.Corrupt_record _ -> true | _ -> false)
+    (let* r = Store.open_ corrupt in
+     let all = Store.read_all r in
+     Store.close_reader r;
+     all);
+  (* 6: a damaged sidecar is advisory — silently rebuilt *)
+  let stale = fresh "stale-idx.trace" in
+  spit stale data;
+  spit (stale ^ ".idx") "psopt-replay-idx/1\ndata 1 0\n";
+  match Store.open_ stale with
+  | Error e -> Alcotest.fail (Store.error_to_string e)
+  | Ok r ->
+      Alcotest.(check bool) "stale index rebuilt" true (Store.index_rebuilt r);
+      Store.close_reader r
+
+(* --------------------------------------------------------------- *)
+(* Session: state reconstruction *)
+
+(* Record → reload → the reconstructed state at *every* position
+   equals the state the recorder saw (exhaustive, the acceptance
+   criterion). *)
+let test_state_equality_everywhere () =
+  let st0, trail = lb_trail () in
+  let states = Array.of_list (Stepper.trail_states st0 trail) in
+  let path = fresh "lb-session.trace" in
+  ignore (record_lb path);
+  let t = load_exn path in
+  Alcotest.(check int) "lengths agree" (Array.length states - 1)
+    (Session.length t);
+  for n = 0 to Session.length t do
+    (match Session.jump t n with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m);
+    Alcotest.(check bool)
+      (Printf.sprintf "state at %d reconstructed exactly" n)
+      true
+      (Stepper.equal_state states.(n) (Session.state t))
+  done;
+  (* and backwards, through a different mix of keyframe starts *)
+  for n = Session.length t downto 0 do
+    ignore (Session.jump t n);
+    Alcotest.(check bool)
+      (Printf.sprintf "state at %d (backward sweep)" n)
+      true
+      (Stepper.equal_state states.(n) (Session.state t))
+  done
+
+let test_keyframe_jump_cost () =
+  let path = fresh "lb-kf.trace" in
+  ignore (record_lb ~eager:true path);
+  let r = open_exn path in
+  let t =
+    match Session.load ~keyframe_every:4 r with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Store.error_to_string e)
+  in
+  Store.close_reader r;
+  let len = Session.length t in
+  Alcotest.(check int) "validation pass is not billed" 0
+    (Session.replayed_steps t);
+  (* jumping backward to any position replays < K steps from a
+     keyframe — never O(n) from the start *)
+  ignore (Session.jump t len);
+  for n = len - 1 downto 0 do
+    let before = Session.replayed_steps t in
+    ignore (Session.jump t n);
+    let cost = Session.replayed_steps t - before in
+    Alcotest.(check bool)
+      (Printf.sprintf "jump to %d cost %d < K=4" n cost)
+      true (cost < 4)
+  done;
+  (* landing exactly on a keyframe is free *)
+  ignore (Session.jump t len);
+  let before = Session.replayed_steps t in
+  ignore (Session.jump t 4);
+  Alcotest.(check int) "keyframe hit is free" 0
+    (Session.replayed_steps t - before);
+  (* forward single-stepping never restarts from a distant keyframe:
+     each step replays at most one step (zero when it lands exactly on
+     a keyframe and restores the snapshot instead) *)
+  ignore (Session.jump t 0);
+  let before = ref (Session.replayed_steps t) in
+  for _ = 1 to len do
+    (match Session.step t with
+    | Ok (Some _) -> ()
+    | Ok None -> Alcotest.fail "ended early"
+    | Error m -> Alcotest.fail m);
+    let cost = Session.replayed_steps t - !before in
+    before := Session.replayed_steps t;
+    Alcotest.(check bool) "a single step replays at most one step" true
+      (cost <= 1)
+  done
+
+let test_step_back_records () =
+  let path = fresh "lb-stepback.trace" in
+  ignore (record_lb path);
+  let t = load_exn path in
+  let len = Session.length t in
+  let forward = ref [] in
+  for _ = 1 to len do
+    match Session.step t with
+    | Ok (Some r) -> forward := r :: !forward
+    | Ok None | Error _ -> Alcotest.fail "step failed"
+  done;
+  Alcotest.(check bool) "step at end is Ok None" true
+    (Session.step t = Ok None);
+  let backward = ref [] in
+  for _ = 1 to len do
+    match Session.back t with
+    | Ok (Some r) -> backward := r :: !backward
+    | Ok None | Error _ -> Alcotest.fail "back failed"
+  done;
+  Alcotest.(check bool) "back at start is Ok None" true
+    (Session.back t = Ok None);
+  Alcotest.(check int) "back to position 0" 0 (Session.pos t);
+  (* the records crossed going back are the records crossed going
+     forward, in reverse *)
+  Alcotest.(check bool) "same records both ways" true
+    (List.for_all2 Trace.equal_record (List.rev !forward) !backward)
+
+(* --------------------------------------------------------------- *)
+(* Protocol *)
+
+let test_proto_sexp_roundtrip () =
+  let reqs =
+    [
+      Proto.Info; Proto.Where; Proto.Step; Proto.Back; Proto.Jump 42;
+      Proto.Mem; Proto.Views; Proto.Why "a loc with spaces";
+      Proto.Next_at "x"; Proto.Next_promise; Proto.Schedule; Proto.Quit;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Proto.request_of_sexp (Proto.sexp_of_request req) with
+      | Ok req' ->
+          Alcotest.(check bool) "request round-trips" true (req = req')
+      | Error m -> Alcotest.fail m)
+    reqs;
+  let replies =
+    [
+      Proto.Ok { pos = 3; len = 11; text = "multi\nline text" };
+      Proto.Err "no such step";
+      Proto.Bye;
+    ]
+  in
+  List.iter
+    (fun rep ->
+      match Proto.reply_of_sexp (Proto.sexp_of_reply rep) with
+      | Ok rep' -> Alcotest.(check bool) "reply round-trips" true (rep = rep')
+      | Error m -> Alcotest.fail m)
+    replies
+
+let test_parse_command () =
+  let ok line req =
+    match Proto.parse_command line with
+    | Ok r -> Alcotest.(check bool) (line ^ " parses") true (r = req)
+    | Error m -> Alcotest.fail (line ^ ": " ^ m)
+  in
+  ok "s" Proto.Step;
+  ok " step " Proto.Step;
+  ok "b" Proto.Back;
+  ok "j 7" (Proto.Jump 7);
+  ok "i" Proto.Info;
+  ok "st" Proto.Where;
+  ok "mem" Proto.Mem;
+  ok "views" Proto.Views;
+  ok "why y" (Proto.Why "y");
+  ok "next x" (Proto.Next_at "x");
+  ok "prm" Proto.Next_promise;
+  ok "sched" Proto.Schedule;
+  ok "q" Proto.Quit;
+  List.iter
+    (fun bad ->
+      match Proto.parse_command bad with
+      | Ok _ -> Alcotest.fail (bad ^ " should not parse")
+      | Error m ->
+          Alcotest.(check bool) (bad ^ " explains itself") true
+            (String.length m > 0))
+    [ "j"; "j x"; "flurb"; "help" ]
+
+let test_proto_handle () =
+  let path = fresh "lb-proto.trace" in
+  ignore (record_lb path);
+  let t = load_exn path in
+  let len = Session.length t in
+  let ok_text = function
+    | Proto.Ok { text; _ } -> text
+    | Proto.Err m -> Alcotest.fail ("unexpected error: " ^ m)
+    | Proto.Bye -> Alcotest.fail "unexpected bye"
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  let info = ok_text (Proto.handle t Proto.Info) in
+  Alcotest.(check bool) "info names the step count" true
+    (contains info (string_of_int len));
+  ignore (Proto.handle t Proto.Step);
+  Alcotest.(check int) "step advances" 1 (Session.pos t);
+  ignore (Proto.handle t (Proto.Jump 3));
+  Alcotest.(check int) "jump lands" 3 (Session.pos t);
+  ignore (Proto.handle t Proto.Back);
+  Alcotest.(check int) "back retreats" 2 (Session.pos t);
+  Alcotest.(check bool) "mem shows both locations" true
+    (let m = ok_text (Proto.handle t Proto.Mem) in
+     contains m "x" && contains m "y");
+  Alcotest.(check bool) "views show a view per thread" true
+    (contains (ok_text (Proto.handle t Proto.Views)) "t1");
+  Alcotest.(check bool) "why knows the promise" true
+    (contains (ok_text (Proto.handle t (Proto.Why "y"))) "promise");
+  (* the lb witness promises y at step 0: from position 0 the next
+     *upcoming* promise is skipped (progress), reported as absent *)
+  ignore (Proto.handle t (Proto.Jump 0));
+  Alcotest.(check bool) "next-promise makes progress" true
+    (contains (ok_text (Proto.handle t Proto.Next_promise)) "no promise");
+  (* next-at jumps to the next step touching x *)
+  ignore (Proto.handle t (Proto.Jump 0));
+  let _ = ok_text (Proto.handle t (Proto.Next_at "x")) in
+  (match Session.record_at t (Session.pos t) with
+  | Some r -> Alcotest.(check (option string)) "stopped before an x step"
+      (Some "x") r.Trace.loc
+  | None -> Alcotest.fail "next-at ran off the end");
+  Alcotest.(check bool) "schedule shows every step" true
+    (contains (ok_text (Proto.handle t Proto.Schedule)) "prm");
+  Alcotest.(check bool) "quit says bye" true
+    (Proto.handle t Proto.Quit = Proto.Bye);
+  match Proto.handle t (Proto.Jump (len + 5)) with
+  | Proto.Err _ -> ()
+  | _ -> Alcotest.fail "out-of-range jump must be a protocol error"
+
+(* --------------------------------------------------------------- *)
+(* Shrinking *)
+
+let test_ddmin () =
+  let core = [ 3; 7; 15 ] in
+  let tried = ref 0 in
+  let check l =
+    incr tried;
+    List.for_all (fun c -> List.mem c l) core
+  in
+  let items = List.init 20 (fun i -> i) in
+  Alcotest.(check (list int)) "ddmin finds the 1-minimal core" core
+    (List.sort compare (Replay.Shrink.ddmin ~check items));
+  Alcotest.(check (list int)) "empty passes => empty" []
+    (Replay.Shrink.ddmin ~check:(fun _ -> true) items);
+  Alcotest.(check (list int)) "already minimal stays" [ 5 ]
+    (Replay.Shrink.ddmin ~check:(fun l -> List.mem 5 l) [ 5 ])
+
+let outs_of (w : Witness.t) =
+  List.filter_map
+    (fun (s : Witness.step) ->
+      match s.Witness.event with Ps.Event.Out v -> Some v | _ -> None)
+    w
+
+let test_shrink_schedule () =
+  (* an eager-switch witness is deliberately switch-heavy input *)
+  match Witness.find_trail ~config ~eager_switch:true ~outs:[ 1; 1 ] lb with
+  | None -> Alcotest.fail "no eager lb witness"
+  | Some (_, trail) -> (
+      let w = Witness.of_trail trail in
+      match Replay.Shrink.schedule ~config lb w with
+      | Error m -> Alcotest.fail m
+      | Ok res ->
+          Alcotest.(check bool)
+            (Printf.sprintf "switches strictly reduced: %d -> %d"
+               res.Replay.Shrink.switches_before
+               res.Replay.Shrink.switches_after)
+            true
+            (res.Replay.Shrink.switches_after
+            < res.Replay.Shrink.switches_before);
+          Alcotest.(check (list int)) "output sequence preserved" [ 1; 1 ]
+            (outs_of res.Replay.Shrink.witness);
+          (* shrinking the shrunk schedule is a fixpoint *)
+          (match Replay.Shrink.schedule ~config lb res.Replay.Shrink.witness with
+          | Error m -> Alcotest.fail m
+          | Ok res2 ->
+              Alcotest.(check int) "shrink is a fixpoint"
+                res.Replay.Shrink.switches_after
+                res2.Replay.Shrink.switches_after);
+          (* the shrunk schedule still drives — and can be recorded
+             and replayed like any trace *)
+          let path = fresh "lb-shrunk.trace" in
+          (match
+             Replay.Record.record_schedule ~config ~outs:[ 1; 1 ] ~path lb
+               res.Replay.Shrink.witness
+           with
+          | Ok n -> Alcotest.(check bool) "shrunk trace recorded" true (n > 0)
+          | Error m -> Alcotest.fail m);
+          ignore (load_exn path))
+
+(* The paper's Fig. 1 refinement violation, end to end: find the
+   target-only behaviour, record it (the `verify --record` path),
+   shrink the schedule, and check the reduced witness still refutes. *)
+let test_shrink_refutation () =
+  let src = Litmus.fig1_foo.Litmus.prog in
+  let tgt = Litmus.fig1_foo_opt.Litmus.prog in
+  let rep = Explore.Refine.check ~config ~target:tgt ~source:src () in
+  match rep.Explore.Refine.verdict with
+  | Explore.Refine.Violates (tr :: _) -> (
+      let outs = tr.Ps.Event.outs in
+      let path = fresh "fig1-refutation.trace" in
+      (match Replay.Record.record_witness ~config ~outs ~path tgt with
+      | Ok n -> Alcotest.(check bool) "refutation recorded" true (n > 0)
+      | Error m -> Alcotest.fail m);
+      let t = load_exn path in
+      let w =
+        List.filter_map
+          (fun n ->
+            match Session.record_at t n with
+            | Some r -> (
+                match r.Trace.event with
+                | Some e -> Some { Witness.tid = r.Trace.tid; event = e }
+                | None -> None)
+            | None -> None)
+          (List.init (Session.length t) Fun.id)
+      in
+      match Replay.Shrink.schedule ~config tgt w with
+      | Error m -> Alcotest.fail m
+      | Ok res ->
+          Alcotest.(check (list int)) "shrunk witness keeps the refuting outs"
+            outs
+            (outs_of res.Replay.Shrink.witness);
+          (* still a refutation: the source cannot produce it *)
+          Alcotest.(check bool) "source still cannot produce the outs" true
+            (Witness.find ~config ~outs src = None))
+  | _ -> Alcotest.fail "fig1 pair must violate refinement"
+
+let test_shrink_program () =
+  (* pad lb with dead weight the reducer must strip *)
+  let pad (p : Lang.Ast.program) =
+    let pad_block (b : Lang.Ast.block) =
+      { b with Lang.Ast.instrs = Lang.Ast.Skip :: b.Lang.Ast.instrs }
+    in
+    let pad_heap (ch : Lang.Ast.codeheap) =
+      {
+        ch with
+        Lang.Ast.blocks = Lang.Ast.LabelMap.map pad_block ch.Lang.Ast.blocks;
+      }
+    in
+    { p with Lang.Ast.code = Lang.Ast.FnameMap.map pad_heap p.Lang.Ast.code }
+  in
+  let count_instrs (p : Lang.Ast.program) =
+    Lang.Ast.FnameMap.fold
+      (fun _ (ch : Lang.Ast.codeheap) acc ->
+        Lang.Ast.LabelMap.fold
+          (fun _ (b : Lang.Ast.block) acc ->
+            acc + List.length b.Lang.Ast.instrs)
+          ch.Lang.Ast.blocks acc)
+      p.Lang.Ast.code 0
+  in
+  let padded = pad lb in
+  (match Lang.Wf.check padded with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "padded program must stay well-formed");
+  let keep p = Witness.find ~config ~outs:[ 1; 1 ] p <> None in
+  Alcotest.(check bool) "padded program still has the witness" true
+    (keep padded);
+  let p', tried = Replay.Shrink.program ~keep padded in
+  Alcotest.(check bool) "candidates were tried" true (tried > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "instructions reduced: %d -> %d" (count_instrs padded)
+       (count_instrs p'))
+    true
+    (count_instrs p' < count_instrs padded);
+  Alcotest.(check bool) "reduced program still has the witness" true (keep p')
+
+(* --------------------------------------------------------------- *)
+(* Stress quarantine integration *)
+
+let test_quarantine_trace () =
+  let qdir = fresh "quarantine" in
+  let recorded = ref [] in
+  let on_quarantine ~dir ~base ~config p =
+    let o = Explore.Enum.behaviors_exn ~config il p in
+    match Explore.Traceset.done_outs o.Explore.Enum.traces with
+    | [] -> ()
+    | outs :: _ -> (
+        let path = Filename.concat dir (base ^ ".trace") in
+        match
+          Replay.Record.record_witness ~config ~note:("quarantine " ^ base)
+            ~outs ~path p
+        with
+        | Ok _ -> recorded := path :: !recorded
+        | Error m -> Alcotest.fail ("quarantine record: " ^ m))
+  in
+  let seed = 5 in
+  let s =
+    Explore.Stress.run ~quarantine_dir:qdir ~on_quarantine ~cases:1 ~seed
+      ~deadline_ms:5000
+      ~check:(fun ~config:_ _ -> failwith "injected crash")
+      ()
+  in
+  Alcotest.(check int) "the case was quarantined" 1
+    s.Explore.Stress.quarantined;
+  match !recorded with
+  | [ path ] ->
+      let t = load_exn path in
+      Alcotest.(check bool) "quarantine trace replays" true
+        (Session.length t > 0);
+      (* the trace replays under the exact reduction mode the case ran
+         with — the header preserves the per-case config override *)
+      let h = Session.header t in
+      Alcotest.(check bool) "recorded under the case's reduction mode" true
+        (h.Trace.config.Explore.Config.reduction
+        = Explore.Stress.reduction_of_seed seed)
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected one recorded trace, got %d" (List.length l))
+
+(* --------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "replay"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "record → reopen → rewrite round-trip" `Quick
+            test_store_roundtrip;
+          Alcotest.test_case "index agrees with scan (incl. rebuild)" `Quick
+            test_index_vs_scan;
+          Alcotest.test_case "damage modes are typed errors" `Quick
+            test_corruption_modes;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "state reconstructed exactly at every step"
+            `Quick test_state_equality_everywhere;
+          Alcotest.test_case "jumps replay O(K) from keyframes" `Quick
+            test_keyframe_jump_cost;
+          Alcotest.test_case "step/back cross the same records" `Quick
+            test_step_back_records;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "request/reply sexp round-trips" `Quick
+            test_proto_sexp_roundtrip;
+          Alcotest.test_case "command syntax" `Quick test_parse_command;
+          Alcotest.test_case "handler navigates a session" `Quick
+            test_proto_handle;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "ddmin is 1-minimal" `Quick test_ddmin;
+          Alcotest.test_case "schedule: switch points strictly reduced"
+            `Quick test_shrink_schedule;
+          Alcotest.test_case "fig1 refutation shrinks and still refutes"
+            `Quick test_shrink_refutation;
+          Alcotest.test_case "program reducer strips dead weight" `Quick
+            test_shrink_program;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "quarantined cases get a replayable trace"
+            `Quick test_quarantine_trace;
+        ] );
+    ]
