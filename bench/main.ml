@@ -1057,6 +1057,264 @@ let replay_table ~timings () =
   Format.printf "@."
 
 (* ------------------------------------------------------------------ *)
+(* ------------------------------------------------------------------ *)
+(* Fleet load generation (docs/SERVICE.md "Load generation
+   methodology"): a real in-process daemon on a temp socket, driven
+   over the wire by the loadgen — a closed-loop client sweep plus one
+   open-loop offered rate.  The mix is 100% prewarmed litmus corpus,
+   so every measured request is a warm store hit and the quantiles are
+   a property of the service path, not of exploration variance.
+
+   Checked gates (also under [--check]): zero transport errors on
+   every row; the warm p99 stays under a generous ceiling; and
+   throughput is monotone up to the knee — growing the closed-loop
+   fleet must never cost more than the tolerance factor, since warm
+   hits bypass the admission queue entirely. *)
+
+let loadgen_p99_ceiling_ms = 500.0
+let loadgen_monotone_tolerance = 0.6
+
+let json_loadgen :
+    (string
+    * int
+    * float
+    * float
+    * float
+    * float
+    * float
+    * int
+    * int
+    * int
+    * int
+    * int
+    * bool)
+    list
+    ref =
+  ref []
+
+let json_loadgen_gate : bool option ref = ref None
+
+let json_loadgen_sat : ((float * bool) list * float option) option ref =
+  ref None
+
+let loadgen_table ~timings () =
+  Format.printf "== loadgen: closed-loop sweep + one open-loop rate ==@.";
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psopt-bench-lg-%d.sock" (Unix.getpid ()))
+  in
+  let store_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psopt-bench-lg-store-%d" (Unix.getpid ()))
+  in
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let ready = ref false in
+  let server_result = ref (Ok ()) in
+  let server =
+    Thread.create
+      (fun () ->
+        server_result :=
+          Service.Server.run
+            ~on_ready:(fun () ->
+              Mutex.lock m;
+              ready := true;
+              Condition.signal c;
+              Mutex.unlock m)
+            {
+              (Service.Server.default ~socket) with
+              store_dir = Some store_dir;
+              capacity = 64;
+              quiet = true;
+            })
+      ()
+  in
+  Mutex.lock m;
+  while not !ready do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  let base =
+    {
+      (Service.Loadgen.default ~socket) with
+      high_pct = 100;
+      warmup_s = 0.3;
+      duration_s = 1.5;
+      prewarm = true;
+      retries = 0;
+    }
+  in
+  let gate_ok = ref true in
+  let run_row label cfg =
+    match Service.Loadgen.run cfg with
+    | Error e ->
+        incr failed;
+        gate_ok := false;
+        Format.printf "loadgen %s: FAIL (%s)@." label e
+    | Ok r ->
+        let q = r.Service.Loadgen.all.Service.Loadgen.latency in
+        let p50_ms =
+          float_of_int q.Service.Loadgen.Quantiles.p50_ns /. 1e6
+        in
+        let p99_ms =
+          float_of_int q.Service.Loadgen.Quantiles.p99_ns /. 1e6
+        in
+        let p999_ms =
+          float_of_int q.Service.Loadgen.Quantiles.p999_ns /. 1e6
+        in
+        let rate_hz =
+          match cfg.Service.Loadgen.mode with
+          | Service.Loadgen.Closed -> 0.0
+          | Service.Loadgen.Open { rate_hz; _ } -> rate_hz
+        in
+        let row_ok =
+          r.Service.Loadgen.transport_errors = 0
+          && p99_ms <= loadgen_p99_ceiling_ms
+          && r.Service.Loadgen.all.Service.Loadgen.sent
+             = r.Service.Loadgen.all.Service.Loadgen.ok
+               + r.Service.Loadgen.all.Service.Loadgen.shed
+               + r.Service.Loadgen.all.Service.Loadgen.busy
+               + r.Service.Loadgen.all.Service.Loadgen.errors
+        in
+        if row_ok then incr passed
+        else begin
+          incr failed;
+          gate_ok := false
+        end;
+        if timings then
+          Format.printf
+            "%-12s %3d clients  %8.1f req/s  p50 %6.2fms  p99 %6.2fms  \
+             transport errors %d  %s@."
+            label cfg.Service.Loadgen.clients
+            r.Service.Loadgen.throughput_rps p50_ms p99_ms
+            r.Service.Loadgen.transport_errors
+            (if row_ok then "ok" else "FAIL")
+        else
+          Format.printf "loadgen %s: %s@." label
+            (if row_ok then "ok" else "FAIL");
+        json_loadgen :=
+          ( label,
+            cfg.Service.Loadgen.clients,
+            rate_hz,
+            r.Service.Loadgen.throughput_rps,
+            p50_ms,
+            p99_ms,
+            p999_ms,
+            r.Service.Loadgen.all.Service.Loadgen.sent,
+            r.Service.Loadgen.all.Service.Loadgen.shed
+            + r.Service.Loadgen.all.Service.Loadgen.busy,
+            r.Service.Loadgen.retries,
+            r.Service.Loadgen.all.Service.Loadgen.errors,
+            r.Service.Loadgen.transport_errors,
+            row_ok )
+          :: !json_loadgen
+  in
+  run_row "closed_j2" { base with clients = 2 };
+  run_row "closed_j4" { base with clients = 4; prewarm = false };
+  run_row "closed_j8" { base with clients = 8; prewarm = false };
+  run_row "open_300hz"
+    {
+      base with
+      clients = 8;
+      prewarm = false;
+      mode =
+        Service.Loadgen.Open
+          { rate_hz = 300.0; arrivals = Service.Loadgen.Poisson };
+    };
+  (* stepped saturation search: open-loop at rising offered rates
+     until the SLO breaks; the knee is the last passing rate.  The
+     first step is far under this host's warm-hit capacity, so the
+     knee must be at least that — checked as part of the gate. *)
+  let sat_rates = [ 200.0; 2000.0 ] in
+  let slo =
+    {
+      Service.Loadgen.slo_p99_ms = Some loadgen_p99_ceiling_ms;
+      slo_shed_pct = Some 10.0;
+    }
+  in
+  (match
+     Service.Loadgen.saturation
+       { base with clients = 8; prewarm = false }
+       ~slo ~rates:sat_rates
+   with
+  | Error e ->
+      incr failed;
+      gate_ok := false;
+      Format.printf "loadgen saturation: FAIL (%s)@." e
+  | Ok sat ->
+      let steps =
+        List.map
+          (fun (s : Service.Loadgen.sat_step) ->
+            (s.Service.Loadgen.rate_hz, s.Service.Loadgen.passed))
+          sat.Service.Loadgen.steps
+      in
+      json_loadgen_sat := Some (steps, sat.Service.Loadgen.knee_hz);
+      let knee_ok =
+        match sat.Service.Loadgen.knee_hz with
+        | Some k -> k >= List.hd sat_rates
+        | None -> false
+      in
+      if knee_ok then incr passed
+      else begin
+        incr failed;
+        gate_ok := false
+      end;
+      Format.printf "loadgen saturation knee: %s (first offered rate %s)@."
+        (match sat.Service.Loadgen.knee_hz with
+        | Some k -> Printf.sprintf "%g req/s" k
+        | None -> "below the first step")
+        (if knee_ok then "sustained  ok" else "NOT sustained  FAIL"));
+  (* monotone-to-the-knee: each closed-loop step must keep at least
+     the tolerance factor of the previous step's throughput *)
+  let closed_thr =
+    List.filter_map
+      (fun (label, _, _, thr, _, _, _, _, _, _, _, _, _) ->
+        if String.length label >= 6 && String.sub label 0 6 = "closed" then
+          Some thr
+        else None)
+      (List.rev !json_loadgen)
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        b >= loadgen_monotone_tolerance *. a && monotone rest
+    | _ -> true
+  in
+  let mono_ok = monotone closed_thr in
+  if mono_ok then incr passed
+  else begin
+    incr failed;
+    gate_ok := false
+  end;
+  Format.printf "loadgen gate (zero transport errors, p99 <= %.0fms, \
+                 throughput monotone within %.1fx): %s@."
+    loadgen_p99_ceiling_ms loadgen_monotone_tolerance
+    (if !gate_ok && mono_ok then "ok" else "FAIL");
+  json_loadgen_gate := Some (!gate_ok && mono_ok);
+  (match Service.Client.shutdown ~socket with
+  | Ok () -> ()
+  | Error e -> Format.printf "loadgen: shutdown failed: %s@." e);
+  Thread.join server;
+  (match !server_result with
+  | Ok () -> ()
+  | Error e -> Format.printf "loadgen: server exit: %s@." e);
+  (try
+     Array.iter
+       (fun shard ->
+         let sd = Filename.concat store_dir shard in
+         if Sys.is_directory sd then begin
+           Array.iter
+             (fun f -> Sys.remove (Filename.concat sd f))
+             (Sys.readdir sd);
+           Unix.rmdir sd
+         end)
+       (Sys.readdir store_dir);
+     Unix.rmdir store_dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* [--json FILE]: a stable, hand-rolled summary for CI artifacts. *)
 
 let json_escape s =
@@ -1083,14 +1341,15 @@ let json_histograms = [
   "psopt_pool_task_duration_ns";
   "psopt_store_lookup_duration_ns";
   "psopt_service_request_duration_ns";
+  "psopt_client_request_duration_ns";
 ]
 
 let write_json file =
   let oc = open_out file in
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
-  pf "  \"schema\": \"psopt-bench/5\",\n";
-  pf "  \"schema_version\": 5,\n";
+  pf "  \"schema\": \"psopt-bench/6\",\n";
+  pf "  \"schema_version\": 6,\n";
   pf "  \"config_fingerprint\": \"%s\",\n"
     (json_escape (Explore.Config.fingerprint (bench_config ())));
   pf "  \"jobs\": %d,\n" !bench_j;
@@ -1173,6 +1432,39 @@ let write_json file =
          \"switches_after\": %d, \"ok\": %b},\n"
         steps kf max_jump sw_before sw_after ok
   | None -> pf "  \"replay\": null,\n");
+  pf "  \"loadgen\": [\n";
+  let lg = List.rev !json_loadgen in
+  List.iteri
+    (fun i
+         (label, clients, rate_hz, thr, p50, p99, p999, sent, shed, retries,
+          errors, terrs, ok) ->
+      pf
+        "    {\"row\": \"%s\", \"clients\": %d, \"rate_hz\": %g, \
+         \"throughput_rps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+         \"p999_ms\": %.3f, \"sent\": %d, \"shed\": %d, \"retries\": %d, \
+         \"errors\": %d, \"transport_errors\": %d, \"ok\": %b}%s\n"
+        (json_escape label) clients rate_hz thr p50 p99 p999 sent shed
+        retries errors terrs ok
+        (if i = List.length lg - 1 then "" else ","))
+    lg;
+  pf "  ],\n";
+  (match !json_loadgen_sat with
+  | Some (steps, knee) ->
+      pf "  \"loadgen_saturation\": {\"steps\": [%s], \"knee_hz\": %s},\n"
+        (String.concat ", "
+           (List.map
+              (fun (rate, passed) ->
+                Printf.sprintf "{\"rate_hz\": %g, \"passed\": %b}" rate passed)
+              steps))
+        (match knee with Some k -> Printf.sprintf "%g" k | None -> "null")
+  | None -> pf "  \"loadgen_saturation\": null,\n");
+  (match !json_loadgen_gate with
+  | Some ok ->
+      pf
+        "  \"loadgen_gate\": {\"ok\": %b, \"p99_ceiling_ms\": %.0f, \
+         \"monotone_tolerance\": %.2f},\n"
+        ok loadgen_p99_ceiling_ms loadgen_monotone_tolerance
+  | None -> pf "  \"loadgen_gate\": null,\n");
   pf "  \"histograms\": [\n";
   List.iteri
     (fun i name ->
@@ -1181,13 +1473,14 @@ let write_json file =
         | Some h -> Obs.Metrics.summary h
         | None ->
             { Obs.Metrics.count = 0; sum_ns = 0; p50_ns = 0.; p90_ns = 0.;
-              p99_ns = 0. }
+              p99_ns = 0.; p999_ns = 0. }
       in
       pf
         "    {\"name\": \"%s\", \"count\": %d, \"sum_ns\": %d, \"p50_ns\": \
-         %.0f, \"p90_ns\": %.0f, \"p99_ns\": %.0f}%s\n"
+         %.0f, \"p90_ns\": %.0f, \"p99_ns\": %.0f, \"p999_ns\": %.0f}%s\n"
         (json_escape name) s.Obs.Metrics.count s.Obs.Metrics.sum_ns
         s.Obs.Metrics.p50_ns s.Obs.Metrics.p90_ns s.Obs.Metrics.p99_ns
+        s.Obs.Metrics.p999_ns
         (if i = List.length json_histograms - 1 then "" else ","))
     json_histograms;
   pf "  ]\n";
@@ -1379,6 +1672,7 @@ let () =
   scaling_table ~timings:(not check_only) ();
   service_store_table ~timings:(not check_only) ();
   replay_table ~timings:(not check_only) ();
+  loadgen_table ~timings:(not check_only) ();
   if not check_only then begin
     state_space_table ();
     fig1_sweep ();

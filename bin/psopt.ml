@@ -211,6 +211,13 @@ let with_obs trace f =
           ignore (dump ());
           raise e)
 
+(* One fresh trace context per submitted request, but only when this
+   process is recording: a context-free Work encodes in the pre-trace
+   wire shape, so untraced clients stay compatible with old daemons. *)
+let work_req w cfg =
+  let tctx = if Obs.Trace.on () then Some (Obs.Trace.new_ctx ()) else None in
+  Service.Proto.Work (w, cfg, tctx)
+
 (* ------------------------------------------------------------------ *)
 
 let parse_cmd =
@@ -548,6 +555,7 @@ let write_witness_trace path (w : Explore.Witness.t) =
           ts_ns = i * 1000;
           dur_ns = 900;
           tid = s.tid;
+          args = [];
         })
       w
   in
@@ -1222,14 +1230,62 @@ let print_reply (r : Service.Proto.reply) =
   else print_string r.Service.Proto.output;
   r.Service.Proto.exit_code
 
+(* Family filtering over exposition text: a line survives when its
+   metric name starts with the prefix, and HELP/TYPE headers follow
+   their family so greppable context is kept. *)
+let filter_exposition prefix text =
+  if prefix = "" then text
+  else
+    String.split_on_char '\n' text
+    |> List.filter (fun line ->
+           if line = "" then false
+           else if String.starts_with ~prefix:"# " line then
+             match String.split_on_char ' ' line with
+             | "#" :: ("HELP" | "TYPE") :: name :: _ ->
+                 String.starts_with ~prefix name
+             | _ -> false
+           else String.starts_with ~prefix line)
+    |> List.map (fun l -> l ^ "\n")
+    |> String.concat ""
+
+let ansi_clear = "\027[2J\027[H"
+
 let metrics_cmd =
-  let run socket =
-    match Service.Client.metrics ~socket with
-    | Ok text ->
-        print_string text;
-        exit_ok
-    | Error msg ->
-        Printf.eprintf "psopt metrics: %s\n" msg;
+  let filter =
+    Arg.(
+      value & opt string ""
+      & info [ "filter" ] ~docv:"PREFIX"
+          ~doc:"Only print metric families whose name starts with $(docv).")
+  in
+  let watch =
+    Arg.(
+      value & opt (some float) None
+      & info [ "watch" ] ~docv:"SECS"
+          ~doc:
+            "Re-scrape every $(docv) seconds with a clear-screen between \
+             scrapes (stop with Ctrl-C).")
+  in
+  let run socket filter watch =
+    let scrape () =
+      match Service.Client.metrics ~socket with
+      | Ok text ->
+          print_string (filter_exposition filter text);
+          true
+      | Error msg ->
+          Printf.eprintf "psopt metrics: %s\n" msg;
+          false
+    in
+    match watch with
+    | None -> if scrape () then exit_ok else exit_error
+    | Some period ->
+        let period = Float.max 0.1 period in
+        let ok = ref true in
+        while !ok do
+          print_string ansi_clear;
+          ok := scrape ();
+          flush stdout;
+          if !ok then Unix.sleepf period
+        done;
         exit_error
   in
   Cmd.v
@@ -1238,7 +1294,7 @@ let metrics_cmd =
          "Scrape a running daemon's metrics registry — counters, gauges \
           and latency histograms — in the Prometheus text exposition \
           format (docs/OBSERVABILITY.md).")
-    Term.(const run $ socket_term)
+    Term.(const run $ socket_term $ filter $ watch)
 
 let trace_check_cmd =
   let file =
@@ -1286,12 +1342,46 @@ let trace_check_cmd =
           shape (the CI smoke check; no external tooling needed).")
     Term.(const run $ file $ min_events $ min_names)
 
+let trace_merge_cmd =
+  let inputs =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"Trace JSON files written by --trace (client, daemon, ...).")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Merged trace destination.")
+  in
+  let run inputs output =
+    match Obs.Trace.merge_files ~inputs ~output with
+    | Ok n ->
+        Printf.printf "merged %d events from %d traces into %s\n" n
+          (List.length inputs) output;
+        exit_ok
+    | Error msg ->
+        Printf.eprintf "psopt trace-merge: %s\n" msg;
+        exit_error
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Stitch several --trace files (e.g. a client's and the daemon's) \
+          into one timeline: every input becomes its own pid track, \
+          re-anchored onto a shared clock via the traces' baseNs stamps; \
+          spans of one request line up by their trace_id args \
+          (docs/OBSERVABILITY.md).")
+    Term.(const run $ inputs $ output)
+
 let submit_cmd =
   let files =
     let doc = "CSimpRTL program files." in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
-  let run socket io_timeout files cmd pass disc cfg =
+  let run socket io_timeout trace files cmd pass disc cfg =
+    with_obs trace @@ fun () ->
     match
       Service.Client.connect ?io_timeout_s:(io_timeout_opt io_timeout) ~socket
         ()
@@ -1313,8 +1403,7 @@ let submit_cmd =
                   | Ok p -> (
                       let work = work_of ~cmd ~pass ~disc p in
                       match
-                        Service.Client.rpc_wait client
-                          (Service.Proto.Work (work, cfg))
+                        Service.Client.rpc_wait client (work_req work cfg)
                       with
                       | Ok (Service.Proto.Reply r) ->
                           Printf.printf "== %s ==\n" file;
@@ -1346,7 +1435,7 @@ let submit_cmd =
          "Send programs to a running daemon (one --cmd query each) and \
           print the replies; results come from the store when cached.")
     Term.(
-      const run $ socket_term $ client_io_timeout_term $ files
+      const run $ socket_term $ client_io_timeout_term $ obs_term $ files
       $ service_cmd_term $ service_pass_term
       $ discipline_term $ config_term)
 
@@ -1368,7 +1457,8 @@ let batch_cmd =
     in
     Arg.(value & opt float 0.0 & info [ "min-hit-rate" ] ~doc ~docv:"PCT")
   in
-  let run socket io_timeout litmus dir min_hit_rate cmd pass disc cfg =
+  let run socket io_timeout trace litmus dir min_hit_rate cmd pass disc cfg =
+    with_obs trace @@ fun () ->
     let targets =
       if litmus then
         Ok
@@ -1444,8 +1534,7 @@ let batch_cmd =
                             exit_error
                         | `Work w -> (
                             match
-                              Service.Client.rpc_wait client
-                                (Service.Proto.Work (w, cfg))
+                              Service.Client.rpc_wait client (work_req w cfg)
                             with
                             | Ok (Service.Proto.Reply r) ->
                                 if r.Service.Proto.cached then incr hits
@@ -1535,8 +1624,8 @@ let batch_cmd =
           counts on stderr, with stdout byte-identical to the direct \
           subcommands.")
     Term.(
-      const run $ socket_term $ client_io_timeout_term $ litmus_flag $ dir
-      $ min_hit_rate
+      const run $ socket_term $ client_io_timeout_term $ obs_term $ litmus_flag
+      $ dir $ min_hit_rate
       $ service_cmd_term $ service_pass_term $ discipline_term $ config_term)
 
 let chaos_proxy_cmd =
@@ -1631,6 +1720,482 @@ let chaos_proxy_cmd =
       const run $ listen $ upstream $ seed $ delay_p $ max_delay $ tear_p
       $ corrupt_p $ disconnect_p $ duration)
 
+(* ------------------------------------------------------------------ *)
+(* Fleet load generation and the live dashboard (docs/SERVICE.md) *)
+
+let ms_of_ns_f ns = float_of_int ns /. 1e6
+
+let loadgen_json_of_report (r : Service.Loadgen.report) =
+  let b = Buffer.create 1024 in
+  let class_json (c : Service.Loadgen.class_stats) =
+    let q = c.Service.Loadgen.latency in
+    Printf.sprintf
+      "{\"sent\": %d, \"ok\": %d, \"cached\": %d, \"shed\": %d, \"busy\": %d, \
+       \"errors\": %d, \"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, \
+       \"p999_ms\": %.3f, \"max_ms\": %.3f, \"mean_ms\": %.3f}"
+      c.Service.Loadgen.sent c.Service.Loadgen.ok c.Service.Loadgen.cached
+      c.Service.Loadgen.shed c.Service.Loadgen.busy c.Service.Loadgen.errors
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.p50_ns)
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.p90_ns)
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.p99_ns)
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.p999_ns)
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.max_ns)
+      (q.Service.Loadgen.Quantiles.mean_ns /. 1e6)
+  in
+  let mode_json =
+    match r.Service.Loadgen.mode with
+    | Service.Loadgen.Closed -> "{\"kind\": \"closed\"}"
+    | Service.Loadgen.Open { rate_hz; arrivals } ->
+        Printf.sprintf "{\"kind\": \"open\", \"rate_hz\": %g, \"arrivals\": \"%s\"}"
+          rate_hz
+          (match arrivals with
+          | Service.Loadgen.Poisson -> "poisson"
+          | Service.Loadgen.Uniform -> "uniform")
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"mode\": %s, \"clients\": %d, \"wall_s\": %.3f, \
+        \"throughput_rps\": %.1f, \"retries\": %d, \"reconnects\": %d, \
+        \"transport_errors\": %d, \"late_sends\": %d, \"high\": %s, \
+        \"normal\": %s, \"all\": %s}"
+       mode_json r.Service.Loadgen.clients r.Service.Loadgen.wall_s
+       r.Service.Loadgen.throughput_rps r.Service.Loadgen.retries
+       r.Service.Loadgen.reconnects r.Service.Loadgen.transport_errors
+       r.Service.Loadgen.late_sends
+       (class_json r.Service.Loadgen.high)
+       (class_json r.Service.Loadgen.normal)
+       (class_json r.Service.Loadgen.all));
+  Buffer.contents b
+
+let print_report (r : Service.Loadgen.report) =
+  let mode =
+    match r.Service.Loadgen.mode with
+    | Service.Loadgen.Closed -> "closed loop"
+    | Service.Loadgen.Open { rate_hz; arrivals } ->
+        Printf.sprintf "open loop @ %g req/s (%s)" rate_hz
+          (match arrivals with
+          | Service.Loadgen.Poisson -> "poisson"
+          | Service.Loadgen.Uniform -> "uniform")
+  in
+  Printf.printf "loadgen: %s, %d clients, %.1fs measured\n" mode
+    r.Service.Loadgen.clients r.Service.Loadgen.wall_s;
+  Printf.printf "  %-7s %8s %8s %7s %6s %6s %5s %9s %9s %9s %9s %9s\n" "class"
+    "sent" "ok" "cached" "shed" "busy" "err" "p50ms" "p90ms" "p99ms" "p99.9ms"
+    "maxms";
+  let row name (c : Service.Loadgen.class_stats) =
+    let q = c.Service.Loadgen.latency in
+    Printf.printf
+      "  %-7s %8d %8d %7d %6d %6d %5d %9.2f %9.2f %9.2f %9.2f %9.2f\n" name
+      c.Service.Loadgen.sent c.Service.Loadgen.ok c.Service.Loadgen.cached
+      c.Service.Loadgen.shed c.Service.Loadgen.busy c.Service.Loadgen.errors
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.p50_ns)
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.p90_ns)
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.p99_ns)
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.p999_ns)
+      (ms_of_ns_f q.Service.Loadgen.Quantiles.max_ns)
+  in
+  row "high" r.Service.Loadgen.high;
+  row "normal" r.Service.Loadgen.normal;
+  row "all" r.Service.Loadgen.all;
+  Printf.printf
+    "  throughput %.1f req/s; retries %d, reconnects %d, transport errors \
+     %d, late sends %d\n"
+    r.Service.Loadgen.throughput_rps r.Service.Loadgen.retries
+    r.Service.Loadgen.reconnects r.Service.Loadgen.transport_errors
+    r.Service.Loadgen.late_sends
+
+let loadgen_cmd =
+  let clients =
+    Arg.(
+      value & opt int 32
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Concurrent client connections (worker threads).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"HZ"
+          ~doc:
+            "Open-loop offered arrival rate in requests/second; 0 (default) \
+             runs closed-loop.")
+  in
+  let arrivals =
+    let arrivals_conv =
+      Arg.enum
+        [
+          ("poisson", Service.Loadgen.Poisson);
+          ("uniform", Service.Loadgen.Uniform);
+        ]
+    in
+    Arg.(
+      value & opt arrivals_conv Service.Loadgen.Poisson
+      & info [ "arrivals" ] ~docv:"DIST"
+          ~doc:"Open-loop interarrival process: $(b,poisson) or $(b,uniform).")
+  in
+  let duration =
+    Arg.(
+      value & opt float 10.0
+      & info [ "duration" ] ~docv:"SECS" ~doc:"Measured phase length.")
+  in
+  let warmup =
+    Arg.(
+      value & opt float 2.0
+      & info [ "warmup" ] ~docv:"SECS"
+          ~doc:"Warmup phase: traffic is sent but not counted.")
+  in
+  let high_pct =
+    Arg.(
+      value & opt int 90
+      & info [ "high-pct" ] ~docv:"PCT"
+          ~doc:
+            "Percentage of requests drawn from the litmus corpus \
+             (High-priority, cache-friendly); the rest are distinct \
+             stress-generated explorations.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ]
+          ~doc:"PRNG seed: mix and arrival schedule are pure functions of it.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ]
+          ~doc:
+            "rpc_wait retry budget per request (0 = single shot, so Busy and \
+             Shed answers are visible in the accounting, not hidden by the \
+             client library).")
+  in
+  let prewarm =
+    Arg.(
+      value & flag
+      & info [ "prewarm" ]
+          ~doc:
+            "Push the whole litmus corpus through one connection before the \
+             clock starts, so a store-backed daemon measures warm.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the report as JSON.")
+  in
+  let saturation =
+    Arg.(
+      value & opt string ""
+      & info [ "saturation" ] ~docv:"R1,R2,..."
+          ~doc:
+            "Stepped saturation search: rerun open-loop at each offered rate \
+             until the SLO (--slo-p99-ms / --slo-shed-pct) breaks, and \
+             report the knee — the last rate that passed.")
+  in
+  let slo_p99 =
+    Arg.(
+      value & opt (some float) None
+      & info [ "slo-p99-ms" ] ~docv:"MS"
+          ~doc:"Saturation SLO: all-class p99 ceiling.")
+  in
+  let slo_shed =
+    Arg.(
+      value & opt (some float) None
+      & info [ "slo-shed-pct" ] ~docv:"PCT"
+          ~doc:"Saturation SLO: ceiling on (shed+busy)/sent percentage.")
+  in
+  let max_p99 =
+    Arg.(
+      value & opt (some float) None
+      & info [ "max-p99-ms" ] ~docv:"MS"
+          ~doc:"Gate: fail (exit 1) when the all-class p99 exceeds this.")
+  in
+  let max_transport =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-transport-errors" ] ~docv:"N"
+          ~doc:"Gate: fail (exit 1) on more than N transport errors.")
+  in
+  let run socket io_timeout clients rate arrivals duration warmup high_pct
+      seed retries prewarm json saturation slo_p99 slo_shed max_p99
+      max_transport =
+    let mode =
+      if rate <= 0.0 then Service.Loadgen.Closed
+      else Service.Loadgen.Open { rate_hz = rate; arrivals }
+    in
+    let cfg =
+      {
+        Service.Loadgen.socket;
+        clients;
+        mode;
+        warmup_s = warmup;
+        duration_s = duration;
+        high_pct;
+        seed;
+        io_timeout_s = io_timeout_opt io_timeout;
+        retries;
+        prewarm;
+        work_config = Service.Loadgen.default_work_config;
+      }
+    in
+    let write_json payload =
+      match json with
+      | None -> exit_ok
+      | Some file -> (
+          match open_out file with
+          | exception Sys_error m ->
+              Printf.eprintf "psopt loadgen: cannot write %s: %s\n" file m;
+              exit_error
+          | oc ->
+              output_string oc payload;
+              output_char oc '\n';
+              close_out oc;
+              exit_ok)
+    in
+    let gates (r : Service.Loadgen.report) =
+      let p99_ms = ms_of_ns_f r.Service.Loadgen.all.Service.Loadgen.latency.Service.Loadgen.Quantiles.p99_ns in
+      let bad = ref false in
+      (match max_p99 with
+      | Some ceiling when p99_ms > ceiling ->
+          Printf.eprintf "psopt loadgen: p99 %.2fms exceeds gate %.2fms\n"
+            p99_ms ceiling;
+          bad := true
+      | _ -> ());
+      (match max_transport with
+      | Some n when r.Service.Loadgen.transport_errors > n ->
+          Printf.eprintf "psopt loadgen: %d transport errors exceed gate %d\n"
+            r.Service.Loadgen.transport_errors n;
+          bad := true
+      | _ -> ());
+      !bad
+    in
+    let rates =
+      if saturation = "" then []
+      else
+        try
+          List.map
+            (fun s -> float_of_string (String.trim s))
+            (String.split_on_char ',' saturation)
+        with Failure _ -> []
+    in
+    if saturation <> "" && rates = [] then begin
+      Printf.eprintf "psopt loadgen: cannot parse --saturation %S\n" saturation;
+      exit_error
+    end
+    else if rates = [] then begin
+      match Service.Loadgen.run cfg with
+      | Error msg ->
+          Printf.eprintf "psopt loadgen: %s\n" msg;
+          exit_error
+      | Ok r ->
+          print_report r;
+          let code = write_json (loadgen_json_of_report r) in
+          if gates r then exit_fail else code
+    end
+    else begin
+      let slo =
+        { Service.Loadgen.slo_p99_ms = slo_p99; slo_shed_pct = slo_shed }
+      in
+      match Service.Loadgen.saturation cfg ~slo ~rates with
+      | Error msg ->
+          Printf.eprintf "psopt loadgen: %s\n" msg;
+          exit_error
+      | Ok sat ->
+          List.iter
+            (fun (s : Service.Loadgen.sat_step) ->
+              Printf.printf "== offered %g req/s: %s (shed %.1f%%) ==\n"
+                s.Service.Loadgen.rate_hz
+                (if s.Service.Loadgen.passed then "SLO ok" else "SLO broken")
+                (Service.Loadgen.shed_pct s.Service.Loadgen.step_report);
+              print_report s.Service.Loadgen.step_report)
+            sat.Service.Loadgen.steps;
+          (match sat.Service.Loadgen.knee_hz with
+          | Some k -> Printf.printf "saturation knee: %g req/s\n" k
+          | None -> Printf.printf "saturation knee: below the first step\n");
+          let steps_json =
+            String.concat ", "
+              (List.map
+                 (fun (s : Service.Loadgen.sat_step) ->
+                   Printf.sprintf
+                     "{\"rate_hz\": %g, \"passed\": %b, \"report\": %s}"
+                     s.Service.Loadgen.rate_hz s.Service.Loadgen.passed
+                     (loadgen_json_of_report s.Service.Loadgen.step_report))
+                 sat.Service.Loadgen.steps)
+          in
+          write_json
+            (Printf.sprintf "{\"steps\": [%s], \"knee_hz\": %s}" steps_json
+               (match sat.Service.Loadgen.knee_hz with
+               | Some k -> Printf.sprintf "%g" k
+               | None -> "null"))
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running daemon with concurrent synthetic clients — \
+          closed-loop (N persistent clients) or open-loop (seeded \
+          Poisson/uniform arrivals at a fixed rate, latency recorded \
+          against the intended start so coordinated omission cannot \
+          flatter the tail) — and report per-class exact \
+          p50/p90/p99/p99.9, throughput and shed/retry/Busy accounting \
+          (docs/SERVICE.md).")
+    Term.(
+      const run $ socket_term $ client_io_timeout_term $ clients $ rate
+      $ arrivals $ duration $ warmup $ high_pct $ seed $ retries $ prewarm
+      $ json $ saturation $ slo_p99 $ slo_shed $ max_p99 $ max_transport)
+
+(* ---- psopt top: the live terminal dashboard ---- *)
+
+let spark values =
+  let blocks = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |] in
+  match values with
+  | [] -> ""
+  | _ ->
+      let mx = List.fold_left Float.max 0.0 values in
+      String.concat ""
+        (List.map
+           (fun v ->
+             if mx <= 0.0 then blocks.(0)
+             else blocks.(min 7 (int_of_float (v /. mx *. 7.99))))
+           values)
+
+(* One parsed scrape, reduced to what the dashboard needs: plain
+   name-summed values (labels folded away) and the cumulative bucket
+   vectors of the two service histograms. *)
+let scrape_view text =
+  let exposed = Obs.Metrics.parse_exposition text in
+  let value name =
+    List.fold_left
+      (fun acc (e : Obs.Metrics.exposed) ->
+        if e.Obs.Metrics.ex_name = name then acc +. e.Obs.Metrics.ex_value
+        else acc)
+      0.0 exposed
+  in
+  let buckets family =
+    List.filter_map
+      (fun (e : Obs.Metrics.exposed) ->
+        if e.Obs.Metrics.ex_name = family ^ "_bucket" then
+          match List.assoc_opt "le" e.Obs.Metrics.ex_labels with
+          | Some "+Inf" -> Some (infinity, e.Obs.Metrics.ex_value)
+          | Some le -> (
+              match float_of_string_opt le with
+              | Some b -> Some (b, e.Obs.Metrics.ex_value)
+              | None -> None)
+          | None -> None
+        else None)
+      exposed
+    |> List.sort compare
+  in
+  (value, buckets)
+
+let top_cmd =
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Refresh period.")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after N refreshes (0 = run until Ctrl-C) — the CI hook.")
+  in
+  let run socket interval count =
+    let interval = Float.max 0.1 interval in
+    (* derived per-window figures ride an Obs.Series ring so the
+       sparklines show the last minute of history *)
+    let history = Obs.Series.create ~capacity:60 ~interval_s:interval () in
+    let prev = ref None in
+    let iterations = ref 0 in
+    let errors = ref 0 in
+    let delta_buckets ~now ~before =
+      List.map
+        (fun (le, cum) ->
+          let cum0 =
+            match List.assoc_opt le before with Some c -> c | None -> 0.0
+          in
+          (le, cum -. cum0))
+        now
+    in
+    let render () =
+      match Service.Client.metrics ~socket with
+      | Error msg ->
+          incr errors;
+          Printf.eprintf "psopt top: %s\n" msg;
+          !errors < 5
+      | Ok text ->
+          errors := 0;
+          let value, buckets = scrape_view text in
+          let served = value "psopt_service_served_total" in
+          let req_b = buckets "psopt_service_request_duration_ns" in
+          let queue_b = buckets "psopt_service_queue_wait_ns" in
+          let now = Unix.gettimeofday () in
+          (match !prev with
+          | None -> ()
+          | Some (t_prev, served_prev, req_prev, queue_prev) ->
+              let dt = Float.max (now -. t_prev) 1e-3 in
+              let qps = Float.max 0.0 ((served -. served_prev) /. dt) in
+              let dreq = delta_buckets ~now:req_b ~before:req_prev in
+              let p50 =
+                Obs.Metrics.quantile_from_cumulative dreq ~q:0.5 /. 1e6
+              in
+              let p99 =
+                Obs.Metrics.quantile_from_cumulative dreq ~q:0.99 /. 1e6
+              in
+              let dqueue = delta_buckets ~now:queue_b ~before:queue_prev in
+              let qwait_p99 =
+                Obs.Metrics.quantile_from_cumulative dqueue ~q:0.99 /. 1e6
+              in
+              let hits = value "psopt_service_store_hits_total" in
+              let misses = value "psopt_service_store_misses_total" in
+              let hit_rate =
+                if hits +. misses <= 0.0 then 0.0
+                else 100.0 *. hits /. (hits +. misses)
+              in
+              Obs.Series.push history
+                [ ("qps", qps); ("p50_ms", p50); ("p99_ms", p99) ];
+              print_string ansi_clear;
+              Printf.printf "psopt top — %s — every %.1fs\n\n" socket interval;
+              Printf.printf "  %-16s %10.1f  %s\n" "qps" qps
+                (spark (Obs.Series.values history "qps"));
+              Printf.printf "  %-16s %10.2f  %s\n" "p50 ms" p50
+                (spark (Obs.Series.values history "p50_ms"));
+              Printf.printf "  %-16s %10.2f  %s\n" "p99 ms" p99
+                (spark (Obs.Series.values history "p99_ms"));
+              Printf.printf "  %-16s %10.2f\n" "queue p99 ms" qwait_p99;
+              Printf.printf "  %-16s %10.0f\n" "handler threads"
+                (value "psopt_service_handler_threads");
+              Printf.printf "  %-16s %10.0f\n" "inflight"
+                (value "psopt_service_inflight");
+              Printf.printf "  %-16s %10.0f\n" "sheds"
+                (value "psopt_service_shed_total");
+              Printf.printf "  %-16s %10.0f\n" "busy"
+                (value "psopt_service_busy_total");
+              Printf.printf "  %-16s %9.1f%%\n" "store hit rate" hit_rate;
+              Printf.printf "  %-16s %10.0f\n" "served total" served;
+              Printf.printf "  %-16s %10.0f\n" "spans dropped"
+                (value "psopt_obs_spans_dropped_total");
+              flush stdout);
+          prev := Some (now, served, req_b, queue_b);
+          true
+    in
+    let continue = ref true in
+    while
+      !continue && (count = 0 || !iterations < count + 1)
+      (* the first scrape only seeds the window *)
+    do
+      continue := render ();
+      incr iterations;
+      if !continue && (count = 0 || !iterations < count + 1) then
+        Unix.sleepf interval
+    done;
+    if !errors > 0 then exit_error else exit_ok
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a running daemon's Metrics RPC: \
+          qps, windowed p50/p99, queue wait, handler threads, sheds and \
+          store hit-rate, with sparkline history (docs/OBSERVABILITY.md).")
+    Term.(const run $ socket_term $ interval $ count)
+
 let () =
   let info =
     Cmd.info "psopt" ~version:Service.Version.version
@@ -1662,9 +2227,12 @@ let () =
            ping_cmd;
            metrics_cmd;
            trace_check_cmd;
+           trace_merge_cmd;
            submit_cmd;
            batch_cmd;
            chaos_proxy_cmd;
+           loadgen_cmd;
+           top_cmd;
          ])
   in
   (* cmdliner reports CLI/usage problems as 124/125; fold them into

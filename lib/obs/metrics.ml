@@ -123,6 +123,7 @@ type summary = {
   p50_ns : float;
   p90_ns : float;
   p99_ns : float;
+  p999_ns : float;
 }
 
 let histogram_count h =
@@ -160,7 +161,43 @@ let summary h =
     p50_ns = quantile counts total 0.5;
     p90_ns = quantile counts total 0.9;
     p99_ns = quantile counts total 0.99;
+    p999_ns = quantile counts total 0.999;
   }
+
+(* ---- Registry snapshot ----
+
+   A flat numeric view for the Series sampler: counters and gauges
+   under their rendered name (labels included), histograms as their
+   [_count]/[_sum] series.  Quantiles are deliberately not
+   materialized here — a sampler wants raw monotone series it can
+   delta; quantiles over a window come from
+   [quantile_from_cumulative] on scraped buckets. *)
+
+let snapshot_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let snapshot () =
+  let metrics =
+    Mutex.lock lock;
+    let m = !registry in
+    Mutex.unlock lock;
+    List.rev m
+  in
+  List.concat_map
+    (function
+      | M_counter c ->
+          [ (c.c_name ^ snapshot_labels c.c_labels, float_of_int (Atomic.get c.cell)) ]
+      | M_histogram h ->
+          [
+            (h.h_name ^ "_count", float_of_int (histogram_count h));
+            (h.h_name ^ "_sum", float_of_int (Atomic.get h.h_sum));
+          ])
+    metrics
 
 (* ---- Prometheus text rendering ---- *)
 
@@ -224,3 +261,124 @@ let render () =
           Buffer.add_string b (Printf.sprintf "%s_count %d\n" h.h_name !cum))
     metrics;
   Buffer.contents b
+
+(* ---- Parsing the exposition format back ----
+
+   `psopt top` watches a *remote* daemon through the Metrics RPC, which
+   ships the text above — so the registry must be able to read its own
+   output.  The parser is structural (quoted label values may contain
+   spaces and escapes), tolerant of comment lines, and drops lines it
+   cannot read rather than failing the whole scrape. *)
+
+type exposed = {
+  ex_name : string;
+  ex_labels : (string * string) list;
+  ex_value : float;
+}
+
+let parse_line line =
+  let n = String.length line in
+  let is_name_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do i := !i + 1 done;
+  if !i = 0 then None
+  else begin
+    let name = String.sub line 0 !i in
+    let labels = ref [] in
+    let ok = ref true in
+    (if !i < n && line.[!i] = '{' then begin
+       i := !i + 1;
+       let rec parse_pairs () =
+         if !i < n && line.[!i] = '}' then i := !i + 1
+         else begin
+           let k0 = !i in
+           while !i < n && is_name_char line.[!i] do i := !i + 1 done;
+           let k = String.sub line k0 (!i - k0) in
+           if !i + 1 < n && line.[!i] = '=' && line.[!i + 1] = '"' then begin
+             i := !i + 2;
+             let b = Buffer.create 8 in
+             let rec scan () =
+               if !i >= n then ok := false
+               else
+                 match line.[!i] with
+                 | '"' -> i := !i + 1
+                 | '\\' when !i + 1 < n ->
+                     (match line.[!i + 1] with
+                     | 'n' -> Buffer.add_char b '\n'
+                     | c -> Buffer.add_char b c);
+                     i := !i + 2;
+                     scan ()
+                 | c ->
+                     Buffer.add_char b c;
+                     i := !i + 1;
+                     scan ()
+             in
+             scan ();
+             if !ok then begin
+               labels := (k, Buffer.contents b) :: !labels;
+               if !i < n && line.[!i] = ',' then begin
+                 i := !i + 1;
+                 parse_pairs ()
+               end
+               else if !i < n && line.[!i] = '}' then i := !i + 1
+               else ok := false
+             end
+           end
+           else ok := false
+         end
+       in
+       parse_pairs ()
+     end);
+    if not !ok then None
+    else begin
+      let rest = String.trim (String.sub line !i (n - !i)) in
+      let v =
+        match rest with
+        | "+Inf" -> Some infinity
+        | "-Inf" -> Some neg_infinity
+        | "NaN" -> Some nan
+        | s -> float_of_string_opt s
+      in
+      match v with
+      | Some v -> Some { ex_name = name; ex_labels = List.rev !labels; ex_value = v }
+      | None -> None
+    end
+  end
+
+let parse_exposition text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else parse_line line)
+
+(* Windowed quantiles from scraped cumulative buckets: the delta of two
+   scrapes' [_bucket{le=...}] series is again cumulative in [le], so
+   the same interpolation applies.  [buckets] must be (le bound,
+   cumulative count) pairs sorted by bound, +Inf last. *)
+let quantile_from_cumulative buckets ~q =
+  match List.rev buckets with
+  | [] -> 0.
+  | (_, total) :: _ ->
+      if total <= 0. then 0.
+      else begin
+        let target = Float.max 1. (Float.round (q *. total)) in
+        let rec go prev_le prev_cum = function
+          | [] -> 0.
+          | (le, cum) :: rest ->
+              if cum >= target && cum > prev_cum then begin
+                let hi =
+                  if Float.is_finite le then le
+                  else if prev_le > 0. then 2. *. prev_le
+                  else 1.
+                in
+                let frac = (target -. prev_cum) /. (cum -. prev_cum) in
+                prev_le +. ((hi -. prev_le) *. frac)
+              end
+              else go le cum rest
+        in
+        go 0. 0. buckets
+      end

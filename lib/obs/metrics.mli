@@ -44,6 +44,7 @@ type summary = {
   p50_ns : float;
   p90_ns : float;
   p99_ns : float;
+  p999_ns : float;
 }
 (** Quantiles are interpolated within the matching bucket, so they are
     estimates with at most one-bucket (2x) error — adequate for the
@@ -59,3 +60,32 @@ val render : unit -> string
 (** The whole registry in Prometheus text format: one [# HELP]/[# TYPE]
     header per family, cumulative [_bucket{le=...}] / [_sum] / [_count]
     series for histograms. *)
+
+val snapshot : unit -> (string * float) list
+(** A flat numeric view of the registry for the {!Series} sampler:
+    counters and gauges under their rendered name (labels included),
+    histograms as their [_count]/[_sum] series.  Registration order. *)
+
+(** {2 Reading the exposition format back}
+
+    [psopt top] watches a remote daemon through the Metrics RPC, which
+    ships {!render}'s text — so the registry can also read its own
+    output. *)
+
+type exposed = {
+  ex_name : string;
+  ex_labels : (string * string) list;
+  ex_value : float;  (** ["+Inf"]/["-Inf"]/["NaN"] parse to the floats *)
+}
+
+val parse_exposition : string -> exposed list
+(** Parse Prometheus text into samples.  Comment and blank lines are
+    skipped; malformed lines are dropped rather than failing the whole
+    scrape. *)
+
+val quantile_from_cumulative : (float * float) list -> q:float -> float
+(** [quantile_from_cumulative buckets ~q] interpolates the [q]-quantile
+    from (le bound, cumulative count) pairs sorted by bound, +Inf last
+    — the shape of a scraped [_bucket] series, or of the delta between
+    two scrapes (which is again cumulative in [le]).  Returns 0 for an
+    empty window. *)

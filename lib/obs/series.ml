@@ -1,0 +1,82 @@
+type sample = { ts_ns : int; values : (string * float) list }
+
+type t = {
+  capacity : int;
+  interval_s : float;
+  families : string list;
+  buf : sample option array;
+  mutable total : int;
+  m : Mutex.t;
+}
+
+let create ?(capacity = 120) ?(families = []) ~interval_s () =
+  if capacity <= 0 then invalid_arg "Series.create: capacity must be positive";
+  {
+    capacity;
+    interval_s;
+    families;
+    buf = Array.make capacity None;
+    total = 0;
+    m = Mutex.create ();
+  }
+
+let interval_s t = t.interval_s
+let capacity t = t.capacity
+
+let keep t k =
+  t.families = []
+  || List.exists (fun p -> String.starts_with ~prefix:p k) t.families
+
+let push t ?ts_ns values =
+  let ts_ns = match ts_ns with Some t -> t | None -> Clock.now_ns () in
+  let values = List.filter (fun (k, _) -> keep t k) values in
+  Mutex.lock t.m;
+  t.buf.(t.total mod t.capacity) <- Some { ts_ns; values };
+  t.total <- t.total + 1;
+  Mutex.unlock t.m
+
+let sample t = push t (Metrics.snapshot ())
+
+let length t =
+  Mutex.lock t.m;
+  let n = min t.total t.capacity in
+  Mutex.unlock t.m;
+  n
+
+let total t =
+  Mutex.lock t.m;
+  let n = t.total in
+  Mutex.unlock t.m;
+  n
+
+let samples t =
+  Mutex.lock t.m;
+  let n = min t.total t.capacity in
+  (* oldest surviving sample first: once wrapped, the slot after the
+     write cursor holds it *)
+  let first = if t.total <= t.capacity then 0 else t.total mod t.capacity in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match t.buf.((first + i) mod t.capacity) with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  Mutex.unlock t.m;
+  !out
+
+let last t =
+  Mutex.lock t.m;
+  let r =
+    if t.total = 0 then None else t.buf.((t.total - 1) mod t.capacity)
+  in
+  Mutex.unlock t.m;
+  r
+
+let values t key =
+  List.filter_map (fun s -> List.assoc_opt key s.values) (samples t)
+
+let loop ?(stop = fun () -> false) t =
+  while not (stop ()) do
+    sample t;
+    Unix.sleepf t.interval_s
+  done

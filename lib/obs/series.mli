@@ -1,0 +1,51 @@
+(** A bounded ring of timestamped registry snapshots — the memory
+    behind sparklines.
+
+    A series holds the last [capacity] samples of selected metric
+    families; older samples are overwritten in ring order, so memory is
+    fixed no matter how long the process runs.  Two feeding modes share
+    the ring: {!sample} snapshots the local {!Metrics} registry (a
+    daemon observing itself), while {!push} accepts externally-obtained
+    values (how [psopt top] keeps history of a remote daemon's scraped
+    and derived figures).  All operations are thread-safe. *)
+
+type sample = { ts_ns : int; values : (string * float) list }
+
+type t
+
+val create : ?capacity:int -> ?families:string list -> interval_s:float -> unit -> t
+(** [create ~interval_s ()] makes an empty series.  [capacity]
+    (default 120) bounds retained samples; [families] is a list of
+    name prefixes to retain per sample ([[]] = keep everything) —
+    filtering happens at insert, so an unselective registry does not
+    bloat the ring.  Raises [Invalid_argument] on [capacity <= 0]. *)
+
+val sample : t -> unit
+(** Append one snapshot of the local {!Metrics} registry, stamped with
+    {!Clock.now_ns}. *)
+
+val push : t -> ?ts_ns:int -> (string * float) list -> unit
+(** Append externally-obtained values (same family filter applies). *)
+
+val loop : ?stop:(unit -> bool) -> t -> unit
+(** Blocking sampling loop: {!sample} every [interval_s] until [stop]
+    returns true (checked once per tick).  Run it on a thread the
+    caller owns; the series itself spawns none. *)
+
+val samples : t -> sample list
+(** Retained samples, oldest first (at most [capacity]). *)
+
+val last : t -> sample option
+
+val values : t -> string -> float list
+(** [values t key] projects one family's retained history, oldest
+    first; samples missing the key are skipped. *)
+
+val length : t -> int
+(** Retained sample count ([<= capacity]). *)
+
+val total : t -> int
+(** Samples ever appended, including overwritten ones. *)
+
+val capacity : t -> int
+val interval_s : t -> float

@@ -1,7 +1,86 @@
-type event = { name : string; cat : string; ts_ns : int; dur_ns : int; tid : int }
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;
+  dur_ns : int;
+  tid : int;
+  args : (string * string) list;
+}
 
 let enabled = Atomic.make false
 let on () = Atomic.get enabled
+
+(* ---- Trace contexts ----
+
+   A context names one logical request: [trace_id] groups every span
+   the request touched — across retries, connections and processes —
+   and [span_id] names the request's root span on the side that minted
+   it.  The context travels over the wire (Service.Proto's optional
+   trace field) so daemon-side spans carry the caller's ids; the merge
+   tool then stitches client- and server-side traces into one timeline
+   per request. *)
+
+type ctx = { trace_id : string; span_id : string }
+
+(* Ids are minted from a process-global PRNG behind a mutex: minting
+   happens once per logical request, not per span, so contention is
+   irrelevant next to a connect round trip. *)
+let id_state =
+  lazy
+    (Random.State.make
+       [|
+         int_of_float (Unix.gettimeofday () *. 1e6);
+         Unix.getpid ();
+         0x7ace1d;
+       |])
+
+let id_m = Mutex.create ()
+
+let genid () =
+  Mutex.lock id_m;
+  let st = Lazy.force id_state in
+  let a = Random.State.bits st and b = Random.State.bits st in
+  Mutex.unlock id_m;
+  Printf.sprintf "%08x%08x" (a land 0xffffffff) (b land 0xffffffff)
+
+let new_ctx () = { trace_id = genid (); span_id = genid () }
+
+(* The current context is per *thread*, not per domain: the daemon
+   serves connections on sys-threads that all share domain 0, and two
+   concurrent requests must not stamp each other's spans.  The table
+   is only consulted while tracing is on, so the disabled hot path
+   still costs one [Atomic.get]. *)
+let ctxs : (int, ctx) Hashtbl.t = Hashtbl.create 64
+let ctx_m = Mutex.create ()
+
+let current () =
+  if not (Atomic.get enabled) then None
+  else begin
+    Mutex.lock ctx_m;
+    let r = Hashtbl.find_opt ctxs (Thread.id (Thread.self ())) in
+    Mutex.unlock ctx_m;
+    r
+  end
+
+let with_ctx c f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let id = Thread.id (Thread.self ()) in
+    Mutex.lock ctx_m;
+    let prev = Hashtbl.find_opt ctxs id in
+    (match c with
+    | Some c -> Hashtbl.replace ctxs id c
+    | None -> Hashtbl.remove ctxs id);
+    Mutex.unlock ctx_m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock ctx_m;
+        (match prev with
+        | Some p -> Hashtbl.replace ctxs id p
+        | None -> Hashtbl.remove ctxs id);
+        Mutex.unlock ctx_m)
+      f
+  end
 
 (* Per-domain buffers.  Each domain's first recorded span allocates a
    buffer through Domain.DLS and registers it in [all] under [lock];
@@ -25,6 +104,13 @@ let all : buf list ref = ref []
 let lock = Mutex.create ()
 let generation = Atomic.make 0
 
+(* Buffer overflow is visible in the scraped registry too, not only in
+   the CLI's post-run report: a fleet daemon that is quietly losing
+   spans must show it on `psopt metrics`. *)
+let m_dropped =
+  Metrics.counter ~help:"Spans discarded because a per-domain buffer hit its cap"
+    "psopt_obs_spans_dropped_total"
+
 let key =
   Domain.DLS.new_key (fun () ->
     let b =
@@ -36,7 +122,7 @@ let key =
     Mutex.unlock lock;
     b)
 
-let record name cat t0 t1 =
+let record ?(args = []) name cat t0 t1 =
   let b = Domain.DLS.get key in
   let gen = Atomic.get generation in
   if b.gen <> gen then begin
@@ -45,24 +131,40 @@ let record name cat t0 t1 =
     b.n <- 0;
     b.dropped <- 0
   end;
-  if b.n >= max_events_per_domain then b.dropped <- b.dropped + 1
+  if b.n >= max_events_per_domain then begin
+    b.dropped <- b.dropped + 1;
+    Metrics.incr m_dropped
+  end
   else begin
-    b.evs <- { name; cat; ts_ns = t0; dur_ns = t1 - t0; tid = b.dom } :: b.evs;
+    let args =
+      match current () with
+      | Some c ->
+          ("trace_id", c.trace_id) :: ("span_id", c.span_id) :: args
+      | None -> args
+    in
+    b.evs <-
+      { name; cat; ts_ns = t0; dur_ns = t1 - t0; tid = b.dom; args } :: b.evs;
     b.n <- b.n + 1
   end
 
-let span ?(cat = "psopt") name f =
+let span ?(cat = "psopt") ?args name f =
   if not (Atomic.get enabled) then f ()
   else begin
     let t0 = Clock.now_ns () in
     match f () with
     | v ->
-        record name cat t0 (Clock.now_ns ());
+        record ?args name cat t0 (Clock.now_ns ());
         v
     | exception e ->
-        record name cat t0 (Clock.now_ns ());
+        record ?args name cat t0 (Clock.now_ns ());
         raise e
   end
+
+(* An explicit span for intervals not shaped like a thunk — the
+   admission gate's queue wait, a load generator's intended-start
+   anchoring.  No-op while tracing is off, like [span]. *)
+let add ?(cat = "psopt") ?args ~name ~ts_ns ~dur_ns () =
+  if Atomic.get enabled then record ?args name cat ts_ns (ts_ns + dur_ns)
 
 let start () =
   ignore (Atomic.fetch_and_add generation 1);
@@ -101,17 +203,34 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Timestamps are normalized so the timeline starts at zero, but the
+   subtracted base is preserved as a top-level [baseNs] field: that is
+   what lets [merge] re-anchor traces from different processes onto
+   one absolute clock ({!Clock.now_ns} is epoch-based on every side). *)
+let write_event oc ~pid ~t0 e =
+  Printf.fprintf oc
+    "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d"
+    (json_escape e.name) (json_escape e.cat)
+    (Clock.us_of_ns (e.ts_ns - t0))
+    (Clock.us_of_ns e.dur_ns) pid e.tid;
+  if e.args <> [] then begin
+    output_string oc ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then output_char oc ',';
+        Printf.fprintf oc "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+      e.args;
+    output_char oc '}'
+  end;
+  output_char oc '}'
+
 let write_events oc evs =
   let t0 = match evs with [] -> 0 | e :: _ -> e.ts_ns in
-  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Printf.fprintf oc "{\"displayTimeUnit\":\"ms\",\"baseNs\":%d,\"traceEvents\":[" t0;
   List.iteri
     (fun i e ->
       if i > 0 then output_char oc ',';
-      Printf.fprintf oc
-        "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
-        (json_escape e.name) (json_escape e.cat)
-        (Clock.us_of_ns (e.ts_ns - t0))
-        (Clock.us_of_ns e.dur_ns) e.tid)
+      write_event oc ~pid:1 ~t0 e)
     evs;
   output_string oc "\n]}\n";
   List.length evs
@@ -313,3 +432,124 @@ let validate_file path =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error m -> Error m
   | doc -> validate_string doc
+
+(* ---- Merging traces from several processes ----
+
+   Each input document carries [baseNs] — the absolute {!Clock.now_ns}
+   stamp its normalized timestamps were measured from — so events from
+   a client and a daemon rebase onto one shared clock.  Every input
+   file becomes its own [pid] track group (file order), which is how
+   Perfetto shows the processes side by side; spans of one request
+   line up by their [trace_id] arg. *)
+
+type merged_event = {
+  m_name : string;
+  m_cat : string;
+  m_abs_ns : int;
+  m_dur_ns : int;
+  m_pid : int;
+  m_tid : int;
+  m_args : (string * string) list;
+}
+
+let events_of_doc ~pid doc =
+  match parse_json doc with
+  | exception Bad m -> Error ("not valid JSON: " ^ m)
+  | J_obj fields -> (
+      let base =
+        match List.assoc_opt "baseNs" fields with
+        | Some (J_num b) -> int_of_float b
+        | _ -> 0
+      in
+      match List.assoc_opt "traceEvents" fields with
+      | Some (J_arr evs) ->
+          let ev i = function
+            | J_obj e ->
+                let str k d =
+                  match List.assoc_opt k e with
+                  | Some (J_str s) -> s
+                  | _ -> d
+                in
+                let num k =
+                  match List.assoc_opt k e with
+                  | Some (J_num f) -> Ok f
+                  | _ -> Error (Printf.sprintf "event %d: missing number %S" i k)
+                in
+                let ( let* ) = Result.bind in
+                let* ts_us = num "ts" in
+                let* dur_us = num "dur" in
+                let tid =
+                  match List.assoc_opt "tid" e with
+                  | Some (J_num f) -> int_of_float f
+                  | _ -> 0
+                in
+                let args =
+                  match List.assoc_opt "args" e with
+                  | Some (J_obj kvs) ->
+                      List.filter_map
+                        (fun (k, v) ->
+                          match v with J_str s -> Some (k, s) | _ -> None)
+                        kvs
+                  | _ -> []
+                in
+                Ok
+                  {
+                    m_name = str "name" "?";
+                    m_cat = str "cat" "";
+                    m_abs_ns = base + int_of_float (ts_us *. 1e3);
+                    m_dur_ns = int_of_float (dur_us *. 1e3);
+                    m_pid = pid;
+                    m_tid = tid;
+                    m_args = args;
+                  }
+            | _ -> Error (Printf.sprintf "event %d: not an object" i)
+          in
+          let rec go i acc = function
+            | [] -> Ok (List.rev acc)
+            | e :: rest -> (
+                match ev i e with
+                | Ok m -> go (i + 1) (m :: acc) rest
+                | Error _ as err -> err)
+          in
+          go 0 [] evs
+      | _ -> Error "missing traceEvents array")
+  | _ -> Error "top level is not an object"
+
+let merge_files ~inputs ~output =
+  let ( let* ) = Result.bind in
+  let rec read pid acc = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | path :: rest -> (
+        match In_channel.with_open_bin path In_channel.input_all with
+        | exception Sys_error m -> Error m
+        | doc -> (
+            match events_of_doc ~pid doc with
+            | Ok evs -> read (pid + 1) (evs :: acc) rest
+            | Error m -> Error (path ^ ": " ^ m)))
+  in
+  let* evs = read 1 [] inputs in
+  let evs =
+    List.stable_sort (fun a b -> compare (a.m_abs_ns, a.m_pid) (b.m_abs_ns, b.m_pid)) evs
+  in
+  let t0 = match evs with [] -> 0 | e :: _ -> e.m_abs_ns in
+  match open_out output with
+  | exception Sys_error m -> Error m
+  | oc ->
+      Printf.fprintf oc
+        "{\"displayTimeUnit\":\"ms\",\"baseNs\":%d,\"traceEvents\":[" t0;
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_char oc ',';
+          write_event oc ~pid:e.m_pid ~t0
+            {
+              name = e.m_name;
+              cat = e.m_cat;
+              ts_ns = e.m_abs_ns;
+              dur_ns = e.m_dur_ns;
+              tid = e.m_tid;
+              args = e.m_args;
+            })
+        evs;
+      output_string oc "\n]}\n";
+      close_out oc;
+      Ok (List.length evs)

@@ -29,6 +29,17 @@ type stats = {
   breaker_trips : int;  (** times the circuit breaker opened *)
 }
 
+(* Client-observed latency of the *whole* logical request — connects,
+   retries and backoff sleeps included — which is what a caller
+   actually waits, as opposed to the server's own
+   psopt_service_request_duration_ns (one admitted attempt, queue wait
+   excluded on the fast path).  The gap between the two histograms is
+   exactly the fleet's retry/backpressure overhead. *)
+let request_hist =
+  Obs.Metrics.histogram
+    ~help:"Whole logical rpc_wait request incl. reconnects and backoff"
+    "psopt_client_request_duration_ns"
+
 let connect_fd socket =
   (* a peer that died mid-request must surface as a typed [Closed],
      not kill the whole client process with SIGPIPE *)
@@ -44,7 +55,9 @@ let connect_fd socket =
       (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
 
 let connect ?seed ?io_timeout_s ~socket () =
-  match connect_fd socket with
+  match
+    Obs.Trace.span ~cat:"client" "client.connect" (fun () -> connect_fd socket)
+  with
   | Error _ as e -> e
   | Ok fd ->
       Ok
@@ -85,7 +98,10 @@ let ensure_connected t =
   match t.fd with
   | Some fd -> Ok fd
   | None -> (
-      match connect_fd t.socket with
+      match
+        Obs.Trace.span ~cat:"client" "client.connect" (fun () ->
+            connect_fd t.socket)
+      with
       | Ok fd ->
           t.fd <- Some fd;
           t.reconnects <- t.reconnects + 1;
@@ -121,6 +137,13 @@ let rpc t req =
    fast failures instead of a retry storm.  The last response or error
    passes through when the budget is exhausted. *)
 let rpc_wait ?(retries = 100) ?deadline_s t req =
+  (* When the request ships a trace context, the retry loop runs under
+     it, so every connect/rpc/backoff span below carries the same
+     trace id as the daemon-side spans for this request. *)
+  let tctx = match req with Proto.Work (_, _, Some c) -> Some c | _ -> None in
+  Obs.Trace.with_ctx tctx @@ fun () ->
+  Obs.Metrics.time request_hist @@ fun () ->
+  Obs.Trace.span ~cat:"client" "client.request" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let out_of_time () =
     match deadline_s with
@@ -129,7 +152,7 @@ let rpc_wait ?(retries = 100) ?deadline_s t req =
   in
   let sleep () =
     let d = Resilience.Backoff.next t.backoff in
-    Thread.delay d
+    Obs.Trace.span ~cat:"client" "client.backoff" (fun () -> Thread.delay d)
   in
   let rec go k =
     if not (Resilience.Breaker.allow t.breaker) then
@@ -144,7 +167,9 @@ let rpc_wait ?(retries = 100) ?deadline_s t req =
         go (k + 1)
       end
     else
-      match rpc_once t req with
+      match
+        Obs.Trace.span ~cat:"client" "client.rpc" (fun () -> rpc_once t req)
+      with
       | Ok (Proto.Busy _ as r) | Ok (Proto.Shed _ as r) ->
           (* the daemon is alive and answering: backpressure, not
              failure *)

@@ -48,7 +48,14 @@ val rpc_wait :
     decorrelated-jitter backoff (reconnecting first), up to [retries]
     extra attempts (default 100) and [deadline_s] of wall clock.  When
     the budget runs out the last response or error passes through
-    verbatim. *)
+    verbatim.
+
+    The whole logical request — reconnects and backoff sleeps included
+    — is observed into the [psopt_client_request_duration_ns]
+    histogram, and (when tracing is on) recorded as a [client.request]
+    span with nested [client.connect]/[client.rpc]/[client.backoff]
+    spans, all run under the request's trace context if it ships
+    one. *)
 
 val with_client :
   ?seed:int ->

@@ -246,7 +246,7 @@ type request =
   | Stats
   | Metrics
   | Shutdown
-  | Work of work * Explore.Config.t
+  | Work of work * Explore.Config.t * Obs.Trace.ctx option
 
 let kind_tag = function
   | Explore (Explore.Enum.Interleaving, _) -> "explore:il"
@@ -298,17 +298,33 @@ let sexp_of_request = function
   | Stats -> List [ Atom "stats" ]
   | Metrics -> List [ Atom "metrics" ]
   | Shutdown -> List [ Atom "shutdown" ]
-  | Work (w, c) -> List [ Atom "work"; sexp_of_work w; sexp_of_config c ]
+  | Work (w, c, tctx) -> (
+      (* A context-free request keeps the exact pre-trace wire shape,
+         so new clients stay compatible with old daemons unless they
+         actually trace; the optional trailing element mirrors the
+         config fingerprint field's evolution pattern. *)
+      let base = [ Atom "work"; sexp_of_work w; sexp_of_config c ] in
+      match tctx with
+      | None -> List base
+      | Some { Obs.Trace.trace_id; span_id } ->
+          List (base @ [ List [ Atom "trace"; Atom trace_id; Atom span_id ] ]))
+
+let trace_ctx_of_rest = function
+  | [] | [ Atom "-" ] -> Ok None
+  | [ List [ Atom "trace"; Atom trace_id; Atom span_id ] ] ->
+      Ok (Some { Obs.Trace.trace_id; span_id })
+  | s -> Error ("bad trace context " ^ to_string (List s))
 
 let request_of_sexp = function
   | List [ Atom "ping" ] -> Ok Ping
   | List [ Atom "stats" ] -> Ok Stats
   | List [ Atom "metrics" ] -> Ok Metrics
   | List [ Atom "shutdown" ] -> Ok Shutdown
-  | List [ Atom "work"; w; c ] ->
+  | List (Atom "work" :: w :: c :: rest) ->
       let* w = work_of_sexp w in
       let* c = config_of_sexp c in
-      Ok (Work (w, c))
+      let* tctx = trace_ctx_of_rest rest in
+      Ok (Work (w, c, tctx))
   | s -> Error ("bad request " ^ to_string s)
 
 (* ------------------------------------------------------------------ *)

@@ -24,9 +24,15 @@ type request =
   | Stats  (** service counters snapshot *)
   | Metrics  (** full registry in Prometheus text format *)
   | Shutdown  (** graceful drain, then exit *)
-  | Work of work * Explore.Config.t
+  | Work of work * Explore.Config.t * Obs.Trace.ctx option
       (** a request is a complete description of the computation: the
-          full configuration travels with it *)
+          full configuration travels with it.  The optional trace
+          context stamps daemon-side spans with the caller's
+          trace/span ids so client and server Chrome traces stitch
+          into one per-request timeline (docs/OBSERVABILITY.md).  The
+          field is wire-compatible both ways: a context-free request
+          encodes exactly as before this field existed, and decoders
+          accept both shapes. *)
 
 val kind_tag : work -> string
 (** The store-key component naming the subcommand: ["explore:il"],

@@ -488,9 +488,15 @@ let handle_request st = function
   | Proto.Shutdown ->
       Atomic.set st.stop true;
       Proto.Shutting_down
-  | Proto.Work (w, config) ->
+  | Proto.Work (w, config, tctx) ->
       if Atomic.get st.stop then Proto.Refused "server is shutting down"
-      else begin
+      else
+        (* Every span below — store.lookup, queue.wait, work.run and
+           its nested renders — runs under the caller's trace context,
+           so the daemon side of the request carries the client's
+           trace id and the merge tool can stitch both processes into
+           one timeline. *)
+        Obs.Trace.with_ctx tctx @@ fun () -> begin
         (* Cached answers bypass the gate entirely: a hit is a disk
            read, not a search.  The fast path records its service time
            here only when it actually answers; the slow path
@@ -551,6 +557,11 @@ let handle_request st = function
                   let now = Obs.Clock.now_ns () in
                   let waited = now - t0 in
                   Obs.Metrics.observe_ns queue_wait_hist waited;
+                  (* The wait is only known once the slot is granted,
+                     so the span is recorded after the fact over the
+                     [t0, now] interval it actually covered. *)
+                  Obs.Trace.add ~cat:"service" ~name:"queue.wait" ~ts_ns:t0
+                    ~dur_ns:waited ();
                   match request_deadline_ns with
                   | Some d when d - now < ms_to_ns 1 ->
                       (* admitted with (essentially) no wall clock

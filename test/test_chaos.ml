@@ -141,7 +141,7 @@ let workload =
   List.filteri (fun i _ -> i < 4) Litmus.all
   |> List.map (fun (t : Litmus.t) -> t.Litmus.name)
 
-let work_req name = Proto.Work (Proto.Litmus name, Config.default)
+let work_req name = Proto.Work (Proto.Litmus name, Config.default, None)
 
 (* Fault-free reference replies (and store warm-up) over a direct
    connection. *)

@@ -210,6 +210,214 @@ let test_trace_validator_rejects () =
          \"dur\": 1, \"pid\": 1, \"tid\": 0}]}" );
       ("truncated", "{\"traceEvents\": [{\"name\": \"x\"") ]
 
+let test_trace_ctx_stamps_args () =
+  Obs.Trace.start ();
+  let c = Obs.Trace.new_ctx () in
+  Alcotest.(check bool) "ids are 16 hex chars" true
+    (String.length c.Obs.Trace.trace_id = 16
+    && String.length c.Obs.Trace.span_id = 16
+    && String.for_all
+         (fun ch -> (ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f'))
+         (c.Obs.Trace.trace_id ^ c.Obs.Trace.span_id));
+  Obs.Trace.with_ctx (Some c) (fun () ->
+      Alcotest.(check bool) "ambient context visible" true
+        (Obs.Trace.current () = Some c);
+      ignore (Obs.Trace.span ~args:[ ("k", "v") ] "stamped" (fun () -> ())));
+  Alcotest.(check bool) "context restored after with_ctx" true
+    (Obs.Trace.current () = None);
+  ignore (Obs.Trace.span "bare" (fun () -> ()));
+  Obs.Trace.stop ();
+  let evs = Obs.Trace.events () in
+  let find n = List.find (fun e -> e.Obs.Trace.name = n) evs in
+  let stamped = find "stamped" and bare = find "bare" in
+  Alcotest.(check (option string)) "trace_id stamped"
+    (Some c.Obs.Trace.trace_id)
+    (List.assoc_opt "trace_id" stamped.Obs.Trace.args);
+  Alcotest.(check (option string)) "span_id stamped"
+    (Some c.Obs.Trace.span_id)
+    (List.assoc_opt "span_id" stamped.Obs.Trace.args);
+  Alcotest.(check (option string)) "caller args preserved" (Some "v")
+    (List.assoc_opt "k" stamped.Obs.Trace.args);
+  Alcotest.(check (option string)) "no stamp outside the context" None
+    (List.assoc_opt "trace_id" bare.Obs.Trace.args)
+
+let test_trace_ctx_per_thread () =
+  (* contexts are per-thread, not per-domain: two threads on the same
+     domain must not clobber each other — the daemon's handler threads
+     all live on domain 0 *)
+  Obs.Trace.start ();
+  let barrier = Mutex.create () in
+  let seen = Array.make 2 None in
+  Mutex.lock barrier;
+  let mk i =
+    Thread.create
+      (fun () ->
+        let c = Obs.Trace.new_ctx () in
+        Obs.Trace.with_ctx (Some c) (fun () ->
+            Mutex.lock barrier;
+            Mutex.unlock barrier;
+            seen.(i) <- (if Obs.Trace.current () = Some c then Some true
+                         else Some false)))
+      ()
+  in
+  let t0 = mk 0 and t1 = mk 1 in
+  Thread.delay 0.05;
+  Mutex.unlock barrier;
+  Thread.join t0;
+  Thread.join t1;
+  Obs.Trace.stop ();
+  Alcotest.(check (option bool)) "thread 0 kept its context" (Some true) seen.(0);
+  Alcotest.(check (option bool)) "thread 1 kept its context" (Some true) seen.(1)
+
+let test_trace_merge_files () =
+  let mk_file name ts =
+    Obs.Trace.start ();
+    Obs.Trace.add ~name ~ts_ns:ts ~dur_ns:1000 ();
+    Obs.Trace.stop ();
+    let file = Filename.temp_file "psopt-test-merge" ".json" in
+    match Obs.Trace.write_file file with
+    | Ok _ -> file
+    | Error e -> Alcotest.fail ("write_file: " ^ e)
+  in
+  let a = mk_file "from_a" 5_000_000 in
+  let b = mk_file "from_b" 9_000_000 in
+  let out = Filename.temp_file "psopt-test-merged" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ a; b; out ])
+    (fun () ->
+      (match Obs.Trace.merge_files ~inputs:[ a; b ] ~output:out with
+      | Ok n -> Alcotest.(check int) "merged event count" 2 n
+      | Error e -> Alcotest.fail ("merge_files: " ^ e));
+      match Obs.Trace.validate_file out with
+      | Ok shape ->
+          Alcotest.(check int) "merged doc validates with both events" 2
+            shape.Obs.Trace.n_events;
+          List.iter
+            (fun n ->
+              Alcotest.(check bool) ("merged doc lists " ^ n) true
+                (List.mem n shape.Obs.Trace.names))
+            [ "from_a"; "from_b" ]
+      | Error e -> Alcotest.fail ("validate merged: " ^ e))
+
+(* --------------------------------------------------------------- *)
+(* Series ring *)
+
+let test_series_ring_wrap () =
+  let s = Obs.Series.create ~capacity:4 ~interval_s:1.0 () in
+  Alcotest.(check int) "empty length" 0 (Obs.Series.length s);
+  for i = 1 to 6 do
+    Obs.Series.push s ~ts_ns:(i * 1000) [ ("qps", float_of_int i) ]
+  done;
+  Alcotest.(check int) "length clamps at capacity" 4 (Obs.Series.length s);
+  Alcotest.(check int) "total counts overwritten samples" 6
+    (Obs.Series.total s);
+  Alcotest.(check (list (float 1e-9))) "oldest-first, oldest overwritten"
+    [ 3.; 4.; 5.; 6. ]
+    (Obs.Series.values s "qps");
+  (match Obs.Series.last s with
+  | Some { Obs.Series.ts_ns; values } ->
+      Alcotest.(check int) "last keeps its stamp" 6000 ts_ns;
+      Alcotest.(check (option (float 1e-9))) "last value" (Some 6.)
+        (List.assoc_opt "qps" values)
+  | None -> Alcotest.fail "last sample missing");
+  Alcotest.(check bool) "capacity must be positive" true
+    (try
+       ignore (Obs.Series.create ~capacity:0 ~interval_s:1.0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_series_family_filter () =
+  let s =
+    Obs.Series.create ~capacity:8 ~families:[ "psopt_service" ] ~interval_s:1.0
+      ()
+  in
+  Obs.Series.push s ~ts_ns:1
+    [ ("psopt_service_served_total", 10.); ("unrelated_metric", 3.) ];
+  Alcotest.(check (list (float 1e-9))) "selected family kept" [ 10. ]
+    (Obs.Series.values s "psopt_service_served_total");
+  Alcotest.(check (list (float 1e-9))) "other families dropped at insert" []
+    (Obs.Series.values s "unrelated_metric")
+
+(* --------------------------------------------------------------- *)
+(* Exposition parsing + windowed quantiles (the [psopt top] path) *)
+
+let test_parse_exposition () =
+  let text =
+    "# HELP psopt_test_total help text\n\
+     # TYPE psopt_test_total counter\n\
+     psopt_test_total 42\n\
+     psopt_test_labeled{reason=\"over load\",k=\"a\\\"b\"} 7\n\
+     psopt_test_bucket{le=\"+Inf\"} 9\n\
+     malformed line without a value\n\
+     psopt_test_nan NaN\n"
+  in
+  let exposed = Obs.Metrics.parse_exposition text in
+  let find name =
+    List.find_opt (fun e -> e.Obs.Metrics.ex_name = name) exposed
+  in
+  (match find "psopt_test_total" with
+  | Some e -> Alcotest.(check (float 1e-9)) "plain value" 42. e.Obs.Metrics.ex_value
+  | None -> Alcotest.fail "psopt_test_total missing");
+  (match find "psopt_test_labeled" with
+  | Some e ->
+      Alcotest.(check (option string)) "label value may contain spaces"
+        (Some "over load")
+        (List.assoc_opt "reason" e.Obs.Metrics.ex_labels);
+      Alcotest.(check (option string)) "escaped quote in label value"
+        (Some "a\"b")
+        (List.assoc_opt "k" e.Obs.Metrics.ex_labels)
+  | None -> Alcotest.fail "labeled sample missing");
+  (match find "psopt_test_bucket" with
+  | Some e ->
+      Alcotest.(check bool) "+Inf parses to infinity" true
+        (e.Obs.Metrics.ex_value = 9.
+        && List.assoc_opt "le" e.Obs.Metrics.ex_labels = Some "+Inf")
+  | None -> Alcotest.fail "bucket sample missing");
+  Alcotest.(check bool) "NaN value parses" true
+    (match find "psopt_test_nan" with
+    | Some e -> Float.is_nan e.Obs.Metrics.ex_value
+    | None -> false)
+
+let test_render_parse_roundtrip () =
+  (* everything the registry renders must come back through the parser *)
+  let c = Obs.Metrics.counter ~help:"x" "psopt_test_rp_total" in
+  Obs.Metrics.incr c;
+  let h = Obs.Metrics.histogram ~help:"x" "psopt_test_rp_ns" in
+  Obs.Metrics.observe_ns h 1234;
+  let exposed = Obs.Metrics.parse_exposition (Obs.Metrics.render ()) in
+  Alcotest.(check bool) "counter round-trips" true
+    (List.exists
+       (fun e ->
+         e.Obs.Metrics.ex_name = "psopt_test_rp_total"
+         && e.Obs.Metrics.ex_value >= 1.)
+       exposed);
+  Alcotest.(check bool) "histogram count round-trips" true
+    (List.exists
+       (fun e ->
+         e.Obs.Metrics.ex_name = "psopt_test_rp_ns_count"
+         && e.Obs.Metrics.ex_value >= 1.)
+       exposed);
+  Alcotest.(check bool) "histogram buckets round-trip cumulative" true
+    (List.exists
+       (fun e ->
+         e.Obs.Metrics.ex_name = "psopt_test_rp_ns_bucket"
+         && List.assoc_opt "le" e.Obs.Metrics.ex_labels = Some "+Inf"
+         && e.Obs.Metrics.ex_value >= 1.)
+       exposed)
+
+let test_quantile_from_cumulative () =
+  (* 10 samples <= 100, 90 more <= 1000, none beyond *)
+  let buckets = [ (100., 10.); (1000., 100.); (infinity, 100.) ] in
+  let p50 = Obs.Metrics.quantile_from_cumulative buckets ~q:0.5 in
+  Alcotest.(check bool) "p50 lands in the second bucket" true
+    (p50 > 100. && p50 <= 1000.);
+  let p05 = Obs.Metrics.quantile_from_cumulative buckets ~q:0.05 in
+  Alcotest.(check bool) "p05 lands in the first bucket" true (p05 <= 100.);
+  Alcotest.(check (float 1e-9)) "empty window is 0" 0.
+    (Obs.Metrics.quantile_from_cumulative [ (100., 0.); (infinity, 0.) ]
+       ~q:0.99)
+
 (* --------------------------------------------------------------- *)
 (* Logger *)
 
@@ -310,6 +518,28 @@ let () =
             test_trace_write_validate;
           Alcotest.test_case "validator rejects malformed documents" `Quick
             test_trace_validator_rejects;
+          Alcotest.test_case "context stamps trace/span ids into args" `Quick
+            test_trace_ctx_stamps_args;
+          Alcotest.test_case "contexts are per-thread on one domain" `Quick
+            test_trace_ctx_per_thread;
+          Alcotest.test_case "merge_files stitches two documents" `Quick
+            test_trace_merge_files;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "ring wraps, oldest-first, total counts" `Quick
+            test_series_ring_wrap;
+          Alcotest.test_case "family filter applies at insert" `Quick
+            test_series_family_filter;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "parser handles labels, escapes, NaN" `Quick
+            test_parse_exposition;
+          Alcotest.test_case "render/parse round-trip" `Quick
+            test_render_parse_roundtrip;
+          Alcotest.test_case "windowed quantile from cumulative buckets" `Quick
+            test_quantile_from_cumulative;
         ] );
       ( "log",
         [

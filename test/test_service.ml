@@ -84,9 +84,9 @@ let proto_props =
           if seed mod 2 = 0 then Explore.Enum.Interleaving
           else Explore.Enum.Non_preemptive
         in
-        let req = Proto.Work (Proto.Explore (disc, p), config) in
+        let req = Proto.Work (Proto.Explore (disc, p), config, None) in
         match Proto.request_of_sexp (Proto.sexp_of_request req) with
-        | Ok (Proto.Work (Proto.Explore (disc', p'), config')) ->
+        | Ok (Proto.Work (Proto.Explore (disc', p'), config', None)) ->
             disc' = disc && Lang.Ast.equal_program p' p && config' = config
         | _ -> false);
     QCheck.Test.make ~count:300 ~name:"reply response round-trips"
@@ -108,9 +108,12 @@ let test_proto_units () =
         "request round-trips" true
         (Proto.request_of_sexp (Proto.sexp_of_request req) = Ok req))
     [ Proto.Ping; Proto.Stats; Proto.Metrics; Proto.Shutdown;
-      Proto.Work (Proto.Litmus "sb", Config.default);
-      Proto.Work (Proto.Verify ("dce", Litmus.sb.Litmus.prog), Config.quick);
-      Proto.Work (Proto.Races Litmus.lb.Litmus.prog, Config.default) ];
+      Proto.Work (Proto.Litmus "sb", Config.default, None);
+      Proto.Work (Proto.Verify ("dce", Litmus.sb.Litmus.prog), Config.quick, None);
+      Proto.Work (Proto.Races Litmus.lb.Litmus.prog, Config.default, None);
+      Proto.Work
+        ( Proto.Litmus "sb", Config.default,
+          Some { Obs.Trace.trace_id = "00ff00ff00ff00ff"; span_id = "0123456789abcdef" } ) ];
   List.iter
     (fun resp ->
       Alcotest.(check bool)
@@ -804,7 +807,7 @@ let test_server_e2e () =
         Service.Version.version v
   | Error e -> Alcotest.fail ("ping: " ^ e));
   (* the same work twice over the wire: miss then hit, identical bytes *)
-  let req = Proto.Work (Proto.Litmus Litmus.lb.Litmus.name, Config.default) in
+  let req = Proto.Work (Proto.Litmus Litmus.lb.Litmus.name, Config.default, None) in
   let ask () =
     match
       Service.Client.with_client ~socket (fun cl ->
@@ -924,7 +927,7 @@ let test_server_deadline_cap () =
         match
           Service.Client.with_client ~socket (fun cl ->
               Service.Client.rpc cl
-                (Proto.Work (Proto.Explore (Explore.Enum.Interleaving, p), config)))
+                (Proto.Work (Proto.Explore (Explore.Enum.Interleaving, p), config, None)))
         with
         | Ok (Ok (Proto.Reply r)) ->
             if r.Proto.exit_code = 2 then begin
@@ -949,7 +952,8 @@ let test_server_deadline_cap () =
              Service.Client.rpc cl
                (Proto.Work
                   ( Proto.Litmus Litmus.sb.Litmus.name,
-                    { Config.default with Config.deadline_ms = Some 0 } )))
+                    { Config.default with Config.deadline_ms = Some 0 },
+                    None )))
        with
       | Ok (Ok (Proto.Shed { reason = Proto.Expired; _ })) -> ()
       | Ok (Ok _) -> Alcotest.fail "already-expired work must be Shed Expired"
